@@ -1,0 +1,509 @@
+(* The reproduction harness: regenerates every figure and result
+   statement of the paper (sections E1-E10, see DESIGN.md §5 and
+   EXPERIMENTS.md), then runs Bechamel micro-benchmarks of the
+   substrate (P1-P6).
+
+   Everything is seeded and deterministic; the experiment sections are
+   the "tables and figures" of this reproduction. *)
+
+open Setsync
+
+let section title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let subsection title = Fmt.pr "@.-- %s@." title
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 1 — set timeliness versus process timeliness *)
+
+let e1_figure1 () =
+  section "E1. Figure 1: the schedule [(p1*q)^i (p2*q)^i], i = 1, 2, ...";
+  Fmt.pr "observed least timeliness bound per prefix length:@.";
+  let lengths = [ 100; 1_000; 10_000; 100_000 ] in
+  let q = Procset.singleton 2 in
+  let curve p =
+    Analysis.bound_curve ~p ~q ~source:(Generators.figure1 ()) ~lengths
+  in
+  let rows =
+    [
+      ("{p1} wrt {q}", curve (Procset.singleton 0));
+      ("{p2} wrt {q}", curve (Procset.singleton 1));
+      ("{p1,p2} wrt {q}", curve (Procset.of_list [ 0; 1 ]));
+    ]
+  in
+  Fmt.pr "  %-18s" "set pair";
+  List.iter (fun l -> Fmt.pr "%10d" l) lengths;
+  Fmt.pr "@.";
+  List.iter
+    (fun (label, c) ->
+      Fmt.pr "  %-18s" label;
+      Array.iter (fun b -> Fmt.pr "%10d" b) c.Analysis.bounds;
+      Fmt.pr "@.")
+    rows;
+  Fmt.pr
+    "  paper's point: the singletons' bounds diverge with the prefix (neither@.\
+    \  p1 nor p2 is timely w.r.t. q) while the pair's bound is the constant 2@.\
+    \  (the set {p1,p2} is timely w.r.t. {q}).@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: Theorem 23 — Figure 2 implements t-resilient k-anti-Omega *)
+
+let e2_theorem23 () =
+  section "E2. Theorem 23: Figure 2 implements t-resilient k-anti-Omega in S^k_{t+1,n}";
+  Fmt.pr "  %-22s %-8s %-8s %-10s %-12s %s@." "instance" "bound" "crashes" "verdict"
+    "winner" "stable from step";
+  let cases =
+    [
+      (3, 1, 1, 2, 0);
+      (3, 2, 1, 4, 1);
+      (4, 2, 2, 2, 0);
+      (4, 2, 2, 4, 2);
+      (4, 3, 2, 4, 1);
+      (5, 3, 2, 4, 2);
+      (5, 4, 3, 2, 2);
+      (5, 4, 4, 4, 1);
+      (6, 4, 3, 4, 3);
+    ]
+  in
+  List.iteri
+    (fun idx (n, t, k, bound, crashes) ->
+      let spec =
+        {
+          Scenario.t;
+          k;
+          n;
+          i = k;
+          j = t + 1;
+          bound;
+          seed = 9_000 + idx;
+          crashes;
+          adversary = Scenario.Fair;
+          max_steps = 4_000_000;
+        }
+      in
+      let result, _ = Scenario.run_detector spec in
+      let verdict, winner, stable =
+        match result.Fd_harness.winner_verdict with
+        | Anti_omega.Winner_stable { winner; stable_from } ->
+            ("ok", Fmt.str "%a" Procset.pp winner, string_of_int stable_from)
+        | Anti_omega.Winner_vacuous _ -> ("vacuous", "-", "-")
+        | Anti_omega.Winner_unstable why -> ("UNSTABLE: " ^ why, "-", "-")
+      in
+      Fmt.pr "  (t=%d,k=%d,n=%d) S^%d_%-4d %-8d %-8d %-10s %-12s %s@." t k n k (t + 1) bound
+        crashes verdict winner stable)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E4: Theorem 24 / Corollary 25 — solving (t,k,n) in S^k_{t+1,n} *)
+
+let e4_theorem24 () =
+  section "E4. Theorem 24 / Cor. 25: (t,k,n)-agreement solved in S^k_{t+1,n}";
+  Fmt.pr "  %-14s %-8s %-9s %-8s %-9s %-10s %s@." "problem" "crashes" "solved" "values"
+    "decided" "last step" "algorithm";
+  let cases =
+    [
+      (1, 1, 3, 1); (2, 1, 3, 2); (2, 2, 4, 0); (2, 2, 4, 2); (3, 2, 5, 3);
+      (3, 3, 5, 1); (4, 2, 6, 4); (1, 2, 4, 1) (* trivial regime *);
+      (1, 3, 5, 1) (* trivial regime *);
+    ]
+  in
+  List.iteri
+    (fun idx (t, k, n, crashes) ->
+      let j = min (t + 1) n in
+      let i = min k j in
+      let spec =
+        {
+          Scenario.t;
+          k;
+          n;
+          i;
+          j;
+          bound = 3;
+          seed = 9_100 + idx;
+          crashes;
+          adversary = Scenario.Fair;
+          max_steps = 6_000_000;
+        }
+      in
+      let r = Scenario.run_agreement spec in
+      let o = r.Scenario.outcome in
+      Fmt.pr "  (%d,%d,%d)%6s %-8d %-9b %-8d %-9d %-10s %s@." t k n "" crashes
+        r.Scenario.solved o.Ag_harness.report.Checker.distinct_values
+        o.Ag_harness.report.Checker.decided_count
+        (match Ag_harness.last_decide_step o with Some s -> string_of_int s | None -> "-")
+        (if o.Ag_harness.used_trivial then "trivial" else "kanti-omega+paxos"))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorem 26(1) — (k,k,n) in S^k_{n,n} *)
+
+let e5_theorem26_possible () =
+  section "E5. Theorem 26(1): (k,k,n)-agreement solvable in S^k_{n,n}";
+  Fmt.pr "  %-12s %-9s %-8s %s@." "instance" "solved" "values" "last decide step";
+  List.iteri
+    (fun idx (k, n) ->
+      let spec =
+        {
+          Scenario.t = k;
+          k;
+          n;
+          i = k;
+          j = n;
+          bound = 3;
+          seed = 9_200 + idx;
+          crashes = min k 2;
+          adversary = Scenario.Fair;
+          max_steps = 6_000_000;
+        }
+      in
+      let r = Scenario.run_agreement spec in
+      Fmt.pr "  (%d,%d,%d)%4s %-9b %-8d %s@." k k n "" r.Scenario.solved
+        r.Scenario.outcome.Ag_harness.report.Checker.distinct_values
+        (match Ag_harness.last_decide_step r.Scenario.outcome with
+        | Some s -> string_of_int s
+        | None -> "-"))
+    [ (1, 3); (2, 4); (2, 5); (3, 5); (3, 6) ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Theorem 26(2) machinery — the BG simulation *)
+
+let e6_bg_simulation () =
+  section "E6. Theorem 26(2) machinery: BG simulation (k+1 simulators, n threads)";
+  Fmt.pr "  %-26s %-9s %-12s %-12s %-14s %s@." "configuration" "crashes" "consistent"
+    "crash-bound" "(c+1)-bound" "unfinished/sim";
+  List.iteri
+    (fun idx (threads, rounds, sims, crashes) ->
+      let inputs = Array.init threads (fun i -> 10 * (i + 1)) in
+      let protocol = Iis.max_spread ~threads ~rounds ~inputs in
+      let rng = Rng.create ~seed:(9_300 + idx) in
+      let source ~live = Generators.random_fair ~live ~n:sims ~rng () in
+      let fault = List.init crashes (fun c -> (c, 97 + (211 * c))) in
+      let r =
+        Simulation.simulate ~protocol ~simulators:sims ~source ~max_steps:3_000_000 ~fault ()
+      in
+      let crash_count = Procset.cardinal r.Simulation.crashed_sims in
+      let worst_bound = ref 0 in
+      let unfinished = ref [] in
+      Array.iteri
+        (fun sim _ ->
+          if not (Procset.mem sim r.Simulation.crashed_sims) then begin
+            worst_bound :=
+              max !worst_bound
+                (Simulation.simulated_timeliness_bound r ~sim ~set_size:(crash_count + 1));
+            unfinished :=
+              Procset.cardinal (Simulation.unfinished r ~sim) :: !unfinished
+          end)
+        r.Simulation.outputs;
+      let unfinished_str =
+        String.concat "," (List.rev_map string_of_int !unfinished)
+      in
+      Fmt.pr "  %d threads x %d rounds / %d sims %-7d %-12b %-12b %-14d %s@." threads rounds
+        sims crash_count (Simulation.consistent r) (Simulation.check_crash_bound r)
+        !worst_bound unfinished_str)
+    [ (5, 4, 3, 0); (5, 4, 3, 1); (6, 5, 3, 2); (8, 4, 4, 2); (6, 6, 2, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* E7/E8: Theorem 27 — the full solvability boundary *)
+
+let e7_e8_boundary () =
+  section "E7/E8. Theorem 27: (t,k,n)-agreement solvable in S^i_{j,n} iff i<=k and j-i>=t+1-k";
+  List.iter
+    (fun (t, k, n) ->
+      subsection
+        (Fmt.str "(t=%d,k=%d,n=%d): predicted grid (■ solvable, · not)" t k n);
+      Fmt.pr "%a@." Characterization.pp_grid (Characterization.grid ~t ~k ~n);
+      Fmt.pr
+        "@.  empirical check per cell (adaptive adversary where constructible,@.\
+        \  fair elsewhere): ok = outcome matches the formula@.";
+      Fmt.pr "  %-10s %-10s %-11s %-9s %s@." "cell" "predicted" "adversary" "solved" "ok";
+      let all_ok = ref true in
+      List.iter
+        (fun { Characterization.i; j; predicted } ->
+          let constructible = k + j - i < n && k < n in
+          let adversary = if constructible then Scenario.Adaptive else Scenario.Fair in
+          let spec =
+            {
+              Scenario.t;
+              k;
+              n;
+              i;
+              j;
+              bound = 3;
+              seed = 9_400 + (100 * i) + j;
+              crashes = 0;
+              adversary;
+              max_steps = 500_000;
+            }
+          in
+          let r = Scenario.run_agreement spec in
+          let ok = r.Scenario.solved = predicted in
+          if not ok then all_ok := false;
+          Fmt.pr "  S^%d_{%d,%d}%s %-10b %-11s %-9b %s@." i j n
+            (String.make (max 0 (4 - String.length (string_of_int j))) ' ')
+            predicted
+            (match adversary with
+            | Scenario.Adaptive -> "adaptive"
+            | Scenario.Fair -> "fair"
+            | Scenario.Exclusive -> "exclusive")
+            r.Scenario.solved
+            (if ok then "ok" else "MISMATCH"))
+        (Characterization.grid ~t ~k ~n);
+      Fmt.pr "  => all cells match the formula: %b@." !all_ok)
+    [ (2, 2, 5); (3, 2, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: the separation headline *)
+
+let e10_separation () =
+  section
+    "E10. Separation: S^k_{t+1,n} solves (t,k,n) but neither (t+1,k,n) nor (t,k-1,n)";
+  Fmt.pr "  %-12s %-16s %-11s %s@." "system" "problem" "predicted" "solved (adaptive)";
+  let run ~t ~k ~n ~i ~j ~seed =
+    let spec =
+      {
+        Scenario.t;
+        k;
+        n;
+        i;
+        j;
+        bound = 3;
+        seed;
+        crashes = 0;
+        adversary = Scenario.Adaptive;
+        max_steps = 600_000;
+      }
+    in
+    Scenario.run_agreement spec
+  in
+  List.iter
+    (fun (t, k, n) ->
+      let i = k and j = t + 1 in
+      let base = run ~t ~k ~n ~i ~j ~seed:9_501 in
+      let res = run ~t:(t + 1) ~k ~n ~i ~j ~seed:9_502 in
+      let agr = run ~t ~k:(k - 1) ~n ~i ~j ~seed:9_503 in
+      let line problem (r : Scenario.report) =
+        Fmt.pr "  S^%d_{%d,%d}%4s %-16s %-11b %b@." i j n "" problem r.Scenario.predicted
+          r.Scenario.solved
+      in
+      line (Fmt.str "(%d,%d,%d)" t k n) base;
+      line (Fmt.str "(%d,%d,%d)" (t + 1) k n) res;
+      line (Fmt.str "(%d,%d,%d)" t (k - 1) n) agr)
+    [ (2, 2, 5) ]
+
+(* ------------------------------------------------------------------ *)
+(* P*: performance profile (Bechamel) *)
+
+let bechamel_benchmarks () =
+  section "P1-P6. Substrate micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let register_ops =
+    Test.make ~name:"register read+write"
+      (Staged.stage (fun () ->
+           let r = Register.make ~name:"r" ~id:0 0 in
+           for _ = 1 to 100 do
+             Register.write r (Register.read r + 1)
+           done))
+  in
+  let executor_throughput =
+    Test.make ~name:"executor 10k steps (n=4)"
+      (Staged.stage (fun () ->
+           let body _ () =
+             while true do
+               Shm.pause ()
+             done
+           in
+           let source ~live = Generators.round_robin ~live ~n:4 () in
+           ignore (Executor.run ~n:4 ~source ~max_steps:10_000 body)))
+  in
+  let fd_iteration =
+    Test.make ~name:"figure-2 run 5k steps (n=4,k=2,t=2)"
+      (Staged.stage (fun () ->
+           let params = { Kanti_omega.n = 4; t = 2; k = 2 } in
+           let source ~live = Generators.round_robin ~live ~n:4 () in
+           ignore (Fd_harness.run ~params ~source ~max_steps:5_000 ())))
+  in
+  let paxos_round =
+    Test.make ~name:"paxos solo round (n=5)"
+      (Staged.stage (fun () ->
+           let store = Store.create () in
+           let shared = Paxos.create_shared store ~n:5 ~name:"b" in
+           let body p () =
+             if p = 0 then
+               ignore (Paxos.attempt (Paxos.make_proposer shared ~proc:0 ~input:1))
+           in
+           let source ~live = Generators.round_robin ~live ~n:5 () in
+           ignore (Executor.run ~n:5 ~source ~max_steps:100 body)))
+  in
+  let timeliness_analysis =
+    let sched =
+      Source.take (Generators.figure1 ()) 10_000
+    in
+    Test.make ~name:"timeliness scan 10k steps"
+      (Staged.stage (fun () ->
+           ignore
+             (Timeliness.observed_bound
+                ~p:(Procset.of_list [ 0; 1 ])
+                ~q:(Procset.singleton 2) sched)))
+  in
+  let safe_agreement_round =
+    Test.make ~name:"safe agreement (3 parties)"
+      (Staged.stage (fun () ->
+           let store = Store.create () in
+           let sa = Safe_agreement.create store ~m:3 ~name:"sa" ~pp:Fmt.int in
+           let body p () =
+             Safe_agreement.propose sa ~party:p p;
+             ignore (Safe_agreement.try_read sa)
+           in
+           let source ~live = Generators.round_robin ~live ~n:3 () in
+           ignore (Executor.run ~n:3 ~source ~max_steps:1_000 body)))
+  in
+  let tests =
+    [
+      register_ops;
+      executor_throughput;
+      fd_iteration;
+      paxos_round;
+      timeliness_analysis;
+      safe_agreement_round;
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 300) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      Hashtbl.iter
+        (fun _name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Fmt.pr "  %-40s %12.1f ns/run@." name est
+          | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Convergence profile: how fast the detector stabilizes *)
+
+let convergence_profile () =
+  section "P7. Detector convergence step vs n and timeliness bound (fair adversary)";
+  Fmt.pr "  %-24s %-8s %s@." "instance" "bound" "winner stable from step";
+  List.iteri
+    (fun idx (n, t, k, bound) ->
+      let spec =
+        {
+          Scenario.t;
+          k;
+          n;
+          i = k;
+          j = t + 1;
+          bound;
+          seed = 9_600 + idx;
+          crashes = 0;
+          adversary = Scenario.Fair;
+          max_steps = 4_000_000;
+        }
+      in
+      let result, _ = Scenario.run_detector spec in
+      Fmt.pr "  (t=%d,k=%d,n=%d)%8s %-8d %s@." t k n "" bound
+        (match Fd_harness.convergence_step result with
+        | Some s -> string_of_int s
+        | None -> "no convergence within budget"))
+    [
+      (3, 2, 1, 2); (4, 2, 2, 2); (4, 2, 2, 4); (5, 3, 2, 2); (5, 3, 2, 4);
+      (6, 4, 3, 2); (6, 4, 3, 4); (7, 4, 2, 4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* P8: ablations — design choices of the stack *)
+
+let ablations () =
+  section "P8. Ablations";
+  subsection "a. initial timeout of Figure 2 (warm-up vs. faithfulness; default 1)";
+  Fmt.pr "  %-18s %s@." "initial timeout" "winner stable from step  (n=5, t=3, k=2, bound 4)";
+  List.iter
+    (fun timeout ->
+      let rng = Rng.create ~seed:9_700 in
+      let contract =
+        { Generators.p = Procset.of_list [ 2; 3 ]; q = Procset.of_list [ 0; 1; 4; 2 ]; bound = 4 }
+      in
+      let source ~live = Generators.timely ~live ~n:5 ~contract ~rng () in
+      let res =
+        Fd_harness.run
+          ~params:{ Kanti_omega.n = 5; t = 3; k = 2 }
+          ~source ~max_steps:4_000_000 ~initial_timeout:timeout ~stop_after_stable:20_000 ()
+      in
+      Fmt.pr "  %-18d %s@." timeout
+        (match Fd_harness.convergence_step res with
+        | Some st -> string_of_int st
+        | None -> "no convergence"))
+    [ 1; 4; 16; 64 ];
+  subsection "b. witness timeliness bound (n=4, t=2, k=2, fair adversary)";
+  Fmt.pr "  %-18s %s@." "bound" "agreement completed at step";
+  List.iter
+    (fun bound ->
+      let spec =
+        {
+          Scenario.t = 2; k = 2; n = 4; i = 2; j = 3; bound; seed = 9_710; crashes = 1;
+          adversary = Scenario.Fair; max_steps = 6_000_000;
+        }
+      in
+      let r = Scenario.run_agreement spec in
+      Fmt.pr "  %-18d %s@." bound
+        (match Ag_harness.last_decide_step r.Scenario.outcome with
+        | Some st -> string_of_int st
+        | None -> "not solved"))
+    [ 2; 4; 8; 16 ];
+  subsection "c. adversary flavour vs. time-to-decide (2,2,5) in S^2_{3,5}";
+  Fmt.pr "  %-18s %s@." "adversary" "agreement completed at step";
+  List.iter
+    (fun (label, adversary) ->
+      let spec =
+        {
+          Scenario.t = 2; k = 2; n = 5; i = 2; j = 3; bound = 3; seed = 9_720; crashes = 0;
+          adversary; max_steps = 2_000_000;
+        }
+      in
+      let r = Scenario.run_agreement spec in
+      Fmt.pr "  %-18s %s@." label
+        (match Ag_harness.last_decide_step r.Scenario.outcome with
+        | Some st -> string_of_int st
+        | None -> "not solved within budget"))
+    [ ("fair", Scenario.Fair); ("exclusive", Scenario.Exclusive); ("adaptive", Scenario.Adaptive) ];
+  subsection "d. solver scale: steps to decide vs. n (k=2, t=2, fair)";
+  Fmt.pr "  %-18s %s@." "n" "agreement completed at step   (C(n,2)*n reads per FD loop)";
+  List.iter
+    (fun n ->
+      let spec =
+        {
+          Scenario.t = 2; k = 2; n; i = 2; j = 3; bound = 3; seed = 9_730; crashes = 0;
+          adversary = Scenario.Fair; max_steps = 8_000_000;
+        }
+      in
+      let r = Scenario.run_agreement spec in
+      Fmt.pr "  %-18d %s@." n
+        (match Ag_harness.last_decide_step r.Scenario.outcome with
+        | Some st -> string_of_int st
+        | None -> "not solved within budget"))
+    [ 4; 5; 6; 7; 8 ]
+
+let () =
+  Fmt.pr "setsync reproduction harness — Partial Synchrony Based on Set Timeliness@.";
+  Fmt.pr "(Aguilera, Delporte-Gallet, Fauconnier, Toueg; PODC 2009)@.";
+  e1_figure1 ();
+  e2_theorem23 ();
+  e4_theorem24 ();
+  e5_theorem26_possible ();
+  e6_bg_simulation ();
+  e7_e8_boundary ();
+  e10_separation ();
+  convergence_profile ();
+  ablations ();
+  bechamel_benchmarks ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,147 @@
+(* Command-line interface to the setsync library.
+
+   Subcommands:
+     figure1   print Figure 1's schedule and its timeliness analysis
+     fd        run the Figure 2 failure detector in S^k_{t+1,n}
+     solve     solve (t,k,n)-agreement in a chosen S^i_{j,n}
+     sweep     print and check the Theorem 27 grid for one (t,k,n)
+     analyze   timeliness analysis of a generated schedule *)
+
+open Cmdliner
+open Setsync
+
+(* -------------------------------------------------------------- args *)
+
+let t_arg = Arg.(value & opt int 2 & info [ "t" ] ~docv:"T" ~doc:"Resilience (crashes tolerated).")
+
+let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Agreement degree (distinct decisions allowed).")
+
+let n_arg = Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let i_arg = Arg.(value & opt (some int) None & info [ "i" ] ~docv:"I" ~doc:"Timely-set size of the ambient system (default k).")
+
+let j_arg = Arg.(value & opt (some int) None & info [ "j" ] ~docv:"J" ~doc:"Observed-set size of the ambient system (default t+1).")
+
+let bound_arg = Arg.(value & opt int 3 & info [ "bound" ] ~docv:"B" ~doc:"Timeliness bound of the witness contract.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let crashes_arg = Arg.(value & opt int 0 & info [ "crashes" ] ~docv:"C" ~doc:"Crashes to inject (at most t).")
+
+let steps_arg = Arg.(value & opt int 2_000_000 & info [ "max-steps" ] ~docv:"S" ~doc:"Step budget.")
+
+let adversary_conv =
+  Arg.enum
+    [ ("fair", Scenario.Fair); ("exclusive", Scenario.Exclusive); ("adaptive", Scenario.Adaptive) ]
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt adversary_conv Scenario.Fair
+    & info [ "adversary" ] ~docv:"ADV"
+        ~doc:"Scheduler flavour: $(b,fair), $(b,exclusive) or $(b,adaptive).")
+
+let make_spec t k n i j bound seed crashes adversary max_steps =
+  let i = Option.value i ~default:(min k n) in
+  let j = Option.value j ~default:(min (t + 1) n) in
+  { Scenario.t; k; n; i; j; bound; seed; crashes; adversary; max_steps }
+
+(* ---------------------------------------------------------- figure1 *)
+
+let figure1_cmd =
+  let run length =
+    Fmt.pr "Figure 1 schedule, first %d steps:@.  %a@.@." (min length 60) Schedule.pp_full
+      (Source.take (Generators.figure1 ()) (min length 60));
+    let q = Procset.singleton 2 in
+    List.iter
+      (fun (label, p) ->
+        Fmt.pr "%-20s observed bound over %d steps: %d@." label length
+          (Timeliness.observed_bound ~p ~q (Source.take (Generators.figure1 ()) length)))
+      [
+        ("{p1} wrt {q}", Procset.singleton 0);
+        ("{p2} wrt {q}", Procset.singleton 1);
+        ("{p1,p2} wrt {q}", Procset.of_list [ 0; 1 ]);
+      ]
+  in
+  let length = Arg.(value & opt int 100_000 & info [ "length" ] ~docv:"L" ~doc:"Prefix length.") in
+  Cmd.v (Cmd.info "figure1" ~doc:"The paper's Figure 1 example, analyzed")
+    Term.(const run $ length)
+
+(* --------------------------------------------------------------- fd *)
+
+let fd_cmd =
+  let run t k n bound seed crashes adversary max_steps =
+    let spec = make_spec t k n None None bound seed crashes adversary max_steps in
+    Scenario.validate spec;
+    let result, predicted = Scenario.run_detector spec in
+    Fmt.pr "system: S^%d_{%d,%d}  predicted solvable for (%d,%d,%d): %b@." spec.Scenario.i
+      spec.Scenario.j n t k n predicted;
+    Fmt.pr "run:    %a@." Run.pp result.Fd_harness.run;
+    Fmt.pr "k-anti-omega: %a@." Anti_omega.pp_verdict result.Fd_harness.verdict;
+    Fmt.pr "winnerset:    %a@." Anti_omega.pp_winner_verdict result.Fd_harness.winner_verdict
+  in
+  Cmd.v (Cmd.info "fd" ~doc:"Run the Figure 2 failure detector")
+    Term.(const run $ t_arg $ k_arg $ n_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg)
+
+(* ------------------------------------------------------------ solve *)
+
+let solve_cmd =
+  let run t k n i j bound seed crashes adversary max_steps =
+    let spec = make_spec t k n i j bound seed crashes adversary max_steps in
+    Scenario.validate spec;
+    let r = Scenario.run_agreement spec in
+    Fmt.pr "%a@." Scenario.pp_report r;
+    Fmt.pr "witness: %a timely wrt %a (bound %d)@." Procset.pp r.Scenario.witness_p Procset.pp
+      r.Scenario.witness_q bound;
+    Fmt.pr "decisions:";
+    Array.iteri
+      (fun p d -> Fmt.pr " %a=%a" Proc.pp p Fmt.(option ~none:(any "-") int) d)
+      r.Scenario.outcome.Ag_harness.decisions;
+    Fmt.pr "@.";
+    exit (if r.Scenario.solved = r.Scenario.predicted then 0 else 1)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve (t,k,n)-agreement in S^i_{j,n}")
+    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg)
+
+(* ------------------------------------------------------------ sweep *)
+
+let sweep_cmd =
+  let run t k n =
+    Fmt.pr "Theorem 27 for (t=%d, k=%d, n=%d): solvable iff i <= k and j - i >= t+1-k@.@." t k n;
+    Fmt.pr "%a@." Setsync.Characterization.pp_grid (Setsync.Characterization.grid ~t ~k ~n);
+    let s = Setsync.Characterization.separation ~t ~k ~n in
+    Fmt.pr "@.closely matching system: %a@." System.pp s.Setsync.Characterization.system;
+    Fmt.pr "weakest-synchrony frontier: %a@."
+      Fmt.(list ~sep:sp System.pp)
+      (Setsync.Lattice.maximal_solvable ~t ~k ~n)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Print the Theorem 27 solvability grid")
+    Term.(const run $ t_arg $ k_arg $ n_arg)
+
+(* ---------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let run n seed length bound =
+    let rng = Rng.create ~seed in
+    let src = Generators.random_fair ~n ~rng () in
+    let s = Source.take src length in
+    Fmt.pr "random fair schedule over %d processes, %d steps (seed %d)@." n length seed;
+    Fmt.pr "steps per process: %a@." Fmt.(array ~sep:sp int) (Schedule.steps_per_process s);
+    Fmt.pr "singleton timeliness matrix (rows: P, cols: Q, observed bounds):@.";
+    let m = Analysis.singleton_matrix s in
+    Array.iter (fun row -> Fmt.pr "  %a@." Fmt.(array ~sep:sp (fmt "%4d")) row) m;
+    List.iter
+      (fun sz ->
+        let d = System.make ~i:sz ~j:(min n (sz + 1)) ~n in
+        Fmt.pr "member of %a at bound %d: %b@." System.pp d bound
+          (System.member ~bound d s))
+      (List.init (n - 1) (fun x -> x + 1))
+  in
+  let length = Arg.(value & opt int 50_000 & info [ "length" ] ~docv:"L" ~doc:"Schedule length.") in
+  Cmd.v (Cmd.info "analyze" ~doc:"Timeliness analysis of a random schedule")
+    Term.(const run $ n_arg $ seed_arg $ length $ bound_arg)
+
+let () =
+  let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in
+  let info = Cmd.info "setsync" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ figure1_cmd; fd_cmd; solve_cmd; sweep_cmd; analyze_cmd ]))

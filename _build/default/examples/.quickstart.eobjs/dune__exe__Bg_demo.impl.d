@@ -1,0 +1,1 @@
+examples/bg_demo.ml: Array Fmt Generators Iis Procset Rng Setsync Simulation

@@ -1,0 +1,1 @@
+examples/bg_demo.mli:

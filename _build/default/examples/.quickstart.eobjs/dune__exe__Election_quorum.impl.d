@@ -1,0 +1,1 @@
+examples/election_quorum.ml: Anti_omega Fd_harness Fmt Generators History Kanti_omega List Procset Rng Run Setsync

@@ -1,0 +1,1 @@
+examples/election_quorum.mli:

@@ -1,0 +1,1 @@
+examples/figure1.ml: Analysis Array Fmt Generators List Procset Schedule Setsync Source

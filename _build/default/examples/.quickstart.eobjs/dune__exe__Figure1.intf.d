@@ -1,0 +1,1 @@
+examples/figure1.mli:

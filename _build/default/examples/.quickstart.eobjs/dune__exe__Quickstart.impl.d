@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ag_harness Array Checker Fmt Generators List Problem Proc Procset Rng Run Setsync

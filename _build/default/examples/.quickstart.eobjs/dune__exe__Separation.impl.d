@@ -1,0 +1,1 @@
+examples/separation.ml: Ag_harness Checker Fmt Scenario Setsync Setsync_agreement

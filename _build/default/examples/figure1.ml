@@ -1,0 +1,45 @@
+(* Figure 1 of the paper, executable.
+
+   The schedule S = [(p1·q)^i (p2·q)^i] for i = 1, 2, 3, … is the
+   paper's motivating example: p1 alone is not timely with respect to q
+   (there are longer and longer stretches where q runs and p1 does
+   not), and neither is p2 — but the SET {p1, p2}, viewed as one
+   virtual process, is timely with bound 2. This program generates the
+   schedule, prints its first steps, and measures the least timeliness
+   bounds over growing prefixes, reproducing the figure's point as
+   numbers.
+
+   Run with: dune exec examples/figure1.exe *)
+
+open Setsync
+
+let () =
+  let src = Generators.figure1 () in
+  Fmt.pr "the first 30 steps of Figure 1's schedule (p3 plays q):@.  %a@.@."
+    Schedule.pp_full
+    (Source.take (Generators.figure1 ()) 30);
+
+  let q = Procset.singleton 2 in
+  let lengths = [ 10; 100; 1_000; 10_000; 100_000; 1_000_000 ] in
+  let pairs =
+    [
+      ("{p1}      w.r.t. {q}", Procset.singleton 0);
+      ("{p2}      w.r.t. {q}", Procset.singleton 1);
+      ("{p1,p2}   w.r.t. {q}", Procset.of_list [ 0; 1 ]);
+    ]
+  in
+  Fmt.pr "least bound b such that every window with b steps of q contains the set:@.";
+  Fmt.pr "  %-22s" "prefix length:";
+  List.iter (fun l -> Fmt.pr "%9d" l) lengths;
+  Fmt.pr "@.";
+  List.iter
+    (fun (label, p) ->
+      let curve = Analysis.bound_curve ~p ~q ~source:(Generators.figure1 ()) ~lengths in
+      Fmt.pr "  %-22s" label;
+      Array.iter (fun b -> Fmt.pr "%9d" b) curve.Analysis.bounds;
+      Fmt.pr "@.")
+    pairs;
+  ignore src;
+  Fmt.pr
+    "@.the singletons' bounds grow forever; the pair's bound is the constant 2:@.\
+    \ cooperation makes the set timely even though no member is.@."

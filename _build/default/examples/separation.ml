@@ -1,0 +1,56 @@
+(* The paper's headline separation, executed.
+
+   S^k_{t+1,n} is "synchronous enough" for (t,k,n)-agreement but not
+   for either incrementally stronger problem: (t+1,k,n)-agreement
+   (one more crash tolerated) or (t,k-1,n)-agreement (one fewer
+   decision value allowed). This program runs all three problems in
+   S^2_{3,5} against the omniscient adaptive adversary: the base
+   problem is solved; the two strengthened problems livelock (no
+   process ever decides within a large budget) while safety is never
+   violated.
+
+   Run with: dune exec examples/separation.exe *)
+
+open Setsync
+
+let run ~t ~k ~label ~seed =
+  let spec =
+    {
+      Scenario.t;
+      k;
+      n = 5;
+      i = 2;
+      j = 3;
+      bound = 3;
+      seed;
+      crashes = 0;
+      adversary = Scenario.Adaptive;
+      max_steps = 600_000;
+    }
+  in
+  let r = Scenario.run_agreement spec in
+  let o = r.Scenario.outcome in
+  Fmt.pr "  %-12s predicted=%-5b solved=%-5b decided=%d/%d values=%d safety=%b@." label
+    r.Scenario.predicted r.Scenario.solved o.Ag_harness.report.Checker.decided_count 5
+    o.Ag_harness.report.Checker.distinct_values
+    (Setsync_agreement.Checker.safe o.Ag_harness.report);
+  r.Scenario.solved
+
+let () =
+  Fmt.pr "system S^2_{3,5}: some 2 processes timely w.r.t. some 3 processes@.@.";
+  Fmt.pr "all three problems under the adaptive (state-inspecting) adversary:@.";
+  let base = run ~t:2 ~k:2 ~label:"(2,2,5)" ~seed:71 in
+  let res = run ~t:3 ~k:2 ~label:"(3,2,5)" ~seed:72 in
+  let agr = run ~t:2 ~k:1 ~label:"(2,1,5)" ~seed:73 in
+  Fmt.pr "@.";
+  if base && (not res) && not agr then begin
+    Fmt.pr
+      "separation reproduced: the same system solves (2,2,5) but the adversary@.\
+       defeats both (3,2,5) (stronger resiliency) and (2,1,5) (stronger@.\
+       agreement), exactly as Theorem 27 predicts.@.";
+    exit 0
+  end
+  else begin
+    Fmt.pr "separation NOT reproduced — check the adversary.@.";
+    exit 1
+  end

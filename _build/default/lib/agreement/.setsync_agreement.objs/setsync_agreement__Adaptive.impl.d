@@ -1,0 +1,1 @@
+lib/agreement/adaptive.ml: Array Kset_solver List Setsync_schedule

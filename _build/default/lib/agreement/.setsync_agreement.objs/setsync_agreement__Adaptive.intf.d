@@ -1,0 +1,1 @@
+lib/agreement/adaptive.mli: Kset_solver Setsync_schedule

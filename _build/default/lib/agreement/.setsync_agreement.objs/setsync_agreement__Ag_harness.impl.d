@@ -1,0 +1,1 @@
+lib/agreement/ag_harness.ml: Array Checker Fmt Kset_solver List Option Problem Setsync_memory Setsync_runtime Setsync_schedule Trivial

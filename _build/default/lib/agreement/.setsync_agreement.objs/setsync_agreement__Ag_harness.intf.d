@@ -1,0 +1,1 @@
+lib/agreement/ag_harness.mli: Checker Fmt Kset_solver Problem Setsync_runtime Setsync_schedule

@@ -1,0 +1,1 @@
+lib/agreement/checker.ml: Array Fmt Int List Problem Setsync_schedule

@@ -1,0 +1,1 @@
+lib/agreement/checker.mli: Fmt Problem Setsync_schedule

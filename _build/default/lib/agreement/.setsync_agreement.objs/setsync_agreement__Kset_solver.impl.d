@@ -1,0 +1,1 @@
+lib/agreement/kset_solver.ml: Array Fmt Paxos Printf Problem Setsync_detector Setsync_memory Setsync_runtime Setsync_schedule

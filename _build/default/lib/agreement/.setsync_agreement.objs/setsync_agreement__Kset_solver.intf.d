@@ -1,0 +1,1 @@
+lib/agreement/kset_solver.mli: Problem Setsync_memory Setsync_schedule

@@ -1,0 +1,1 @@
+lib/agreement/paxos.ml: Array Fmt Option Setsync_memory Setsync_runtime Setsync_schedule

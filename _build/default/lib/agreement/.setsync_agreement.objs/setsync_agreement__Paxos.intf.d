@@ -1,0 +1,1 @@
+lib/agreement/paxos.mli: Setsync_memory Setsync_schedule

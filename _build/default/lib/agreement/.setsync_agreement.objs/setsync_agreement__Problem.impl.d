@@ -1,0 +1,1 @@
+lib/agreement/problem.ml: Array Fmt Printf Setsync_schedule

@@ -1,0 +1,1 @@
+lib/agreement/problem.mli: Fmt Setsync_schedule

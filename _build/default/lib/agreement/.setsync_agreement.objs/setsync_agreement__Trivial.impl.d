@@ -1,0 +1,1 @@
+lib/agreement/trivial.ml: Array Fmt Problem Setsync_memory Setsync_runtime

@@ -1,0 +1,1 @@
+lib/agreement/trivial.mli: Problem Setsync_memory Setsync_schedule

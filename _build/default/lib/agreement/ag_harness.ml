@@ -1,0 +1,128 @@
+module Procset = Setsync_schedule.Procset
+module Store = Setsync_memory.Store
+module Executor = Setsync_runtime.Executor
+module Run = Setsync_runtime.Run
+
+type outcome = {
+  run : Run.t;
+  decisions : int option array;
+  decide_steps : int option array;
+  report : Checker.report;
+  fd_iterations : int array option;
+  used_trivial : bool;
+}
+
+(* Processes the scheduler abandoned: no step in the final tenth (at
+   least 1000 steps) of the run AND a negligible lifetime share of
+   steps. In the infinite-schedule reading they are faulty; see
+   Checker. The share condition keeps a process that merely sits out
+   one long (but finite) starvation phase at the end of the run from
+   being misclassified. *)
+let starved_of run =
+  let total = Run.total_steps run in
+  let window = max 1000 (total / 10) in
+  let share_cap = total / (8 * run.Run.n) in
+  let taken = run.Run.taken in
+  let crashed = Run.crashed run in
+  Procset.filter
+    (fun p ->
+      (not (Procset.mem p crashed))
+      && run.Run.steps_of.(p) <= share_cap
+      &&
+      match Setsync_schedule.Schedule.last_occurrence taken p with
+      | None -> total > window
+      | Some last -> last < total - window)
+    (Procset.full ~n:run.Run.n)
+
+type solver_bundle = {
+  body : Setsync_schedule.Proc.t -> unit -> unit;
+  snapshot_decisions : unit -> int option array;
+  fd_iterations : unit -> int array option;
+  view : Kset_solver.adversary_view;
+  used_trivial : bool;
+}
+
+let make_bundle ~problem ~inputs ?initial_timeout store =
+  let { Problem.n; _ } = problem in
+  if Problem.is_trivially_solvable problem then begin
+    let solver = Trivial.create store ~problem ~inputs in
+    {
+      body = Trivial.body solver;
+      snapshot_decisions = (fun () -> Trivial.decisions solver);
+      fd_iterations = (fun () -> None);
+      view = Kset_solver.empty_adversary_view ~n;
+      used_trivial = true;
+    }
+  end
+  else begin
+    let solver = Kset_solver.create store ~problem ~inputs ?initial_timeout () in
+    {
+      body = Kset_solver.body solver;
+      snapshot_decisions = (fun () -> Kset_solver.decisions solver);
+      fd_iterations = (fun () -> Some (Kset_solver.fd_iterations solver));
+      view = Kset_solver.adversary_view solver;
+      used_trivial = false;
+    }
+  end
+
+let execute ~problem ~inputs ~source ~max_steps ?fault bundle =
+  let { Problem.n; _ } = problem in
+  let decide_steps = Array.make n None in
+  (* Processes idle (taking pause steps) after deciding, so the run
+     must be stopped explicitly: once every process has either decided
+     or exhausted its crash budget, nothing further can change. *)
+  let crash_budget = Array.make n max_int in
+  List.iter (fun (p, s) -> crash_budget.(p) <- s) (Option.value fault ~default:[]);
+  let steps_of = Array.make n 0 in
+  let on_step ~global ~proc =
+    steps_of.(proc) <- steps_of.(proc) + 1;
+    (* record the first step at which each decision became visible *)
+    let now = bundle.snapshot_decisions () in
+    Array.iteri
+      (fun p d -> if d <> None && decide_steps.(p) = None then decide_steps.(p) <- Some global)
+      now
+  in
+  let stop () =
+    let now = bundle.snapshot_decisions () in
+    let settled p = now.(p) <> None || steps_of.(p) >= crash_budget.(p) in
+    let rec check p = p >= n || (settled p && check (p + 1)) in
+    check 0
+  in
+  let run = Executor.run ~n ~source ~max_steps ?fault ~on_step ~stop bundle.body in
+  let decisions = bundle.snapshot_decisions () in
+  let report =
+    Checker.check ~problem ~inputs ~decisions ~crashed:(Run.crashed run)
+      ~starved:(starved_of run) ()
+  in
+  {
+    run;
+    decisions;
+    decide_steps;
+    report;
+    fd_iterations = bundle.fd_iterations ();
+    used_trivial = bundle.used_trivial;
+  }
+
+let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout () =
+  let store = Store.create () in
+  let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
+  execute ~problem ~inputs ~source ~max_steps ?fault bundle
+
+let solve_adaptive ~problem ~inputs ~make_source ~max_steps ?fault ?initial_timeout () =
+  let store = Store.create () in
+  let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
+  let source = make_source ~view:bundle.view in
+  execute ~problem ~inputs ~source ~max_steps ?fault bundle
+
+let ok outcome = Checker.ok outcome.report
+
+let starved outcome = starved_of outcome.run
+
+let last_decide_step outcome =
+  Array.fold_left
+    (fun acc s -> match s with Some s -> Some (max (Option.value acc ~default:0) s) | None -> acc)
+    None outcome.decide_steps
+
+let pp ppf outcome =
+  Fmt.pf ppf "%a | %a%s" Run.pp outcome.run Checker.pp outcome.report
+    (if outcome.used_trivial then " [trivial]" else "")

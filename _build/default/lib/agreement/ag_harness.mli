@@ -1,0 +1,59 @@
+(** One-call harness: solve (t,k,n)-agreement and check the result.
+
+    Dispatches to {!Kset_solver} (the Theorem 24 construction) when
+    [k <= t] and to {!Trivial} when [t < k] (Corollary 25), runs the
+    chosen algorithm under the given schedule source and fault plan,
+    and validates the outcome with {!Checker}. The E4/E5/E7
+    experiments, the separation demonstration, and the adversarial
+    stress of E8 all go through this entry point. *)
+
+type outcome = {
+  run : Setsync_runtime.Run.t;
+  decisions : int option array;
+  decide_steps : int option array;  (** global step at which each decision was first visible *)
+  report : Checker.report;
+      (** starvation-aware: processes the scheduler abandoned for the
+          final tenth of the run count as faulty (see
+          {!Checker.check}) *)
+  fd_iterations : int array option;  (** [None] for the trivial algorithm *)
+  used_trivial : bool;
+}
+
+val solve :
+  problem:Problem.t ->
+  inputs:int array ->
+  source:Setsync_runtime.Executor.source_factory ->
+  max_steps:int ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  ?initial_timeout:int ->
+  unit ->
+  outcome
+(** The run ends as soon as every live process has decided and halted
+    (the executor's all-halted condition), or at [max_steps]. *)
+
+val solve_adaptive :
+  problem:Problem.t ->
+  inputs:int array ->
+  make_source:
+    (view:Kset_solver.adversary_view -> Setsync_runtime.Executor.source_factory) ->
+  max_steps:int ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  ?initial_timeout:int ->
+  unit ->
+  outcome
+(** Like {!solve}, but the source factory receives an omniscient view
+    of solver state ({!Kset_solver.adversary_view}), enabling
+    state-adaptive adversaries such as {!Adaptive.source}. With the
+    trivial algorithm ([t < k]) the view is all-empty. *)
+
+val ok : outcome -> bool
+(** [Checker.ok] on the report. *)
+
+val last_decide_step : outcome -> int option
+(** Largest decide step, i.e. the protocol's completion time. *)
+
+val starved : outcome -> Setsync_schedule.Procset.t
+(** Non-crashed processes with no step in the run's final tenth (at
+    least 1000 steps) — faulty in the infinite-schedule reading. *)
+
+val pp : outcome Fmt.t

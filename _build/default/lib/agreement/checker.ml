@@ -1,0 +1,49 @@
+module Procset = Setsync_schedule.Procset
+
+type termination = Terminated | Vacuous of int | Undecided of Procset.t
+
+type report = {
+  validity : bool;
+  agreement : bool;
+  termination : termination;
+  distinct_values : int;
+  decided_count : int;
+}
+
+let check ~problem ~inputs ~decisions ~crashed ?(starved = Procset.empty) () =
+  let { Problem.t; k; n } = problem in
+  if Array.length inputs <> n || Array.length decisions <> n then
+    invalid_arg "Checker.check: inputs/decisions must have length n";
+  let decided = Array.to_list decisions |> List.filter_map (fun d -> d) in
+  let validity = List.for_all (fun v -> Array.exists (Int.equal v) inputs) decided in
+  let distinct_values = List.length (List.sort_uniq Int.compare decided) in
+  let agreement = distinct_values <= k in
+  let faulty = Procset.union crashed starved in
+  let fault_count = Procset.cardinal faulty in
+  let termination =
+    if fault_count > t then Vacuous fault_count
+    else begin
+      let undecided =
+        Procset.filter
+          (fun p -> decisions.(p) = None)
+          (Procset.diff (Procset.full ~n) faulty)
+      in
+      if Procset.is_empty undecided then Terminated else Undecided undecided
+    end
+  in
+  { validity; agreement; termination; distinct_values; decided_count = List.length decided }
+
+let ok r =
+  r.validity && r.agreement
+  && match r.termination with Terminated | Vacuous _ -> true | Undecided _ -> false
+
+let safe r = r.validity && r.agreement
+
+let pp_termination ppf = function
+  | Terminated -> Fmt.string ppf "terminated"
+  | Vacuous c -> Fmt.pf ppf "vacuous (%d crashes)" c
+  | Undecided s -> Fmt.pf ppf "UNDECIDED %a" Procset.pp s
+
+let pp ppf r =
+  Fmt.pf ppf "validity=%b agreement=%b (%d distinct) termination=%a decided=%d" r.validity
+    r.agreement r.distinct_values pp_termination r.termination r.decided_count

@@ -1,0 +1,46 @@
+(** Run validation for (t,k,n)-agreement.
+
+    Checks the three properties of §3 on a finished run. Agreement and
+    validity are {e uniform}: decisions of processes that later crash
+    count. Termination on a finite run means "every correct process
+    decided within the step budget"; a run cut short is reported as
+    such, never silently passed. *)
+
+type termination =
+  | Terminated  (** at most [t] crashes and every correct process decided *)
+  | Vacuous of int  (** more than [t] crashes (count given): nothing promised *)
+  | Undecided of Setsync_schedule.Procset.t
+      (** correct processes that had not decided when the run ended *)
+
+type report = {
+  validity : bool;  (** every decision is some process's input *)
+  agreement : bool;  (** at most [k] distinct decision values *)
+  termination : termination;
+  distinct_values : int;  (** distinct decision values observed *)
+  decided_count : int;  (** processes that decided (incl. later-crashed) *)
+}
+
+val check :
+  problem:Problem.t ->
+  inputs:int array ->
+  decisions:int option array ->
+  crashed:Setsync_schedule.Procset.t ->
+  ?starved:Setsync_schedule.Procset.t ->
+  unit ->
+  report
+(** [starved] (default empty) are processes the scheduler stopped
+    scheduling long before the run ended: in the infinite-schedule
+    reading they take only finitely many steps, i.e. they are faulty,
+    so they count against the resilience budget [t] exactly like
+    crashes and are not owed a decision. Harnesses compute this set
+    from the recorded schedule ({!Ag_harness.starved}). *)
+
+val ok : report -> bool
+(** Validity ∧ agreement ∧ (termination is [Terminated] or
+    [Vacuous]). *)
+
+val safe : report -> bool
+(** Validity ∧ agreement only (safety holds even in runs where
+    liveness is forfeited). *)
+
+val pp : report Fmt.t

@@ -1,0 +1,136 @@
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+module Kanti_omega = Setsync_detector.Kanti_omega
+
+type t = {
+  problem : Problem.t;
+  inputs : int array;
+  fd_shared : Kanti_omega.shared;
+  fd_params : Kanti_omega.params;
+  initial_timeout : int option;
+  instances : Paxos.shared array;  (** one per winnerset rank *)
+  dec : int option Setsync_memory.Register.t array;  (** decision gossip *)
+  decisions : int option array;  (** local records, index = process *)
+  fd_processes : Kanti_omega.process option array;
+  engagement : (int * int) option array;
+      (** per process: (instance, ballot) while inside Paxos.attempt *)
+}
+
+let create store ~problem ~inputs ?initial_timeout () =
+  let { Problem.t = resilience; k; n } = problem in
+  if Array.length inputs <> n then invalid_arg "Kset_solver.create: inputs must have length n";
+  if k > resilience then
+    invalid_arg "Kset_solver.create: requires k <= t (use Trivial when t < k)";
+  let fd_params = { Kanti_omega.n; t = resilience; k } in
+  Kanti_omega.check_params fd_params;
+  {
+    problem;
+    inputs;
+    fd_shared = Kanti_omega.create_shared store fd_params;
+    fd_params;
+    initial_timeout;
+    instances =
+      Array.init k (fun r -> Paxos.create_shared store ~n ~name:(Printf.sprintf "Paxos%d" r));
+    dec =
+      Store.array store
+        ~pp:(Fmt.option ~none:(Fmt.any "⊥") Fmt.int)
+        ~name:"Dec" n
+        (fun _ -> None);
+    decisions = Array.make n None;
+    fd_processes = Array.make n None;
+    engagement = Array.make n None;
+  }
+
+let body t proc () =
+  let { Problem.k; n; _ } = t.problem in
+  let fd =
+    Kanti_omega.make_process ?initial_timeout:t.initial_timeout t.fd_shared t.fd_params ~proc
+  in
+  t.fd_processes.(proc) <- Some fd;
+  let proposers =
+    Array.init k (fun r -> Paxos.make_proposer t.instances.(r) ~proc ~input:t.inputs.(proc))
+  in
+  let exception Decided of int in
+  let decide v = raise (Decided v) in
+  try
+    while true do
+      (* keep the failure detector running: one full Figure 2 iteration *)
+      Kanti_omega.iterate fd;
+      (* adopt any published decision *)
+      for q = 0 to n - 1 do
+        match Shm.read t.dec.(q) with Some v -> decide v | None -> ()
+      done;
+      (* act as proposer for every rank this process currently holds *)
+      let w = Kanti_omega.winnerset fd in
+      for r = 0 to k - 1 do
+        if (not (Procset.is_empty w)) && Proc.equal (Procset.nth w r) proc then begin
+          t.engagement.(proc) <- Some (r, Paxos.current_ballot proposers.(r));
+          let outcome = Paxos.attempt proposers.(r) in
+          t.engagement.(proc) <- None;
+          match outcome with
+          | Paxos.Decided v -> decide v
+          | Paxos.Interfered -> ()
+        end
+      done
+    done
+  with Decided v ->
+    t.engagement.(proc) <- None;
+    t.decisions.(proc) <- Some v;
+    Shm.write t.dec.(proc) (Some v);
+    (* Stay correct: keep taking (idle) steps so schedule contracts
+       involving this process keep holding; the harness stops the run
+       once every live process has decided. *)
+    while true do
+      Shm.pause ()
+    done
+
+let decisions t = Array.copy t.decisions
+
+let fd_iterations t =
+  Array.map
+    (function Some fd -> Kanti_omega.iterations fd | None -> 0)
+    t.fd_processes
+
+let fd_winnerset t proc =
+  match t.fd_processes.(proc) with
+  | Some fd -> Kanti_omega.winnerset fd
+  | None -> Procset.empty
+
+type adversary_view = {
+  winnersets : unit -> Procset.t array;
+  engagement : unit -> (int * int) option array;
+  instance_max_ballot : int -> int;
+  current_argmin : unit -> Procset.t;
+}
+
+let adversary_view t =
+  let { Problem.n; _ } = t.problem in
+  let sets = Kanti_omega.sets t.fd_shared in
+  let current_argmin () =
+    let best = ref 0 in
+    let best_acc = ref (Kanti_omega.accusation_counter t.fd_shared t.fd_params ~set_index:0) in
+    for a = 1 to Array.length sets - 1 do
+      let acc = Kanti_omega.accusation_counter t.fd_shared t.fd_params ~set_index:a in
+      if acc < !best_acc then begin
+        best := a;
+        best_acc := acc
+      end
+    done;
+    sets.(!best)
+  in
+  {
+    winnersets = (fun () -> Array.init n (fun proc -> fd_winnerset t proc));
+    engagement = (fun () -> Array.copy t.engagement);
+    instance_max_ballot = (fun r -> Paxos.peek_max_ballot t.instances.(r));
+    current_argmin;
+  }
+
+let empty_adversary_view ~n =
+  {
+    winnersets = (fun () -> Array.make n Procset.empty);
+    engagement = (fun () -> Array.make n None);
+    instance_max_ballot = (fun _ -> 0);
+    current_argmin = (fun () -> Procset.empty);
+  }

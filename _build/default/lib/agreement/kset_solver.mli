@@ -1,0 +1,71 @@
+(** (t,k,n)-agreement in [S^k_{t+1,n}] (Theorem 24).
+
+    Composition: each process interleaves one iteration of the Figure 2
+    failure detector with one round of agreement work. The detector's
+    winnersets converge to a common set [A0 ∈ Π^k_n] containing a
+    correct process (Lemma 22); this solver runs [k] parallel
+    {!Paxos} instances, where a process acts as proposer of instance
+    [r] exactly while it is the [r]-th member of its current local
+    winnerset. After stabilization each instance has at most one
+    proposer, and the instance led by [A0]'s correct member decides;
+    decisions spread through per-process decision registers, which
+    every process scans each loop.
+
+    At most [k] instances exist and each decides at most one value, so
+    at most [k] distinct values are decided (uniform k-agreement);
+    Paxos only ever decides proposers' inputs (uniform validity); see
+    DESIGN.md §2(4) for why this construction faithfully replaces the
+    paper's citation of Zieliński's generic reduction. *)
+
+type t
+
+val create :
+  Setsync_memory.Store.t ->
+  problem:Problem.t ->
+  inputs:int array ->
+  ?initial_timeout:int ->
+  unit ->
+  t
+(** Requires [k <= t] (the non-trivial regime; use {!Trivial} when
+    [t < k]) and [inputs] of length [n]. *)
+
+val body : t -> Setsync_schedule.Proc.t -> unit -> unit
+(** Process code for the executor. Returns (halts) once the process
+    has decided. *)
+
+val decisions : t -> int option array
+(** Snapshot of per-process decisions (local records, readable at any
+    point; index = process). *)
+
+val fd_iterations : t -> int array
+(** Completed detector iterations per process (diagnostics). *)
+
+val fd_winnerset : t -> Setsync_schedule.Proc.t -> Setsync_schedule.Procset.t
+(** Current local winnerset of the embedded detector (diagnostics). *)
+
+(** {2 Adversary introspection}
+
+    Impossibility-side schedulers are omniscient: they may inspect
+    process state when choosing the next step. This view exposes
+    exactly what {!Adaptive} needs. *)
+
+type adversary_view = {
+  winnersets : unit -> Setsync_schedule.Procset.t array;
+      (** each process's current local winnerset *)
+  engagement : unit -> (int * int) option array;
+      (** per process: [(instance, ballot)] of an in-flight Paxos
+          attempt, if currently inside one *)
+  instance_max_ballot : int -> int;
+      (** highest ballot visible in the given instance's blocks *)
+  current_argmin : unit -> Setsync_schedule.Procset.t;
+      (** the set of [Π^k_n] currently winning the accusation argmin
+          (computed from the shared counters exactly as line 4 of
+          Figure 2 does) — the set every process's winnerset is
+          converging towards, i.e. the adversary's starvation target *)
+}
+
+val adversary_view : t -> adversary_view
+
+val empty_adversary_view : n:int -> adversary_view
+(** All-empty view (used when the trivial algorithm runs: there is no
+    detector or Paxos state to adapt to). *)

@@ -1,0 +1,106 @@
+module Proc = Setsync_schedule.Proc
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+
+(* One block per process: mbal = highest ballot this process has
+   started, bal/inp = its highest accepted ballot and the value
+   accepted at it (bal = 0: nothing accepted yet). *)
+type block = { mbal : int; bal : int; inp : int }
+
+let empty_block = { mbal = 0; bal = 0; inp = 0 }
+
+let pp_block ppf b = Fmt.pf ppf "(mbal=%d bal=%d inp=%d)" b.mbal b.bal b.inp
+
+type shared = { n : int; blocks : block Register.t array }
+
+let create_shared store ~n ~name =
+  Proc.check_n n;
+  { n; blocks = Store.array store ~pp:pp_block ~name n (fun _ -> empty_block) }
+
+type proposer = {
+  shared : shared;
+  proc : Proc.t;
+  input : int;
+  mutable ballot : int;
+  mutable decided : int option;
+}
+
+let make_proposer shared ~proc ~input =
+  Proc.check ~n:shared.n proc;
+  { shared; proc; input; ballot = proc + 1; decided = None }
+
+type attempt_result = Decided of int | Interfered
+
+(* Smallest ballot of [proc]'s arithmetic class strictly above [floor]. *)
+let next_ballot ~n ~proc ~floor =
+  let rec bump b = if b > floor then b else bump (b + n) in
+  bump (proc + 1)
+
+let attempt p =
+  match p.decided with
+  | Some v -> Decided v
+  | None ->
+      let { n; blocks } = p.shared in
+      let b = p.ballot in
+      let interference = ref 0 in
+      let note_interference other =
+        if other.mbal > b then interference := max !interference other.mbal;
+        if other.bal > b then interference := max !interference other.bal
+      in
+      (* phase 1: announce the ballot, then collect *)
+      let own = Shm.read blocks.(p.proc) in
+      Shm.write blocks.(p.proc) { own with mbal = b };
+      let best_bal = ref own.bal in
+      let best_inp = ref own.inp in
+      for q = 0 to n - 1 do
+        if q <> p.proc then begin
+          let blk = Shm.read blocks.(q) in
+          note_interference blk;
+          if blk.bal > !best_bal then begin
+            best_bal := blk.bal;
+            best_inp := blk.inp
+          end
+        end
+      done;
+      if !interference > 0 then begin
+        p.ballot <- next_ballot ~n ~proc:p.proc ~floor:!interference;
+        Interfered
+      end
+      else begin
+        let value = if !best_bal > 0 then !best_inp else p.input in
+        (* phase 2: accept, then confirm no higher ballot interfered *)
+        Shm.write blocks.(p.proc) { mbal = b; bal = b; inp = value };
+        for q = 0 to n - 1 do
+          if q <> p.proc then note_interference (Shm.read blocks.(q))
+        done;
+        if !interference > 0 then begin
+          p.ballot <- next_ballot ~n ~proc:p.proc ~floor:!interference;
+          Interfered
+        end
+        else begin
+          p.decided <- Some value;
+          Decided value
+        end
+      end
+
+let decided p = p.decided
+
+let current_ballot p = p.ballot
+
+let peek_decision shared =
+  (* Highest accepted (bal, inp) pair, if its acceptance was confirmed
+     by being the unique maximum — debugging aid only. *)
+  let best = ref None in
+  Array.iter
+    (fun reg ->
+      let blk = Register.peek reg in
+      if blk.bal > 0 then
+        match !best with
+        | Some (bal, _) when bal >= blk.bal -> ()
+        | Some _ | None -> best := Some (blk.bal, blk.inp))
+    shared.blocks;
+  Option.map snd !best
+
+let peek_max_ballot shared =
+  Array.fold_left (fun acc reg -> max acc (Register.peek reg).mbal) 0 shared.blocks

@@ -1,0 +1,55 @@
+(** Single-decree consensus over read/write registers (Disk Paxos with
+    one reliable "disk", Gafni & Lamport).
+
+    This is the leader-driven consensus substrate under the k-set
+    solver: one instance per winnerset rank. Shared state is one block
+    register per process holding [(mbal, bal, inp)]; a proposer [p]
+    with a fresh ballot writes its block (prepare), collects all
+    blocks, adopts the value of the highest accepted ballot (or its own
+    input), writes its block again (accept), collects again, and
+    decides if nothing with a higher ballot interfered.
+
+    Safety (all decisions within an instance are equal, and every
+    decision is some proposer's input) holds under any schedule and any
+    crashes. Liveness needs an eventually unique, correct, sufficiently
+    scheduled proposer — exactly what the stabilized winnerset of
+    {!Setsync_detector.Kanti_omega} provides.
+
+    Ballots of distinct processes never collide: proposer [p] uses
+    ballots [{r·n + p + 1 | r ≥ 0}]. *)
+
+type shared
+(** One instance's shared registers. *)
+
+val create_shared : Setsync_memory.Store.t -> n:int -> name:string -> shared
+
+type proposer
+(** Local proposer state of one process in one instance. *)
+
+val make_proposer : shared -> proc:Setsync_schedule.Proc.t -> input:int -> proposer
+
+type attempt_result =
+  | Decided of int  (** this attempt committed; the value is decided *)
+  | Interfered  (** a higher ballot was observed; ballot raised for the
+                    next attempt *)
+
+val attempt : proposer -> attempt_result
+(** Run one full round (prepare, collect, accept, collect) from inside
+    an executor fiber; costs [2·(n+1)] steps when uncontended. Safe to
+    call repeatedly and to abandon between calls. *)
+
+val decided : proposer -> int option
+(** Value this proposer knows to be decided (from its own successful
+    attempt). *)
+
+val current_ballot : proposer -> int
+(** The ballot the proposer's next (or in-flight) attempt uses.
+    Observer accessor used by the adaptive adversary. *)
+
+val peek_decision : shared -> int option
+(** Observer view (for validators): a value some process has decided
+    or is about to decide — specifically the accepted value of the
+    highest fully accepted ballot, if any. Note: this is a debugging
+    aid; agreement validation uses the processes' actual decisions. *)
+
+val peek_max_ballot : shared -> int

@@ -1,0 +1,35 @@
+module Proc = Setsync_schedule.Proc
+
+type t = { t : int; k : int; n : int }
+
+let make ~t ~k ~n =
+  Proc.check_n n;
+  if not (1 <= t && t <= n - 1) then
+    invalid_arg (Printf.sprintf "Problem.make: need 1 <= t(%d) <= n-1(%d)" t (n - 1));
+  if not (1 <= k && k <= n) then
+    invalid_arg (Printf.sprintf "Problem.make: need 1 <= k(%d) <= n(%d)" k n);
+  { t; k; n }
+
+let wait_free ~k ~n = make ~t:(n - 1) ~k ~n
+
+let consensus ~t ~n = make ~t ~k:1 ~n
+
+let is_trivially_solvable p = p.t < p.k
+
+let strengthen_resilience p = if p.t + 1 <= p.n - 1 then Some (make ~t:(p.t + 1) ~k:p.k ~n:p.n) else None
+
+let strengthen_agreement p = if p.k - 1 >= 1 then Some (make ~t:p.t ~k:(p.k - 1) ~n:p.n) else None
+
+let distinct_inputs p = Array.init p.n (fun proc -> 100 + proc)
+
+let binary_inputs p ~rng = Array.init p.n (fun _ -> Setsync_schedule.Rng.int rng 2)
+
+let random_inputs p ~rng ~spread =
+  if spread < 1 then invalid_arg "Problem.random_inputs: spread must be >= 1";
+  Array.init p.n (fun _ -> Setsync_schedule.Rng.int rng spread)
+
+let equal a b = a.t = b.t && a.k = b.k && a.n = b.n
+
+let to_string p = Printf.sprintf "(%d,%d,%d)-agreement" p.t p.k p.n
+
+let pp ppf p = Fmt.string ppf (to_string p)

@@ -1,0 +1,55 @@
+(** The t-resilient k-set agreement problem for n processes (§3).
+
+    Each process has an initial value and must decide a value such that
+
+    - {b Uniform k-agreement}: processes decide at most [k] distinct
+      values;
+    - {b Uniform validity}: every decided value is some process's
+      initial value;
+    - {b Termination}: if at most [t] processes are faulty, every
+      correct process eventually decides.
+
+    Values are integers; the binary versions restrict inputs to
+    [{0, 1}]. *)
+
+type t = private { t : int; k : int; n : int }
+
+val make : t:int -> k:int -> n:int -> t
+(** Raises [Invalid_argument] unless [1 <= t <= n-1] and
+    [1 <= k <= n]. *)
+
+val wait_free : k:int -> n:int -> t
+(** [t = n - 1]: wait-free k-set agreement ("set agreement" for
+    [k = n - 1], "consensus" for [k = 1]). *)
+
+val consensus : t:int -> n:int -> t
+(** [k = 1]: t-resilient consensus. *)
+
+val is_trivially_solvable : t -> bool
+(** [t < k]: solvable in the asynchronous system by the first-(t+1)
+    write-and-adopt algorithm ({!Trivial}). *)
+
+val strengthen_resilience : t -> t option
+(** [(t+1, k, n)]-agreement, if [t + 1 <= n - 1] — the first of the two
+    incrementally stronger problems the paper separates from
+    [(t, k, n)]. *)
+
+val strengthen_agreement : t -> t option
+(** [(t, k-1, n)]-agreement, if [k - 1 >= 1] — the second. *)
+
+val distinct_inputs : t -> int array
+(** Input assignment [p ↦ 100 + p]: all inputs distinct, the hardest
+    case for the agreement bound. *)
+
+val binary_inputs : t -> rng:Setsync_schedule.Rng.t -> int array
+(** Random inputs in [{0, 1}]. *)
+
+val random_inputs : t -> rng:Setsync_schedule.Rng.t -> spread:int -> int array
+(** Random inputs in [0, spread). *)
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** Renders as "(t,k,n)-agreement". *)
+
+val to_string : t -> string

@@ -1,0 +1,47 @@
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+
+type t = {
+  problem : Problem.t;
+  inputs : int array;
+  slots : int option Setsync_memory.Register.t array;  (** t + 1 write-and-decide slots *)
+  decisions : int option array;
+}
+
+let create store ~problem ~inputs =
+  let { Problem.t = resilience; k; n } = problem in
+  if Array.length inputs <> n then invalid_arg "Trivial.create: inputs must have length n";
+  if resilience >= k then invalid_arg "Trivial.create: requires t < k";
+  {
+    problem;
+    inputs;
+    slots =
+      Store.array store
+        ~pp:(Fmt.option ~none:(Fmt.any "⊥") Fmt.int)
+        ~name:"Val" (resilience + 1)
+        (fun _ -> None);
+    decisions = Array.make n None;
+  }
+
+let body t proc () =
+  let { Problem.t = resilience; _ } = t.problem in
+  if proc <= resilience then begin
+    Shm.write t.slots.(proc) (Some t.inputs.(proc));
+    t.decisions.(proc) <- Some t.inputs.(proc)
+  end
+  else begin
+    let adopted = ref None in
+    while !adopted = None do
+      for q = 0 to resilience do
+        if !adopted = None then
+          match Shm.read t.slots.(q) with Some v -> adopted := Some v | None -> ()
+      done
+    done;
+    t.decisions.(proc) <- !adopted
+  end;
+  (* stay correct after deciding; the harness stops the run *)
+  while true do
+    Shm.pause ()
+  done
+
+let decisions t = Array.copy t.decisions

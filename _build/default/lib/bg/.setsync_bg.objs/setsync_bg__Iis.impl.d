@@ -1,0 +1,1 @@
+lib/bg/iis.ml: Array Option

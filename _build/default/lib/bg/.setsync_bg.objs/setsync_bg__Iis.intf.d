@@ -1,0 +1,1 @@
+lib/bg/iis.mli:

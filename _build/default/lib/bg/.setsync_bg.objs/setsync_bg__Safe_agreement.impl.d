@@ -1,0 +1,1 @@
+lib/bg/safe_agreement.ml: Array Fmt List Setsync_memory Setsync_runtime

@@ -1,0 +1,1 @@
+lib/bg/safe_agreement.mli: Fmt Setsync_memory

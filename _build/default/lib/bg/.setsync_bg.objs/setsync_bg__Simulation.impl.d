@@ -1,0 +1,1 @@
+lib/bg/simulation.ml: Array Fmt Iis Int List Printf Safe_agreement Setsync_memory Setsync_runtime Setsync_schedule

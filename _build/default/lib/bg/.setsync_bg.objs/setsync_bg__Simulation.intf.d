@@ -1,0 +1,1 @@
+lib/bg/simulation.mli: Fmt Iis Setsync_runtime Setsync_schedule

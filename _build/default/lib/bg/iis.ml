@@ -1,0 +1,50 @@
+type view = int option array
+
+type t = {
+  threads : int;
+  rounds : int;
+  init : int -> int;
+  step : thread:int -> round:int -> view -> int;
+}
+
+let validate t =
+  if t.threads < 1 then invalid_arg "Iis.validate: need at least one thread";
+  if t.rounds < 1 then invalid_arg "Iis.validate: need at least one round"
+
+let check_inputs ~threads inputs =
+  if Array.length inputs <> threads then invalid_arg "Iis: inputs must have length threads"
+
+let fold_view ~merge ~own view =
+  Array.fold_left
+    (fun acc cell -> match cell with Some v -> merge acc v | None -> acc)
+    own view
+
+let max_spread ~threads ~rounds ~inputs =
+  check_inputs ~threads inputs;
+  {
+    threads;
+    rounds;
+    init = (fun tau -> inputs.(tau));
+    step =
+      (fun ~thread:_ ~round:_ view ->
+        fold_view ~merge:max ~own:min_int view);
+  }
+
+let flood_min ~threads ~rounds ~inputs =
+  check_inputs ~threads inputs;
+  {
+    threads;
+    rounds;
+    init = (fun tau -> inputs.(tau));
+    step = (fun ~thread:_ ~round:_ view -> fold_view ~merge:min ~own:max_int view);
+  }
+
+let run_sequentially t =
+  validate t;
+  let values = Array.init t.threads t.init in
+  for round = 0 to t.rounds - 1 do
+    let column = Array.map Option.some values in
+    let next = Array.mapi (fun tau _ -> t.step ~thread:tau ~round column) values in
+    Array.blit next 0 values 0 t.threads
+  done;
+  values

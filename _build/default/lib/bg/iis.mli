@@ -1,0 +1,40 @@
+(** Simulated protocols: iterated snapshot rounds.
+
+    The BG simulation executes protocols whose threads proceed in
+    rounds: in round [r] a thread writes its current value into its
+    cell of round [r]'s column and obtains a view of that column; a
+    deterministic step function maps the view to the thread's next
+    value. After a fixed number of rounds the thread outputs its last
+    value. (This iterated structure is the IIS shape the paper's §6
+    relates to; determinism of [step] is what lets every simulator
+    replay an identical execution from the agreed views.) *)
+
+type view = int option array
+(** Column contents: [view.(sigma)] is thread [sigma]'s round value if
+    it was visible when the view was taken. A view given to thread
+    [tau] always contains [tau]'s own value. *)
+
+type t = {
+  threads : int;  (** number of simulated threads, the paper's n *)
+  rounds : int;  (** threads output after this many rounds *)
+  init : int -> int;  (** thread's round-0 value *)
+  step : thread:int -> round:int -> view -> int;
+      (** MUST be deterministic and must not touch shared memory *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical sizes. *)
+
+val max_spread : threads:int -> rounds:int -> inputs:int array -> t
+(** Demo protocol: every thread starts with its input and repeatedly
+    adopts the maximum value it sees. With enough rounds, connected
+    components of mutual visibility converge; outputs are always some
+    thread's input. *)
+
+val flood_min : threads:int -> rounds:int -> inputs:int array -> t
+(** Dual demo protocol adopting the minimum. *)
+
+val run_sequentially : t -> int array
+(** Reference execution: all threads in lock-step with full views every
+    round — the fault-free synchronous baseline the simulation's
+    outputs are compared against in tests. *)

@@ -1,0 +1,79 @@
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+
+(* One register per party. [seq] bumps on every write so that two
+   identical consecutive collects certify a linearizable snapshot. *)
+type 'v cell = { seq : int; level : int; value : 'v option }
+
+let initial_cell = { seq = 0; level = 0; value = None }
+
+type 'v t = {
+  m : int;
+  cells : 'v cell Register.t array;
+  proposed : bool array;  (** local guard: parties propose at most once *)
+}
+
+let create store ~m ~name ~pp =
+  if m < 1 then invalid_arg "Safe_agreement.create: need m >= 1";
+  let pp_cell ppf c =
+    Fmt.pf ppf "(seq=%d level=%d value=%a)" c.seq c.level (Fmt.option ~none:(Fmt.any "⊥") pp)
+      c.value
+  in
+  { m; cells = Store.array store ~pp:pp_cell ~name m (fun _ -> initial_cell); proposed = Array.make m false }
+
+(* Collect all cells once: m steps. *)
+let collect t = Array.init t.m (fun i -> Shm.read t.cells.(i))
+
+(* Stable snapshot: collect until two consecutive collects agree on all
+   sequence numbers. Parties write at most twice, so at most [2m + 1]
+   collects are ever needed. *)
+let stable_collect t =
+  let same a b = Array.for_all2 (fun (x : _ cell) y -> x.seq = y.seq) a b in
+  let rec go prev =
+    let cur = collect t in
+    if same prev cur then cur else go cur
+  in
+  go (collect t)
+
+let propose t ~party v =
+  if party < 0 || party >= t.m then invalid_arg "Safe_agreement.propose: bad party";
+  if t.proposed.(party) then invalid_arg "Safe_agreement.propose: a party proposes at most once";
+  t.proposed.(party) <- true;
+  let cell0 = Shm.read t.cells.(party) in
+  (* unsafe zone entry: publish the value at level 1 *)
+  Shm.write t.cells.(party) { seq = cell0.seq + 1; level = 1; value = Some v };
+  let snap = stable_collect t in
+  let someone_committed = Array.exists (fun c -> c.level = 2) snap in
+  let final_level = if someone_committed then 0 else 2 in
+  Shm.write t.cells.(party) { seq = cell0.seq + 2; level = final_level; value = Some v }
+
+let winner_of snap =
+  (* smallest-indexed committed party *)
+  let rec scan i =
+    if i >= Array.length snap then None
+    else if snap.(i).level = 2 then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let try_read t =
+  let snap = stable_collect t in
+  if Array.exists (fun c -> c.level = 1) snap then `Blocked
+  else
+    match winner_of snap with
+    | None -> `Empty
+    | Some i -> (
+        match snap.(i).value with
+        | Some v -> `Agreed v
+        | None -> assert false (* level 2 implies a published value *))
+
+let peek_decided t =
+  let snap = Array.map Register.peek t.cells in
+  if Array.exists (fun c -> c.level = 1) snap then None
+  else match winner_of snap with None -> None | Some i -> snap.(i).value
+
+let peek_unsafe_parties t =
+  let unsafe = ref [] in
+  Array.iteri (fun i reg -> if (Register.peek reg).level = 1 then unsafe := i :: !unsafe) t.cells;
+  List.rev !unsafe

@@ -1,0 +1,44 @@
+(** Borowsky–Gafni safe agreement from read/write registers.
+
+    The synchronization object at the heart of the BG simulation [6, 7]
+    used by Theorem 26's impossibility proof. Each of [m] parties may
+    propose once; all values read back are equal and are someone's
+    proposal. The price of wait-freedom: a party that crashes {e inside}
+    {!propose} (its "unsafe zone") may block readers forever — which is
+    exactly how one simulator crash translates into one simulated
+    thread crash.
+
+    Implementation: per-party [(seq, level, value)] registers with
+    levels 0 (out) / 1 (unsafe) / 2 (committed). Propose: publish value
+    at level 1, take a stable snapshot (repeated double collect —
+    linearizable here because every write bumps the register's sequence
+    number and proposers write at most twice), then commit to level 2,
+    or back off to 0 if someone already committed. Read: stable
+    snapshot; blocked while any level is 1; otherwise adopt the value
+    of the smallest-indexed committed party, a set that is fixed once
+    any no-unsafe snapshot sees it non-empty. *)
+
+type 'v t
+
+val create :
+  Setsync_memory.Store.t -> m:int -> name:string -> pp:'v Fmt.t -> 'v t
+(** [m] parties, indexed [0 .. m-1]. *)
+
+val propose : 'v t -> party:int -> 'v -> unit
+(** Propose a value (from inside an executor fiber). Each party must
+    propose at most once; a second call raises [Invalid_argument]
+    locally. Costs [2 + m · (collect rounds)] steps. *)
+
+val try_read : 'v t -> [ `Agreed of 'v | `Blocked | `Empty ]
+(** Non-blocking read attempt (from inside a fiber).
+    [`Agreed v]: the object has decided [v] (stable, final).
+    [`Blocked]: some party is in its unsafe zone — retry later; forever
+    [`Blocked] iff that party crashed there.
+    [`Empty]: no proposal has committed yet and none is in flight. *)
+
+val peek_decided : 'v t -> 'v option
+(** Observer view for validators: the decided value if the object is
+    currently stable-decided. *)
+
+val peek_unsafe_parties : 'v t -> int list
+(** Parties currently at level 1 (for diagnosing blocked threads). *)

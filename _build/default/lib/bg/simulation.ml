@@ -1,0 +1,173 @@
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Schedule = Setsync_schedule.Schedule
+module Timeliness = Setsync_schedule.Timeliness
+module Store = Setsync_memory.Store
+module Register = Setsync_memory.Register
+module Shm = Setsync_runtime.Shm
+module Executor = Setsync_runtime.Executor
+module Run = Setsync_runtime.Run
+
+type result = {
+  run : Run.t;
+  outputs : int option array array;
+  sim_schedules : int list array;
+  crashed_sims : Procset.t;
+}
+
+type thread_state =
+  | Running of { round : int; value : int; cell_written : bool }
+  | Waiting of { round : int }
+  | Done of int
+
+let pp_view = Fmt.array ~sep:Fmt.comma (Fmt.option ~none:(Fmt.any "_") Fmt.int)
+
+let simulate ~protocol ~simulators ~source ~max_steps ?fault ?quiescence_window () =
+  Iis.validate protocol;
+  if simulators < 1 then invalid_arg "Simulation.simulate: need at least one simulator";
+  let { Iis.threads; rounds; init; step } = protocol in
+  let window =
+    match quiescence_window with
+    | Some w -> if w < 1 then invalid_arg "Simulation.simulate: bad window" else w
+    | None -> 256 * simulators * threads
+  in
+  let store = Store.create () in
+  (* SimMem[tau][r]: thread tau's round-r value, write-once (all
+     simulators write the same agreed-replay value) *)
+  let simmem =
+    Array.init threads (fun tau ->
+        Store.array store
+          ~pp:(Fmt.option ~none:(Fmt.any "⊥") Fmt.int)
+          ~name:(Printf.sprintf "SimMem[%d]" tau)
+          rounds
+          (fun _ -> None))
+  in
+  (* one safe-agreement object per (thread, round) deciding the view *)
+  let sa =
+    Array.init threads (fun tau ->
+        Array.init rounds (fun r ->
+            Safe_agreement.create store ~m:simulators
+              ~name:(Printf.sprintf "SA[%d][%d]" tau r)
+              ~pp:pp_view))
+  in
+  let outputs = Array.init simulators (fun _ -> Array.make threads None) in
+  let sim_schedules_rev = Array.make simulators [] in
+  let progress = ref 0 (* bumps whenever any simulator completes a round *) in
+  let body sim () =
+    let state = Array.init threads (fun tau -> Running { round = 0; value = init tau; cell_written = false }) in
+    let advance tau =
+      match state.(tau) with
+      | Done _ -> ()
+      | Running { round; value; cell_written } ->
+          if not cell_written then begin
+            (* write-once cell: skip the write if already filled *)
+            match Shm.read simmem.(tau).(round) with
+            | Some _ -> state.(tau) <- Running { round; value; cell_written = true }
+            | None ->
+                Shm.write simmem.(tau).(round) (Some value);
+                state.(tau) <- Running { round; value; cell_written = true }
+          end
+          else begin
+            (* collect the column and propose it as the view *)
+            let view = Array.init threads (fun sigma -> Shm.read simmem.(sigma).(round)) in
+            assert (view.(tau) <> None);
+            Safe_agreement.propose sa.(tau).(round) ~party:sim view;
+            state.(tau) <- Waiting { round }
+          end
+      | Waiting { round } -> (
+          match Safe_agreement.try_read sa.(tau).(round) with
+          | `Blocked | `Empty -> () (* revisit on a later sweep *)
+          | `Agreed view ->
+              let next_value = step ~thread:tau ~round view in
+              sim_schedules_rev.(sim) <- tau :: sim_schedules_rev.(sim);
+              incr progress;
+              if round + 1 >= rounds then begin
+                outputs.(sim).(tau) <- Some next_value;
+                state.(tau) <- Done next_value
+              end
+              else
+                state.(tau) <- Running { round = round + 1; value = next_value; cell_written = false })
+    in
+    let all_done () = Array.for_all (function Done _ -> true | Running _ | Waiting _ -> false) state in
+    while not (all_done ()) do
+      for tau = 0 to threads - 1 do
+        advance tau
+      done
+    done;
+    (* stay correct (and schedulable) after finishing all threads *)
+    while true do
+      Shm.pause ()
+    done
+  in
+  (* quiescence detection: stop once no round completes for [window] steps *)
+  let last_progress_step = ref 0 in
+  let last_progress_count = ref 0 in
+  let global_now = ref 0 in
+  let on_step ~global ~proc:_ =
+    global_now := global;
+    if !progress > !last_progress_count then begin
+      last_progress_count := !progress;
+      last_progress_step := global
+    end
+  in
+  let stop () = !global_now - !last_progress_step > window in
+  let run = Executor.run ~n:simulators ~source ~max_steps ?fault ~on_step ~stop body in
+  {
+    run;
+    outputs;
+    sim_schedules = Array.map List.rev sim_schedules_rev;
+    crashed_sims = Run.crashed run;
+  }
+
+let consistent result =
+  let sims = Array.length result.outputs in
+  let threads = if sims = 0 then 0 else Array.length result.outputs.(0) in
+  let agree a b =
+    let rec check tau =
+      tau >= threads
+      ||
+      (match (result.outputs.(a).(tau), result.outputs.(b).(tau)) with
+      | Some x, Some y -> Int.equal x y
+      | Some _, None | None, Some _ | None, None -> true)
+      && check (tau + 1)
+    in
+    check 0
+  in
+  let rec pairs a b =
+    if a >= sims then true
+    else if b >= sims then pairs (a + 1) (a + 2)
+    else agree a b && pairs a (b + 1)
+  in
+  pairs 0 1
+
+let unfinished result ~sim =
+  let outs = result.outputs.(sim) in
+  let acc = ref Procset.empty in
+  Array.iteri (fun tau o -> if o = None then acc := Procset.add tau !acc) outs;
+  !acc
+
+let check_crash_bound result =
+  let crash_count = Procset.cardinal result.crashed_sims in
+  let sims = Array.length result.outputs in
+  let rec check sim =
+    sim >= sims
+    || (Procset.mem sim result.crashed_sims
+       || Procset.cardinal (unfinished result ~sim) <= crash_count)
+       && check (sim + 1)
+  in
+  check 0
+
+let simulated_timeliness_bound result ~sim ~set_size =
+  let threads = Array.length result.outputs.(sim) in
+  let sched = Schedule.of_list ~n:threads result.sim_schedules.(sim) in
+  let full = Procset.full ~n:threads in
+  List.fold_left
+    (fun acc p -> max acc (Timeliness.observed_bound ~p ~q:full sched))
+    0
+    (Procset.subsets_of_size ~n:threads set_size)
+
+let pp ppf result =
+  Fmt.pf ppf "simulation[%a consistent=%b crashed=%a unfinished=%a]" Run.pp result.run
+    (consistent result) Procset.pp result.crashed_sims
+    (Fmt.array ~sep:Fmt.sp Procset.pp)
+    (Array.init (Array.length result.outputs) (fun sim -> unfinished result ~sim))

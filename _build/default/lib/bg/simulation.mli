@@ -1,0 +1,64 @@
+(** The BG simulation: [m] simulators execute an [n]-thread protocol.
+
+    Theorem 26(2) reduces [(k,k,k+1)]-agreement in the asynchronous
+    system to [(k,k,n)]-agreement in [S^{k+1}_{n,n}] by letting
+    [m = k+1] processes simulate [n] threads. This module is that
+    machinery, executable: each simulator sweeps over the threads
+    round-robin; a thread's round is driven through a
+    {!Safe_agreement} object per (thread, round) so all simulators
+    replay identical executions; a simulator that crashes inside its
+    unsafe zone blocks at most one thread — hence the two properties
+    the proof needs, which {!check_crash_bound} and
+    {!simulated_timeliness_bound} verify on the recorded runs:
+
+    (i) at most [m - 1] (more precisely, at most the number of crashed
+    simulators) threads crash in each live simulator's simulated
+    schedule;
+
+    (ii) the simulated schedule is round-robin over non-blocked
+    threads, so every set of [k+1] threads is timely with respect to
+    the full thread set with a small bound. *)
+
+type result = {
+  run : Setsync_runtime.Run.t;  (** the real run of the simulators *)
+  outputs : int option array array;
+      (** [outputs.(sim).(tau)]: thread [tau]'s output as computed by
+          simulator [sim], if it finished it *)
+  sim_schedules : int list array;
+      (** per simulator: thread ids in local round-completion order —
+          that simulator's simulated schedule *)
+  crashed_sims : Setsync_schedule.Procset.t;
+}
+
+val simulate :
+  protocol:Iis.t ->
+  simulators:int ->
+  source:Setsync_runtime.Executor.source_factory ->
+  max_steps:int ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  ?quiescence_window:int ->
+  unit ->
+  result
+(** Runs until no live simulator completes a thread-round for
+    [quiescence_window] real steps (default [256 · simulators ·
+    threads]), or [max_steps]. *)
+
+val consistent : result -> bool
+(** Every pair of simulators agrees on the output of every thread both
+    finished — the replay-determinism guarantee. *)
+
+val unfinished : result -> sim:int -> Setsync_schedule.Procset.t
+(** Threads the given simulator did not finish. *)
+
+val check_crash_bound : result -> bool
+(** Property (i): for every live simulator, the number of threads it
+    did not finish is at most the number of crashed simulators. *)
+
+val simulated_timeliness_bound : result -> sim:int -> set_size:int -> int
+(** Property (ii), measured: the worst observed timeliness bound, over
+    all thread-sets of the given size, of that set with respect to all
+    threads in the simulator's simulated schedule. For
+    [set_size = crashed-bound + 1] this should be a small constant
+    (about two sweeps) rather than growing with schedule length. *)
+
+val pp : result Fmt.t

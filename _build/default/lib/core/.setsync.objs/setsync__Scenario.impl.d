@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Fmt List Setsync_agreement Setsync_detector Setsync_runtime Setsync_schedule Setsync_solvability

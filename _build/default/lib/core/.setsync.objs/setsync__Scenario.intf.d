@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Fmt Setsync_agreement Setsync_detector Setsync_runtime Setsync_schedule

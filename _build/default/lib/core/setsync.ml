@@ -1,0 +1,57 @@
+(** Umbrella namespace: the whole system behind one module.
+
+    {!Setsync} re-exports every public module of the library family so
+    applications can [open] or alias a single entry point. Substrate
+    layers remain directly usable under their own names
+    ([Setsync_schedule], [Setsync_runtime], …). *)
+
+(* schedules and set timeliness (the model, §2) *)
+module Rng = Setsync_schedule.Rng
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Schedule = Setsync_schedule.Schedule
+module Source = Setsync_schedule.Source
+module Timeliness = Setsync_schedule.Timeliness
+module System = Setsync_schedule.System
+module Generators = Setsync_schedule.Generators
+module Analysis = Setsync_schedule.Analysis
+
+(* shared memory *)
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Trace = Setsync_memory.Trace
+
+(* execution engine *)
+module Fiber = Setsync_runtime.Fiber
+module Shm = Setsync_runtime.Shm
+module Fault = Setsync_runtime.Fault
+module Run = Setsync_runtime.Run
+module Executor = Setsync_runtime.Executor
+
+(* failure detectors (§4.1, Figure 2) *)
+module Order_stat = Setsync_detector.Order_stat
+module History = Setsync_detector.History
+module Anti_omega = Setsync_detector.Anti_omega
+module Omega = Setsync_detector.Omega
+module Kanti_omega = Setsync_detector.Kanti_omega
+module Fd_harness = Setsync_detector.Fd_harness
+
+(* agreement (§3, §4.3) *)
+module Problem = Setsync_agreement.Problem
+module Checker = Setsync_agreement.Checker
+module Paxos = Setsync_agreement.Paxos
+module Kset_solver = Setsync_agreement.Kset_solver
+module Trivial = Setsync_agreement.Trivial
+module Ag_harness = Setsync_agreement.Ag_harness
+
+(* BG simulation (Theorem 26's machinery) *)
+module Safe_agreement = Setsync_bg.Safe_agreement
+module Iis = Setsync_bg.Iis
+module Simulation = Setsync_bg.Simulation
+
+(* the characterization (Theorem 27) *)
+module Characterization = Setsync_solvability.Characterization
+module Lattice = Setsync_solvability.Lattice
+
+(* high-level scenarios *)
+module Scenario = Scenario

@@ -1,0 +1,1 @@
+lib/detector/anti_omega.ml: Fmt History List Setsync_schedule

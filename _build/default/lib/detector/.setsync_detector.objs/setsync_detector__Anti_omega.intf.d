@@ -1,0 +1,1 @@
+lib/detector/anti_omega.mli: Fmt History Setsync_schedule

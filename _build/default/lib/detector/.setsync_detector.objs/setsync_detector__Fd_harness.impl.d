@@ -1,0 +1,1 @@
+lib/detector/fd_harness.ml: Anti_omega Array History Kanti_omega List Setsync_memory Setsync_runtime Setsync_schedule

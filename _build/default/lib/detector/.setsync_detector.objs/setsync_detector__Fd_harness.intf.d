@@ -1,0 +1,1 @@
+lib/detector/fd_harness.mli: Anti_omega History Kanti_omega Setsync_memory Setsync_runtime Setsync_schedule

@@ -1,0 +1,1 @@
+lib/detector/history.ml: Array List Setsync_schedule

@@ -1,0 +1,1 @@
+lib/detector/history.mli: Setsync_schedule

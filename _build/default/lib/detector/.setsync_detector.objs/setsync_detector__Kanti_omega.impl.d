@@ -1,0 +1,1 @@
+lib/detector/kanti_omega.ml: Array Fmt Order_stat Printf Setsync_memory Setsync_runtime Setsync_schedule

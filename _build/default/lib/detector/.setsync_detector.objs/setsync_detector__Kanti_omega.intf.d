@@ -1,0 +1,1 @@
+lib/detector/kanti_omega.mli: Setsync_memory Setsync_schedule

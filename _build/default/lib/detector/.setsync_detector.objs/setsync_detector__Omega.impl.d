@@ -1,0 +1,1 @@
+lib/detector/omega.ml: Kanti_omega Setsync_schedule

@@ -1,0 +1,1 @@
+lib/detector/omega.mli: Kanti_omega Setsync_memory Setsync_schedule

@@ -1,0 +1,1 @@
+lib/detector/order_stat.mli:

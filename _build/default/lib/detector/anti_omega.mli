@@ -1,0 +1,62 @@
+(** Specification of t-resilient k-anti-Ω (§4.1) and run validators.
+
+    The failure detector gives every process [p] a variable [fdOutput_p]
+    holding a set of [n − k] processes such that, if at most [t]
+    processes are faulty, there is a correct process [c] and a time
+    after which [c ∉ fdOutput_p] for every correct process [p].
+
+    Validators work on sampled output timelines ({!History.t}) of a
+    finite run; "a time after which" is read as "from some step on,
+    through the end of the run, with a caller-chosen margin" (see
+    DESIGN.md on finite-prefix methodology). *)
+
+type verdict =
+  | Satisfied of { witness : Setsync_schedule.Proc.t; stable_from : int }
+      (** some correct [witness] is outside every correct process's
+          output from step [stable_from] through the end of the run *)
+  | Vacuous of { crashed : int; t : int }
+      (** more than [t] processes crashed; the property promises
+          nothing *)
+  | Violated of string  (** human-readable diagnosis *)
+
+val validate :
+  n:int ->
+  t:int ->
+  k:int ->
+  crashed:Setsync_schedule.Procset.t ->
+  total_steps:int ->
+  ?margin:int ->
+  outputs:Setsync_schedule.Procset.t History.t ->
+  unit ->
+  verdict
+(** Checks the k-anti-Ω property on sampled [fdOutput] timelines.
+    Also checks the static output-size requirement (every sampled
+    output has exactly [n − k] members). With [margin] (default 0), a
+    witness must be stable from step [total_steps − margin] or
+    earlier — use a positive margin to avoid certifying a run that
+    "converged" on its very last step. *)
+
+type winner_verdict =
+  | Winner_stable of { winner : Setsync_schedule.Procset.t; stable_from : int }
+      (** Lemma 22: every correct process's winnerset equals [winner]
+          from [stable_from] on, and [winner] contains a correct
+          process *)
+  | Winner_vacuous of { crashed : int; t : int }
+  | Winner_unstable of string
+
+val validate_winner :
+  n:int ->
+  t:int ->
+  crashed:Setsync_schedule.Procset.t ->
+  total_steps:int ->
+  ?margin:int ->
+  winnersets:Setsync_schedule.Procset.t History.t ->
+  unit ->
+  winner_verdict
+(** The stronger convergence property our agreement layer consumes
+    (common stable winnerset with a correct member). It implies the
+    k-anti-Ω property for the complement outputs. *)
+
+val pp_verdict : verdict Fmt.t
+
+val pp_winner_verdict : winner_verdict Fmt.t

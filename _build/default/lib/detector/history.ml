@@ -1,0 +1,27 @@
+type 'a t = (int * 'a) list array
+(* newest-first change list per process *)
+
+let create ~n =
+  Setsync_schedule.Proc.check_n n;
+  Array.make n []
+
+let note t ~proc ~step ~equal v =
+  match t.(proc) with
+  | (s, last) :: _ ->
+      if s > step then invalid_arg "History.note: steps must be non-decreasing";
+      if not (equal last v) then t.(proc) <- (step, v) :: t.(proc)
+  | [] -> t.(proc) <- [ (step, v) ]
+
+let timeline t ~proc = List.rev t.(proc)
+
+let value_at t ~proc ~step =
+  let rec find = function
+    | (s, v) :: _ when s <= step -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find t.(proc)
+
+let last t ~proc = match t.(proc) with [] -> None | entry :: _ -> Some entry
+
+let changes t ~proc = List.length t.(proc)

@@ -1,0 +1,28 @@
+(** Per-process output histories.
+
+    Failure-detector correctness is a statement about outputs over
+    time ("there is a time after which …"), so harnesses sample each
+    process's output after its steps and validators replay the sampled
+    timelines. Only changes are stored. *)
+
+type 'a t
+
+val create : n:int -> 'a t
+
+val note : 'a t -> proc:Setsync_schedule.Proc.t -> step:int -> equal:('a -> 'a -> bool) -> 'a -> unit
+(** Record the process's output as observed at (global) [step]; stored
+    only if it differs from the last recorded value. [step] values must
+    be non-decreasing per process. *)
+
+val timeline : 'a t -> proc:Setsync_schedule.Proc.t -> (int * 'a) list
+(** Change points, oldest first: the process's output from step [s]
+    (inclusive) until the next change point is the paired value. Empty
+    if the process was never sampled. *)
+
+val value_at : 'a t -> proc:Setsync_schedule.Proc.t -> step:int -> 'a option
+(** Output in effect at the given step, if sampled by then. *)
+
+val last : 'a t -> proc:Setsync_schedule.Proc.t -> (int * 'a) option
+
+val changes : 'a t -> proc:Setsync_schedule.Proc.t -> int
+(** Number of recorded change points. *)

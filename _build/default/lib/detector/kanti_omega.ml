@@ -1,0 +1,137 @@
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+
+type params = { n : int; t : int; k : int }
+
+let check_params { n; t; k } =
+  Proc.check_n n;
+  if not (1 <= k && k <= t && t <= n - 1) then
+    invalid_arg
+      (Printf.sprintf "Kanti_omega: need 1 <= k(%d) <= t(%d) <= n-1(%d)" k t (n - 1))
+
+type shared = {
+  sets : Procset.t array;  (** Π^k_n in canonical order *)
+  heartbeat : int Register.t array;  (** Heartbeat[p] *)
+  counter : int Register.t array array;  (** Counter[A, q], row = set index *)
+}
+
+let create_shared store params =
+  check_params params;
+  let { n; k; _ } = params in
+  let sets = Array.of_list (Procset.subsets_of_size ~n k) in
+  let heartbeat = Store.array store ~pp:Fmt.int ~name:"Heartbeat" n (fun _ -> 0) in
+  let counter =
+    Store.matrix store ~pp:Fmt.int ~name:"Counter" ~rows:(Array.length sets) ~cols:n
+      (fun _ _ -> 0)
+  in
+  { sets; heartbeat; counter }
+
+let sets shared = shared.sets
+
+let peek_counter shared ~set_index ~proc = Register.peek shared.counter.(set_index).(proc)
+
+let peek_heartbeat shared ~proc = Register.peek shared.heartbeat.(proc)
+
+let accusation_counter shared params ~set_index =
+  let row = Array.map Register.peek shared.counter.(set_index) in
+  Order_stat.kth_smallest row (params.t + 1)
+
+type process = {
+  shared : shared;
+  params : params;
+  proc : Proc.t;
+  (* local variables of Figure 2 *)
+  mutable fd_output : Procset.t;
+  mutable winnerset : Procset.t;
+  mutable my_hb : int;
+  prev_heartbeat : int array;
+  timeout : int array;  (** per set index *)
+  timer : int array;
+  accusation : int array;
+  cnt : int array array;  (** cnt[A, q] *)
+  mutable iterations : int;
+}
+
+let make_process ?(initial_timeout = 1) shared params ~proc =
+  check_params params;
+  Proc.check ~n:params.n proc;
+  if initial_timeout < 1 then invalid_arg "Kanti_omega.make_process: timeout must be >= 1";
+  let num_sets = Array.length shared.sets in
+  {
+    shared;
+    params;
+    proc;
+    (* line "fdOutput = any set of processes of size n - k": the
+       complement of the first canonical set *)
+    fd_output = Procset.diff (Procset.full ~n:params.n) shared.sets.(0);
+    winnerset = Procset.empty;
+    my_hb = 0;
+    prev_heartbeat = Array.make params.n 0;
+    timeout = Array.make num_sets initial_timeout;
+    timer = Array.make num_sets initial_timeout;
+    accusation = Array.make num_sets 0;
+    cnt = Array.make_matrix num_sets params.n 0;
+    iterations = 0;
+  }
+
+let iterate p =
+  let { n; t; _ } = p.params in
+  let num_sets = Array.length p.shared.sets in
+  (* lines 2-3: read all badness counters, compute accusation counters *)
+  for a = 0 to num_sets - 1 do
+    for q = 0 to n - 1 do
+      p.cnt.(a).(q) <- Shm.read p.shared.counter.(a).(q)
+    done;
+    p.accusation.(a) <- Order_stat.kth_smallest p.cnt.(a) (t + 1)
+  done;
+  (* line 4: winnerset <- argmin (accusation[A], A); canonical array
+     order is the total order on Π^k_n, so scanning forward and keeping
+     strict minima breaks ties exactly as the paper does *)
+  let best = ref 0 in
+  for a = 1 to num_sets - 1 do
+    if p.accusation.(a) < p.accusation.(!best) then best := a
+  done;
+  p.winnerset <- p.shared.sets.(!best);
+  (* line 5 *)
+  p.fd_output <- Procset.diff (Procset.full ~n) p.winnerset;
+  (* lines 6-7: bump own heartbeat *)
+  p.my_hb <- p.my_hb + 1;
+  Shm.write p.shared.heartbeat.(p.proc) p.my_hb;
+  (* lines 8-13: refresh timers of sets whose members showed a new heartbeat *)
+  for q = 0 to n - 1 do
+    let hbq = Shm.read p.shared.heartbeat.(q) in
+    if hbq > p.prev_heartbeat.(q) then begin
+      for a = 0 to num_sets - 1 do
+        if Procset.mem q p.shared.sets.(a) then p.timer.(a) <- p.timeout.(a)
+      done;
+      p.prev_heartbeat.(q) <- hbq
+    end
+  done;
+  (* lines 14-19: tick timers; on expiry, back off and accuse *)
+  for a = 0 to num_sets - 1 do
+    p.timer.(a) <- p.timer.(a) - 1;
+    if p.timer.(a) = 0 then begin
+      p.timeout.(a) <- p.timeout.(a) + 1;
+      p.timer.(a) <- p.timeout.(a);
+      Shm.write p.shared.counter.(a).(p.proc) (p.cnt.(a).(p.proc) + 1)
+    end
+  done;
+  p.iterations <- p.iterations + 1
+
+let forever p =
+  while true do
+    iterate p
+  done
+
+let fd_output p = p.fd_output
+
+let winnerset p = p.winnerset
+
+let iterations p = p.iterations
+
+let local_accusation p ~set_index = p.accusation.(set_index)
+
+let local_timeout p ~set_index = p.timeout.(set_index)

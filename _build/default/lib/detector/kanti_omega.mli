@@ -1,0 +1,77 @@
+(** The paper's core algorithm (Figure 2): t-resilient k-anti-Ω in
+    [S^k_{t+1,n}].
+
+    Every process maintains, for each set [A ∈ Π^k_n], a timer fed by
+    the heartbeats of [A]'s members and a shared "badness" counter
+    [Counter[A, p]] it bumps whenever the timer expires; the accusation
+    counter of [A] is the [(t+1)]-st smallest column of [Counter[A, *]].
+    Each iteration the process picks the set with the least accusation
+    counter (ties by the canonical order on sets) as [winnerset] and
+    outputs its complement.
+
+    If some [P ∈ Π^k_n] is timely with respect to a [Q] of size [t+1]
+    (i.e. the run lies in [S^k_{t+1,n}]) and at most [t] processes
+    crash, then all correct processes converge to a common winner [A0]
+    containing at least one correct process (Lemma 22 / Theorem 23), so
+    the complement output satisfies t-resilient k-anti-Ω. *)
+
+type params = { n : int; t : int; k : int }
+(** Requires [1 <= k <= t <= n - 1] (§4.2). *)
+
+val check_params : params -> unit
+(** Raises [Invalid_argument] on out-of-range parameters. *)
+
+type shared
+(** The algorithm's shared registers: [Heartbeat[p]] for each process
+    and [Counter[A, q]] for each [A ∈ Π^k_n], [q ∈ Πn]. *)
+
+val create_shared : Setsync_memory.Store.t -> params -> shared
+
+val sets : shared -> Setsync_schedule.Procset.t array
+(** [Π^k_n] in canonical order; index [a] of this array is the row of
+    [Counter] used for that set. *)
+
+val peek_counter : shared -> set_index:int -> proc:Setsync_schedule.Proc.t -> int
+(** Observer read of [Counter[A, q]] (for validators/tests). *)
+
+val peek_heartbeat : shared -> proc:Setsync_schedule.Proc.t -> int
+
+val accusation_counter : shared -> params -> set_index:int -> int
+(** Observer computation of the pseudo-variable [counter(A)]
+    (Definition 13): the [(t+1)]-st smallest entry of the current
+    [Counter[A, *]]. *)
+
+type process
+(** Per-process instance (local state of Figure 2). *)
+
+val make_process :
+  ?initial_timeout:int -> shared -> params -> proc:Setsync_schedule.Proc.t -> process
+(** Local variables initialized as in Figure 2 ([initial_timeout],
+    default 1, is the paper's [timeout[A] = 1]; experiments may start
+    higher to shorten warm-up without changing the algorithm's
+    self-adjusting behaviour). *)
+
+val iterate : process -> unit
+(** One full iteration of the outer loop (lines 2–19). Performs the
+    iteration's shared-memory steps through the runtime, so it must run
+    inside an executor fiber. *)
+
+val forever : process -> unit
+(** [repeat forever iterate] — the algorithm as written. *)
+
+(** {2 Observer accessors} — peek at local state between steps; used by
+    harnesses and the lemma-level tests. *)
+
+val fd_output : process -> Setsync_schedule.Procset.t
+(** Current [fdOutput] (line 5): [Πn − winnerset], of size [n − k]. *)
+
+val winnerset : process -> Setsync_schedule.Procset.t
+
+val iterations : process -> int
+(** Completed loop iterations. *)
+
+val local_accusation : process -> set_index:int -> int
+(** This process's [accusation[A]] (line 3) from its last iteration. *)
+
+val local_timeout : process -> set_index:int -> int
+(** Current [timeout[A]]. *)

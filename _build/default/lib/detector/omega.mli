@@ -1,0 +1,39 @@
+(** Ω, the eventual-leader failure detector, as the [k = 1] special
+    case of k-anti-Ω.
+
+    Footnote 2 of the paper: (n−1)-resilient 1-anti-Ω is equivalent to
+    the failure detector Ω of Chandra–Hadzilacos–Toueg — the weakest
+    detector for consensus. When [k = 1] the Figure 2 winnerset is a
+    singleton, i.e. a leader, and Theorem 23 instantiates to: a common
+    correct leader eventually emerges in [S^1_{t+1,n}]. This module is
+    a thin convenience facade over {!Kanti_omega} exposing the leader
+    view directly; it is what a consensus protocol (e.g. {!Paxos} in
+    the agreement library) would consume. *)
+
+type process
+
+val make_process :
+  ?initial_timeout:int ->
+  Kanti_omega.shared ->
+  n:int ->
+  t:int ->
+  proc:Setsync_schedule.Proc.t ->
+  process
+(** The shared state must have been created with
+    [Kanti_omega.create_shared store { n; t; k = 1 }]. *)
+
+val create_shared : Setsync_memory.Store.t -> n:int -> t:int -> Kanti_omega.shared
+
+val iterate : process -> unit
+(** One loop iteration (from inside an executor fiber). *)
+
+val forever : process -> unit
+
+val leader : process -> Setsync_schedule.Proc.t
+(** The process's current leader estimate: the unique member of its
+    winnerset (the canonical first process before the first
+    iteration). If at most [t] processes crash and the run lies in
+    [S^1_{t+1,n}], all correct processes' leaders eventually agree on
+    one correct process forever. *)
+
+val iterations : process -> int

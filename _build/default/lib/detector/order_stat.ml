@@ -1,0 +1,11 @@
+let kth_smallest a k =
+  let len = Array.length a in
+  if k < 1 || k > len then
+    invalid_arg (Printf.sprintf "Order_stat.kth_smallest: k = %d, length = %d" k len);
+  (* arrays here have length n (the process count), so sorting a copy
+     is both simplest and fast enough *)
+  let copy = Array.copy a in
+  Array.sort Int.compare copy;
+  copy.(k - 1)
+
+let smallest a = kth_smallest a 1

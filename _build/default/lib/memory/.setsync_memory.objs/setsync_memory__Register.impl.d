@@ -1,0 +1,1 @@
+lib/memory/register.ml: Fmt Trace

@@ -1,0 +1,1 @@
+lib/memory/register.mli: Fmt Trace

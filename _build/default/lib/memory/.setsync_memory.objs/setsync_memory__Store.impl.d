@@ -1,0 +1,1 @@
+lib/memory/store.ml: Array List Printf Register Trace

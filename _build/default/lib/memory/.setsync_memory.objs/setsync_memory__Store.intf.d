@@ -1,0 +1,1 @@
+lib/memory/store.mli: Fmt Register Trace

@@ -1,0 +1,1 @@
+lib/memory/trace.mli: Fmt

@@ -1,0 +1,44 @@
+type hook = kind:Trace.kind -> register:string -> value:string -> unit
+
+type 'a t = {
+  name : string;
+  id : int;
+  pp : 'a Fmt.t option;
+  hook : hook option;
+  mutable value : 'a;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let make ?pp ?hook ~name ~id init =
+  { name; id; pp; hook; value = init; reads = 0; writes = 0 }
+
+let name t = t.name
+
+let id t = t.id
+
+let print_value t v =
+  match t.pp with Some pp -> Fmt.str "%a" pp v | None -> "<value>"
+
+let notify t kind v =
+  match t.hook with
+  | None -> ()
+  | Some hook -> hook ~kind ~register:t.name ~value:(print_value t v)
+
+let read t =
+  t.reads <- t.reads + 1;
+  notify t Trace.Read t.value;
+  t.value
+
+let write t v =
+  t.writes <- t.writes + 1;
+  notify t Trace.Write v;
+  t.value <- v
+
+let peek t = t.value
+
+let poke t v = t.value <- v
+
+let reads t = t.reads
+
+let writes t = t.writes

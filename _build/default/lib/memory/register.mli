@@ -1,0 +1,45 @@
+(** Atomic read/write shared registers.
+
+    The paper's processes communicate through a (possibly infinite) set
+    [Ξ] of shared registers, each read or written atomically in a single
+    step. In the simulator a register is a plain mutable cell — the
+    executor runs exactly one step at a time, so atomicity holds by
+    construction. Access must go through the runtime's step discipline
+    ({!Setsync_runtime.Shm}); direct {!read}/{!write} here is for the
+    runtime itself and for tests.
+
+    Registers are allocated through {!Store}, which assigns ids and
+    wires the optional trace. *)
+
+type 'a t
+
+type hook = kind:Trace.kind -> register:string -> value:string -> unit
+(** Trace callback invoked on every access. *)
+
+val make : ?pp:'a Fmt.t -> ?hook:hook -> name:string -> id:int -> 'a -> 'a t
+(** [make ~name ~id init] creates a register holding [init]. [pp] is
+    used to print values into traces (defaults to an opaque
+    placeholder). *)
+
+val name : 'a t -> string
+
+val id : 'a t -> int
+
+val read : 'a t -> 'a
+(** Atomic read (counted, traced). *)
+
+val write : 'a t -> 'a -> unit
+(** Atomic write (counted, traced). *)
+
+val peek : 'a t -> 'a
+(** Observer read: does not count as a step, not traced. For run
+    validators and tests only — never from process code. *)
+
+val poke : 'a t -> 'a -> unit
+(** Observer write, for test setup only. *)
+
+val reads : 'a t -> int
+(** Number of counted reads so far. *)
+
+val writes : 'a t -> int
+(** Number of counted writes so far. *)

@@ -1,0 +1,40 @@
+type counters = { get_reads : unit -> int; get_writes : unit -> int }
+
+type t = {
+  trace : Trace.t option;
+  mutable next_id : int;
+  mutable all : counters list;
+}
+
+let create ?trace () = { trace; next_id = 0; all = [] }
+
+let hook_of t =
+  match t.trace with
+  | None -> None
+  | Some tr -> Some (fun ~kind ~register ~value -> Trace.record tr ~register ~kind ~value)
+
+let register t ?pp ~name init =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let reg = Register.make ?pp ?hook:(hook_of t) ~name ~id init in
+  t.all <-
+    { get_reads = (fun () -> Register.reads reg); get_writes = (fun () -> Register.writes reg) }
+    :: t.all;
+  reg
+
+let array t ?pp ~name len init =
+  Array.init len (fun idx ->
+      register t ?pp ~name:(Printf.sprintf "%s[%d]" name idx) (init idx))
+
+let matrix t ?pp ~name ~rows ~cols init =
+  Array.init rows (fun r ->
+      Array.init cols (fun c ->
+          register t ?pp ~name:(Printf.sprintf "%s[%d][%d]" name r c) (init r c)))
+
+let register_count t = t.next_id
+
+let total_reads t = List.fold_left (fun acc c -> acc + c.get_reads ()) 0 t.all
+
+let total_writes t = List.fold_left (fun acc c -> acc + c.get_writes ()) 0 t.all
+
+let trace t = t.trace

@@ -1,0 +1,39 @@
+(** Register allocation and accounting.
+
+    A store is the concrete [Ξ] of one system instance: every register
+    of a run is allocated here, so aggregate statistics (total reads,
+    writes, register count) and the optional operation trace cover the
+    whole shared memory. *)
+
+type t
+
+val create : ?trace:Trace.t -> unit -> t
+(** A fresh, empty shared memory. When [trace] is given, every access
+    to every register allocated here is recorded into it. *)
+
+val register : t -> ?pp:'a Fmt.t -> name:string -> 'a -> 'a Register.t
+(** Allocate one named register with an initial value. *)
+
+val array :
+  t -> ?pp:'a Fmt.t -> name:string -> int -> (int -> 'a) -> 'a Register.t array
+(** [array t ~name len init] allocates registers [name[0]] …
+    [name[len-1]] with [init idx] as initial values. *)
+
+val matrix :
+  t ->
+  ?pp:'a Fmt.t ->
+  name:string ->
+  rows:int ->
+  cols:int ->
+  (int -> int -> 'a) ->
+  'a Register.t array array
+(** Two-dimensional bank, [name[r][c]]. *)
+
+val register_count : t -> int
+
+val total_reads : t -> int
+(** Sum of counted reads over all registers allocated here. *)
+
+val total_writes : t -> int
+
+val trace : t -> Trace.t option

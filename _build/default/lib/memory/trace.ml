@@ -1,0 +1,45 @@
+type kind = Read | Write
+
+type entry = { seq : int; register : string; kind : kind; value : string }
+
+type t = {
+  capacity : int;
+  buffer : entry option array;
+  mutable next_seq : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next_seq = 0 }
+
+let record t ~register ~kind ~value =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.buffer.(seq mod t.capacity) <- Some { seq; register; kind; value }
+
+let recorded t = t.next_seq
+
+let entries t =
+  let collected = ref [] in
+  for offset = 1 to t.capacity do
+    (* walk backwards from the most recent slot *)
+    let idx = (t.next_seq - offset) mod t.capacity in
+    if idx >= 0 then
+      match t.buffer.(idx) with
+      | Some e when e.seq = t.next_seq - offset -> collected := e :: !collected
+      | Some _ | None -> ()
+  done;
+  !collected
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next_seq <- 0
+
+let pp_kind ppf = function
+  | Read -> Fmt.string ppf "R"
+  | Write -> Fmt.string ppf "W"
+
+let pp_entry ppf e =
+  Fmt.pf ppf "#%d %a %s = %s" e.seq pp_kind e.kind e.register e.value
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_entry) ppf (entries t)

@@ -1,0 +1,35 @@
+(** Bounded trace of shared-memory operations.
+
+    A ring buffer of the most recent operations, used by tests and by
+    post-mortem debugging of runs; tracing is opt-in (a {!Store.t}
+    created without a trace records nothing and registers pay only an
+    integer increment per access). *)
+
+type kind = Read | Write
+
+type entry = {
+  seq : int;  (** global operation sequence number *)
+  register : string;  (** register name *)
+  kind : kind;
+  value : string;  (** printed value read or written *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Keeps the last [capacity] entries. Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val record : t -> register:string -> kind:kind -> value:string -> unit
+
+val recorded : t -> int
+(** Total operations recorded since creation (not capped). *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val clear : t -> unit
+
+val pp_entry : entry Fmt.t
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Fault Fiber List Run Setsync_schedule

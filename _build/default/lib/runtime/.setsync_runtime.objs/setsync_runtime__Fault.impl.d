@@ -1,0 +1,1 @@
+lib/runtime/fault.ml: Array Hashtbl List Setsync_schedule

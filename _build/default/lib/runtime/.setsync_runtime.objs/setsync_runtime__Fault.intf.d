@@ -1,0 +1,1 @@
+lib/runtime/fault.mli: Setsync_schedule

@@ -1,0 +1,1 @@
+lib/runtime/run.ml: Fmt List Setsync_schedule

@@ -1,0 +1,1 @@
+lib/runtime/run.mli: Fmt Setsync_schedule

@@ -1,0 +1,1 @@
+lib/runtime/shm.ml: Fiber Setsync_memory

@@ -1,0 +1,1 @@
+lib/runtime/shm.mli: Setsync_memory

@@ -1,0 +1,77 @@
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Schedule = Setsync_schedule.Schedule
+module Source = Setsync_schedule.Source
+
+type source_factory = live:(Proc.t -> bool) -> Source.t
+
+(* If the source names only unschedulable processes this many times in
+   a row, the run is declared stalled rather than looping forever. *)
+let max_consecutive_skips n = 64 * n
+
+let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop body =
+  Proc.check_n n;
+  if max_steps < 0 then invalid_arg "Executor.run: negative step budget";
+  let fault_state = Fault.start ~n fault in
+  let fibers = Array.init n (fun p -> Fiber.spawn (body p)) in
+  let schedulable p = Fault.live fault_state p && not (Fiber.is_done fibers.(p)) in
+  let src = source ~live:schedulable in
+  if Source.n src <> n then invalid_arg "Executor.run: source universe mismatch";
+  let taken = ref [] in
+  let steps_of = Array.make n 0 in
+  (* processes with a zero budget are dead before the run starts *)
+  let crashes =
+    ref (List.rev (List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault))
+  in
+  let executed = ref 0 in
+  let skips = ref 0 in
+  let reason = ref None in
+  let finish r = reason := Some r in
+  let any_schedulable () =
+    let rec scan p = p < n && (schedulable p || scan (p + 1)) in
+    scan 0
+  in
+  let execute p =
+    (match Fiber.step fibers.(p) with
+    | Fiber.Performed | Fiber.Finished -> ()
+    | Fiber.Already_done -> assert false);
+    skips := 0;
+    taken := p :: !taken;
+    steps_of.(p) <- steps_of.(p) + 1;
+    let died = Fault.note_step fault_state p in
+    if died then crashes := (p, !executed) :: !crashes;
+    incr executed;
+    (match on_step with Some f -> f ~global:(!executed - 1) ~proc:p | None -> ());
+    match stop with Some f when f () -> finish Run.Stopped_early | Some _ | None -> ()
+  in
+  while !reason = None do
+    if !executed >= max_steps then finish Run.Step_budget
+    else if not (any_schedulable ()) then finish Run.All_halted
+    else
+      match Source.next src with
+      | None -> finish Run.Source_exhausted
+      | Some p ->
+          if schedulable p then execute p
+          else begin
+            incr skips;
+            if !skips > max_consecutive_skips n then finish Run.Stalled
+          end
+  done;
+  let halted =
+    Array.to_list fibers
+    |> List.mapi (fun p fiber -> (p, fiber))
+    |> List.filter (fun (_, fiber) -> Fiber.is_done fiber)
+    |> List.fold_left (fun acc (p, _) -> Procset.add p acc) Procset.empty
+  in
+  {
+    Run.n;
+    taken = Schedule.of_list ~n (List.rev !taken);
+    steps_of;
+    crashes = List.rev !crashes;
+    halted;
+    reason = (match !reason with Some r -> r | None -> assert false);
+  }
+
+let replay ~n ~schedule ?fault ?on_step body =
+  let source ~live:_ = Source.of_schedule schedule in
+  run ~n ~source ~max_steps:max_int ?fault ?on_step body

@@ -1,0 +1,46 @@
+(** The scheduler: drives process fibers from a schedule source.
+
+    One call to {!run} executes one (partial) run of an algorithm: it
+    spawns a fiber per process, then repeatedly pulls the next process
+    from the source and grants it one step, injecting crashes per the
+    fault plan. Crashed and finished processes are skipped without
+    consuming schedule steps; the source receives a [live] predicate so
+    crash-aware generators can keep their contracts. *)
+
+type source_factory = live:(Setsync_schedule.Proc.t -> bool) -> Setsync_schedule.Source.t
+(** The executor builds the source with a predicate that is false for
+    processes that have crashed or halted. Factories may ignore it
+    (e.g. replay of a fixed schedule). *)
+
+val run :
+  n:int ->
+  source:source_factory ->
+  max_steps:int ->
+  ?fault:Fault.plan ->
+  ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
+  ?stop:(unit -> bool) ->
+  (Setsync_schedule.Proc.t -> unit -> unit) ->
+  Run.t
+(** [run ~n ~source ~max_steps body] executes [body p] as process [p]
+    for each [p].
+
+    - [max_steps] bounds the total number of executed steps.
+    - [fault] injects crashes (default: none).
+    - [on_step] is invoked after every executed step (use it to sample
+      process outputs or shared state via [Register.peek]).
+    - [stop] is polled after every step; returning [true] ends the run
+      (used to stop once convergence is detected).
+
+    Exceptions raised by process bodies propagate (a process with a bug
+    fails the whole run loudly rather than being mistaken for a
+    crash). *)
+
+val replay :
+  n:int ->
+  schedule:Setsync_schedule.Schedule.t ->
+  ?fault:Fault.plan ->
+  ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
+  (Setsync_schedule.Proc.t -> unit -> unit) ->
+  Run.t
+(** Deterministic replay of a fixed finite schedule (steps naming
+    crashed or finished processes are skipped). *)

@@ -1,0 +1,36 @@
+(** Step-driven process fibers.
+
+    The paper's processes are automata that, in each step, read or
+    write one shared register and change state (§2.3). Writing automata
+    as explicit state machines is painful, so a process here is
+    ordinary OCaml code suspended with OCaml 5 effects at every shared
+    access: each call to {!atomic} performs exactly one atomic action
+    when — and only when — the scheduler grants the process a step.
+
+    Local computation between shared accesses runs for free within the
+    granting step, matching the model (only shared accesses are
+    schedule-visible). *)
+
+type t
+(** A spawned process fiber. *)
+
+type outcome =
+  | Performed  (** the step executed one atomic shared action *)
+  | Finished  (** the fiber ran to completion during this step (it
+                  halted; at most one atomic action was executed) *)
+  | Already_done  (** the fiber had already finished; nothing ran *)
+
+val spawn : (unit -> unit) -> t
+(** Create a fiber; nothing runs until the first {!step}. *)
+
+val step : t -> outcome
+(** Grant one step: resume the fiber until it executes its next atomic
+    action (or finishes). Any exception raised by the process body
+    propagates to the caller. *)
+
+val is_done : t -> bool
+
+val atomic : (unit -> 'a) -> 'a
+(** To be called from inside a fiber only: perform [f] as this
+    process's next atomic step. Raises [Failure] if called outside a
+    fiber (i.e. with no executor granting steps). *)

@@ -1,0 +1,31 @@
+module Schedule = Setsync_schedule.Schedule
+module Procset = Setsync_schedule.Procset
+
+type stop_reason = Source_exhausted | Step_budget | All_halted | Stopped_early | Stalled
+
+type t = {
+  n : int;
+  taken : Schedule.t;
+  steps_of : int array;
+  crashes : (Setsync_schedule.Proc.t * int) list;
+  halted : Procset.t;
+  reason : stop_reason;
+}
+
+let total_steps t = Schedule.length t.taken
+
+let crashed t =
+  List.fold_left (fun acc (p, _) -> Procset.add p acc) Procset.empty t.crashes
+
+let correct t = Procset.diff (Procset.full ~n:t.n) (crashed t)
+
+let pp_reason ppf = function
+  | Source_exhausted -> Fmt.string ppf "source-exhausted"
+  | Step_budget -> Fmt.string ppf "step-budget"
+  | All_halted -> Fmt.string ppf "all-halted"
+  | Stopped_early -> Fmt.string ppf "stopped-early"
+  | Stalled -> Fmt.string ppf "stalled"
+
+let pp ppf t =
+  Fmt.pf ppf "run[n=%d steps=%d reason=%a crashed=%a halted=%a]" t.n (total_steps t)
+    pp_reason t.reason Procset.pp (crashed t) Procset.pp t.halted

@@ -1,0 +1,41 @@
+(** Recorded runs.
+
+    A run (§2.3) pairs an initial configuration with a schedule; the
+    executor additionally records why execution stopped, who crashed
+    and when, and who halted voluntarily. Validators for failure
+    detectors and agreement read these records. *)
+
+type stop_reason =
+  | Source_exhausted  (** the schedule source ran dry *)
+  | Step_budget  (** the configured maximum number of steps ran out *)
+  | All_halted  (** every process either crashed or finished *)
+  | Stopped_early  (** the caller's [stop] predicate fired *)
+  | Stalled  (** the source kept naming crashed/finished processes *)
+
+type t = {
+  n : int;
+  taken : Setsync_schedule.Schedule.t;
+      (** the schedule actually executed (crashed processes excluded) *)
+  steps_of : int array;  (** per-process step counts *)
+  crashes : (Setsync_schedule.Proc.t * int) list;
+      (** (process, global step index of its crash), in crash order *)
+  halted : Setsync_schedule.Procset.t;
+      (** processes whose code ran to completion *)
+  reason : stop_reason;
+}
+
+val total_steps : t -> int
+
+val crashed : t -> Setsync_schedule.Procset.t
+
+val correct : t -> Setsync_schedule.Procset.t
+(** Processes that do not crash. In the infinite-schedule reading,
+    processes that halt voluntarily are treated as correct — they are
+    processes that have completed their task (e.g. decided); validators
+    that need "takes infinitely many steps" instead use
+    {!Setsync_schedule.Schedule.last_occurrence} on [taken]. *)
+
+val pp_reason : stop_reason Fmt.t
+
+val pp : t Fmt.t
+(** One-line summary. *)

@@ -1,0 +1,5 @@
+let read reg = Fiber.atomic (fun () -> Setsync_memory.Register.read reg)
+
+let write reg v = Fiber.atomic (fun () -> Setsync_memory.Register.write reg v)
+
+let pause () = Fiber.atomic (fun () -> ())

@@ -1,0 +1,1 @@
+lib/schedule/analysis.ml: Array Fmt List Procset Schedule Source

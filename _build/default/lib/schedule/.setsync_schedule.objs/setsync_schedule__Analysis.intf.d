@@ -1,0 +1,1 @@
+lib/schedule/analysis.mli: Fmt Proc Procset Schedule Source

@@ -1,0 +1,1 @@
+lib/schedule/generators.ml: Array List Proc Procset Rng Source

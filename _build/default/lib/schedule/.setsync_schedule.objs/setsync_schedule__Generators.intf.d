@@ -1,0 +1,1 @@
+lib/schedule/generators.mli: Proc Procset Rng Source

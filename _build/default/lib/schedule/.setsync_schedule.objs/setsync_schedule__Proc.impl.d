@@ -1,0 +1,1 @@
+lib/schedule/proc.ml: Fmt Int List Printf

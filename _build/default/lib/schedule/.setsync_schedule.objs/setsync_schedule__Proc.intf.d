@@ -1,0 +1,1 @@
+lib/schedule/proc.mli: Fmt

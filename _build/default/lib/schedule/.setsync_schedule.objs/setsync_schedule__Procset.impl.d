@@ -1,0 +1,1 @@
+lib/schedule/procset.ml: Array Fmt Int List Printf Proc Rng String

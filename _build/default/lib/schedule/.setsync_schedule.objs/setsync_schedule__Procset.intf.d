@@ -1,0 +1,1 @@
+lib/schedule/procset.mli: Fmt Proc Rng

@@ -1,0 +1,1 @@
+lib/schedule/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Array Fmt List Proc Procset

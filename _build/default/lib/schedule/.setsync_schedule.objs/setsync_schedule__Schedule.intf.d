@@ -1,0 +1,1 @@
+lib/schedule/schedule.mli: Fmt Proc Procset

@@ -1,0 +1,1 @@
+lib/schedule/source.ml: List Proc Schedule

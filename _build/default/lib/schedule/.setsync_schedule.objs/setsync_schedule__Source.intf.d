@@ -1,0 +1,1 @@
+lib/schedule/source.mli: Proc Schedule

@@ -1,0 +1,1 @@
+lib/schedule/system.ml: Fmt List Printf Proc Procset Schedule Timeliness

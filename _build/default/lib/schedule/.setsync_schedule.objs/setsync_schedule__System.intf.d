@@ -1,0 +1,1 @@
+lib/schedule/system.mli: Fmt Procset Schedule

@@ -1,0 +1,1 @@
+lib/schedule/timeliness.ml: Procset Schedule

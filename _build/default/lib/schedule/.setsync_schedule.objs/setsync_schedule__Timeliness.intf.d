@@ -1,0 +1,1 @@
+lib/schedule/timeliness.mli: Proc Procset Schedule

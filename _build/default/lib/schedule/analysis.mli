@@ -1,0 +1,43 @@
+(** Streaming timeliness analysis.
+
+    Experiments reason about infinite schedules through growing finite
+    prefixes; re-scanning a prefix per measurement would be quadratic,
+    so this module maintains the gap statistics of
+    {!Timeliness.observed_bound} incrementally, one step at a time. *)
+
+type t
+(** Incremental analyzer for one (P, Q) pair. *)
+
+val create : p:Procset.t -> q:Procset.t -> t
+
+val feed : t -> Proc.t -> unit
+(** Append one step of the schedule under analysis. *)
+
+val feed_schedule : t -> Schedule.t -> unit
+
+val steps : t -> int
+(** Steps fed so far. *)
+
+val observed_bound : t -> int
+(** Least timeliness bound valid for the prefix fed so far (equals
+    [Timeliness.observed_bound] on the same prefix). *)
+
+val current_gap : t -> int
+(** Number of Q-steps since the last P-step (the open gap). *)
+
+type curve = { lengths : int array; bounds : int array }
+(** Observed bound as a function of prefix length. *)
+
+val bound_curve :
+  p:Procset.t -> q:Procset.t -> source:Source.t -> lengths:int list -> curve
+(** Pulls from [source] up to the largest requested length, sampling
+    the observed bound at each requested prefix length (which must be
+    given in increasing order). If the source is exhausted early, the
+    curve stops at the last reachable length. *)
+
+val singleton_matrix : Schedule.t -> int array array
+(** [m.(a).(b)] is the observed bound of singleton [{a}] with respect
+    to singleton [{b}] over the whole schedule — the process-timeliness
+    matrix of [3]. *)
+
+val pp_curve : curve Fmt.t

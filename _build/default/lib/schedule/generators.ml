@@ -1,0 +1,308 @@
+let all_live (_ : Proc.t) = true
+
+let live_procs ~live ~n = List.filter live (Proc.all ~n)
+
+let round_robin ?(live = all_live) ~n () =
+  Proc.check_n n;
+  let cursor = ref 0 in
+  Source.make ~n (fun () ->
+      (* scan at most n candidates from the cursor; None if all dead *)
+      let rec scan tries =
+        if tries >= n then None
+        else begin
+          let p = !cursor in
+          cursor := (!cursor + 1) mod n;
+          if live p then Some p else scan (tries + 1)
+        end
+      in
+      scan 0)
+
+let figure1 ?(n = 3) ?(p1 = 0) ?(p2 = 1) ?(q = 2) () =
+  Proc.check ~n p1;
+  Proc.check ~n p2;
+  Proc.check ~n q;
+  (* Emits (p1·q)^i (p2·q)^i for i = 1, 2, 3, ...  State: the current
+     block index i, which half we are in, and position inside it. *)
+  let i = ref 1 in
+  let second_half = ref false in
+  let pair_pos = ref 0 (* 0 .. 2*i - 1 within the current half *) in
+  Source.make ~n (fun () ->
+      let even = !pair_pos mod 2 = 0 in
+      let step = if even then (if !second_half then p2 else p1) else q in
+      incr pair_pos;
+      if !pair_pos >= 2 * !i then begin
+        pair_pos := 0;
+        if !second_half then begin
+          second_half := false;
+          incr i
+        end
+        else second_half := true
+      end;
+      Some step)
+
+let random_fair ?(live = all_live) ~n ~rng () =
+  Proc.check_n n;
+  Source.make ~n (fun () ->
+      match live_procs ~live ~n with
+      | [] -> None
+      | procs -> Some (Rng.pick rng procs))
+
+type timely_contract = { p : Procset.t; q : Procset.t; bound : int }
+
+let timely ?(live = all_live) ?fairness ?(burstiness = 0.7) ~n ~contract ~rng () =
+  Proc.check_n n;
+  let { p; q; bound } = contract in
+  if bound < 1 then invalid_arg "Generators.timely: bound must be >= 1";
+  if Procset.is_empty p then invalid_arg "Generators.timely: empty timely set";
+  Procset.iter (fun x -> Proc.check ~n x) p;
+  Procset.iter (fun x -> Proc.check ~n x) q;
+  let fairness = match fairness with Some f -> f | None -> 8 * n * bound in
+  if fairness < 4 * n then invalid_arg "Generators.timely: fairness below 4n is unsatisfiable";
+  (* Serving a starved process can be delayed by contract-forced steps
+     and by other starved processes draining first; triggering early by
+     this margin keeps the documented cap exact. *)
+  let fairness_trigger = fairness - (2 * n) in
+  let q_since_p = ref 0 in
+  (* age.(x) = emitted steps since x was last scheduled *)
+  let age = Array.make n 0 in
+  let last = ref (-1) in
+  (* Long starvation of a single member of p: the victim is excluded
+     from random picks (fairness still rescues it at the cap), which is
+     what defeats individual timeliness while the set stays timely. *)
+  let victim = ref (-1) in
+  let victim_left = ref 0 in
+  let emit x =
+    Array.iteri (fun y a -> age.(y) <- (if y = x then 0 else a + 1)) age;
+    if Procset.mem x p then q_since_p := 0
+    else if Procset.mem x q then incr q_since_p;
+    last := x;
+    Some x
+  in
+  let live_p () = List.filter live (Procset.elements p) in
+  let p_cursor = ref 0 in
+  let next_p_member () =
+    let members =
+      match List.filter (fun x -> x <> !victim || !victim_left = 0) (live_p ()) with
+      | [] -> live_p () (* only the victim is left alive in p *)
+      | rest -> rest
+    in
+    match members with
+    | [] -> None
+    | members ->
+        let m = List.length members in
+        let x = List.nth members (!p_cursor mod m) in
+        incr p_cursor;
+        Some x
+  in
+  (* A step of x is safe iff it cannot complete a bad gap: members of p
+     always are; q-members are safe only while the running gap count
+     stays below bound - 1; everyone else is always safe. *)
+  let safe x =
+    Procset.mem x p || (not (Procset.mem x q)) || !q_since_p < bound - 1
+  in
+  Source.make ~n (fun () ->
+      match live_procs ~live ~n with
+      | [] -> None
+      | live_now ->
+          (* Priority 1: the contract. If the gap is one q-step away
+             from the bound, a p-member must go next (when possible). *)
+          let forced_p =
+            if !q_since_p >= bound - 1 then next_p_member () else None
+          in
+          (match forced_p with
+          | Some x -> emit x
+          | None ->
+              (* Priority 2: fairness. Schedule the most starved live
+                 process once it hits the cap, provided it is safe;
+                 unsafe means it is a q-member while the gap is critical
+                 and p is dead, in which case it stays starved of q-steps
+                 forever — exactly what the contract requires. *)
+              let starved =
+                List.filter (fun x -> age.(x) >= fairness_trigger && safe x) live_now
+              in
+              let pickable = List.filter safe live_now in
+              (match (starved, pickable) with
+              | x0 :: rest, _ ->
+                  let oldest =
+                    List.fold_left (fun acc x -> if age.(x) > age.(acc) then x else acc) x0 rest
+                  in
+                  emit oldest
+              | [], [] -> None
+              | [], _ ->
+                  (* Priority 3: adversarial choice — continue a burst of
+                     the previous process, or pick afresh, dodging the
+                     current starvation victim when possible. *)
+                  if !victim_left > 0 then decr victim_left
+                  else if Rng.float rng < 0.02 then begin
+                    victim := Procset.choose_rng rng p;
+                    victim_left := max 1 (fairness_trigger / 2)
+                  end;
+                  let dodging =
+                    if !victim_left > 0 then
+                      match List.filter (fun x -> x <> !victim) pickable with
+                      | [] -> pickable
+                      | rest -> rest
+                    else pickable
+                  in
+                  let continue_burst =
+                    !last >= 0 && List.mem !last dodging && Rng.float rng < burstiness
+                  in
+                  if continue_burst then emit !last else emit (Rng.pick rng dodging))))
+
+let exclusive_timely ?(live = all_live) ?(phase0 = 32) ?(growth = 16) ~n ~contract ~defeat () =
+  Proc.check_n n;
+  let { p; q; bound } = contract in
+  if bound < 1 then invalid_arg "Generators.exclusive_timely: bound must be >= 1";
+  if Procset.is_empty p then invalid_arg "Generators.exclusive_timely: empty timely set";
+  if defeat < 1 || defeat >= n then invalid_arg "Generators.exclusive_timely: need 1 <= defeat < n";
+  (* Candidate phases: starving A must not be interruptible by contract
+     enforcement, so when p ⊆ A the whole of q is starved too (then no
+     q-steps occur and no p-step is forced); otherwise forced p-steps
+     can be served from p \ A. *)
+  let victim_of a = if Procset.subset p a then Procset.union a q else a in
+  let candidates = Array.of_list (Procset.subsets_of_size ~n defeat) in
+  Array.iter
+    (fun a ->
+      if Procset.cardinal (victim_of a) >= n then
+        invalid_arg "Generators.exclusive_timely: a phase would starve everyone")
+    candidates;
+  let q_since_p = ref 0 in
+  let phase = ref 0 in
+  let pos = ref 0 in
+  let in_recovery = ref true (* start fair *) in
+  let cursor = ref 0 in
+  let recovery_len = 4 * n in
+  let phase_len m = phase0 + (growth * m) in
+  let advance () =
+    incr pos;
+    let limit = if !in_recovery then recovery_len else phase_len !phase in
+    if !pos >= limit then begin
+      pos := 0;
+      if !in_recovery then in_recovery := false
+      else begin
+        in_recovery := true;
+        incr phase
+      end
+    end
+  in
+  let emit x =
+    if Procset.mem x p then q_since_p := 0
+    else if Procset.mem x q then incr q_since_p;
+    advance ();
+    Some x
+  in
+  Source.make ~n (fun () ->
+      match live_procs ~live ~n with
+      | [] -> None
+      | live_now ->
+          let victim =
+            if !in_recovery then Procset.empty
+            else victim_of candidates.(!phase mod Array.length candidates)
+          in
+          if !q_since_p >= bound - 1 then begin
+            (* Contract enforcement in phase-long single-member stints
+               (the Figure 1 pattern): rotating through p's members
+               step-by-step would make every subset of p timely, which
+               the contract does not promise. The stint member is
+               phase-stable and chosen outside the victim set when
+               possible, so starvation of the current candidate stays
+               intact. *)
+            let members = List.filter live (Procset.elements p) in
+            let preferred = List.filter (fun x -> not (Procset.mem x victim)) members in
+            match (preferred, members) with
+            | (_ :: _ as pool), _ | [], (_ :: _ as pool) ->
+                emit (List.nth pool (!phase mod List.length pool))
+            | [], [] -> (
+                (* p is dead: stop emitting q forever (gap invariant) *)
+                match List.filter (fun x -> not (Procset.mem x q)) live_now with
+                | [] -> None
+                | x :: _ ->
+                    advance ();
+                    Some x)
+          end
+          else begin
+            (* round-robin among live processes outside the victim set *)
+            let allowed x = live x && not (Procset.mem x victim) in
+            let rec scan tries =
+              if tries >= n then None
+              else begin
+                let x = !cursor in
+                cursor := (!cursor + 1) mod n;
+                if allowed x then Some x else scan (tries + 1)
+              end
+            in
+            match scan 0 with
+            | Some x -> emit x
+            | None -> (
+                (* everyone outside the victim set is dead: fall back to
+                   any live process so the run keeps moving *)
+                match live_now with
+                | [] -> None
+                | x :: _ -> emit x)
+          end)
+
+let starvation_adversary ?(live = all_live) ?(phase0 = 8) ?(growth = 8) ~n ~i () =
+  Proc.check_n n;
+  if i < 1 || i >= n then invalid_arg "Generators.starvation_adversary: need 1 <= i < n";
+  if phase0 < 1 || growth < 0 then invalid_arg "Generators.starvation_adversary: bad phase parameters";
+  let targets = Array.of_list (Procset.subsets_of_size ~n i) in
+  let phase = ref 0 in
+  let pos_in_phase = ref 0 in
+  let in_recovery = ref false in
+  let cursor = ref 0 in
+  let phase_len m = phase0 + (growth * m) in
+  let recovery_len = 2 * n in
+  let advance () =
+    incr pos_in_phase;
+    let limit = if !in_recovery then recovery_len else phase_len !phase in
+    if !pos_in_phase >= limit then begin
+      pos_in_phase := 0;
+      if !in_recovery then begin
+        in_recovery := false;
+        incr phase
+      end
+      else in_recovery := true
+    end
+  in
+  Source.make ~n (fun () ->
+      let starved =
+        if !in_recovery then Procset.empty
+        else targets.(!phase mod Array.length targets)
+      in
+      let allowed x = live x && not (Procset.mem x starved) in
+      let rec scan tries =
+        if tries >= n then None
+        else begin
+          let x = !cursor in
+          cursor := (!cursor + 1) mod n;
+          if allowed x then Some x else scan (tries + 1)
+        end
+      in
+      match scan 0 with
+      | Some x ->
+          advance ();
+          Some x
+      | None ->
+          (* everyone allowed is dead; if anybody at all is live, skip
+             the rest of this phase rather than stalling *)
+          (match live_procs ~live ~n with
+          | [] -> None
+          | x :: _ ->
+              advance ();
+              Some x))
+
+let crash_after ~n plan =
+  Proc.check_n n;
+  List.iter (fun (p, s) ->
+      Proc.check ~n p;
+      if s < 0 then invalid_arg "Generators.crash_after: negative step budget")
+    plan;
+  let budget = Array.make n max_int in
+  List.iter (fun (p, s) -> budget.(p) <- s) plan;
+  let dead = Array.make n false in
+  let live p = not dead.(p) in
+  let observe p own_steps =
+    if own_steps >= budget.(p) then dead.(p) <- true;
+    dead.(p)
+  in
+  (live, observe)

@@ -1,0 +1,74 @@
+type t = { n : int; steps : Proc.t array }
+
+let of_array ~n steps =
+  Proc.check_n n;
+  Array.iter (fun p -> Proc.check ~n p) steps;
+  { n; steps }
+
+let of_list ~n l = of_array ~n (Array.of_list l)
+
+let empty ~n = of_array ~n [||]
+
+let n t = t.n
+
+let length t = Array.length t.steps
+
+let get t idx = t.steps.(idx)
+
+let append a b =
+  if a.n <> b.n then invalid_arg "Schedule.append: universe mismatch";
+  { n = a.n; steps = Array.append a.steps b.steps }
+
+let concat ~n parts =
+  Proc.check_n n;
+  List.iter (fun s -> if s.n <> n then invalid_arg "Schedule.concat: universe mismatch") parts;
+  { n; steps = Array.concat (List.map (fun s -> s.steps) parts) }
+
+let repeat s m =
+  if m < 0 then invalid_arg "Schedule.repeat: negative repetition";
+  { n = s.n; steps = Array.concat (List.init m (fun _ -> s.steps)) }
+
+let sub s ~pos ~len = { n = s.n; steps = Array.sub s.steps pos len }
+
+let prefix s l = sub s ~pos:0 ~len:(min l (length s))
+
+let iteri f s = Array.iteri f s.steps
+
+let fold f init s = Array.fold_left f init s.steps
+
+let occurrences s p = fold (fun acc q -> if Proc.equal p q then acc + 1 else acc) 0 s
+
+let occurrences_in s set =
+  fold (fun acc q -> if Procset.mem q set then acc + 1 else acc) 0 s
+
+let support s = fold (fun acc q -> Procset.add q acc) Procset.empty s
+
+let last_occurrence s p =
+  let rec scan idx = if idx < 0 then None else if Proc.equal s.steps.(idx) p then Some idx else scan (idx - 1) in
+  scan (length s - 1)
+
+let steps_per_process s =
+  let counts = Array.make s.n 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) s.steps;
+  counts
+
+let to_list s = Array.to_list s.steps
+
+let equal a b = a.n = b.n && a.steps = b.steps
+
+let pp_steps ppf steps =
+  Array.iteri
+    (fun idx p ->
+      if idx > 0 then Fmt.string ppf "\xc2\xb7";
+      Proc.pp ppf p)
+    steps
+
+let pp_full ppf s = pp_steps ppf s.steps
+
+let pp ppf s =
+  let limit = 32 in
+  if length s <= limit then pp_steps ppf s.steps
+  else begin
+    pp_steps ppf (Array.sub s.steps 0 limit);
+    Fmt.pf ppf "\xc2\xb7\xe2\x80\xa6(%d steps)" (length s)
+  end

@@ -1,0 +1,70 @@
+(** Finite schedules.
+
+    A schedule (§2 of the paper) is a sequence of processes; a step is
+    one element of the sequence. The paper works with finite and
+    infinite schedules; this module is the finite half, used for
+    analysis and for recorded runs. Unbounded schedules are represented
+    as {!Source.t} streams and analyzed through finite prefixes. *)
+
+type t
+(** An immutable finite schedule over [Πn]. *)
+
+val of_array : n:int -> Proc.t array -> t
+(** Takes ownership conceptually: callers must not mutate the array
+    afterwards. Raises [Invalid_argument] on out-of-range processes. *)
+
+val of_list : n:int -> Proc.t list -> t
+
+val empty : n:int -> t
+
+val n : t -> int
+(** Universe size. *)
+
+val length : t -> int
+(** Number of steps. *)
+
+val get : t -> int -> Proc.t
+(** [get s idx] is the process taking step [idx] (0-based). *)
+
+val append : t -> t -> t
+(** Concatenation [S · S']. Universes must agree. *)
+
+val concat : n:int -> t list -> t
+
+val repeat : t -> int -> t
+(** [repeat s m] is [S^m] ([m >= 0]). *)
+
+val sub : t -> pos:int -> len:int -> t
+(** Contiguous sub-schedule (a window of consecutive steps). *)
+
+val prefix : t -> int -> t
+(** [prefix s l] is the first [min l (length s)] steps. *)
+
+val iteri : (int -> Proc.t -> unit) -> t -> unit
+
+val fold : ('a -> Proc.t -> 'a) -> 'a -> t -> 'a
+
+val occurrences : t -> Proc.t -> int
+(** Number of steps taken by the given process. *)
+
+val occurrences_in : t -> Procset.t -> int
+(** Number of steps taken by members of the given set. *)
+
+val support : t -> Procset.t
+(** Processes that take at least one step. *)
+
+val last_occurrence : t -> Proc.t -> int option
+(** Index of the process's final step, if any. *)
+
+val steps_per_process : t -> int array
+(** Array of length [n t] with per-process step counts. *)
+
+val to_list : t -> Proc.t list
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** Renders as "p1·p3·p2·…" (truncated for long schedules). *)
+
+val pp_full : t Fmt.t
+(** Untruncated rendering. *)

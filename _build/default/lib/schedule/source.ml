@@ -1,0 +1,69 @@
+type t = { n : int; next_raw : unit -> Proc.t option }
+
+let make ~n next_raw =
+  Proc.check_n n;
+  { n; next_raw }
+
+let n t = t.n
+
+let next t =
+  match t.next_raw () with
+  | None -> None
+  | Some p ->
+      Proc.check ~n:t.n p;
+      Some p
+
+let of_schedule s =
+  let pos = ref 0 in
+  make ~n:(Schedule.n s) (fun () ->
+      if !pos >= Schedule.length s then None
+      else begin
+        let p = Schedule.get s !pos in
+        incr pos;
+        Some p
+      end)
+
+let cycle s =
+  if Schedule.length s = 0 then invalid_arg "Source.cycle: empty schedule";
+  let pos = ref 0 in
+  make ~n:(Schedule.n s) (fun () ->
+      let p = Schedule.get s !pos in
+      pos := (!pos + 1) mod Schedule.length s;
+      Some p)
+
+let take src len =
+  let buf = ref [] in
+  let count = ref 0 in
+  let exhausted = ref false in
+  while (not !exhausted) && !count < len do
+    match next src with
+    | None -> exhausted := true
+    | Some p ->
+        buf := p :: !buf;
+        incr count
+  done;
+  Schedule.of_list ~n:src.n (List.rev !buf)
+
+let append a b =
+  if a.n <> b.n then invalid_arg "Source.append: universe mismatch";
+  let first_done = ref false in
+  make ~n:a.n (fun () ->
+      if !first_done then next b
+      else
+        match next a with
+        | Some p -> Some p
+        | None ->
+            first_done := true;
+            next b)
+
+let filtered src ~keep ~max_skip =
+  if max_skip < 0 then invalid_arg "Source.filtered: negative max_skip";
+  make ~n:src.n (fun () ->
+      let rec pull skips =
+        if skips > max_skip then None
+        else
+          match next src with
+          | None -> None
+          | Some p -> if keep p then Some p else pull (skips + 1)
+      in
+      pull 0)

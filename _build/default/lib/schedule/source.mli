@@ -1,0 +1,39 @@
+(** Unbounded schedule sources.
+
+    The paper quantifies over infinite schedules. A source is a stateful
+    stream that produces the next scheduled process on demand; the
+    executor pulls from it, and analyses work on finite prefixes drawn
+    with {!take}. A source may also report exhaustion ([None]) — e.g. a
+    source wrapping a finite schedule — in which case an execution simply
+    stops. *)
+
+type t
+
+val make : n:int -> (unit -> Proc.t option) -> t
+(** [make ~n next] wraps a generator function. The function must only
+    produce processes in [0 .. n-1]; this is checked on every pull. *)
+
+val n : t -> int
+(** Universe size. *)
+
+val next : t -> Proc.t option
+(** Pull the next step, or [None] if the source is exhausted. *)
+
+val of_schedule : Schedule.t -> t
+(** Finite source replaying the given schedule once. *)
+
+val cycle : Schedule.t -> t
+(** Infinite source replaying the given (non-empty) schedule forever. *)
+
+val take : t -> int -> Schedule.t
+(** [take src len] pulls up to [len] steps into a finite schedule
+    (shorter if the source is exhausted first). *)
+
+val append : t -> t -> t
+(** Drains the first source, then the second. Universes must agree. *)
+
+val filtered : t -> keep:(Proc.t -> bool) -> max_skip:int -> t
+(** Source that drops steps of processes rejected by [keep] (re-pulling
+    up to [max_skip] times per step before reporting exhaustion). Used
+    by the executor to skip crashed processes when the underlying
+    generator is not crash-aware. *)

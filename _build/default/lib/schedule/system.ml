@@ -1,0 +1,52 @@
+type t = { i : int; j : int; n : int }
+
+let make ~i ~j ~n =
+  Proc.check_n n;
+  if not (1 <= i && i <= j && j <= n) then
+    invalid_arg (Printf.sprintf "System.make: need 1 <= i(%d) <= j(%d) <= n(%d)" i j n);
+  { i; j; n }
+
+let asynchronous ~n = make ~i:n ~j:n ~n
+
+let is_asynchronous d = d.i = d.j
+
+(* S^{i'}_{j',n} ⊆ S^i_{j,n} if i' <= i and j <= j' (Observation 4):
+   an (i', j') witness turns into an (i, j) witness by enlarging the
+   timely set and shrinking the observed set (Observation 3). The
+   asynchronous descriptors i = j all denote the full schedule set
+   (Observation 5), which contains everything. *)
+let contained d d' =
+  d.n = d'.n && (is_asynchronous d' || (d.i <= d'.i && d'.j <= d.j))
+
+let pairs d =
+  let ps = Procset.subsets_of_size ~n:d.n d.i in
+  let qs = Procset.subsets_of_size ~n:d.n d.j in
+  List.concat_map (fun p -> List.map (fun q -> (p, q)) qs) ps
+
+let witnesses ~bound d s =
+  if Schedule.n s <> d.n then invalid_arg "System.witnesses: universe mismatch";
+  List.filter (fun (p, q) -> Timeliness.holds ~bound ~p ~q s) (pairs d)
+
+let member ~bound d s =
+  if Schedule.n s <> d.n then invalid_arg "System.member: universe mismatch";
+  List.exists (fun (p, q) -> Timeliness.holds ~bound ~p ~q s) (pairs d)
+
+let best_witness d s =
+  if Schedule.n s <> d.n then invalid_arg "System.best_witness: universe mismatch";
+  let best = ref None in
+  let consider (p, q) =
+    let b = Timeliness.observed_bound ~p ~q s in
+    match !best with
+    | Some (_, _, b0) when b0 <= b -> ()
+    | _ -> best := Some (p, q, b)
+  in
+  List.iter consider (pairs d);
+  match !best with
+  | Some w -> w
+  | None -> assert false (* pairs is never empty for a valid descriptor *)
+
+let equal a b = a.i = b.i && a.j = b.j && a.n = b.n
+
+let to_string d = Printf.sprintf "S^%d_{%d,%d}" d.i d.j d.n
+
+let pp ppf d = Fmt.string ppf (to_string d)

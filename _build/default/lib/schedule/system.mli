@@ -1,0 +1,50 @@
+(** The family of partially synchronous systems [S^i_{j,n}] (§2.2).
+
+    [S^i_{j,n}] is the read/write shared-memory system of [n] processes
+    whose admissible schedules are exactly those in which at least one
+    set of [i] processes is timely with respect to at least one set of
+    [j] processes. A descriptor records the triple [(i, j, n)];
+    membership of a finite schedule is decided by searching all
+    candidate witness pairs. *)
+
+type t = private { i : int; j : int; n : int }
+(** Descriptor of [S^i_{j,n}] with [1 <= i <= j <= n]. *)
+
+val make : i:int -> j:int -> n:int -> t
+(** Raises [Invalid_argument] unless [1 <= i <= j <= n <=
+    Proc.max_universe]. *)
+
+val asynchronous : n:int -> t
+(** [S_n], the asynchronous system, canonically represented as
+    [S^n_{n,n}] (Observation 5: [S^i_{i,n} = S_n] for every [i]). *)
+
+val is_asynchronous : t -> bool
+(** True iff [i = j], i.e. the descriptor denotes [S_n]
+    (Observation 5). *)
+
+val contained : t -> t -> bool
+(** [contained d d'] is Observation 4's condition for
+    [S^{d.i}_{d.j,n} ⊆ S^{d'.i}_{d'.j,n}]: same [n], [d.i <= d'.i] and
+    [d'.j <= d.j]. Reading: a witness with a small timely set over a
+    large observed set is the strongest assumption, so such systems
+    admit the fewest schedules and sit at the bottom of the containment
+    order; the asynchronous systems [i = j] are at the top. *)
+
+val member : bound:int -> t -> Schedule.t -> bool
+(** [member ~bound d s] checks whether [s] has a witness: some [P] of
+    size [i] timely with respect to some [Q] of size [j] at the given
+    bound. Exhaustive over [Π^i_n × Π^j_n]; intended for the small
+    universes of tests and experiments. *)
+
+val witnesses : bound:int -> t -> Schedule.t -> (Procset.t * Procset.t) list
+(** All witness pairs at the given bound, in canonical order. *)
+
+val best_witness : t -> Schedule.t -> Procset.t * Procset.t * int
+(** Witness pair minimizing the observed bound, with that bound. *)
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** Renders as "S^i_{j,n}". *)
+
+val to_string : t -> string

@@ -1,0 +1,34 @@
+(* A window violates timeliness at bound [b] iff it contains [b] steps
+   of [Q] and none of [P]. Such a window exists iff some maximal P-free
+   gap contains at least [b] Q-steps, so a single left-to-right scan
+   tracking the Q-count since the last P-step decides everything. *)
+
+let max_gap ~p ~q s =
+  let worst = ref 0 in
+  let current = ref 0 in
+  let record_step proc =
+    if Procset.mem proc p then current := 0
+    else if Procset.mem proc q then begin
+      incr current;
+      if !current > !worst then worst := !current
+    end
+  in
+  Schedule.iteri (fun _ proc -> record_step proc) s;
+  !worst
+
+let observed_bound ~p ~q s = max_gap ~p ~q s + 1
+
+let holds ~bound ~p ~q s =
+  if bound < 1 then invalid_arg "Timeliness.holds: bound must be >= 1";
+  max_gap ~p ~q s < bound
+
+let process_timely ~bound ~p ~q s =
+  holds ~bound ~p:(Procset.singleton p) ~q:(Procset.singleton q) s
+
+let union_bound b1 b2 =
+  if b1 < 1 || b2 < 1 then invalid_arg "Timeliness.union_bound";
+  b1 + b2 - 1
+
+let monotone ~p ~p' ~q ~q' = Procset.subset p p' && Procset.subset q' q
+
+let self_timely_bound () = 1

@@ -1,0 +1,1 @@
+lib/solvability/characterization.ml: Fmt List Printf Setsync_schedule String

@@ -1,0 +1,1 @@
+lib/solvability/characterization.mli: Fmt Setsync_schedule

@@ -1,0 +1,1 @@
+lib/solvability/lattice.ml: Characterization List Setsync_schedule

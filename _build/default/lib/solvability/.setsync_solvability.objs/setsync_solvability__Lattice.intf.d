@@ -1,0 +1,1 @@
+lib/solvability/lattice.mli: Setsync_schedule

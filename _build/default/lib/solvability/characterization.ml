@@ -1,0 +1,108 @@
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Schedule = Setsync_schedule.Schedule
+module System = Setsync_schedule.System
+
+let check_problem ~t ~k ~n =
+  Proc.check_n n;
+  if not (1 <= t && t <= n - 1) then
+    invalid_arg (Printf.sprintf "Characterization: need 1 <= t(%d) <= n-1(%d)" t (n - 1));
+  if not (1 <= k && k <= n) then
+    invalid_arg (Printf.sprintf "Characterization: need 1 <= k(%d) <= n(%d)" k n)
+
+let solvable ~t ~k ~n ~i ~j =
+  check_problem ~t ~k ~n;
+  if not (1 <= i && i <= j && j <= n) then
+    invalid_arg (Printf.sprintf "Characterization: need 1 <= i(%d) <= j(%d) <= n(%d)" i j n);
+  if t < k then true (* Corollary 25, trivial regime: asynchrony suffices *)
+  else i <= k && j - i >= t + 1 - k
+
+let closely_matching ~t ~k ~n =
+  check_problem ~t ~k ~n;
+  if k > t then invalid_arg "Characterization.closely_matching: requires k <= t";
+  System.make ~i:k ~j:(t + 1) ~n
+
+type separation = {
+  system : System.t;
+  base_solvable : bool;
+  stronger_resilience_solvable : bool option;
+  stronger_agreement_solvable : bool option;
+}
+
+let separation ~t ~k ~n =
+  let system = closely_matching ~t ~k ~n in
+  {
+    system;
+    base_solvable = solvable ~t ~k ~n ~i:k ~j:(t + 1);
+    stronger_resilience_solvable =
+      (if t + 1 <= n - 1 then Some (solvable ~t:(t + 1) ~k ~n ~i:k ~j:(t + 1)) else None);
+    stronger_agreement_solvable =
+      (if k - 1 >= 1 then Some (solvable ~t ~k:(k - 1) ~n ~i:k ~j:(t + 1)) else None);
+  }
+
+type grid_cell = { i : int; j : int; predicted : bool }
+
+let grid ~t ~k ~n =
+  check_problem ~t ~k ~n;
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j -> if j >= i then Some { i; j; predicted = solvable ~t ~k ~n ~i ~j } else None)
+        (List.init n (fun j -> j + 1)))
+    (List.init n (fun i -> i + 1))
+
+let promote ~n ~t ~p_i ~p_j =
+  Proc.check_n n;
+  let j = Procset.cardinal p_j in
+  if j >= t + 1 then invalid_arg "Characterization.promote: only applies when j < t + 1";
+  let outside = Procset.diff (Procset.full ~n) p_j in
+  let needed = t + 1 - j in
+  if Procset.cardinal outside < needed then
+    invalid_arg "Characterization.promote: not enough processes outside P_j";
+  (* take the first t+1-j processes outside P_j, as in the proof *)
+  let q =
+    List.fold_left
+      (fun acc p -> if Procset.cardinal acc < needed then Procset.add p acc else acc)
+      Procset.empty
+      (Procset.elements outside)
+  in
+  (Procset.union p_i q, Procset.union p_j q)
+
+let embed_universe ~m ~extra =
+  Proc.check_n m;
+  if extra < 0 then invalid_arg "Characterization.embed_universe: negative padding";
+  let n = m + extra in
+  Proc.check_n n;
+  n
+
+let embed_schedule ~m ~extra s =
+  let n = embed_universe ~m ~extra in
+  if Schedule.n s <> m then invalid_arg "Characterization.embed_schedule: universe mismatch";
+  Schedule.of_list ~n (Schedule.to_list s)
+
+let embed_witness ~m ~extra ~i =
+  let n = embed_universe ~m ~extra in
+  if not (1 <= i && i <= m) then invalid_arg "Characterization.embed_witness: need 1 <= i <= m";
+  let p_i =
+    List.fold_left (fun acc p -> Procset.add p acc) Procset.empty (List.init i (fun p -> p))
+  in
+  let fictitious =
+    List.fold_left
+      (fun acc p -> Procset.add p acc)
+      Procset.empty
+      (List.init extra (fun idx -> m + idx))
+  in
+  ignore n;
+  (p_i, Procset.union p_i fictitious)
+
+let pp_grid ppf cells =
+  let n = List.fold_left (fun acc { j; _ } -> max acc j) 0 cells in
+  Fmt.pf ppf "     j:";
+  for j = 1 to n do
+    Fmt.pf ppf "%3d" j
+  done;
+  List.iter
+    (fun { i; j; predicted } ->
+      if j = i then Fmt.pf ppf "@\ni=%2d  %s" i (String.make (3 * (i - 1)) ' ');
+      Fmt.pf ppf "  %s" (if predicted then "\xe2\x96\xa0" else "\xc2\xb7"))
+    cells

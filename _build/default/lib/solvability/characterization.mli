@@ -1,0 +1,83 @@
+(** The paper's main result (Theorem 27) and its proof constructions.
+
+    For [1 <= k <= t <= n-1] and [1 <= i <= j <= n]:
+
+    {e (t,k,n)-agreement is solvable in [S^i_{j,n}] iff [i <= k] and
+    [j - i >= t + 1 - k].}
+
+    This module provides the predicate, the systems that "closely
+    match" each problem instance, the separation statement of the
+    introduction, and — executably — the two constructions the proof
+    uses: witness promotion (case 1(b)) and the fictitious-process
+    embedding (case 2(b)). *)
+
+val solvable : t:int -> k:int -> n:int -> i:int -> j:int -> bool
+(** The characterization. Also covers the trivial regime: for [t < k]
+    the problem is solvable in the asynchronous system and hence in
+    every [S^i_{j,n}] (Corollary 25), so the predicate is [true].
+    Raises [Invalid_argument] on parameters outside
+    [1 <= t <= n-1], [1 <= k <= n], [1 <= i <= j <= n]. *)
+
+val closely_matching : t:int -> k:int -> n:int -> Setsync_schedule.System.t
+(** [S^k_{t+1,n}]: synchronous enough to solve (t,k,n)-agreement
+    (Theorem 24) but not (t+1,k,n)- or (t,k-1,n)-agreement. Requires
+    [k <= t]. *)
+
+type separation = {
+  system : Setsync_schedule.System.t;  (** [S^k_{t+1,n}] *)
+  base_solvable : bool;  (** (t,k,n) in it — always true *)
+  stronger_resilience_solvable : bool option;
+      (** (t+1,k,n) in it — [Some false] when that problem exists *)
+  stronger_agreement_solvable : bool option;
+      (** (t,k-1,n) in it — [Some false] when that problem exists *)
+}
+
+val separation : t:int -> k:int -> n:int -> separation
+(** The introduction's headline: the first partially synchronous
+    system separating (t,k,n)-agreement from both incrementally
+    stronger problems. Requires [k <= t <= n - 2] or [k <= t = n - 1]
+    (the strengthened problems must be expressible; fields are [None]
+    when they are not). *)
+
+type grid_cell = { i : int; j : int; predicted : bool }
+
+val grid : t:int -> k:int -> n:int -> grid_cell list
+(** All cells [1 <= i <= j <= n] with the predicate — the E7/E8
+    experiment matrix and the paper's result as a table. *)
+
+val promote :
+  n:int ->
+  t:int ->
+  p_i:Setsync_schedule.Procset.t ->
+  p_j:Setsync_schedule.Procset.t ->
+  Setsync_schedule.Procset.t * Setsync_schedule.Procset.t
+(** Case 1(b) of the proof: given witness sets [P_i] (timely) and
+    [P_j] (observed) with [|P_j| = j < t + 1], pick [t + 1 - j]
+    processes outside [P_j] and return
+    [(P_l, P_{t+1}) = (P_i ∪ Q, P_j ∪ Q)]. By Observation 2, if [P_i]
+    is timely w.r.t. [P_j] with bound [b] then [P_l] is timely w.r.t.
+    [P_{t+1}] with the same bound, and [|P_{t+1}| = t + 1], so the
+    schedule lies in [S^l_{t+1,n}] with [l <= k] whenever
+    [j - i >= t + 1 - k]. Raises [Invalid_argument] if [j >= t + 1] or
+    there are not enough processes outside [P_j]. *)
+
+val embed_universe : m:int -> extra:int -> int
+(** [m + extra], the size of the padded system of case 2(b). *)
+
+val embed_schedule :
+  m:int -> extra:int -> Setsync_schedule.Schedule.t -> Setsync_schedule.Schedule.t
+(** Reinterpret a schedule over [Πm] as one over [Π(m+extra)] in which
+    the [extra] fictitious processes [m .. m+extra-1] are crashed from
+    the start (they never appear). *)
+
+val embed_witness :
+  m:int -> extra:int -> i:int -> Setsync_schedule.Procset.t * Setsync_schedule.Procset.t
+(** The witness pair [(P_i, P_i ∪ C)] of case 2(b): [P_i] is the first
+    [i] real processes and [C] the fictitious ones. In {e every}
+    embedded schedule, [P_i] is timely w.r.t. [P_i ∪ C] with bound 1,
+    so every embedded schedule lies in [S^i_{i+extra, m+extra}].
+    Requires [1 <= i <= m]. *)
+
+val pp_grid : grid_cell list Fmt.t
+(** Triangle rendering: rows [i], columns [j], [■] solvable /
+    [·] unsolvable. *)

@@ -1,0 +1,30 @@
+module System = Setsync_schedule.System
+
+let all_systems ~n =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j -> if j >= i then Some (System.make ~i ~j ~n) else None)
+        (List.init n (fun j -> j + 1)))
+    (List.init n (fun i -> i + 1))
+
+let contained = System.contained
+
+let is_top = System.is_asynchronous
+
+let solvable_in ~t ~k d =
+  let { System.i; j; n } = (d :> System.t) in
+  Characterization.solvable ~t ~k ~n ~i ~j
+
+let solvable_antitone ~t ~k ~n d d' =
+  ignore n;
+  (not (contained d d')) || (not (solvable_in ~t ~k d')) || solvable_in ~t ~k d
+
+let maximal_solvable ~t ~k ~n =
+  let candidates = List.filter (solvable_in ~t ~k) (all_systems ~n) in
+  List.filter
+    (fun d ->
+      List.for_all
+        (fun d' -> System.equal d d' || not (contained d d') || not (solvable_in ~t ~k d'))
+        candidates)
+    candidates

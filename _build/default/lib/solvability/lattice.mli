@@ -1,0 +1,37 @@
+(** The containment lattice of the systems [S^i_{j,n}] and
+    monotonicity of solvability over it (Observations 4–7).
+
+    Observation 4 orders the family: weakening the timeliness
+    assumption (smaller [i'], larger [j']) admits more schedules.
+    Observations 6–7 say solvability is antitone in that order: a
+    problem solvable in a larger (more adversarial) system is solvable
+    in every contained system. Theorem 27's formula respects this
+    structure; {!solvable_antitone} is the checkable statement. *)
+
+val all_systems : n:int -> Setsync_schedule.System.t list
+(** Every descriptor [1 <= i <= j <= n], canonical (i, j) order. *)
+
+val contained : Setsync_schedule.System.t -> Setsync_schedule.System.t -> bool
+(** Observation 4's order (delegates to {!Setsync_schedule.System.contained}). *)
+
+val is_top : Setsync_schedule.System.t -> bool
+(** Top elements of the order = the asynchronous system ([i = j],
+    Observation 5): they contain every system with comparable
+    parameters. *)
+
+val solvable_antitone :
+  t:int -> k:int -> n:int -> Setsync_schedule.System.t -> Setsync_schedule.System.t -> bool
+(** Observation 7 instantiated on the Theorem 27 formula: if
+    [contained d d'] (so [d] admits fewer schedules) and (t,k,n) is
+    solvable in the larger [d'], it must be solvable in [d]. Returns
+    [true] iff that implication holds for this pair — property tests
+    quantify it over random pairs. *)
+
+val maximal_solvable :
+  t:int -> k:int -> n:int -> Setsync_schedule.System.t list
+(** Systems in which (t,k,n)-agreement is solvable and that are
+    maximal for the containment order among such systems: the
+    "weakest synchrony" frontier. For [k <= t] this is the diagonal
+    antichain [{S^i_{i + t + 1 - k, n} | 1 <= i <= k}] (clipped to
+    [j <= n]); the paper's closely matching system [S^k_{t+1,n}] is
+    its [i = k] member. *)

@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Array Fun Generators Int List Printf Procset Rng Setsync Setsync_agreement Setsync_memory Setsync_runtime Setsync_schedule

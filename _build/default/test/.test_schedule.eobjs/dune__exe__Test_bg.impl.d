@@ -1,0 +1,1 @@
+test/test_bg.ml: Alcotest Array Fmt Fun Generators Int List Printf Procset Rng Setsync_bg Setsync_memory Setsync_runtime Setsync_schedule

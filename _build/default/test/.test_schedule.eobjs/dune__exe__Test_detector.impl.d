@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Array Fun Generators Int List Printf Procset QCheck2 QCheck_alcotest Rng Setsync_detector Setsync_memory Setsync_runtime Setsync_schedule Source String

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Fmt List Setsync_memory

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Fmt Generators List Procset Schedule Setsync_memory Setsync_runtime Setsync_schedule Source String

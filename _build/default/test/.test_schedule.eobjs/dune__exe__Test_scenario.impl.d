@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Anti_omega Characterization Fd_harness List Printf Procset Run Scenario Setsync Setsync_agreement

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Analysis Array Generators List Printf Procset QCheck2 QCheck_alcotest Rng Schedule Setsync_schedule Source System Timeliness

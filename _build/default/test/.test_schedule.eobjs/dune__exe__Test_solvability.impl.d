@@ -1,0 +1,1 @@
+test/test_solvability.ml: Alcotest Array Generators List Printf Procset QCheck2 QCheck_alcotest Rng Schedule Setsync_agreement Setsync_schedule Setsync_solvability System Timeliness

@@ -1,0 +1,278 @@
+(* Tests for the BG simulation substrate: safe agreement (safety under
+   random schedules and unsafe-zone crashes), the IIS protocol
+   interface, and the simulation's Theorem 26 properties (i) and
+   (ii). *)
+
+open Setsync_schedule
+module Safe_agreement = Setsync_bg.Safe_agreement
+module Iis = Setsync_bg.Iis
+module Simulation = Setsync_bg.Simulation
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+module Executor = Setsync_runtime.Executor
+module Run = Setsync_runtime.Run
+
+(* ------------------------------------------------------------------ *)
+(* Safe agreement *)
+
+let test_sa_single_party () =
+  let store = Store.create () in
+  let sa = Safe_agreement.create store ~m:3 ~name:"sa" ~pp:Fmt.int in
+  let result = ref `Empty in
+  let body p () =
+    if p = 0 then begin
+      Safe_agreement.propose sa ~party:0 42;
+      result := Safe_agreement.try_read sa
+    end
+    else while true do Shm.pause () done
+  in
+  let source ~live = Generators.round_robin ~live ~n:3 () in
+  ignore (Executor.run ~n:3 ~source ~max_steps:200 body);
+  match !result with
+  | `Agreed 42 -> ()
+  | `Agreed v -> Alcotest.failf "wrong value %d" v
+  | `Blocked -> Alcotest.fail "blocked"
+  | `Empty -> Alcotest.fail "empty"
+
+let test_sa_empty_before_propose () =
+  let store = Store.create () in
+  let sa = Safe_agreement.create store ~m:2 ~name:"sa" ~pp:Fmt.int in
+  let result = ref `Blocked in
+  let body p () = if p = 0 then result := Safe_agreement.try_read sa in
+  let source ~live = Generators.round_robin ~live ~n:2 () in
+  ignore (Executor.run ~n:2 ~source ~max_steps:100 body);
+  Alcotest.(check bool) "empty" true (!result = `Empty)
+
+let test_sa_agreement_random () =
+  (* all parties propose under random schedules; every returned value
+     is identical and is someone's proposal *)
+  for seed = 1 to 40 do
+    let m = 2 + (seed mod 3) in
+    let store = Store.create () in
+    let sa = Safe_agreement.create store ~m ~name:"sa" ~pp:Fmt.int in
+    let results = Array.make m None in
+    let body p () =
+      Safe_agreement.propose sa ~party:p (500 + p);
+      let rec read () =
+        match Safe_agreement.try_read sa with
+        | `Agreed v -> results.(p) <- Some v
+        | `Blocked | `Empty -> read ()
+      in
+      read ()
+    in
+    let rng = Rng.create ~seed:(seed * 7) in
+    let source ~live = Generators.random_fair ~live ~n:m ~rng () in
+    ignore (Executor.run ~n:m ~source ~max_steps:200_000 body);
+    let values =
+      Array.to_list results |> List.filter_map Fun.id |> List.sort_uniq Int.compare
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d: one value" seed) 1 (List.length values);
+    List.iter
+      (fun v -> Alcotest.(check bool) "is a proposal" true (v >= 500 && v < 500 + m))
+      values
+  done
+
+let test_sa_blocked_by_unsafe_crash () =
+  (* party 0 crashes inside its unsafe zone (after the level-1 write,
+     before committing): readers stay blocked forever *)
+  let store = Store.create () in
+  let sa = Safe_agreement.create store ~m:2 ~name:"sa" ~pp:Fmt.int in
+  let last = ref `Empty in
+  let body p () =
+    if p = 0 then Safe_agreement.propose sa ~party:0 7
+    else
+      while true do
+        last := Safe_agreement.try_read sa
+      done
+  in
+  let source ~live = Generators.round_robin ~live ~n:2 () in
+  (* crash after 2 steps: the read + the level-1 write *)
+  ignore (Executor.run ~n:2 ~source ~max_steps:10_000 ~fault:[ (0, 2) ] body);
+  Alcotest.(check bool) "reader blocked" true (!last = `Blocked);
+  Alcotest.(check (list int)) "party 0 visibly unsafe" [ 0 ]
+    (Safe_agreement.peek_unsafe_parties sa)
+
+let test_sa_late_proposer_backs_off () =
+  (* a proposer arriving after a commit must not change the decision *)
+  let store = Store.create () in
+  let sa = Safe_agreement.create store ~m:2 ~name:"sa" ~pp:Fmt.int in
+  let first = ref None and second = ref None in
+  let body p () =
+    if p = 0 then begin
+      Safe_agreement.propose sa ~party:0 111;
+      match Safe_agreement.try_read sa with
+      | `Agreed v -> first := Some v
+      | _ -> ()
+    end
+    else begin
+      (* wait until party 0 has decided, then propose *)
+      while !first = None do Shm.pause () done;
+      Safe_agreement.propose sa ~party:1 222;
+      match Safe_agreement.try_read sa with
+      | `Agreed v -> second := Some v
+      | _ -> ()
+    end
+  in
+  let source ~live = Generators.round_robin ~live ~n:2 () in
+  ignore (Executor.run ~n:2 ~source ~max_steps:10_000 body);
+  Alcotest.(check (option int)) "first decided own" (Some 111) !first;
+  Alcotest.(check (option int)) "late proposer adopts" (Some 111) !second;
+  Alcotest.(check (option int)) "peek agrees" (Some 111) (Safe_agreement.peek_decided sa)
+
+let test_sa_propose_once () =
+  let store = Store.create () in
+  let sa = Safe_agreement.create store ~m:2 ~name:"sa" ~pp:Fmt.int in
+  let body p () =
+    if p = 0 then begin
+      Safe_agreement.propose sa ~party:0 1;
+      Safe_agreement.propose sa ~party:0 2
+    end
+  in
+  let source ~live = Generators.round_robin ~live ~n:2 () in
+  Alcotest.check_raises "second propose rejected"
+    (Invalid_argument "Safe_agreement.propose: a party proposes at most once") (fun () ->
+      ignore (Executor.run ~n:2 ~source ~max_steps:1_000 body))
+
+(* ------------------------------------------------------------------ *)
+(* IIS protocols *)
+
+let test_iis_reference_max () =
+  let inputs = [| 3; 9; 1; 7 |] in
+  let protocol = Iis.max_spread ~threads:4 ~rounds:3 ~inputs in
+  Alcotest.(check (array int)) "all reach max" [| 9; 9; 9; 9 |]
+    (Iis.run_sequentially protocol)
+
+let test_iis_reference_min () =
+  let inputs = [| 3; 9; 1; 7 |] in
+  let protocol = Iis.flood_min ~threads:4 ~rounds:2 ~inputs in
+  Alcotest.(check (array int)) "all reach min" [| 1; 1; 1; 1 |]
+    (Iis.run_sequentially protocol)
+
+let test_iis_validation () =
+  Alcotest.check_raises "zero rounds" (Invalid_argument "Iis.validate: need at least one round")
+    (fun () ->
+      Iis.validate
+        { Iis.threads = 2; rounds = 0; init = Fun.id; step = (fun ~thread:_ ~round:_ _ -> 0) })
+
+(* ------------------------------------------------------------------ *)
+(* BG simulation *)
+
+let simulate ~threads ~rounds ~sims ~seed ~fault =
+  let inputs = Array.init threads (fun i -> 10 * (i + 1)) in
+  let protocol = Iis.max_spread ~threads ~rounds ~inputs in
+  let rng = Rng.create ~seed in
+  let source ~live = Generators.random_fair ~live ~n:sims ~rng () in
+  Simulation.simulate ~protocol ~simulators:sims ~source ~max_steps:3_000_000 ~fault ()
+
+let test_simulation_fault_free () =
+  let r = simulate ~threads:5 ~rounds:4 ~sims:3 ~seed:31 ~fault:[] in
+  Alcotest.(check bool) "consistent" true (Simulation.consistent r);
+  Alcotest.(check bool) "crash bound" true (Simulation.check_crash_bound r);
+  (* fault-free: every simulator finishes every thread with the
+     synchronous reference output (max of all inputs = 50) *)
+  Array.iteri
+    (fun sim outs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sim %d finished all" sim)
+        true
+        (Procset.is_empty (Simulation.unfinished r ~sim));
+      Array.iter
+        (fun o -> Alcotest.(check (option int)) "output" (Some 50) o)
+        outs)
+    r.Simulation.outputs
+
+let test_simulation_one_crash () =
+  let r = simulate ~threads:5 ~rounds:4 ~sims:3 ~seed:32 ~fault:[ (1, 137) ] in
+  Alcotest.(check bool) "consistent" true (Simulation.consistent r);
+  Alcotest.(check bool) "crash bound (i)" true (Simulation.check_crash_bound r);
+  (* live simulators block at most one thread *)
+  Array.iteri
+    (fun sim _ ->
+      if not (Procset.mem sim r.Simulation.crashed_sims) then
+        Alcotest.(check bool) "at most 1 blocked" true
+          (Procset.cardinal (Simulation.unfinished r ~sim) <= 1))
+    r.Simulation.outputs
+
+let test_simulation_two_crashes () =
+  let r = simulate ~threads:6 ~rounds:5 ~sims:3 ~seed:33 ~fault:[ (0, 211); (2, 389) ] in
+  Alcotest.(check bool) "consistent" true (Simulation.consistent r);
+  Alcotest.(check bool) "crash bound (i)" true (Simulation.check_crash_bound r)
+
+let test_simulation_timeliness_property () =
+  (* property (ii): in each live simulator's simulated schedule, every
+     (crashes+1)-sized thread set is timely w.r.t. all threads with a
+     small bound *)
+  let r = simulate ~threads:5 ~rounds:6 ~sims:3 ~seed:34 ~fault:[ (1, 300) ] in
+  let crashes = Procset.cardinal r.Simulation.crashed_sims in
+  Array.iteri
+    (fun sim _ ->
+      if not (Procset.mem sim r.Simulation.crashed_sims) then begin
+        let bound = Simulation.simulated_timeliness_bound r ~sim ~set_size:(crashes + 1) in
+        Alcotest.(check bool)
+          (Printf.sprintf "sim %d small bound (%d)" sim bound)
+          true
+          (bound <= 2 * 5)
+      end)
+    r.Simulation.outputs
+
+let test_simulation_crash_in_unsafe_zone_blocks_one_thread () =
+  (* a simulator crash can permanently block at most one thread per
+     crash; with 2 crashes of 3 simulators, the survivor still finishes
+     >= threads - 2 *)
+  let r = simulate ~threads:6 ~rounds:4 ~sims:3 ~seed:35 ~fault:[ (0, 97); (1, 211) ] in
+  Array.iteri
+    (fun sim _ ->
+      if not (Procset.mem sim r.Simulation.crashed_sims) then
+        Alcotest.(check bool) "survivor progress" true
+          (Procset.cardinal (Simulation.unfinished r ~sim) <= 2))
+    r.Simulation.outputs
+
+let test_simulation_outputs_are_inputs () =
+  (* validity of the demo protocol: outputs are inputs *)
+  let r = simulate ~threads:4 ~rounds:3 ~sims:2 ~seed:36 ~fault:[] in
+  Array.iter
+    (fun outs ->
+      Array.iter
+        (function
+          | Some v -> Alcotest.(check bool) "an input" true (v mod 10 = 0 && v >= 10 && v <= 40)
+          | None -> ())
+        outs)
+    r.Simulation.outputs
+
+let test_simulation_single_simulator () =
+  (* degenerate m=1: a sequential execution *)
+  let r = simulate ~threads:3 ~rounds:2 ~sims:1 ~seed:37 ~fault:[] in
+  Alcotest.(check bool) "finished" true (Procset.is_empty (Simulation.unfinished r ~sim:0));
+  Alcotest.(check int) "schedule covers rounds" (3 * 2)
+    (List.length r.Simulation.sim_schedules.(0))
+
+let () =
+  Alcotest.run "setsync_bg"
+    [
+      ( "safe_agreement",
+        [
+          Alcotest.test_case "single party" `Quick test_sa_single_party;
+          Alcotest.test_case "empty before propose" `Quick test_sa_empty_before_propose;
+          Alcotest.test_case "agreement under random schedules" `Quick test_sa_agreement_random;
+          Alcotest.test_case "unsafe-zone crash blocks" `Quick test_sa_blocked_by_unsafe_crash;
+          Alcotest.test_case "late proposer backs off" `Quick test_sa_late_proposer_backs_off;
+          Alcotest.test_case "propose once" `Quick test_sa_propose_once;
+        ] );
+      ( "iis",
+        [
+          Alcotest.test_case "reference max" `Quick test_iis_reference_max;
+          Alcotest.test_case "reference min" `Quick test_iis_reference_min;
+          Alcotest.test_case "validation" `Quick test_iis_validation;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "fault-free" `Quick test_simulation_fault_free;
+          Alcotest.test_case "one crash" `Quick test_simulation_one_crash;
+          Alcotest.test_case "two crashes" `Quick test_simulation_two_crashes;
+          Alcotest.test_case "timeliness property (ii)" `Quick test_simulation_timeliness_property;
+          Alcotest.test_case "unsafe-zone blocking (i)" `Quick
+            test_simulation_crash_in_unsafe_zone_blocks_one_thread;
+          Alcotest.test_case "outputs are inputs" `Quick test_simulation_outputs_are_inputs;
+          Alcotest.test_case "single simulator" `Quick test_simulation_single_simulator;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Tests for the shared-memory substrate: registers, stores, traces. *)
+
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Trace = Setsync_memory.Trace
+
+let test_register_read_write () =
+  let r = Register.make ~name:"r" ~id:0 5 in
+  Alcotest.(check int) "initial" 5 (Register.read r);
+  Register.write r 9;
+  Alcotest.(check int) "after write" 9 (Register.read r);
+  Alcotest.(check int) "reads counted" 2 (Register.reads r);
+  Alcotest.(check int) "writes counted" 1 (Register.writes r)
+
+let test_register_peek_poke_uncounted () =
+  let r = Register.make ~name:"r" ~id:0 1 in
+  Register.poke r 7;
+  Alcotest.(check int) "poked" 7 (Register.peek r);
+  Alcotest.(check int) "no reads" 0 (Register.reads r);
+  Alcotest.(check int) "no writes" 0 (Register.writes r)
+
+let test_register_polymorphic () =
+  let r = Register.make ~name:"opt" ~id:1 (None : (int * string) option) in
+  Register.write r (Some (3, "x"));
+  Alcotest.(check bool) "holds structured value" true (Register.read r = Some (3, "x"))
+
+let test_store_allocation () =
+  let store = Store.create () in
+  let a = Store.register store ~name:"a" 0 in
+  let b = Store.register store ~name:"b" 0 in
+  Alcotest.(check int) "ids distinct" 1 (Register.id b - Register.id a);
+  Alcotest.(check int) "count" 2 (Store.register_count store);
+  ignore (Register.read a);
+  Register.write b 1;
+  Alcotest.(check int) "total reads" 1 (Store.total_reads store);
+  Alcotest.(check int) "total writes" 1 (Store.total_writes store)
+
+let test_store_array_matrix () =
+  let store = Store.create () in
+  let arr = Store.array store ~name:"v" 4 (fun i -> i * 10) in
+  Alcotest.(check int) "array size" 4 (Array.length arr);
+  Alcotest.(check int) "init by index" 30 (Register.peek arr.(3));
+  Alcotest.(check string) "named" "v[2]" (Register.name arr.(2));
+  let m = Store.matrix store ~name:"m" ~rows:2 ~cols:3 (fun r c -> (r * 10) + c) in
+  Alcotest.(check int) "matrix value" 12 (Register.peek m.(1).(2));
+  Alcotest.(check string) "matrix name" "m[1][2]" (Register.name m.(1).(2));
+  Alcotest.(check int) "register count" 10 (Store.register_count store)
+
+let test_trace_records () =
+  let trace = Trace.create ~capacity:16 in
+  let store = Store.create ~trace () in
+  let r = Store.register store ~pp:Fmt.int ~name:"r" 0 in
+  Register.write r 42;
+  ignore (Register.read r);
+  let entries = Trace.entries trace in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  (match entries with
+  | [ w; rd ] ->
+      Alcotest.(check string) "write value printed" "42" w.Trace.value;
+      Alcotest.(check bool) "kinds" true (w.Trace.kind = Trace.Write && rd.Trace.kind = Trace.Read)
+  | _ -> Alcotest.fail "expected two entries");
+  Alcotest.(check int) "recorded total" 2 (Trace.recorded trace)
+
+let test_trace_ring_capacity () =
+  let trace = Trace.create ~capacity:4 in
+  for i = 1 to 10 do
+    Trace.record trace ~register:"r" ~kind:Trace.Write ~value:(string_of_int i)
+  done;
+  let entries = Trace.entries trace in
+  Alcotest.(check int) "capped" 4 (List.length entries);
+  Alcotest.(check (list string)) "keeps most recent, oldest first" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.value) entries);
+  Alcotest.(check int) "recorded total uncapped" 10 (Trace.recorded trace);
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.entries trace))
+
+let test_trace_disabled_by_default () =
+  let store = Store.create () in
+  Alcotest.(check bool) "no trace" true (Store.trace store = None)
+
+let test_trace_invalid_capacity () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Trace.create: capacity must be positive")
+    (fun () -> ignore (Trace.create ~capacity:0))
+
+let test_trace_unprintable_value () =
+  let trace = Trace.create ~capacity:4 in
+  let store = Store.create ~trace () in
+  let r = Store.register store ~name:"r" 0 in
+  (* no pp provided *)
+  Register.write r 3;
+  match Trace.entries trace with
+  | [ e ] -> Alcotest.(check string) "placeholder" "<value>" e.Trace.value
+  | _ -> Alcotest.fail "expected one entry"
+
+let () =
+  Alcotest.run "setsync_memory"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "read/write" `Quick test_register_read_write;
+          Alcotest.test_case "peek/poke uncounted" `Quick test_register_peek_poke_uncounted;
+          Alcotest.test_case "polymorphic values" `Quick test_register_polymorphic;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "allocation" `Quick test_store_allocation;
+          Alcotest.test_case "array/matrix" `Quick test_store_array_matrix;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records operations" `Quick test_trace_records;
+          Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
+          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "invalid capacity" `Quick test_trace_invalid_capacity;
+          Alcotest.test_case "value without printer" `Quick test_trace_unprintable_value;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* Tests for the characterization layer: Theorem 27's predicate, the
+   separation statement, the promotion and embedding constructions, and
+   the containment lattice with Observations 4-7 as properties. *)
+
+open Setsync_schedule
+module Characterization = Setsync_solvability.Characterization
+module Lattice = Setsync_solvability.Lattice
+
+let system = Alcotest.testable System.pp System.equal
+
+(* ------------------------------------------------------------------ *)
+(* The predicate *)
+
+let test_formula_examples () =
+  (* the paper's statement: solvable iff i <= k and j - i >= t+1-k *)
+  Alcotest.(check bool) "(2,2,5) in S^2_3" true (Characterization.solvable ~t:2 ~k:2 ~n:5 ~i:2 ~j:3);
+  Alcotest.(check bool) "(2,2,5) in S^2_2" false (Characterization.solvable ~t:2 ~k:2 ~n:5 ~i:2 ~j:2);
+  Alcotest.(check bool) "(2,2,5) in S^3_4" false (Characterization.solvable ~t:2 ~k:2 ~n:5 ~i:3 ~j:4);
+  Alcotest.(check bool) "(2,2,5) in S^1_2" true (Characterization.solvable ~t:2 ~k:2 ~n:5 ~i:1 ~j:2);
+  (* consensus: needs j - i >= t *)
+  Alcotest.(check bool) "consensus tight" true (Characterization.solvable ~t:2 ~k:1 ~n:4 ~i:1 ~j:3);
+  Alcotest.(check bool) "consensus loose" false (Characterization.solvable ~t:2 ~k:1 ~n:4 ~i:1 ~j:2);
+  (* trivial regime t < k: always solvable *)
+  Alcotest.(check bool) "trivial regime" true (Characterization.solvable ~t:1 ~k:2 ~n:4 ~i:4 ~j:4)
+
+let test_formula_asynchronous_unsolvable () =
+  (* in the asynchronous system (i = j), nontrivial agreement is never
+     solvable: j - i = 0 < t+1-k whenever k <= t *)
+  for n = 2 to 6 do
+    for t = 1 to n - 1 do
+      for k = 1 to t do
+        for i = 1 to n do
+          Alcotest.(check bool)
+            (Printf.sprintf "(%d,%d,%d) in S^%d_%d" t k n i i)
+            false
+            (Characterization.solvable ~t ~k ~n ~i ~j:i)
+        done
+      done
+    done
+  done
+
+let test_closely_matching () =
+  let d = Characterization.closely_matching ~t:3 ~k:2 ~n:6 in
+  Alcotest.check system "S^k_{t+1,n}" (System.make ~i:2 ~j:4 ~n:6) d;
+  Alcotest.check_raises "needs k <= t"
+    (Invalid_argument "Characterization.closely_matching: requires k <= t") (fun () ->
+      ignore (Characterization.closely_matching ~t:1 ~k:2 ~n:4))
+
+(* the introduction's headline separation *)
+let test_separation () =
+  for n = 4 to 7 do
+    for t = 2 to n - 2 do
+      for k = 2 to t do
+        let s = Characterization.separation ~t ~k ~n in
+        Alcotest.(check bool) "base solvable" true s.Characterization.base_solvable;
+        Alcotest.(check (option bool)) "(t+1,k,n) unsolvable" (Some false)
+          s.Characterization.stronger_resilience_solvable;
+        Alcotest.(check (option bool)) "(t,k-1,n) unsolvable" (Some false)
+          s.Characterization.stronger_agreement_solvable
+      done
+    done
+  done
+
+let test_grid_counts () =
+  let cells = Characterization.grid ~t:2 ~k:2 ~n:5 in
+  Alcotest.(check int) "triangle size" 15 (List.length cells);
+  let solvable = List.filter (fun c -> c.Characterization.predicted) cells in
+  (* i <= 2 and j >= i+1: i=1 -> j in 2..5 (4), i=2 -> j in 3..5 (3) *)
+  Alcotest.(check int) "solvable cells" 7 (List.length solvable)
+
+(* ------------------------------------------------------------------ *)
+(* Promotion (case 1(b)) *)
+
+let test_promote_example () =
+  let p_i = Procset.of_list [ 0; 1 ] and p_j = Procset.of_list [ 0; 2 ] in
+  let p_l, p_t1 = Characterization.promote ~n:6 ~t:3 ~p_i ~p_j in
+  Alcotest.(check int) "target size t+1" 4 (Procset.cardinal p_t1);
+  Alcotest.(check bool) "p_j inside" true (Procset.subset p_j p_t1);
+  Alcotest.(check bool) "p_i inside p_l" true (Procset.subset p_i p_l);
+  Alcotest.(check bool) "p_l inside p_t1 union p_i" true
+    (Procset.subset (Procset.diff p_l p_i) p_t1)
+
+let test_promote_preserves_timeliness () =
+  (* the construction's point: a witness for (P_i, P_j) at bound b is a
+     witness for (P_l, P_{t+1}) at the same bound, on any schedule *)
+  let rng = Rng.create ~seed:55 in
+  for _ = 1 to 50 do
+    let n = 5 + Rng.int rng 3 in
+    let t = 2 + Rng.int rng (n - 3) in
+    let s =
+      Schedule.of_list ~n (List.init 400 (fun _ -> Rng.int rng n))
+    in
+    let i = 1 + Rng.int rng 2 in
+    let j = min (i + Rng.int rng (t - i + 1)) (t) in
+    if j < t + 1 && j >= i then begin
+      let p_i = Procset.random_subset rng ~n ~size:i in
+      let p_j = Procset.random_subset rng ~n ~size:j in
+      let b = Timeliness.observed_bound ~p:p_i ~q:p_j s in
+      let p_l, p_t1 = Characterization.promote ~n ~t ~p_i ~p_j in
+      Alcotest.(check bool) "promoted witness holds" true
+        (Timeliness.holds ~bound:b ~p:p_l ~q:p_t1 s)
+    end
+  done
+
+let test_promote_validation () =
+  Alcotest.check_raises "j >= t+1"
+    (Invalid_argument "Characterization.promote: only applies when j < t + 1") (fun () ->
+      ignore
+        (Characterization.promote ~n:4 ~t:1
+           ~p_i:(Procset.singleton 0)
+           ~p_j:(Procset.of_list [ 0; 1 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Embedding (case 2(b)) *)
+
+let test_embed_schedule () =
+  let s = Schedule.of_list ~n:3 [ 0; 1; 2; 1 ] in
+  let e = Characterization.embed_schedule ~m:3 ~extra:2 s in
+  Alcotest.(check int) "universe" 5 (Schedule.n e);
+  Alcotest.(check int) "same steps" 4 (Schedule.length e);
+  Alcotest.(check int) "fictitious silent" 0 (Schedule.occurrences e 3);
+  Alcotest.(check int) "fictitious silent2" 0 (Schedule.occurrences e 4)
+
+let test_embed_witness_invariant () =
+  (* in EVERY embedded schedule, (P_i, P_i ∪ C) holds at bound 1 *)
+  let rng = Rng.create ~seed:56 in
+  for _ = 1 to 50 do
+    let m = 2 + Rng.int rng 4 in
+    let extra = 1 + Rng.int rng 3 in
+    let i = 1 + Rng.int rng m in
+    let s = Schedule.of_list ~n:m (List.init 200 (fun _ -> Rng.int rng m)) in
+    let e = Characterization.embed_schedule ~m ~extra s in
+    let p, q = Characterization.embed_witness ~m ~extra ~i in
+    Alcotest.(check int) "p size" i (Procset.cardinal p);
+    Alcotest.(check int) "q size" (i + extra) (Procset.cardinal q);
+    Alcotest.(check int) "bound 1" 1 (Timeliness.observed_bound ~p ~q e)
+  done
+
+let test_embed_universe_validation () =
+  Alcotest.(check int) "sizes add" 7 (Characterization.embed_universe ~m:4 ~extra:3);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Characterization.embed_universe: negative padding") (fun () ->
+      ignore (Characterization.embed_universe ~m:3 ~extra:(-1)))
+
+(* the embedding transfers executions: running the (t,k,n) solver with
+   fictitious crashed processes solves (t-extra, k, m) for the real
+   ones *)
+let test_embed_execution_transfer () =
+  let m = 4 and extra = 1 in
+  let n = m + extra in
+  let t = 2 and k = 2 in
+  (* fictitious processes crash at 0; a witness among real processes *)
+  let problem = Setsync_agreement.Problem.make ~t ~k ~n in
+  let inputs = Setsync_agreement.Problem.distinct_inputs problem in
+  let rng = Rng.create ~seed:57 in
+  let contract =
+    { Generators.p = Procset.of_list [ 0; 1 ]; q = Procset.of_list [ 0; 1; 2 ]; bound = 3 }
+  in
+  let source ~live = Generators.timely ~live ~n ~contract ~rng () in
+  let fault = [ (4, 0) ] (* the fictitious process *) in
+  let outcome =
+    Setsync_agreement.Ag_harness.solve ~problem ~inputs ~source ~max_steps:5_000_000 ~fault ()
+  in
+  Alcotest.(check bool) "solved" true (Setsync_agreement.Ag_harness.ok outcome);
+  (* the real processes decide: a (t-extra, k, m)-agreement execution *)
+  for p = 0 to m - 1 do
+    Alcotest.(check bool) "real process decided" true
+      (outcome.Setsync_agreement.Ag_harness.decisions.(p) <> None)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lattice *)
+
+let test_all_systems () =
+  Alcotest.(check int) "count for n=4" 10 (List.length (Lattice.all_systems ~n:4));
+  Alcotest.(check int) "count for n=6" 21 (List.length (Lattice.all_systems ~n:6))
+
+let test_maximal_solvable_antichain () =
+  (* the frontier is the diagonal {S^i_{i + t+1-k, n}}_{i<=k}, clipped *)
+  let frontier = Lattice.maximal_solvable ~t:3 ~k:2 ~n:6 in
+  Alcotest.(check (list system)) "diagonal"
+    [ System.make ~i:1 ~j:3 ~n:6; System.make ~i:2 ~j:4 ~n:6 ]
+    frontier;
+  (* the paper's closely matching system is the i = k member *)
+  Alcotest.(check bool) "contains S^k_{t+1,n}" true
+    (List.exists (System.equal (Characterization.closely_matching ~t:3 ~k:2 ~n:6)) frontier)
+
+let test_is_top () =
+  Alcotest.(check bool) "async is top" true (Lattice.is_top (System.asynchronous ~n:4));
+  Alcotest.(check bool) "diag is top" true (Lattice.is_top (System.make ~i:2 ~j:2 ~n:4));
+  Alcotest.(check bool) "others are not" false (Lattice.is_top (System.make ~i:1 ~j:2 ~n:4))
+
+let prop_observation7 =
+  (* solvability is antitone w.r.t. containment *)
+  QCheck2.Test.make ~name:"Observation 7: solvability antitone in containment" ~count:500
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 60) in
+      let n = 3 + Rng.int rng 5 in
+      let t = 1 + Rng.int rng (n - 1) in
+      let k = 1 + Rng.int rng (n - 1) in
+      let pick () =
+        let i = 1 + Rng.int rng n in
+        let j = i + Rng.int rng (n - i + 1) in
+        System.make ~i ~j ~n
+      in
+      Lattice.solvable_antitone ~t ~k ~n (pick ()) (pick ()))
+
+let prop_containment_preorder =
+  QCheck2.Test.make ~name:"containment is reflexive and transitive" ~count:300
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 61) in
+      let n = 3 + Rng.int rng 4 in
+      let pick () =
+        let i = 1 + Rng.int rng n in
+        let j = i + Rng.int rng (n - i + 1) in
+        System.make ~i ~j ~n
+      in
+      let a = pick () and b = pick () and c = pick () in
+      Lattice.contained a a
+      && ((not (Lattice.contained a b && Lattice.contained b c)) || Lattice.contained a c))
+
+let prop_frontier_is_solvable_and_maximal =
+  QCheck2.Test.make ~name:"maximal_solvable members are solvable and pairwise incomparable"
+    ~count:100
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed:(seed + 62) in
+      let n = 4 + Rng.int rng 4 in
+      let t = 1 + Rng.int rng (n - 1) in
+      let k = 1 + Rng.int rng t in
+      let frontier = Lattice.maximal_solvable ~t ~k ~n in
+      List.for_all
+        (fun d ->
+          let { System.i; j; _ } = (d :> System.t) in
+          Characterization.solvable ~t ~k ~n ~i ~j
+          && List.for_all
+               (fun d' -> System.equal d d' || not (Lattice.contained d d'))
+               frontier)
+        frontier)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_observation7; prop_containment_preorder; prop_frontier_is_solvable_and_maximal ]
+
+let () =
+  Alcotest.run "setsync_solvability"
+    [
+      ( "formula",
+        [
+          Alcotest.test_case "examples" `Quick test_formula_examples;
+          Alcotest.test_case "asynchronous unsolvable" `Quick test_formula_asynchronous_unsolvable;
+          Alcotest.test_case "closely matching" `Quick test_closely_matching;
+          Alcotest.test_case "separation" `Quick test_separation;
+          Alcotest.test_case "grid" `Quick test_grid_counts;
+        ] );
+      ( "promotion",
+        [
+          Alcotest.test_case "example" `Quick test_promote_example;
+          Alcotest.test_case "preserves timeliness" `Quick test_promote_preserves_timeliness;
+          Alcotest.test_case "validation" `Quick test_promote_validation;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "schedule" `Quick test_embed_schedule;
+          Alcotest.test_case "witness invariant" `Quick test_embed_witness_invariant;
+          Alcotest.test_case "universe validation" `Quick test_embed_universe_validation;
+          Alcotest.test_case "execution transfer" `Slow test_embed_execution_transfer;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "all systems" `Quick test_all_systems;
+          Alcotest.test_case "maximal solvable" `Quick test_maximal_solvable_antichain;
+          Alcotest.test_case "tops" `Quick test_is_top;
+        ] );
+      ("properties", qsuite);
+    ]
