@@ -1,0 +1,32 @@
+# Convenience wrappers around dune. `make check` is the tier-1 gate.
+
+DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
+
+.PHONY: all build check test fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+check: ## build everything and run the full test suite
+	dune build
+	dune runtest
+
+test: check
+
+fmt: ## format the build files; OCaml sources too when ocamlformat exists
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not on PATH: formatting dune files only"; \
+	  for f in $(DUNE_FILES); do \
+	    dune format-dune-file $$f > $$f.fmt && mv $$f.fmt $$f; \
+	  done; \
+	fi
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

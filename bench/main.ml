@@ -1,5 +1,5 @@
 (* The reproduction harness: regenerates every figure and result
-   statement of the paper (sections E1-E10, see DESIGN.md §5 and
+   statement of the paper (sections E1-E11, see DESIGN.md §5 and
    EXPERIMENTS.md), then runs Bechamel micro-benchmarks of the
    substrate (P1-P6).
 
@@ -291,6 +291,57 @@ let e10_separation () =
     [ (2, 2, 5) ]
 
 (* ------------------------------------------------------------------ *)
+(* E11: bounded model checking of small instances *)
+
+let e11_explore () =
+  section "E11. Bounded exploration: exhaustive small-instance checking (setsync_explore)";
+  subsection "a. k-set-agreement safety, every interleaving to depth 7 (t=1,k=1,n=3)";
+  let problem = Problem.make ~t:1 ~k:1 ~n:3 in
+  let inputs = Problem.distinct_inputs problem in
+  let kset_sut = Explore_systems.kset_agreement ~problem ~inputs () in
+  let decisions st = st.Explorer.obs.Explore_systems.decisions in
+  let kset_report =
+    Explorer.explore ~sut:kset_sut
+      ~properties:
+        [ Property.kset_agreement ~k:1 ~decisions; Property.validity ~inputs ~decisions ]
+      (Explorer.config ~prune_fingerprints:false ~depth:7 ())
+  in
+  Fmt.pr "%a@." Explorer.pp_report kset_report;
+  subsection "b. Theorem 23 stabilization at the horizon, every interleaving to depth 12 (t=1,k=1,n=2)";
+  let det_sut = Explore_systems.kanti_detector ~params:{ Kanti_omega.n = 2; t = 1; k = 1 } () in
+  let det_report =
+    Explorer.explore ~sut:det_sut
+      ~properties:
+        [
+          Property.anti_omega_stabilized ~k:1
+            ~outputs:(fun st -> st.Explorer.obs.Explore_systems.fd_outputs)
+            ~correct:(fun st -> Run.correct st.Explorer.run);
+        ]
+      (Explorer.config ~prune_fingerprints:false ~depth:12 ())
+  in
+  Fmt.pr "%a@." Explorer.pp_report det_report;
+  subsection "c. seeded-false: single-process timeliness on the Figure 1 family (n=3, bound 2)";
+  let sut = Explore_systems.pause_procs ~n:3 in
+  let property =
+    Property.set_timely ~p:(Procset.singleton 0) ~q:(Procset.singleton 2) ~bound:2
+      ~schedule:(fun st -> st.Explorer.prefix)
+  in
+  let report =
+    Explorer.explore ~sut ~properties:[ property ]
+      (Explorer.config ~strategy:Explorer.Bfs ~prune_fingerprints:false ~sleep_sets:false
+         ~depth:5 ())
+  in
+  Fmt.pr "%a@." Explorer.pp_report report;
+  (match List.assoc property.Property.name report.Explorer.verdicts with
+  | Explorer.Ok_bounded -> Fmt.pr "  UNEXPECTED: no counterexample found@."
+  | Explorer.Violated { schedule; _ } ->
+      let violates s = Explorer.check_schedule ~sut ~property s <> None in
+      let shrunk = Shrink.run ~violates schedule in
+      Fmt.pr "  shrunk counterexample (%d ddmin tests): %a   reproduced on replay: %b@."
+        shrunk.Shrink.tests Schedule.pp_full shrunk.Shrink.schedule
+        (Explorer.check_schedule ~sut ~property shrunk.Shrink.schedule <> None))
+
+(* ------------------------------------------------------------------ *)
 (* P*: performance profile (Bechamel) *)
 
 let bechamel_benchmarks () =
@@ -503,6 +554,7 @@ let () =
   e6_bg_simulation ();
   e7_e8_boundary ();
   e10_separation ();
+  e11_explore ();
   convergence_profile ();
   ablations ();
   bechamel_benchmarks ();

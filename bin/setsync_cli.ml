@@ -5,7 +5,8 @@
      fd        run the Figure 2 failure detector in S^k_{t+1,n}
      solve     solve (t,k,n)-agreement in a chosen S^i_{j,n}
      sweep     print and check the Theorem 27 grid for one (t,k,n)
-     analyze   timeliness analysis of a generated schedule *)
+     analyze   timeliness analysis of a generated schedule
+     explore   bounded model checking of a small instance *)
 
 open Cmdliner
 open Setsync
@@ -141,7 +142,155 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Timeliness analysis of a random schedule")
     Term.(const run $ n_arg $ seed_arg $ length $ bound_arg)
 
+(* ---------------------------------------------------------- explore *)
+
+type explore_check = Check_kset | Check_timeliness | Check_detector
+
+let explore_cmd =
+  let check_conv =
+    Arg.enum
+      [
+        ("kset", Check_kset); ("timeliness", Check_timeliness); ("detector", Check_detector);
+      ]
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt check_conv Check_kset
+      & info [ "check" ] ~docv:"CHECK"
+          ~doc:
+            "What to model-check: $(b,kset) (k-set-agreement safety + validity), \
+             $(b,timeliness) (single-process timeliness, seeded false on the Figure 1 \
+             family: finds and shrinks a counterexample), or $(b,detector) (Figure 2 \
+             stabilization at the horizon).")
+  in
+  let depth_arg =
+    Arg.(value & opt int 6 & info [ "depth" ] ~docv:"D" ~doc:"Exploration depth bound.")
+  in
+  let bfs_arg =
+    Arg.(value & flag & info [ "bfs" ] ~doc:"Breadth-first frontier (default: depth-first).")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N" ~doc:"Budget: states visited.")
+  in
+  let max_replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-replay-steps" ] ~docv:"N" ~doc:"Budget: total steps across replays.")
+  in
+  let fingerprints_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "fingerprints" ]
+          ~doc:
+            "Enable fingerprint memoization for $(b,kset)/$(b,detector) (approximate: \
+             process-local state is not fingerprinted; the default for those checks is \
+             sleep-set reduction only, which is exact).")
+  in
+  let run check n t k depth bound seed bfs max_states max_replay_steps fingerprints =
+    let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
+    let limits = Budget.limits ?max_states ?max_replay_steps () in
+    let finish report ok =
+      Fmt.pr "%a@." Explorer.pp_report report;
+      exit (if ok report then 0 else 1)
+    in
+    match check with
+    | Check_kset ->
+        let problem = Problem.make ~t ~k ~n in
+        let inputs =
+          if seed = 1 then Problem.distinct_inputs problem
+          else Problem.random_inputs problem ~rng:(Rng.create ~seed) ~spread:(2 * n)
+        in
+        let sut = Explore_systems.kset_agreement ~problem ~inputs () in
+        let properties =
+          [
+            Property.kset_agreement ~k ~decisions:(fun st ->
+                st.Explorer.obs.Explore_systems.decisions);
+            Property.validity ~inputs ~decisions:(fun st ->
+                st.Explorer.obs.Explore_systems.decisions);
+          ]
+        in
+        let config =
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~limits ~depth ()
+        in
+        Fmt.pr "exploring %a, inputs %a, depth %d@." Problem.pp problem
+          Fmt.(array ~sep:sp int)
+          inputs depth;
+        let report = Explorer.explore ~sut ~properties config in
+        finish report (fun r ->
+            List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
+    | Check_detector ->
+        let params = { Kanti_omega.n; t; k } in
+        let sut = Explore_systems.kanti_detector ~params () in
+        let properties =
+          [
+            Property.anti_omega_stabilized ~k
+              ~outputs:(fun st -> st.Explorer.obs.Explore_systems.fd_outputs)
+              ~correct:(fun st -> Run.correct st.Explorer.run);
+          ]
+        in
+        let config =
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~limits ~depth ()
+        in
+        Fmt.pr "exploring Figure 2 detector (n=%d, t=%d, k=%d), depth %d@." n t k depth;
+        let report = Explorer.explore ~sut ~properties config in
+        finish report (fun r ->
+            List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
+    | Check_timeliness ->
+        (* Single-process timeliness of {p1} wrt {pn} — false on the
+           Figure 1 family, so exploration must find a counterexample;
+           schedule-sensitive, so both reductions are off. *)
+        let p = Procset.singleton 0 and q = Procset.singleton (n - 1) in
+        let sut = Explore_systems.pause_procs ~n in
+        let property =
+          Property.set_timely ~p ~q ~bound ~schedule:(fun st -> st.Explorer.prefix)
+        in
+        let config =
+          Explorer.config ~strategy:Explorer.Bfs ~prune_fingerprints:false
+            ~sleep_sets:false ~limits ~depth ()
+        in
+        Fmt.pr
+          "exploring schedules over %d processes, depth %d: is {p1} timely wrt {p%d} at \
+           bound %d?@."
+          n depth n bound;
+        let report = Explorer.explore ~sut ~properties:[ property ] config in
+        Fmt.pr "%a@." Explorer.pp_report report;
+        (match List.assoc property.Property.name report.Explorer.verdicts with
+        | Explorer.Ok_bounded ->
+            Fmt.pr "no counterexample within depth %d (raise --depth)@." depth;
+            exit 1
+        | Explorer.Violated { schedule; reason } ->
+            Fmt.pr "@.counterexample (%d steps): %a@.  %s@." (Schedule.length schedule)
+              Schedule.pp_full schedule reason;
+            let violates s =
+              Explorer.check_schedule ~sut ~property s <> None
+            in
+            let shrunk = Shrink.run ~violates schedule in
+            Fmt.pr "shrunk to %d steps in %d ddmin tests: %a@."
+              (Schedule.length shrunk.Shrink.schedule)
+              shrunk.Shrink.tests Schedule.pp_full shrunk.Shrink.schedule;
+            let reproduced =
+              Explorer.check_schedule ~sut ~property shrunk.Shrink.schedule
+            in
+            (match reproduced with
+            | Some why -> Fmt.pr "replayed shrunk schedule: violation reproduced (%s)@." why
+            | None -> Fmt.pr "replayed shrunk schedule: VIOLATION LOST@.");
+            exit (match reproduced with Some _ -> 0 | None -> 1))
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Bounded model checking of a small instance")
+    Term.(
+      const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
+      $ bfs_arg $ max_states_arg $ max_replay_arg $ fingerprints_arg)
+
 let () =
   let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in
   let info = Cmd.info "setsync" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ figure1_cmd; fd_cmd; solve_cmd; sweep_cmd; analyze_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ figure1_cmd; fd_cmd; solve_cmd; sweep_cmd; analyze_cmd; explore_cmd ]))

@@ -3,7 +3,14 @@
     {!Setsync} re-exports every public module of the library family so
     applications can [open] or alias a single entry point. Substrate
     layers remain directly usable under their own names
-    ([Setsync_schedule], [Setsync_runtime], …). *)
+    ([Setsync_schedule], [Setsync_runtime], …).
+
+    Every export is a module {e alias}, so this interface adds no
+    indirection: each alias keeps the strengthened (fully transparent)
+    signature of the module it names, and the compiled artifact stays
+    a table of references. The interface exists to make the umbrella's
+    surface explicit — a module not listed here is not part of the
+    library's public API. *)
 
 (* schedules and set timeliness (the model, §2) *)
 module Rng = Setsync_schedule.Rng

@@ -1,0 +1,92 @@
+type limits = {
+  max_states : int option;
+  max_replay_steps : int option;
+  max_seconds : float option;
+}
+
+let unlimited = { max_states = None; max_replay_steps = None; max_seconds = None }
+
+let limits ?max_states ?max_replay_steps ?max_seconds () =
+  { max_states; max_replay_steps; max_seconds }
+
+type t = {
+  lim : limits;
+  started : float;
+  mutable visited : int;
+  mutable pruned_fingerprint : int;
+  mutable pruned_sleep : int;
+  mutable replays : int;
+  mutable replay_steps : int;
+  mutable max_depth : int;
+  mutable frontier_peak : int;
+  mutable truncated : bool;
+}
+
+let start lim =
+  {
+    lim;
+    started = (match lim.max_seconds with Some _ -> Sys.time () | None -> 0.);
+    visited = 0;
+    pruned_fingerprint = 0;
+    pruned_sleep = 0;
+    replays = 0;
+    replay_steps = 0;
+    max_depth = 0;
+    frontier_peak = 0;
+    truncated = false;
+  }
+
+let over t =
+  let hit cap value = match cap with Some c -> value >= c | None -> false in
+  hit t.lim.max_states t.visited
+  || hit t.lim.max_replay_steps t.replay_steps
+  || (match t.lim.max_seconds with
+     | Some s -> Sys.time () -. t.started >= s
+     | None -> false)
+
+let mark_truncated t = t.truncated <- true
+
+let note_state t = t.visited <- t.visited + 1
+
+let note_replay t ~steps =
+  t.replays <- t.replays + 1;
+  t.replay_steps <- t.replay_steps + steps
+
+let note_depth t d = if d > t.max_depth then t.max_depth <- d
+
+let note_fingerprint_prune t = t.pruned_fingerprint <- t.pruned_fingerprint + 1
+
+let note_sleep_prune t = t.pruned_sleep <- t.pruned_sleep + 1
+
+let note_frontier t size = if size > t.frontier_peak then t.frontier_peak <- size
+
+type stats = {
+  visited : int;
+  pruned_fingerprint : int;
+  pruned_sleep : int;
+  replays : int;
+  replay_steps : int;
+  max_depth : int;
+  frontier_peak : int;
+  truncated : bool;
+}
+
+let stats (t : t) : stats =
+  {
+    visited = t.visited;
+    pruned_fingerprint = t.pruned_fingerprint;
+    pruned_sleep = t.pruned_sleep;
+    replays = t.replays;
+    replay_steps = t.replay_steps;
+    max_depth = t.max_depth;
+    frontier_peak = t.frontier_peak;
+    truncated = t.truncated;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "visited %d (fp-pruned %d, commute-pruned %d) replays %d/%d steps, max depth %d, \
+     frontier peak %d, %s"
+    s.visited s.pruned_fingerprint s.pruned_sleep s.replays s.replay_steps s.max_depth
+    s.frontier_peak
+    (if s.truncated then "TRUNCATED by budget" else "exhaustive")

@@ -1,0 +1,76 @@
+(** Exploration budgets and the exploration report.
+
+    Bounded exploration is only useful when runs are observable and
+    reproducible: a budget caps the work an exploration may do (states,
+    replayed steps, wall clock), and the meter behind it accumulates
+    the statistics the final report prints (states visited, states
+    pruned by fingerprint and by commutation, replay effort, depth and
+    frontier high-water marks). *)
+
+type limits = {
+  max_states : int option;  (** cap on states visited (property-checked) *)
+  max_replay_steps : int option;
+      (** cap on the total number of executed steps summed over all
+          replays (the engine re-executes each prefix from scratch, so
+          this is the real work metric) *)
+  max_seconds : float option;
+      (** cap on elapsed CPU seconds ({!Sys.time}). Unlike the other
+          limits this one is machine-dependent: a run truncated by it
+          is reproducible only in what it explored first, not in how
+          far it got. [None] (the default everywhere) keeps
+          explorations deterministic. *)
+}
+
+val unlimited : limits
+
+val limits :
+  ?max_states:int -> ?max_replay_steps:int -> ?max_seconds:float -> unit -> limits
+
+type t
+(** A running meter. *)
+
+val start : limits -> t
+
+val over : t -> bool
+(** Some limit has been reached. *)
+
+val mark_truncated : t -> unit
+(** Record that exploration stopped because a limit fired. *)
+
+(** {2 Accumulation} (called by the explorer) *)
+
+val note_state : t -> unit
+val note_replay : t -> steps:int -> unit
+val note_depth : t -> int -> unit
+val note_fingerprint_prune : t -> unit
+val note_sleep_prune : t -> unit
+val note_frontier : t -> int -> unit
+
+(** {2 Report} *)
+
+type stats = {
+  visited : int;
+      (** states evaluated and property-checked (commutation-pruned
+          replays are not visits) *)
+  pruned_fingerprint : int;
+      (** visited states not expanded because their fingerprint was
+          already seen at the same or a shallower depth *)
+  pruned_sleep : int;
+      (** prefixes discarded by the commutation (sleep-set-style)
+          reduction: their last two steps commute and the swapped
+          order is explored instead *)
+  replays : int;  (** prefix re-executions performed *)
+  replay_steps : int;  (** total steps executed across all replays *)
+  max_depth : int;  (** deepest prefix evaluated *)
+  frontier_peak : int;  (** high-water mark of the frontier *)
+  truncated : bool;
+      (** a budget limit fired before the bounded space was exhausted;
+          when [false], every reachable state within the depth bound
+          was covered (up to the enabled reductions) *)
+}
+
+val stats : t -> stats
+
+val pp_stats : stats Fmt.t
+(** One-line report, e.g.
+    ["visited 4121 (fp-pruned 310, commute-pruned 988) replays 5109/31880 steps, max depth 7, frontier peak 24, exhaustive"]. *)

@@ -1,0 +1,270 @@
+module Proc = Setsync_schedule.Proc
+module Procset = Setsync_schedule.Procset
+module Schedule = Setsync_schedule.Schedule
+module Store = Setsync_memory.Store
+module Trace = Setsync_memory.Trace
+module Fault = Setsync_runtime.Fault
+module Run = Setsync_runtime.Run
+module Executor = Setsync_runtime.Executor
+
+type 'obs instance = { body : Proc.t -> unit -> unit; observe : unit -> 'obs }
+
+type 'obs sut = {
+  n : int;
+  fresh : store:Store.t -> 'obs instance;
+  obs_fingerprint : 'obs -> string;
+}
+
+type 'obs state = {
+  depth : int;
+  prefix : Schedule.t;
+  run : Run.t;
+  snapshot : (string * string) list;
+  obs : 'obs;
+}
+
+type frontier = {
+  push : Proc.t list -> unit;
+  pop : unit -> Proc.t list option;
+  size : unit -> int;
+}
+
+type strategy = Dfs | Bfs | Custom of (unit -> frontier)
+
+type config = {
+  depth : int;
+  strategy : strategy;
+  prune_fingerprints : bool;
+  sleep_sets : bool;
+  limits : Budget.limits;
+  fault : Fault.plan;
+}
+
+let config ?(strategy = Dfs) ?(prune_fingerprints = true) ?(sleep_sets = true)
+    ?(limits = Budget.unlimited) ?(fault = Fault.no_faults) ~depth () =
+  { depth; strategy; prune_fingerprints; sleep_sets; limits; fault }
+
+type verdict = Ok_bounded | Violated of { schedule : Schedule.t; reason : string }
+
+type report = { verdicts : (string * verdict) list; stats : Budget.stats }
+
+(* ---------------------------------------------------------- frontiers *)
+
+let dfs_frontier () =
+  let stack = ref [] in
+  let count = ref 0 in
+  {
+    push =
+      (fun x ->
+        stack := x :: !stack;
+        incr count);
+    pop =
+      (fun () ->
+        match !stack with
+        | [] -> None
+        | x :: rest ->
+            stack := rest;
+            decr count;
+            Some x);
+    size = (fun () -> !count);
+  }
+
+let bfs_frontier () =
+  let queue = Queue.create () in
+  {
+    push = (fun x -> Queue.add x queue);
+    pop = (fun () -> Queue.take_opt queue);
+    size = (fun () -> Queue.length queue);
+  }
+
+let make_frontier = function
+  | Dfs -> dfs_frontier ()
+  | Bfs -> bfs_frontier ()
+  | Custom f -> f ()
+
+(* ------------------------------------------------------------ replays *)
+
+(* Enough retained entries to cover the register accesses of any
+   single step; a step exceeding this is treated as touching an
+   unknown footprint (never commutes). *)
+let trace_capacity = 64
+
+let unknown_footprint = [ "*" ]
+
+(* Replay [steps] against a fresh instance, recording the register
+   footprint of each executed step. *)
+let replay_instrumented ~sut ~fault steps =
+  let n = sut.n in
+  let trace = Trace.create ~capacity:trace_capacity in
+  let store = Store.create ~trace () in
+  let inst = sut.fresh ~store in
+  let len = List.length steps in
+  let touched = Array.make (max len 1) [] in
+  let prev = ref 0 in
+  let on_step ~global ~proc:_ =
+    let now = Trace.recorded trace in
+    let delta = now - !prev in
+    prev := now;
+    if global < len then
+      touched.(global) <-
+        (if delta > trace_capacity then unknown_footprint
+         else
+           Trace.recent trace delta
+           |> List.map (fun e -> e.Trace.register)
+           |> List.sort_uniq String.compare)
+  in
+  let schedule = Schedule.of_list ~n steps in
+  let run = Executor.replay ~n ~schedule ~fault ~on_step inst.body in
+  let obs = inst.observe () in
+  (run, obs, Store.snapshot store, touched)
+
+let evaluate ~sut ?(fault = Fault.no_faults) schedule =
+  let run, obs, snapshot, _ =
+    replay_instrumented ~sut ~fault (Schedule.to_list schedule)
+  in
+  { depth = Schedule.length schedule; prefix = schedule; run; snapshot; obs }
+
+let check_schedule ~sut ~property ?(fault = Fault.no_faults) schedule =
+  match property.Property.kind with
+  | Property.Stabilization -> property.Property.check (evaluate ~sut ~fault schedule)
+  | Property.Safety ->
+      let len = Schedule.length schedule in
+      let rec scan d =
+        if d > len then None
+        else
+          match
+            property.Property.check (evaluate ~sut ~fault (Schedule.prefix schedule d))
+          with
+          | Some reason -> Some reason
+          | None -> scan (d + 1)
+      in
+      scan 0
+
+(* -------------------------------------------------------- exploration *)
+
+let disjoint_footprints a b =
+  (not (List.mem "*" a))
+  && (not (List.mem "*" b))
+  && not (List.exists (fun r -> List.mem r b) a)
+
+let fingerprint ~sut ~snapshot ~run ~obs =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf value;
+      Buffer.add_char buf ';')
+    snapshot;
+  Buffer.add_string buf "halted:";
+  Procset.iter (fun p -> Buffer.add_string buf (string_of_int p ^ ",")) run.Run.halted;
+  Buffer.add_string buf "crashed:";
+  Procset.iter (fun p -> Buffer.add_string buf (string_of_int p ^ ",")) (Run.crashed run);
+  Buffer.add_string buf "obs:";
+  Buffer.add_string buf (sut.obs_fingerprint obs);
+  Digest.string (Buffer.contents buf)
+
+let enabled ~n run =
+  List.filter
+    (fun p ->
+      (not (Procset.mem p run.Run.halted)) && not (Procset.mem p (Run.crashed run)))
+    (Proc.all ~n)
+
+let explore ~sut ~properties config =
+  if config.depth < 0 then invalid_arg "Explorer.explore: negative depth bound";
+  Proc.check_n sut.n;
+  Fault.validate ~n:sut.n config.fault;
+  let meter = Budget.start config.limits in
+  let frontier = make_frontier config.strategy in
+  let fingerprints : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let verdicts = List.map (fun p -> (p, ref Ok_bounded)) properties in
+  let all_violated () =
+    verdicts <> [] && List.for_all (fun (_, v) -> !v <> Ok_bounded) verdicts
+  in
+  let record_violations ~kind state =
+    List.iter
+      (fun ((p : _ Property.t), v) ->
+        if p.Property.kind = kind && !v = Ok_bounded then
+          match p.Property.check state with
+          | Some reason -> v := Violated { schedule = state.prefix; reason }
+          | None -> ())
+      verdicts
+  in
+  (* prefixes are stored in reverse step order: extension is a cons *)
+  frontier.push [];
+  Budget.note_frontier meter 1;
+  let stop = ref false in
+  while not !stop do
+    if Budget.over meter then begin
+      Budget.mark_truncated meter;
+      stop := true
+    end
+    else if all_violated () then stop := true
+    else
+      match frontier.pop () with
+      | None -> stop := true
+      | Some rev_steps ->
+          let steps = List.rev rev_steps in
+          let depth = List.length steps in
+          let run, obs, snapshot, touched =
+            replay_instrumented ~sut ~fault:config.fault steps
+          in
+          Budget.note_replay meter ~steps:(Run.total_steps run);
+          let sleep_pruned =
+            config.sleep_sets && depth >= 2
+            &&
+            match rev_steps with
+            | b :: a :: _ ->
+                b < a && disjoint_footprints touched.(depth - 2) touched.(depth - 1)
+            | _ -> false
+          in
+          if sleep_pruned then Budget.note_sleep_prune meter
+          else begin
+            Budget.note_state meter;
+            Budget.note_depth meter depth;
+            let state =
+              { depth; prefix = Schedule.of_list ~n:sut.n steps; run; snapshot; obs }
+            in
+            record_violations ~kind:Property.Safety state;
+            let en = enabled ~n:sut.n run in
+            if depth >= config.depth || en = [] then
+              record_violations ~kind:Property.Stabilization state;
+            let expand =
+              depth < config.depth
+              && en <> []
+              && ((not config.prune_fingerprints)
+                 ||
+                 let fp = fingerprint ~sut ~snapshot ~run ~obs in
+                 match Hashtbl.find_opt fingerprints fp with
+                 | Some d0 when d0 <= depth ->
+                     Budget.note_fingerprint_prune meter;
+                     false
+                 | Some _ | None ->
+                     Hashtbl.replace fingerprints fp depth;
+                     true)
+            in
+            if expand then begin
+              let children = List.map (fun p -> p :: rev_steps) en in
+              (* DFS pops LIFO: push descending so children are
+                 explored in ascending process order *)
+              List.iter frontier.push
+                (match config.strategy with Dfs -> List.rev children | _ -> children);
+              Budget.note_frontier meter (frontier.size ())
+            end
+          end
+  done;
+  {
+    verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
+    stats = Budget.stats meter;
+  }
+
+(* ----------------------------------------------------------- printing *)
+
+let pp_verdict ppf = function
+  | Ok_bounded -> Fmt.string ppf "ok (no violation within bound)"
+  | Violated { schedule; reason } ->
+      Fmt.pf ppf "VIOLATED by %a: %s" Schedule.pp_full schedule reason
+
+let pp_report ppf r =
+  List.iter (fun (name, v) -> Fmt.pf ppf "%-40s %a@." name pp_verdict v) r.verdicts;
+  Fmt.pf ppf "%a" Budget.pp_stats r.stats

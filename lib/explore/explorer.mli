@@ -1,0 +1,133 @@
+(** Bounded exploration of schedule prefixes (stateless model checking).
+
+    The engine enumerates schedule prefixes of a system under test up
+    to a depth bound, re-executes each prefix from a fresh instance
+    through {!Setsync_runtime.Executor.replay} (processes are effect
+    fibers, so global states cannot be snapshotted — each prefix is
+    replayed from scratch, the classic stateless-model-checking
+    trade), and checks user-supplied {!Property} verdicts:
+
+    - safety properties at every visited state;
+    - stabilization properties on maximal prefixes (depth bound
+      reached, or every process halted/crashed).
+
+    Two reductions keep the bounded space tractable:
+
+    - {b fingerprint memoization}: a digest of the register snapshot,
+      the halted/crashed sets, and the system's own observation
+      contribution; a state whose fingerprint was already seen at the
+      same or a shallower depth is not expanded. Sound exactly when
+      the fingerprint determines future behaviour — i.e. when
+      {!sut.obs_fingerprint} covers all process-local state not
+      reflected in registers (see DESIGN.md §6).
+    - {b sleep-set-style commutation}: a prefix [σ·a·b] whose last two
+      steps belong to different processes, touch disjoint register
+      sets (recovered from {!Setsync_memory.Trace}), and are ordered
+      [b < a], is discarded — the swapped prefix [σ·b·a] reaches the
+      same state and is generated as a sibling. Sound for state-based
+      properties; unsound for schedule-sensitive ones
+      ({!Property.set_timely}), which must explore unreduced. *)
+
+type 'obs instance = {
+  body : Setsync_schedule.Proc.t -> unit -> unit;  (** process code *)
+  observe : unit -> 'obs;
+      (** snapshot of the instance's current observation — local
+          detector outputs, decision arrays, hidden process-local
+          state, … Uses observer reads only; never costs a step. *)
+}
+
+type 'obs sut = {
+  n : int;  (** number of processes *)
+  fresh : store:Setsync_memory.Store.t -> 'obs instance;
+      (** build a brand-new instance whose registers all live in
+          [store] (the engine owns the store so it can trace register
+          footprints and snapshot values) *)
+  obs_fingerprint : 'obs -> string;
+      (** the observation's contribution to the state fingerprint.
+          Return [""] if the register snapshot already determines the
+          full state; include any process-local state otherwise, or
+          disable fingerprint pruning. *)
+}
+
+type 'obs state = {
+  depth : int;  (** number of extension choices = [Schedule.length prefix] *)
+  prefix : Setsync_schedule.Schedule.t;  (** the interleaving reaching this state *)
+  run : Setsync_runtime.Run.t;  (** replay record (halted, crashed, …) *)
+  snapshot : (string * string) list;  (** printed register values *)
+  obs : 'obs;
+}
+
+type frontier = {
+  push : Setsync_schedule.Proc.t list -> unit;
+      (** a prefix in reverse step order (deepest choice first) *)
+  pop : unit -> Setsync_schedule.Proc.t list option;
+  size : unit -> int;
+}
+
+type strategy =
+  | Dfs  (** LIFO; children explored in ascending process order *)
+  | Bfs  (** FIFO; finds shortest counterexamples first *)
+  | Custom of (unit -> frontier)
+      (** plug your own (priority queues, random restarts, …); must be
+          deterministic for the exploration to be *)
+
+type config = {
+  depth : int;  (** maximum prefix length *)
+  strategy : strategy;
+  prune_fingerprints : bool;
+  sleep_sets : bool;
+  limits : Budget.limits;
+  fault : Setsync_runtime.Fault.plan;
+      (** crash plan applied to every replay (same schedule-space with
+          crashes injected at fixed per-process step counts) *)
+}
+
+val config :
+  ?strategy:strategy ->
+  ?prune_fingerprints:bool ->
+  ?sleep_sets:bool ->
+  ?limits:Budget.limits ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  depth:int ->
+  unit ->
+  config
+(** Defaults: DFS, both reductions on, unlimited budget, no faults. *)
+
+type verdict =
+  | Ok_bounded
+      (** no violation within the explored bounded space; exhaustive
+          exactly when the report's stats are not truncated *)
+  | Violated of { schedule : Setsync_schedule.Schedule.t; reason : string }
+      (** first counterexample found, in exploration order *)
+
+type report = { verdicts : (string * verdict) list; stats : Budget.stats }
+(** One verdict per property, in the order given; plus the exploration
+    report. *)
+
+val explore : sut:'obs sut -> properties:'obs state Property.t list -> config -> report
+(** Exploration stops when the frontier empties, a budget limit fires
+    (stats.truncated), or every property already has a counterexample. *)
+
+val evaluate :
+  sut:'obs sut ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  Setsync_schedule.Schedule.t ->
+  'obs state
+(** Replay one schedule against a fresh instance and return the final
+    state (the counterexample-reproduction entry point: the schedule is
+    driven through [Executor.replay] exactly as during exploration). *)
+
+val check_schedule :
+  sut:'obs sut ->
+  property:'obs state Property.t ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  Setsync_schedule.Schedule.t ->
+  string option
+(** Re-verify a (counterexample) schedule: a safety property is checked
+    at every prefix of the schedule (first violation wins), a
+    stabilization property at its final state. This is the predicate
+    handed to {!Shrink}. *)
+
+val pp_verdict : verdict Fmt.t
+
+val pp_report : report Fmt.t

@@ -1,0 +1,65 @@
+module Schedule = Setsync_schedule.Schedule
+
+type result = { schedule : Schedule.t; tests : int }
+
+(* Split [steps] into [g] contiguous chunks of nearly equal length. *)
+let split steps g =
+  let len = List.length steps in
+  let base = len / g and extra = len mod g in
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec build i rest acc =
+    if i = g then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size [] rest in
+      build (i + 1) rest (chunk :: acc)
+  in
+  build 0 steps [] |> List.filter (fun c -> c <> [])
+
+let without chunks i = List.concat (List.filteri (fun j _ -> j <> i) chunks)
+
+let run ~violates schedule =
+  let n = Schedule.n schedule in
+  let tests = ref 0 in
+  let check steps =
+    incr tests;
+    violates (Schedule.of_list ~n steps)
+  in
+  if not (check (Schedule.to_list schedule)) then
+    invalid_arg "Shrink.run: input schedule does not violate the property";
+  let rec ddmin steps granularity =
+    let len = List.length steps in
+    if len <= 1 then steps
+    else begin
+      let g = min granularity len in
+      let chunks = split steps g in
+      (* a chunk alone still violating: recurse into it *)
+      let rec try_subsets = function
+        | [] -> None
+        | chunk :: rest ->
+            if List.length chunk < len && check chunk then Some chunk
+            else try_subsets rest
+      in
+      match try_subsets chunks with
+      | Some chunk -> ddmin chunk 2
+      | None -> (
+          (* removing one chunk still violating: keep the complement *)
+          let rec try_complements i =
+            if i >= List.length chunks then None
+            else
+              let candidate = without chunks i in
+              if check candidate then Some candidate else try_complements (i + 1)
+          in
+          match try_complements 0 with
+          | Some reduced -> ddmin reduced (max (g - 1) 2)
+          | None -> if g >= len then steps else ddmin steps (min len (2 * g)))
+    end
+  in
+  let steps = ddmin (Schedule.to_list schedule) 2 in
+  { schedule = Schedule.of_list ~n steps; tests = !tests }

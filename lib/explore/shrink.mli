@@ -1,0 +1,29 @@
+(** Counterexample shrinking by delta debugging.
+
+    A violating schedule found by the explorer is rarely minimal — DFS
+    in particular returns whatever interleaving it stumbled on first.
+    {!run} applies the classic ddmin algorithm (Zeller &
+    Hildebrandt) to the schedule's step sequence: partition into
+    chunks, try each chunk alone and each complement, re-replaying and
+    re-checking through the supplied predicate, refining granularity
+    until no single step can be removed.
+
+    The result is locally minimal at step granularity (1-minimal):
+    removing any single remaining step makes the predicate pass.
+    Minimality is relative to subsequence removal — the shrinker never
+    reorders or renames steps, so the result is a subsequence of the
+    input and replays under the same fault plan. *)
+
+type result = {
+  schedule : Setsync_schedule.Schedule.t;  (** the shrunk schedule; still violates *)
+  tests : int;  (** predicate evaluations performed *)
+}
+
+val run :
+  violates:(Setsync_schedule.Schedule.t -> bool) ->
+  Setsync_schedule.Schedule.t ->
+  result
+(** [run ~violates s] requires [violates s] (raises [Invalid_argument]
+    otherwise — shrinking a passing schedule means the caller mixed up
+    predicates). [violates] is typically
+    [fun s -> Explorer.check_schedule ~sut ~property s <> None]. *)

@@ -1,0 +1,77 @@
+module Procset = Setsync_schedule.Procset
+module Shm = Setsync_runtime.Shm
+module Kanti_omega = Setsync_detector.Kanti_omega
+module Kset_solver = Setsync_agreement.Kset_solver
+
+let pause_procs ~n =
+  {
+    Explorer.n;
+    fresh =
+      (fun ~store:_ ->
+        {
+          Explorer.body =
+            (fun _p () ->
+              while true do
+                Shm.pause ()
+              done);
+          observe = (fun () -> ());
+        });
+    obs_fingerprint = (fun () -> "");
+  }
+
+type detector_obs = {
+  fd_outputs : Procset.t array;
+  winnersets : Procset.t array;
+  iterations : int array;
+}
+
+let kanti_detector ~params ?initial_timeout () =
+  Kanti_omega.check_params params;
+  let n = params.Kanti_omega.n in
+  {
+    Explorer.n;
+    fresh =
+      (fun ~store ->
+        let shared = Kanti_omega.create_shared store params in
+        let procs =
+          Array.init n (fun p ->
+              Kanti_omega.make_process ?initial_timeout shared params ~proc:p)
+        in
+        {
+          Explorer.body = (fun p () -> Kanti_omega.forever procs.(p));
+          observe =
+            (fun () ->
+              {
+                fd_outputs = Array.map Kanti_omega.fd_output procs;
+                winnersets = Array.map Kanti_omega.winnerset procs;
+                iterations = Array.map Kanti_omega.iterations procs;
+              });
+        });
+    obs_fingerprint =
+      (fun obs ->
+        Fmt.str "%a|%a|%a"
+          Fmt.(array ~sep:semi Procset.pp)
+          obs.fd_outputs
+          Fmt.(array ~sep:semi Procset.pp)
+          obs.winnersets
+          Fmt.(array ~sep:semi int)
+          obs.iterations);
+  }
+
+type kset_obs = { decisions : int option array }
+
+let kset_agreement ~problem ~inputs ?initial_timeout () =
+  let n = (problem : Setsync_agreement.Problem.t).n in
+  {
+    Explorer.n;
+    fresh =
+      (fun ~store ->
+        let solver = Kset_solver.create store ~problem ~inputs ?initial_timeout () in
+        {
+          Explorer.body = Kset_solver.body solver;
+          observe = (fun () -> { decisions = Kset_solver.decisions solver });
+        });
+    obs_fingerprint =
+      (fun obs ->
+        Fmt.str "%a" Fmt.(array ~sep:semi (option ~none:(any "-") int)) obs.decisions);
+  }

@@ -1,0 +1,46 @@
+(** Ready-made systems under test for the explorer.
+
+    The CLI's [explore] subcommand, the E11 bench section, and the
+    tests all drive the same three instantiations: a trivial system
+    for pure schedule-space exploration, the paper's Figure 2 detector,
+    and the Theorem 24 k-set-agreement solver. *)
+
+val pause_procs : n:int -> unit Explorer.sut
+(** [n] processes that pause forever: every interleaving is enabled at
+    every depth, no registers, no observation. This is pure
+    schedule-space exploration, for schedule-sensitive properties like
+    {!Property.set_timely}. Explore it with both reductions off: the
+    reductions identify prefixes by the (here trivial) memory state,
+    which is exactly what a schedule property distinguishes. *)
+
+type detector_obs = {
+  fd_outputs : Setsync_schedule.Procset.t array;  (** per-process [fdOutput] *)
+  winnersets : Setsync_schedule.Procset.t array;
+  iterations : int array;  (** completed detector loop iterations *)
+}
+
+val kanti_detector :
+  params:Setsync_detector.Kanti_omega.params ->
+  ?initial_timeout:int ->
+  unit ->
+  detector_obs Explorer.sut
+(** The Figure 2 k-anti-Ω detector, one {!Setsync_detector.Kanti_omega}
+    process per fiber. The observation exposes what
+    {!Property.anti_omega_stabilized} needs. The observation does not
+    capture every process-local variable (timers, accusation arrays,
+    loop position), so fingerprint pruning over this system is an
+    approximation — explore with [prune_fingerprints = false] when the
+    run must be exhaustive. *)
+
+type kset_obs = { decisions : int option array }
+
+val kset_agreement :
+  problem:Setsync_agreement.Problem.t ->
+  inputs:int array ->
+  ?initial_timeout:int ->
+  unit ->
+  kset_obs Explorer.sut
+(** The Theorem 24 solver ({!Setsync_agreement.Kset_solver}; requires
+    [k <= t]). Same caveat as {!kanti_detector}: local Paxos state is
+    not in the observation, so exhaustive runs should disable
+    fingerprint pruning. *)

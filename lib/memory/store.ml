@@ -1,12 +1,15 @@
 type counters = { get_reads : unit -> int; get_writes : unit -> int }
 
+type view = { view_name : string; render : unit -> string }
+
 type t = {
   trace : Trace.t option;
   mutable next_id : int;
   mutable all : counters list;
+  mutable views : view list;
 }
 
-let create ?trace () = { trace; next_id = 0; all = [] }
+let create ?trace () = { trace; next_id = 0; all = []; views = [] }
 
 let hook_of t =
   match t.trace with
@@ -20,6 +23,10 @@ let register t ?pp ~name init =
   t.all <-
     { get_reads = (fun () -> Register.reads reg); get_writes = (fun () -> Register.writes reg) }
     :: t.all;
+  let render () =
+    match pp with Some pp -> Fmt.str "%a" pp (Register.peek reg) | None -> "<value>"
+  in
+  t.views <- { view_name = name; render } :: t.views;
   reg
 
 let array t ?pp ~name len init =
@@ -36,5 +43,7 @@ let register_count t = t.next_id
 let total_reads t = List.fold_left (fun acc c -> acc + c.get_reads ()) 0 t.all
 
 let total_writes t = List.fold_left (fun acc c -> acc + c.get_writes ()) 0 t.all
+
+let snapshot t = List.rev_map (fun v -> (v.view_name, v.render ())) t.views
 
 let trace t = t.trace

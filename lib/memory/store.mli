@@ -36,4 +36,11 @@ val total_reads : t -> int
 
 val total_writes : t -> int
 
+val snapshot : t -> (string * string) list
+(** Current [(name, printed value)] of every register allocated here,
+    in allocation order, via observer reads (not counted, not traced).
+    Registers allocated without a [pp] render as an opaque placeholder;
+    state fingerprints built on a snapshot are only as discriminating
+    as the printers supplied at allocation. *)
+
 val trace : t -> Trace.t option

@@ -31,6 +31,29 @@ let entries t =
   done;
   !collected
 
+let nth_back t offset =
+  (* entry [offset] steps back from the newest, if still retained *)
+  if offset < 1 || offset > t.capacity then None
+  else
+    let idx = (t.next_seq - offset) mod t.capacity in
+    if idx < 0 then None
+    else
+      match t.buffer.(idx) with
+      | Some e when e.seq = t.next_seq - offset -> Some e
+      | Some _ | None -> None
+
+let last t = nth_back t 1
+
+let recent t k =
+  let rec collect offset acc =
+    if offset > k then List.rev acc
+    else
+      match nth_back t offset with
+      | Some e -> collect (offset + 1) (e :: acc)
+      | None -> List.rev acc
+  in
+  collect 1 []
+
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.next_seq <- 0

@@ -28,6 +28,16 @@ val recorded : t -> int
 val entries : t -> entry list
 (** Retained entries, oldest first. *)
 
+val last : t -> entry option
+(** The most recent entry, O(1). [None] if nothing was recorded yet or
+    the buffer was cleared. *)
+
+val recent : t -> int -> entry list
+(** [recent t k] is the [k] most recent entries, newest first (fewer if
+    less than [k] were recorded or retained). Used by the exploration
+    engine to recover the registers touched by the last scheduled step
+    (for the commutation check). *)
+
 val clear : t -> unit
 
 val pp_entry : entry Fmt.t

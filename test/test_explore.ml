@@ -1,0 +1,407 @@
+(* Tests for the bounded model-checking subsystem: explorer state
+   counts against hand-counted spaces, verdict-preservation of the
+   reductions, shrinker minimality, budget truncation, determinism. *)
+
+open Setsync_schedule
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Trace = Setsync_memory.Trace
+module Fiber = Setsync_runtime.Fiber
+module Shm = Setsync_runtime.Shm
+module Run = Setsync_runtime.Run
+module Budget = Setsync_explore.Budget
+module Property = Setsync_explore.Property
+module Explorer = Setsync_explore.Explorer
+module Shrink = Setsync_explore.Shrink
+module Systems = Setsync_explore.Systems
+
+let schedule = Alcotest.testable Schedule.pp Schedule.equal
+
+(* ------------------------------------------------------------------ *)
+(* Systems under test *)
+
+(* Two processes; process p writes 1 into its own register, then
+   halts. A returning body occupies one extra step — the fiber
+   finishes on the step after its last atomic action — so each process
+   here is a 2-step process: write, then halt. Observation-complete:
+   registers plus the halted set determine everything. *)
+let single_writer_sut () =
+  {
+    Explorer.n = 2;
+    fresh =
+      (fun ~store ->
+        let r = Store.array store ~pp:Fmt.int ~name:"r" 2 (fun _ -> 0) in
+        {
+          Explorer.body = (fun p () -> Shm.write r.(p) 1);
+          observe = (fun () -> (Register.peek r.(0), Register.peek r.(1)));
+        });
+    obs_fingerprint = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
+  }
+
+(* Two processes; process p writes 1 then 2 into its own register,
+   then halts (a 3-step process: write, write, halt). Still
+   observation-complete, and now interleavings of the same multiset of
+   steps collapse to the same state — the global state is exactly the
+   pair of per-process step counts — so fingerprint pruning has
+   something to do. *)
+let double_writer_sut () =
+  {
+    Explorer.n = 2;
+    fresh =
+      (fun ~store ->
+        let r = Store.array store ~pp:Fmt.int ~name:"r" 2 (fun _ -> 0) in
+        {
+          Explorer.body =
+            (fun p () ->
+              Shm.write r.(p) 1;
+              Shm.write r.(p) 2);
+          observe = (fun () -> (Register.peek r.(0), Register.peek r.(1)));
+        });
+    obs_fingerprint = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
+  }
+
+type pipe_obs = { ping : int; pong : int; v1 : int; phase1 : int }
+
+(* p1 bumps ping forever; p2 copies ping into pong forever. p2's read
+   value and loop position are hidden process-local state, so the
+   observation exposes them explicitly (v1, phase1). The refs must be
+   updated {e inside} the atomic action: [v1 := Shm.read ping] would
+   park the read value in the suspended continuation until the next
+   step, leaving it invisible to [observe] — and fingerprinting over an
+   incomplete observation merges states with different futures. This
+   is what an observation-complete sut looks like when process code
+   carries local state across steps. *)
+let pipe_sut () =
+  {
+    Explorer.n = 2;
+    fresh =
+      (fun ~store ->
+        let ping = Store.register store ~pp:Fmt.int ~name:"ping" 0 in
+        let pong = Store.register store ~pp:Fmt.int ~name:"pong" 0 in
+        let v1 = ref 0 and phase1 = ref 0 in
+        {
+          Explorer.body =
+            (fun p () ->
+              if p = 0 then begin
+                let i = ref 0 in
+                while true do
+                  incr i;
+                  Shm.write ping !i
+                done
+              end
+              else
+                while true do
+                  Fiber.atomic (fun () ->
+                      v1 := Register.read ping;
+                      phase1 := 1);
+                  Fiber.atomic (fun () ->
+                      Register.write pong !v1;
+                      phase1 := 0)
+                done);
+          observe =
+            (fun () ->
+              {
+                ping = Register.peek ping;
+                pong = Register.peek pong;
+                v1 = !v1;
+                phase1 = !phase1;
+              });
+        });
+    obs_fingerprint =
+      (fun o -> Printf.sprintf "%d,%d,%d,%d" o.ping o.pong o.v1 o.phase1);
+  }
+
+let pong_below limit =
+  Property.safety
+    ~name:(Printf.sprintf "pong<%d" limit)
+    (fun st -> if st.Explorer.obs.pong < limit then None else Some "pong too large")
+
+let pong_le_ping =
+  Property.safety ~name:"pong<=ping" (fun st ->
+      if st.Explorer.obs.pong <= st.Explorer.obs.ping then None
+      else Some "pong overtook ping")
+
+let stats_of (r : Explorer.report) = r.Explorer.stats
+
+(* ------------------------------------------------------------------ *)
+(* (a) hand-counted state spaces *)
+
+(* Single-writer system, depth 4, no reductions. Each process has
+   exactly 2 steps, so the state space is every sequence over {p1,p2}
+   of length <= 4 with at most 2 steps per process:
+   1 + 2 + 4 + 6 + 6 = 19 prefixes, max depth 4. *)
+let test_count_brute () =
+  let report =
+    Explorer.explore ~sut:(single_writer_sut ()) ~properties:[]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~depth:4 ())
+  in
+  let s = stats_of report in
+  Alcotest.(check int) "visited" 19 s.Budget.visited;
+  Alcotest.(check int) "max depth" 4 s.Budget.max_depth;
+  Alcotest.(check int) "no fp prunes" 0 s.Budget.pruned_fingerprint;
+  Alcotest.(check int) "no sleep prunes" 0 s.Budget.pruned_sleep;
+  Alcotest.(check bool) "exhaustive" false s.Budget.truncated
+
+(* Same system with the commutation reduction. Write footprints are
+   {r[1]} resp. {r[2]}; halt steps touch nothing — so every prefix
+   ending p2·p1 (distinct processes, smaller process last, disjoint
+   footprints) is discarded, and its subtree never generated. Walking
+   the tree by hand: pruned are [2;1], [1;2;1], [2;2;1], [1;2;2;1]
+   (4 prunes); visited are [], [1], [2], [1;1], [1;2], [2;2],
+   [1;1;2], [1;2;2], [1;1;2;2] (9 states). *)
+let test_count_sleep () =
+  let report =
+    Explorer.explore ~sut:(single_writer_sut ()) ~properties:[]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:true ~depth:4 ())
+  in
+  let s = stats_of report in
+  Alcotest.(check int) "visited" 9 s.Budget.visited;
+  Alcotest.(check int) "sleep pruned" 4 s.Budget.pruned_sleep
+
+(* Double-writer system (3-step processes), depth 4, brute force:
+   sequences of length <= 4 with at most 3 steps per process,
+   1 + 2 + 4 + 8 + 14 = 29. *)
+let test_count_double_brute () =
+  let report =
+    Explorer.explore ~sut:(double_writer_sut ()) ~properties:[]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~depth:4 ())
+  in
+  let s = stats_of report in
+  Alcotest.(check int) "visited" 29 s.Budget.visited;
+  Alcotest.(check int) "max depth" 4 s.Budget.max_depth
+
+(* Same with fingerprint memoization. The state is the pair of
+   per-process step counts (a,b), a,b <= 3, a+b <= 4 — 13 distinct
+   states. Only the first prefix reaching a state is expanded: the 10
+   states of depth < 4 contribute 2+4+6+6 = 18 children, so 19 nodes
+   are generated and visited. Re-encounters below the depth bound are
+   pruned: (1,1) once, (2,1) and (1,2) once each — 3 fingerprint
+   prunes (duplicates at depth 4 are cut by the bound instead). *)
+let test_count_double_fingerprint () =
+  let report =
+    Explorer.explore ~sut:(double_writer_sut ()) ~properties:[]
+      (Explorer.config ~prune_fingerprints:true ~sleep_sets:false ~depth:4 ())
+  in
+  let s = stats_of report in
+  Alcotest.(check int) "visited" 19 s.Budget.visited;
+  Alcotest.(check int) "fp pruned" 3 s.Budget.pruned_fingerprint
+
+(* ------------------------------------------------------------------ *)
+(* (b) reductions preserve property verdicts *)
+
+let verdict_of name (r : Explorer.report) = List.assoc name r.Explorer.verdicts
+
+let test_pruning_preserves_verdicts () =
+  let properties = [ pong_below 2; pong_le_ping ] in
+  let run ~prune_fingerprints ~sleep_sets =
+    Explorer.explore ~sut:(pipe_sut ()) ~properties
+      (Explorer.config ~prune_fingerprints ~sleep_sets ~depth:6 ())
+  in
+  let brute = run ~prune_fingerprints:false ~sleep_sets:false in
+  let configs =
+    [
+      ("fp", run ~prune_fingerprints:true ~sleep_sets:false);
+      ("sleep", run ~prune_fingerprints:false ~sleep_sets:true);
+      ("both", run ~prune_fingerprints:true ~sleep_sets:true);
+    ]
+  in
+  (* the invariant holds everywhere, the bound is violated somewhere *)
+  Alcotest.(check bool)
+    "brute: pong<=ping holds" true
+    (verdict_of "pong<=ping" brute = Explorer.Ok_bounded);
+  Alcotest.(check bool)
+    "brute: pong<2 violated" true
+    (verdict_of "pong<2" brute <> Explorer.Ok_bounded);
+  List.iter
+    (fun (label, reduced) ->
+      List.iter
+        (fun (p : _ Property.t) ->
+          let same =
+            match (verdict_of p.Property.name brute, verdict_of p.Property.name reduced) with
+            | Explorer.Ok_bounded, Explorer.Ok_bounded -> true
+            | Explorer.Violated _, Explorer.Violated _ -> true
+            | _ -> false
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s verdict preserved" label p.Property.name)
+            true same)
+        properties;
+      (* any counterexample a reduced run reports must actually violate *)
+      List.iter
+        (fun (p : _ Property.t) ->
+          match verdict_of p.Property.name reduced with
+          | Explorer.Ok_bounded -> ()
+          | Explorer.Violated { schedule; _ } ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s counterexample replays" label p.Property.name)
+                true
+                (Explorer.check_schedule ~sut:(pipe_sut ()) ~property:p schedule <> None))
+        properties;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s explored less or equal" label)
+        true
+        ((stats_of reduced).Budget.visited <= (stats_of brute).Budget.visited))
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* (c) shrinker: still violating, 1-minimal *)
+
+let test_shrink_minimal () =
+  let sut = pipe_sut () in
+  let property = pong_below 2 in
+  let report =
+    Explorer.explore ~sut ~properties:[ property ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~depth:6 ())
+  in
+  let found =
+    match verdict_of "pong<2" report with
+    | Explorer.Violated { schedule; _ } -> schedule
+    | Explorer.Ok_bounded -> Alcotest.fail "expected a counterexample"
+  in
+  let violates s = Explorer.check_schedule ~sut ~property s <> None in
+  let shrunk = (Shrink.run ~violates found).Shrink.schedule in
+  Alcotest.(check bool) "shrunk still violates" true (violates shrunk);
+  (* pong reaches 2 only via: ping:=1, ping:=2, p2 reads 2, p2 writes 2 *)
+  Alcotest.check schedule "shrunk to the minimal witness"
+    (Schedule.of_list ~n:2 [ 0; 0; 1; 1 ])
+    shrunk;
+  (* 1-minimality: dropping any single step must make it pass *)
+  let steps = Schedule.to_list shrunk in
+  List.iteri
+    (fun i _ ->
+      let without = List.filteri (fun j _ -> j <> i) steps in
+      Alcotest.(check bool)
+        (Printf.sprintf "dropping step %d makes it pass" i)
+        false
+        (violates (Schedule.of_list ~n:2 without)))
+    steps
+
+let test_shrink_synthetic () =
+  (* predicate independent of any replay: at least three p1-steps *)
+  let violates s = Schedule.occurrences s 0 >= 3 in
+  let noisy = Schedule.of_list ~n:3 [ 1; 0; 2; 0; 1; 2; 0; 2; 1; 0 ] in
+  let r = Shrink.run ~violates noisy in
+  Alcotest.check schedule "three p1 steps remain" (Schedule.of_list ~n:3 [ 0; 0; 0 ])
+    r.Shrink.schedule;
+  Alcotest.check_raises "passing input rejected"
+    (Invalid_argument "Shrink.run: input schedule does not violate the property")
+    (fun () -> ignore (Shrink.run ~violates (Schedule.of_list ~n:3 [ 0; 1 ])))
+
+(* ------------------------------------------------------------------ *)
+(* (d) determinism and budgets *)
+
+let reports_equal (a : Explorer.report) (b : Explorer.report) =
+  let verdict_eq v w =
+    match (v, w) with
+    | Explorer.Ok_bounded, Explorer.Ok_bounded -> true
+    | Explorer.Violated x, Explorer.Violated y ->
+        Schedule.equal x.schedule y.schedule && String.equal x.reason y.reason
+    | _ -> false
+  in
+  List.length a.Explorer.verdicts = List.length b.Explorer.verdicts
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && verdict_eq v1 v2)
+       a.Explorer.verdicts b.Explorer.verdicts
+  && a.Explorer.stats = b.Explorer.stats
+
+let test_deterministic () =
+  let params = { Setsync_detector.Kanti_omega.n = 2; t = 1; k = 1 } in
+  let run () =
+    Explorer.explore
+      ~sut:(Systems.kanti_detector ~params ())
+      ~properties:
+        [
+          Property.anti_omega_stabilized ~k:1
+            ~outputs:(fun st -> st.Explorer.obs.Systems.fd_outputs)
+            ~correct:(fun st -> Run.correct st.Explorer.run);
+        ]
+      (Explorer.config ~prune_fingerprints:false
+         ~limits:(Budget.limits ~max_states:40 ())
+         ~depth:12 ())
+  in
+  let first = run () and second = run () in
+  Alcotest.(check bool) "identical reports" true (reports_equal first second);
+  Alcotest.(check bool) "budget truncated" true first.Explorer.stats.Budget.truncated;
+  Alcotest.(check int) "exactly the budget" 40 first.Explorer.stats.Budget.visited
+
+let test_exhaustive_when_unbounded () =
+  let report =
+    Explorer.explore ~sut:(double_writer_sut ()) ~properties:[]
+      (Explorer.config ~depth:4 ())
+  in
+  Alcotest.(check bool) "not truncated" false report.Explorer.stats.Budget.truncated
+
+(* ------------------------------------------------------------------ *)
+(* plumbing the explorer relies on *)
+
+let test_trace_recent () =
+  let tr = Trace.create ~capacity:4 in
+  Alcotest.(check bool) "empty" true (Trace.last tr = None);
+  Trace.record tr ~register:"a" ~kind:Trace.Write ~value:"1";
+  Trace.record tr ~register:"b" ~kind:Trace.Read ~value:"2";
+  Trace.record tr ~register:"c" ~kind:Trace.Write ~value:"3";
+  (match Trace.last tr with
+  | Some e -> Alcotest.(check string) "last is newest" "c" e.Trace.register
+  | None -> Alcotest.fail "expected an entry");
+  Alcotest.(check (list string)) "recent newest-first" [ "c"; "b" ]
+    (List.map (fun e -> e.Trace.register) (Trace.recent tr 2));
+  Alcotest.(check (list string)) "recent capped by recorded" [ "c"; "b"; "a" ]
+    (List.map (fun e -> e.Trace.register) (Trace.recent tr 10))
+
+let test_store_snapshot () =
+  let store = Store.create () in
+  let a = Store.register store ~pp:Fmt.int ~name:"a" 7 in
+  let _b = Store.register store ~name:"b" "opaque" in
+  Alcotest.(check (list (pair string string)))
+    "snapshot in allocation order"
+    [ ("a", "7"); ("b", "<value>") ]
+    (Store.snapshot store);
+  Register.poke a 9;
+  Alcotest.(check (list (pair string string)))
+    "snapshot is live" [ ("a", "9"); ("b", "<value>") ] (Store.snapshot store)
+
+let test_evaluate_matches_replay () =
+  let sut = pipe_sut () in
+  let s = Schedule.of_list ~n:2 [ 0; 1; 1; 0 ] in
+  let st = Explorer.evaluate ~sut s in
+  Alcotest.check schedule "executed the whole schedule" s st.Explorer.run.Run.taken;
+  Alcotest.(check int) "ping" 2 st.Explorer.obs.ping;
+  Alcotest.(check int) "pong" 1 st.Explorer.obs.pong
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "setsync_explore"
+    [
+      ( "counts",
+        [
+          Alcotest.test_case "brute force, hand-counted" `Quick test_count_brute;
+          Alcotest.test_case "commutation reduction" `Quick test_count_sleep;
+          Alcotest.test_case "double writer, brute" `Quick test_count_double_brute;
+          Alcotest.test_case "double writer, fingerprints" `Quick
+            test_count_double_fingerprint;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "verdicts preserved vs brute force" `Quick
+            test_pruning_preserves_verdicts;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "1-minimal counterexample" `Quick test_shrink_minimal;
+          Alcotest.test_case "synthetic ddmin" `Quick test_shrink_synthetic;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fixed seed and budget" `Quick test_deterministic;
+          Alcotest.test_case "unbounded run is exhaustive" `Quick
+            test_exhaustive_when_unbounded;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "trace last/recent" `Quick test_trace_recent;
+          Alcotest.test_case "store snapshot" `Quick test_store_snapshot;
+          Alcotest.test_case "evaluate replays faithfully" `Quick
+            test_evaluate_matches_replay;
+        ] );
+    ]
