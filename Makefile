@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt bench clean
+.PHONY: all build check test fmt fmt-check bench bench-quick ci clean
 
 all: build
 
@@ -25,8 +25,24 @@ fmt: ## format the build files; OCaml sources too when ocamlformat exists
 	  done; \
 	fi
 
+fmt-check: ## formatting gate; degrades to a no-op warning without ocamlformat
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not on PATH: skipping format check"; \
+	fi
+
 bench:
 	dune exec bench/main.exe
+
+bench-quick: ## E11 smoke run (small depth, exploration only)
+	dune exec bench/main.exe -- --quick
+
+ci: ## the full gate: format check, build, tests, E11 smoke
+	$(MAKE) fmt-check
+	dune build
+	dune runtest
+	$(MAKE) bench-quick
 
 clean:
 	dune clean

@@ -341,6 +341,44 @@ let e11_explore () =
         shrunk.Shrink.tests Schedule.pp_full shrunk.Shrink.schedule
         (Explorer.check_schedule ~sut ~property shrunk.Shrink.schedule <> None))
 
+let e11_domains ?(depth = 12) () =
+  subsection
+    (Fmt.str "d. parallel exploration: domains vs. wall time (Figure 2 detector, n=2, depth %d)"
+       depth);
+  let explore domains =
+    let sut = Explore_systems.kanti_detector ~params:{ Kanti_omega.n = 2; t = 1; k = 1 } () in
+    Explorer.explore ~domains ~sut
+      ~properties:
+        [
+          Property.anti_omega_stabilized ~k:1
+            ~outputs:(fun st -> st.Explorer.obs.Explore_systems.fd_outputs)
+            ~correct:(fun st -> Run.correct st.Explorer.run);
+        ]
+      (Explorer.config ~prune_fingerprints:false ~depth ())
+  in
+  let verdict_names (r : Explorer.report) =
+    List.filter_map
+      (fun (name, v) -> match v with Explorer.Violated _ -> Some name | Explorer.Ok_bounded -> None)
+      r.Explorer.verdicts
+  in
+  Fmt.pr "  %-8s %-26s %-9s %s@." "domains" "wall / cpu" "visited" "verdicts";
+  let baseline = ref None in
+  List.iter
+    (fun domains ->
+      let r = explore domains in
+      let violated = verdict_names r in
+      let agrees =
+        match !baseline with
+        | None ->
+            baseline := Some violated;
+            "baseline"
+        | Some b -> if violated = b then "same as 1 domain" else "VERDICT MISMATCH"
+      in
+      Fmt.pr "  %-8d %-26s %-9d %s@." domains
+        (Fmt.str "%a" Budget.pp_times r.Explorer.stats)
+        r.Explorer.stats.Budget.visited agrees)
+    [ 1; 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* P*: performance profile (Bechamel) *)
 
@@ -544,18 +582,30 @@ let ablations () =
         | None -> "not solved within budget"))
     [ 4; 5; 6; 7; 8 ]
 
-let () =
-  Fmt.pr "setsync reproduction harness — Partial Synchrony Based on Set Timeliness@.";
-  Fmt.pr "(Aguilera, Delporte-Gallet, Fauconnier, Toueg; PODC 2009)@.";
-  e1_figure1 ();
-  e2_theorem23 ();
-  e4_theorem24 ();
-  e5_theorem26_possible ();
-  e6_bg_simulation ();
-  e7_e8_boundary ();
-  e10_separation ();
-  e11_explore ();
-  convergence_profile ();
-  ablations ();
-  bechamel_benchmarks ();
+let quick () =
+  (* `bench --quick`: the E11 smoke run used by `make ci` — small depth,
+     exploration only, no Bechamel sampling. *)
+  Fmt.pr "setsync bench --quick: E11 smoke (bounded exploration + domains table)@.";
+  section "E11. Bounded exploration smoke";
+  e11_domains ~depth:8 ();
   Fmt.pr "@.done.@."
+
+let () =
+  if Array.exists (fun a -> a = "--quick") Sys.argv then quick ()
+  else begin
+    Fmt.pr "setsync reproduction harness — Partial Synchrony Based on Set Timeliness@.";
+    Fmt.pr "(Aguilera, Delporte-Gallet, Fauconnier, Toueg; PODC 2009)@.";
+    e1_figure1 ();
+    e2_theorem23 ();
+    e4_theorem24 ();
+    e5_theorem26_possible ();
+    e6_bg_simulation ();
+    e7_e8_boundary ();
+    e10_separation ();
+    e11_explore ();
+    e11_domains ();
+    convergence_profile ();
+    ablations ();
+    bechamel_benchmarks ();
+    Fmt.pr "@.done.@."
+  end

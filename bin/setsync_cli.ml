@@ -192,11 +192,30 @@ let explore_cmd =
              process-local state is not fingerprinted; the default for those checks is \
              sleep-set reduction only, which is exact).")
   in
-  let run check n t k depth bound seed bfs max_states max_replay_steps fingerprints =
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains exploring in parallel (default 1 = sequential). Verdicts \
+             are equivalent across domain counts; which counterexample is reported \
+             first, and the visited/pruned split under $(b,--fingerprints), are not.")
+  in
+  let max_seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S" ~doc:"Budget: wall-clock seconds.")
+  in
+  let run check n t k depth bound seed bfs max_states max_replay_steps max_seconds
+      fingerprints domains =
     let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
-    let limits = Budget.limits ?max_states ?max_replay_steps () in
+    let limits = Budget.limits ?max_states ?max_replay_steps ?max_seconds () in
     let finish report ok =
       Fmt.pr "%a@." Explorer.pp_report report;
+      Fmt.pr "time: %a (%d domain%s)@." Budget.pp_times report.Explorer.stats domains
+        (if domains = 1 then "" else "s");
       exit (if ok report then 0 else 1)
     in
     match check with
@@ -221,7 +240,7 @@ let explore_cmd =
         Fmt.pr "exploring %a, inputs %a, depth %d@." Problem.pp problem
           Fmt.(array ~sep:sp int)
           inputs depth;
-        let report = Explorer.explore ~sut ~properties config in
+        let report = Explorer.explore ~domains ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
     | Check_detector ->
@@ -238,7 +257,7 @@ let explore_cmd =
           Explorer.config ~strategy ~prune_fingerprints:fingerprints ~limits ~depth ()
         in
         Fmt.pr "exploring Figure 2 detector (n=%d, t=%d, k=%d), depth %d@." n t k depth;
-        let report = Explorer.explore ~sut ~properties config in
+        let report = Explorer.explore ~domains ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
     | Check_timeliness ->
@@ -258,7 +277,7 @@ let explore_cmd =
           "exploring schedules over %d processes, depth %d: is {p1} timely wrt {p%d} at \
            bound %d?@."
           n depth n bound;
-        let report = Explorer.explore ~sut ~properties:[ property ] config in
+        let report = Explorer.explore ~domains ~sut ~properties:[ property ] config in
         Fmt.pr "%a@." Explorer.pp_report report;
         (match List.assoc property.Property.name report.Explorer.verdicts with
         | Explorer.Ok_bounded ->
@@ -286,7 +305,8 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Bounded model checking of a small instance")
     Term.(
       const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
-      $ bfs_arg $ max_states_arg $ max_replay_arg $ fingerprints_arg)
+      $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
+      $ domains_arg)
 
 let () =
   let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in

@@ -9,10 +9,20 @@ let unlimited = { max_states = None; max_replay_steps = None; max_seconds = None
 let limits ?max_states ?max_replay_steps ?max_seconds () =
   { max_states; max_replay_steps; max_seconds }
 
+(* Wall clock. [Sys.time] is CPU time summed over every thread of the
+   process: under N domains a 1 s "wall" budget measured with it
+   expires after ~1/N s of real time. [Unix.gettimeofday] is real
+   (wall) time; not strictly monotonic under clock adjustment, but the
+   elapsed-time arithmetic below tolerates small steps and the budget
+   semantics only need approximate wall time. *)
+let now_wall = Unix.gettimeofday
+
 type t = {
   lim : limits;
-  started : float;
+  started_cpu : float;
+  started_wall : float;
   mutable visited : int;
+  mutable safety_checked : int;
   mutable pruned_fingerprint : int;
   mutable pruned_sleep : int;
   mutable replays : int;
@@ -25,8 +35,10 @@ type t = {
 let start lim =
   {
     lim;
-    started = (match lim.max_seconds with Some _ -> Sys.time () | None -> 0.);
+    started_cpu = Sys.time ();
+    started_wall = now_wall ();
     visited = 0;
+    safety_checked = 0;
     pruned_fingerprint = 0;
     pruned_sleep = 0;
     replays = 0;
@@ -36,17 +48,27 @@ let start lim =
     truncated = false;
   }
 
-let over t =
+let limits_hit lim ~states ~replay_steps ~wall_elapsed =
   let hit cap value = match cap with Some c -> value >= c | None -> false in
-  hit t.lim.max_states t.visited
-  || hit t.lim.max_replay_steps t.replay_steps
-  || (match t.lim.max_seconds with
-     | Some s -> Sys.time () -. t.started >= s
-     | None -> false)
+  hit lim.max_states states
+  || hit lim.max_replay_steps replay_steps
+  || (match lim.max_seconds with Some s -> wall_elapsed >= s | None -> false)
+
+let wall_elapsed t = now_wall () -. t.started_wall
+
+let cpu_elapsed t = Sys.time () -. t.started_cpu
+
+let deadline t = Option.map (fun s -> t.started_wall +. s) t.lim.max_seconds
+
+let over t =
+  limits_hit t.lim ~states:t.visited ~replay_steps:t.replay_steps
+    ~wall_elapsed:(wall_elapsed t)
 
 let mark_truncated t = t.truncated <- true
 
 let note_state t = t.visited <- t.visited + 1
+
+let note_safety_check t = t.safety_checked <- t.safety_checked + 1
 
 let note_replay t ~steps =
   t.replays <- t.replays + 1;
@@ -60,8 +82,20 @@ let note_sleep_prune t = t.pruned_sleep <- t.pruned_sleep + 1
 
 let note_frontier t size = if size > t.frontier_peak then t.frontier_peak <- size
 
+let absorb ~into w =
+  into.visited <- into.visited + w.visited;
+  into.safety_checked <- into.safety_checked + w.safety_checked;
+  into.pruned_fingerprint <- into.pruned_fingerprint + w.pruned_fingerprint;
+  into.pruned_sleep <- into.pruned_sleep + w.pruned_sleep;
+  into.replays <- into.replays + w.replays;
+  into.replay_steps <- into.replay_steps + w.replay_steps;
+  if w.max_depth > into.max_depth then into.max_depth <- w.max_depth;
+  if w.frontier_peak > into.frontier_peak then into.frontier_peak <- w.frontier_peak;
+  if w.truncated then into.truncated <- true
+
 type stats = {
   visited : int;
+  safety_checked : int;
   pruned_fingerprint : int;
   pruned_sleep : int;
   replays : int;
@@ -69,11 +103,14 @@ type stats = {
   max_depth : int;
   frontier_peak : int;
   truncated : bool;
+  cpu_seconds : float;
+  wall_seconds : float;
 }
 
 let stats (t : t) : stats =
   {
     visited = t.visited;
+    safety_checked = t.safety_checked;
     pruned_fingerprint = t.pruned_fingerprint;
     pruned_sleep = t.pruned_sleep;
     replays = t.replays;
@@ -81,6 +118,8 @@ let stats (t : t) : stats =
     max_depth = t.max_depth;
     frontier_peak = t.frontier_peak;
     truncated = t.truncated;
+    cpu_seconds = cpu_elapsed t;
+    wall_seconds = wall_elapsed t;
   }
 
 let pp_stats ppf s =
@@ -90,3 +129,5 @@ let pp_stats ppf s =
     s.visited s.pruned_fingerprint s.pruned_sleep s.replays s.replay_steps s.max_depth
     s.frontier_peak
     (if s.truncated then "TRUNCATED by budget" else "exhaustive")
+
+let pp_times ppf s = Fmt.pf ppf "%.3fs wall / %.3fs cpu" s.wall_seconds s.cpu_seconds

@@ -5,7 +5,13 @@
     replayed steps, wall clock), and the meter behind it accumulates
     the statistics the final report prints (states visited, states
     pruned by fingerprint and by commutation, replay effort, depth and
-    frontier high-water marks). *)
+    frontier high-water marks).
+
+    In parallel explorations ({!Explorer.explore} with [~domains] > 1)
+    each worker accumulates into its own meter — the meters are plain
+    single-domain mutable state — and the parent meter {!absorb}s them
+    into the final report; only the parent's clocks are read, so the
+    reported times span the whole exploration. *)
 
 type limits = {
   max_states : int option;  (** cap on states visited (property-checked) *)
@@ -14,11 +20,13 @@ type limits = {
           replays (the engine re-executes each prefix from scratch, so
           this is the real work metric) *)
   max_seconds : float option;
-      (** cap on elapsed CPU seconds ({!Sys.time}). Unlike the other
-          limits this one is machine-dependent: a run truncated by it
-          is reproducible only in what it explored first, not in how
-          far it got. [None] (the default everywhere) keeps
-          explorations deterministic. *)
+      (** cap on elapsed {e wall-clock} seconds. Wall, not CPU: a 1 s
+          budget expires after ~1 s of real time no matter how many
+          domains are exploring (CPU time accrues N× faster under N
+          domains). Unlike the other limits this one is
+          machine-dependent: a run truncated by it is reproducible only
+          in what it explored first, not in how far it got. [None] (the
+          default everywhere) keeps explorations deterministic. *)
 }
 
 val unlimited : limits
@@ -27,12 +35,28 @@ val limits :
   ?max_states:int -> ?max_replay_steps:int -> ?max_seconds:float -> unit -> limits
 
 type t
-(** A running meter. *)
+(** A running meter. Single-domain: share one meter per worker, never
+    one meter across workers. *)
 
 val start : limits -> t
+(** Starts both clocks (CPU via [Sys.time], wall via
+    [Unix.gettimeofday]). *)
 
 val over : t -> bool
-(** Some limit has been reached. *)
+(** Some limit has been reached ([max_seconds] against the wall
+    clock). *)
+
+val limits_hit :
+  limits -> states:int -> replay_steps:int -> wall_elapsed:float -> bool
+(** The raw limit predicate, for callers (the parallel explorer) that
+    aggregate counts outside a single meter. *)
+
+val wall_elapsed : t -> float
+val cpu_elapsed : t -> float
+
+val deadline : t -> float option
+(** Absolute wall-clock time ([Unix.gettimeofday] scale) at which the
+    [max_seconds] limit fires, if one is set. *)
 
 val mark_truncated : t -> unit
 (** Record that exploration stopped because a limit fired. *)
@@ -40,11 +64,18 @@ val mark_truncated : t -> unit
 (** {2 Accumulation} (called by the explorer) *)
 
 val note_state : t -> unit
+val note_safety_check : t -> unit
 val note_replay : t -> steps:int -> unit
 val note_depth : t -> int -> unit
 val note_fingerprint_prune : t -> unit
 val note_sleep_prune : t -> unit
 val note_frontier : t -> int -> unit
+
+val absorb : into:t -> t -> unit
+(** Merge a worker meter's counters into a parent meter: counts are
+    summed, high-water marks maxed, [truncated] or-ed. Clocks are not
+    touched — {!stats} on the parent reports the parent's own
+    elapsed times. *)
 
 (** {2 Report} *)
 
@@ -52,6 +83,10 @@ type stats = {
   visited : int;
       (** states evaluated and property-checked (commutation-pruned
           replays are not visits) *)
+  safety_checked : int;
+      (** states checked against at least one pending safety property —
+          includes commutation-pruned states, whose replay is already
+          paid for and therefore checked before being discarded *)
   pruned_fingerprint : int;
       (** visited states not expanded because their fingerprint was
           already seen at the same or a shallower depth *)
@@ -67,10 +102,22 @@ type stats = {
       (** a budget limit fired before the bounded space was exhausted;
           when [false], every reachable state within the depth bound
           was covered (up to the enabled reductions) *)
+  cpu_seconds : float;
+      (** CPU time consumed by the whole process during the
+          exploration, summed over domains ([Sys.time] delta) *)
+  wall_seconds : float;  (** real elapsed time ([Unix.gettimeofday] delta) *)
 }
 
 val stats : t -> stats
+(** Reads the clocks at call time; every other field is a plain copy
+    of the meter. *)
 
 val pp_stats : stats Fmt.t
 (** One-line report, e.g.
-    ["visited 4121 (fp-pruned 310, commute-pruned 988) replays 5109/31880 steps, max depth 7, frontier peak 24, exhaustive"]. *)
+    ["visited 4121 (fp-pruned 310, commute-pruned 988) replays 5109/31880 steps, max depth 7, frontier peak 24, exhaustive"].
+    Deliberately omits the times so that reports of deterministic
+    explorations print identically across runs; print {!pp_times}
+    separately when the timing matters. *)
+
+val pp_times : stats Fmt.t
+(** ["0.412s wall / 0.409s cpu"]. *)

@@ -124,21 +124,103 @@ let evaluate ~sut ?(fault = Fault.no_faults) schedule =
   in
   { depth = Schedule.length schedule; prefix = schedule; run; snapshot; obs }
 
+(* ------------------------------------------- counterexample re-check *)
+
+(* Safety re-verification used to replay every prefix 0..len from
+   scratch — O(len²) steps per call, which made ddmin shrinking
+   O(len²) replays per candidate. Instead: one replay with an on-step
+   probe that rebuilds the interim state (registers and observation
+   are live in the instance; run bookkeeping is reconstructed from the
+   fault plan and a halt flag set when a body returns). The
+   reconstruction is exact as long as every scheduled step actually
+   executes; the first skipped step (a crashed/halted process named
+   again) breaks the alignment, which the probe detects by comparing
+   each executed step against the schedule — it then falls back to the
+   per-prefix scan. *)
+let check_safety_scan ~sut ~property ~fault schedule =
+  let len = Schedule.length schedule in
+  let rec scan d =
+    if d > len then None
+    else
+      match
+        property.Property.check (evaluate ~sut ~fault (Schedule.prefix schedule d))
+      with
+      | Some reason -> Some reason
+      | None -> scan (d + 1)
+  in
+  scan 0
+
+let check_safety_probe ~sut ~property ~fault schedule =
+  let n = sut.n in
+  let len = Schedule.length schedule in
+  let store = Store.create () in
+  let inst = sut.fresh ~store in
+  let halted = Array.make n false in
+  let body p () =
+    inst.body p ();
+    halted.(p) <- true
+  in
+  let steps_of = Array.make n 0 in
+  let budgets = Array.make n max_int in
+  List.iter (fun (p, s) -> budgets.(p) <- s) fault;
+  let crashes =
+    ref (List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault)
+  in
+  let crashed p = List.exists (fun (q, _) -> q = p) !crashes in
+  let mk_state depth =
+    let taken = Schedule.prefix schedule depth in
+    let halted_set = ref Procset.empty in
+    Array.iteri (fun p h -> if h then halted_set := Procset.add p !halted_set) halted;
+    let all_done =
+      let rec go p = p >= n || ((halted.(p) || crashed p) && go (p + 1)) in
+      go 0
+    in
+    let run =
+      {
+        Run.n;
+        taken;
+        steps_of = Array.copy steps_of;
+        crashes = !crashes;
+        halted = !halted_set;
+        reason = (if all_done then Run.All_halted else Run.Source_exhausted);
+      }
+    in
+    { depth; prefix = taken; run; snapshot = Store.snapshot store; obs = inst.observe () }
+  in
+  let violation = ref None in
+  let exact = ref true in
+  let check depth =
+    match property.Property.check (mk_state depth) with
+    | Some r -> violation := Some r
+    | None -> ()
+  in
+  check 0;
+  if !violation <> None then (true, !violation)
+  else if len = 0 then (true, None)
+  else begin
+    let on_step ~global ~proc =
+      if !exact then
+        if Schedule.get schedule global <> proc then exact := false
+        else begin
+          steps_of.(proc) <- steps_of.(proc) + 1;
+          if steps_of.(proc) >= budgets.(proc) && not (crashed proc) then
+            crashes := !crashes @ [ (proc, global) ];
+          if !violation = None then check (global + 1)
+        end
+    in
+    let stop () = (not !exact) || !violation <> None in
+    let run = Executor.replay ~n ~schedule ~fault ~on_step ~stop body in
+    let complete = Run.total_steps run = len in
+    ((!exact && (complete || !violation <> None)), !violation)
+  end
+
 let check_schedule ~sut ~property ?(fault = Fault.no_faults) schedule =
   match property.Property.kind with
   | Property.Stabilization -> property.Property.check (evaluate ~sut ~fault schedule)
-  | Property.Safety ->
-      let len = Schedule.length schedule in
-      let rec scan d =
-        if d > len then None
-        else
-          match
-            property.Property.check (evaluate ~sut ~fault (Schedule.prefix schedule d))
-          with
-          | Some reason -> Some reason
-          | None -> scan (d + 1)
-      in
-      scan 0
+  | Property.Safety -> (
+      match check_safety_probe ~sut ~property ~fault schedule with
+      | true, result -> result
+      | false, _ -> check_safety_scan ~sut ~property ~fault schedule)
 
 (* -------------------------------------------------------- exploration *)
 
@@ -170,10 +252,97 @@ let enabled ~n run =
       (not (Procset.mem p run.Run.halted)) && not (Procset.mem p (Run.crashed run)))
     (Proc.all ~n)
 
-let explore ~sut ~properties config =
+(* One worker's view of the exploration: where stats go, how verdicts
+   are recorded, how fingerprint decisions are made. The sequential
+   explorer and each parallel worker instantiate this differently but
+   run the same per-prefix logic, so the two modes cannot drift. *)
+type 'obs engine = {
+  e_sut : 'obs sut;
+  e_config : config;
+  e_meter : Budget.t;  (* this worker's stats sink *)
+  e_lifo : bool;  (* reverse children so LIFO frontiers pop ascending *)
+  e_record : kind:Property.kind -> 'obs state -> unit;
+  e_pending_safety : unit -> bool;
+  e_fp_check : string -> depth:int -> bool;  (* true = expand *)
+  e_on_visit : unit -> unit;  (* global-budget hook *)
+  e_on_replay : steps:int -> unit;  (* global-budget hook *)
+  e_frontier_size : unit -> int;
+}
+
+(* Replay one prefix and fold it into the exploration: check
+   properties, decide expansion, push children. *)
+let process_prefix eng ~push rev_steps =
+  let sut = eng.e_sut and config = eng.e_config and meter = eng.e_meter in
+  let steps = List.rev rev_steps in
+  let depth = List.length steps in
+  let run, obs, snapshot, touched = replay_instrumented ~sut ~fault:config.fault steps in
+  let executed = Run.total_steps run in
+  Budget.note_replay meter ~steps:executed;
+  eng.e_on_replay ~steps:executed;
+  let sleep_pruned =
+    config.sleep_sets && depth >= 2
+    &&
+    match rev_steps with
+    | b :: a :: _ ->
+        b < a && disjoint_footprints touched.(depth - 2) touched.(depth - 1)
+    | _ -> false
+  in
+  if sleep_pruned then begin
+    Budget.note_sleep_prune meter;
+    (* The replay is already paid for: check safety on its final state
+       before discarding it. The state-equal sibling σ·b·a covers
+       state-based safety, but a violation visible only through this
+       interleaving's observation (a schedule-sensitive property)
+       would otherwise vanish while the report still prints
+       "exhaustive". *)
+    if eng.e_pending_safety () then begin
+      Budget.note_safety_check meter;
+      let state =
+        { depth; prefix = Schedule.of_list ~n:sut.n steps; run; snapshot; obs }
+      in
+      eng.e_record ~kind:Property.Safety state
+    end
+  end
+  else begin
+    Budget.note_state meter;
+    eng.e_on_visit ();
+    Budget.note_depth meter depth;
+    let state = { depth; prefix = Schedule.of_list ~n:sut.n steps; run; snapshot; obs } in
+    if eng.e_pending_safety () then Budget.note_safety_check meter;
+    eng.e_record ~kind:Property.Safety state;
+    let en = enabled ~n:sut.n run in
+    if depth >= config.depth || en = [] then
+      eng.e_record ~kind:Property.Stabilization state;
+    let expand =
+      depth < config.depth
+      && en <> []
+      && ((not config.prune_fingerprints)
+         ||
+         let fp = fingerprint ~sut ~snapshot ~run ~obs in
+         if eng.e_fp_check fp ~depth then true
+         else begin
+           Budget.note_fingerprint_prune meter;
+           false
+         end)
+    in
+    if expand then begin
+      let children = List.map (fun p -> p :: rev_steps) en in
+      (* LIFO frontiers pop last-pushed first: push descending so
+         children are explored in ascending process order *)
+      List.iter push (if eng.e_lifo then List.rev children else children);
+      Budget.note_frontier meter (eng.e_frontier_size ())
+    end
+  end
+
+let validate_explore ~sut config =
   if config.depth < 0 then invalid_arg "Explorer.explore: negative depth bound";
   Proc.check_n sut.n;
-  Fault.validate ~n:sut.n config.fault;
+  Fault.validate ~n:sut.n config.fault
+
+(* ------------------------------------------------------- sequential *)
+
+let explore_seq ~sut ~properties config =
+  validate_explore ~sut config;
   let meter = Budget.start config.limits in
   let frontier = make_frontier config.strategy in
   let fingerprints : (string, int) Hashtbl.t = Hashtbl.create 1024 in
@@ -190,11 +359,38 @@ let explore ~sut ~properties config =
           | None -> ())
       verdicts
   in
+  let pending_safety () =
+    List.exists
+      (fun ((p : _ Property.t), v) -> p.Property.kind = Property.Safety && !v = Ok_bounded)
+      verdicts
+  in
+  let eng =
+    {
+      e_sut = sut;
+      e_config = config;
+      e_meter = meter;
+      e_lifo = (match config.strategy with Dfs -> true | Bfs | Custom _ -> false);
+      e_record = record_violations;
+      e_pending_safety = pending_safety;
+      e_fp_check =
+        (fun fp ~depth ->
+          match Hashtbl.find_opt fingerprints fp with
+          | Some d0 when d0 <= depth -> false
+          | Some _ | None ->
+              Hashtbl.replace fingerprints fp depth;
+              true);
+      e_on_visit = (fun () -> ());
+      e_on_replay = (fun ~steps:_ -> ());
+      e_frontier_size = frontier.size;
+    }
+  in
   (* prefixes are stored in reverse step order: extension is a cons *)
   frontier.push [];
   Budget.note_frontier meter 1;
   let stop = ref false in
   while not !stop do
+    (* peak on every push/pop cycle, not only after expansions *)
+    Budget.note_frontier meter (frontier.size ());
     if Budget.over meter then begin
       Budget.mark_truncated meter;
       stop := true
@@ -203,60 +399,111 @@ let explore ~sut ~properties config =
     else
       match frontier.pop () with
       | None -> stop := true
-      | Some rev_steps ->
-          let steps = List.rev rev_steps in
-          let depth = List.length steps in
-          let run, obs, snapshot, touched =
-            replay_instrumented ~sut ~fault:config.fault steps
-          in
-          Budget.note_replay meter ~steps:(Run.total_steps run);
-          let sleep_pruned =
-            config.sleep_sets && depth >= 2
-            &&
-            match rev_steps with
-            | b :: a :: _ ->
-                b < a && disjoint_footprints touched.(depth - 2) touched.(depth - 1)
-            | _ -> false
-          in
-          if sleep_pruned then Budget.note_sleep_prune meter
-          else begin
-            Budget.note_state meter;
-            Budget.note_depth meter depth;
-            let state =
-              { depth; prefix = Schedule.of_list ~n:sut.n steps; run; snapshot; obs }
-            in
-            record_violations ~kind:Property.Safety state;
-            let en = enabled ~n:sut.n run in
-            if depth >= config.depth || en = [] then
-              record_violations ~kind:Property.Stabilization state;
-            let expand =
-              depth < config.depth
-              && en <> []
-              && ((not config.prune_fingerprints)
-                 ||
-                 let fp = fingerprint ~sut ~snapshot ~run ~obs in
-                 match Hashtbl.find_opt fingerprints fp with
-                 | Some d0 when d0 <= depth ->
-                     Budget.note_fingerprint_prune meter;
-                     false
-                 | Some _ | None ->
-                     Hashtbl.replace fingerprints fp depth;
-                     true)
-            in
-            if expand then begin
-              let children = List.map (fun p -> p :: rev_steps) en in
-              (* DFS pops LIFO: push descending so children are
-                 explored in ascending process order *)
-              List.iter frontier.push
-                (match config.strategy with Dfs -> List.rev children | _ -> children);
-              Budget.note_frontier meter (frontier.size ())
-            end
-          end
+      | Some rev_steps -> process_prefix eng ~push:frontier.push rev_steps
   done;
   {
     verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
     stats = Budget.stats meter;
   }
+
+(* --------------------------------------------------------- parallel *)
+
+(* Replays are embarrassingly parallel (each drives a fresh
+   store/trace/fiber instance); the shared state is the frontier
+   (work-stealing deques), the fingerprint table (lock-striped), the
+   verdict table (one mutex, written once per property), and the
+   budget gauge (atomics + a wall-clock deadline). Verdicts are
+   equivalent to the sequential explorer's — same violated set — but
+   which counterexample is reported first, and the visited/pruned
+   counts under fingerprint pruning, depend on the work interleaving
+   (see DESIGN.md §8). *)
+let explore_par ~domains ~sut ~properties config =
+  validate_explore ~sut config;
+  let parent = Budget.start config.limits in
+  let deadline = Budget.deadline parent in
+  let meters = Array.init domains (fun _ -> Budget.start Budget.unlimited) in
+  let visited_g = Atomic.make 0 in
+  let replay_steps_g = Atomic.make 0 in
+  let over_gauge () =
+    match deadline with
+    | Some d when Unix.gettimeofday () >= d -> true
+    | Some _ | None ->
+        Budget.limits_hit config.limits ~states:(Atomic.get visited_g)
+          ~replay_steps:(Atomic.get replay_steps_g)
+          ~wall_elapsed:0. (* wall handled by the deadline above *)
+  in
+  let pool = Parallel.Pool.create ~workers:domains in
+  let verdict_mu = Mutex.create () in
+  let verdicts = List.map (fun p -> (p, ref Ok_bounded)) properties in
+  let all_violated () =
+    verdicts <> [] && List.for_all (fun (_, v) -> !v <> Ok_bounded) verdicts
+  in
+  let record_violations ~kind state =
+    List.iter
+      (fun ((p : _ Property.t), v) ->
+        (* the unsynchronized read may be stale — at worst a property
+           already violated elsewhere is re-checked; the write is
+           serialized and first-wins *)
+        if p.Property.kind = kind && !v = Ok_bounded then
+          match p.Property.check state with
+          | Some reason ->
+              Mutex.lock verdict_mu;
+              if !v = Ok_bounded then
+                v := Violated { schedule = state.prefix; reason };
+              Mutex.unlock verdict_mu;
+              if all_violated () then Parallel.Pool.stop pool
+          | None -> ())
+      verdicts
+  in
+  let pending_safety () =
+    List.exists
+      (fun ((p : _ Property.t), v) -> p.Property.kind = Property.Safety && !v = Ok_bounded)
+      verdicts
+  in
+  let fingerprints = Parallel.Shard_tbl.create () in
+  let engines =
+    Array.init domains (fun wid ->
+        {
+          e_sut = sut;
+          e_config = config;
+          e_meter = meters.(wid);
+          e_lifo = true;  (* per-worker deques are LIFO for the owner *)
+          e_record = record_violations;
+          e_pending_safety = pending_safety;
+          e_fp_check = Parallel.Shard_tbl.check_and_record fingerprints;
+          e_on_visit = (fun () -> Atomic.incr visited_g);
+          e_on_replay = (fun ~steps -> ignore (Atomic.fetch_and_add replay_steps_g steps));
+          e_frontier_size = (fun () -> Parallel.Pool.frontier_size pool);
+        })
+  in
+  let worker wid rev_steps =
+    if over_gauge () then begin
+      Budget.mark_truncated meters.(wid);
+      Parallel.Pool.stop pool
+    end
+    else process_prefix engines.(wid) ~push:(Parallel.Pool.push pool ~worker:wid) rev_steps
+  in
+  Parallel.Pool.push pool ~worker:0 [];
+  Budget.note_frontier meters.(0) 1;
+  Parallel.Pool.run pool worker;
+  Array.iter (fun m -> Budget.absorb ~into:parent m) meters;
+  {
+    verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
+    stats = Budget.stats parent;
+  }
+
+let explore ?(domains = 1) ~sut ~properties config =
+  if domains < 1 then invalid_arg "Explorer.explore: domains must be >= 1";
+  if domains = 1 then explore_seq ~sut ~properties config
+  else begin
+    (match config.strategy with
+    | Custom _ ->
+        invalid_arg
+          "Explorer.explore: custom frontiers are single-domain only (the parallel \
+           engine owns its work-stealing frontier)"
+    | Dfs | Bfs -> ());
+    explore_par ~domains ~sut ~properties config
+  end
 
 (* ----------------------------------------------------------- printing *)
 

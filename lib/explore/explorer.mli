@@ -104,9 +104,27 @@ type report = { verdicts : (string * verdict) list; stats : Budget.stats }
 (** One verdict per property, in the order given; plus the exploration
     report. *)
 
-val explore : sut:'obs sut -> properties:'obs state Property.t list -> config -> report
+val explore :
+  ?domains:int -> sut:'obs sut -> properties:'obs state Property.t list -> config -> report
 (** Exploration stops when the frontier empties, a budget limit fires
-    (stats.truncated), or every property already has a counterexample. *)
+    (stats.truncated), or every property already has a counterexample.
+
+    [domains] (default 1) > 1 runs the exploration on a pool of OCaml
+    domains: each worker owns a work-stealing deque of prefixes,
+    replays are independent (every prefix drives a fresh
+    store/trace/fiber instance), and the fingerprint table is
+    lock-striped. The parallel run is {e verdict-equivalent} to the
+    sequential one — the same set of properties is violated — and with
+    fingerprint pruning off its visited/pruned counts are identical;
+    what is {e not} reproducible across parallel runs is which
+    counterexample is found first and, under fingerprint pruning, the
+    exact visited/pruned split (see DESIGN.md §8). [config.strategy]
+    must be {!Dfs} or {!Bfs} (both are treated as hints; each worker
+    drains its own deque depth-first) — [Custom] frontiers raise
+    [Invalid_argument]. Budget limits are enforced against global
+    counters and the wall clock, so [max_seconds] expires after ~1×
+    wall time regardless of the domain count; overshoot of the count
+    limits is bounded by the number of in-flight items. *)
 
 val evaluate :
   sut:'obs sut ->
@@ -126,7 +144,15 @@ val check_schedule :
 (** Re-verify a (counterexample) schedule: a safety property is checked
     at every prefix of the schedule (first violation wins), a
     stabilization property at its final state. This is the predicate
-    handed to {!Shrink}. *)
+    handed to {!Shrink}.
+
+    Safety checking costs a {e single} replay: an on-step probe
+    evaluates the property at every prefix boundary against the live
+    instance, so ddmin shrinking is O(len) rather than O(len²) replays
+    per candidate. If the replay skips a scheduled step (a schedule
+    naming a crashed or halted process — possible for hand-written or
+    shrunk schedules), the probe detects the misalignment and falls
+    back to the exact per-prefix scan. *)
 
 val pp_verdict : verdict Fmt.t
 

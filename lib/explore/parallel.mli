@@ -1,0 +1,74 @@
+(** Domain-parallel scheduling primitives for the explorer.
+
+    Exploration replays are embarrassingly parallel — every prefix is
+    re-executed against a fresh store/trace/fiber instance, so workers
+    share nothing during a replay. The only shared state is the
+    frontier (who explores which prefix), the fingerprint table (who
+    has seen which state), and the stop/budget flags; this module
+    provides exactly those three, generically. {!Explorer.explore}
+    with [~domains] > 1 composes them. *)
+
+(** Per-worker work-stealing deque. The owner pushes/pops LIFO at the
+    top (depth-first local order); thieves steal FIFO from the bottom,
+    where the shallowest prefixes — the largest subtrees — sit.
+    Mutex-protected: correctness over lock-freedom, since each item
+    costs a full replay and the lock is uncontended on the owner's
+    fast path. All operations are safe from any domain. *)
+module Ws_deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit  (** owner end *)
+
+  val pop : 'a t -> 'a option  (** owner end, LIFO *)
+
+  val steal : 'a t -> 'a option  (** opposite end, FIFO *)
+
+  val size : 'a t -> int
+  (** Racy snapshot; for monitoring (frontier peaks), not control. *)
+end
+
+(** Lock-striped [fingerprint -> minimal depth] table. Lookup-and-record
+    is atomic per stripe, preserving the sequential explorer's
+    "prune iff seen at the same or a shallower depth" decision without
+    a global lock. *)
+module Shard_tbl : sig
+  type t
+
+  val create : ?shards:int -> unit -> t
+  (** [shards] (default 64) is rounded up to a power of two. *)
+
+  val check_and_record : t -> string -> depth:int -> bool
+  (** [true] = not yet seen at [depth] or shallower: the caller should
+      expand, and the table now records [depth] as the key's minimum. *)
+end
+
+(** Fixed-size domain pool draining the work-stealing deques.
+    Termination is exact: an item counts as pending from its push until
+    its callback returns (children are pushed {e inside} the callback,
+    so the count never dips to zero while work is still implied). An
+    exception in any worker stops the pool and is re-raised from
+    {!Pool.run} on the calling domain. *)
+module Pool : sig
+  type 'a t
+
+  val create : workers:int -> 'a t
+  val workers : 'a t -> int
+
+  val push : 'a t -> worker:int -> 'a -> unit
+  (** Enqueue onto the given worker's deque (any domain may push). *)
+
+  val frontier_size : 'a t -> int
+  (** Racy sum of deque sizes; for monitoring. *)
+
+  val stop : 'a t -> unit
+  (** Ask every worker to exit after its current item. *)
+
+  val stopped : 'a t -> bool
+
+  val run : 'a t -> (int -> 'a -> unit) -> unit
+  (** Spawn [workers - 1] domains and participate with the calling
+      domain as worker 0; each item is handed to the callback with the
+      worker id. Returns when all work is done or {!stop} was called,
+      after joining every spawned domain. *)
+end

@@ -72,6 +72,6 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop body =
     reason = (match !reason with Some r -> r | None -> assert false);
   }
 
-let replay ~n ~schedule ?fault ?on_step body =
+let replay ~n ~schedule ?fault ?on_step ?stop body =
   let source ~live:_ = Source.of_schedule schedule in
-  run ~n ~source ~max_steps:max_int ?fault ?on_step body
+  run ~n ~source ~max_steps:max_int ?fault ?on_step ?stop body

@@ -40,7 +40,16 @@ val replay :
   schedule:Setsync_schedule.Schedule.t ->
   ?fault:Fault.plan ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
+  ?stop:(unit -> bool) ->
   (Setsync_schedule.Proc.t -> unit -> unit) ->
   Run.t
 (** Deterministic replay of a fixed finite schedule (steps naming
-    crashed or finished processes are skipped). *)
+    crashed or finished processes are skipped). [stop] as in {!run}
+    (used by the explorer's incremental safety probe to cut a replay
+    at the first violation).
+
+    Domain safety: a replay touches no global mutable state — fibers,
+    fault state and step counters are all allocated per call — so
+    independent replays may run concurrently on separate domains,
+    provided each drives its own store/trace/instance (the explorer's
+    parallel mode relies on exactly this). *)

@@ -290,6 +290,18 @@ let test_shrink_synthetic () =
 (* ------------------------------------------------------------------ *)
 (* (d) determinism and budgets *)
 
+(* every stats field except the clocks (and, for parallel runs, the
+   frontier peak, which is a racy sample of the shared deques) *)
+let counts_of (s : Budget.stats) =
+  ( s.Budget.visited,
+    s.Budget.safety_checked,
+    s.Budget.pruned_fingerprint,
+    s.Budget.pruned_sleep,
+    s.Budget.replays,
+    s.Budget.replay_steps,
+    s.Budget.max_depth,
+    s.Budget.truncated )
+
 let reports_equal (a : Explorer.report) (b : Explorer.report) =
   let verdict_eq v w =
     match (v, w) with
@@ -302,7 +314,8 @@ let reports_equal (a : Explorer.report) (b : Explorer.report) =
   && List.for_all2
        (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && verdict_eq v1 v2)
        a.Explorer.verdicts b.Explorer.verdicts
-  && a.Explorer.stats = b.Explorer.stats
+  && counts_of a.Explorer.stats = counts_of b.Explorer.stats
+  && a.Explorer.stats.Budget.frontier_peak = b.Explorer.stats.Budget.frontier_peak
 
 let test_deterministic () =
   let params = { Setsync_detector.Kanti_omega.n = 2; t = 1; k = 1 } in
@@ -330,6 +343,271 @@ let test_exhaustive_when_unbounded () =
       (Explorer.config ~depth:4 ())
   in
   Alcotest.(check bool) "not truncated" false report.Explorer.stats.Budget.truncated
+
+(* the budget expires against the wall clock: under any domain count a
+   0.2 s budget must cut the run after ~0.2 s of real time (the old
+   [Sys.time]-based check measured CPU time, which accrues N× faster
+   under N domains) *)
+let test_wall_clock_budget () =
+  let sut = Systems.pause_procs ~n:3 in
+  List.iter
+    (fun domains ->
+      let t0 = Unix.gettimeofday () in
+      let report =
+        Explorer.explore ~domains ~sut ~properties:[]
+          (Explorer.config ~prune_fingerprints:false ~sleep_sets:false
+             ~limits:(Budget.limits ~max_seconds:0.2 ())
+             ~depth:200 ())
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let label fmt = Printf.sprintf "%s (domains=%d)" fmt domains in
+      Alcotest.(check bool) (label "truncated") true report.Explorer.stats.Budget.truncated;
+      Alcotest.(check bool) (label "expired within ~1x wall") true (elapsed < 2.0);
+      Alcotest.(check bool) (label "ran for at least the budget") true (elapsed >= 0.15);
+      Alcotest.(check bool)
+        (label "stats report the wall time")
+        true
+        (report.Explorer.stats.Budget.wall_seconds >= 0.15
+        && report.Explorer.stats.Budget.wall_seconds < 2.0))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* (e) sleep-set reduction must not skip safety checks *)
+
+(* Schedule-sensitive safety property: the interleaving itself (not
+   the reached state) is what violates. Every violating prefix ends
+   p2·p1 with disjoint write footprints, i.e. is exactly the shape the
+   commutation reduction discards — the old code dropped these without
+   a safety check and still printed "exhaustive". *)
+let no_p2p1_suffix =
+  Property.safety ~name:"no-p2p1-suffix" (fun st ->
+      match List.rev (Schedule.to_list st.Explorer.prefix) with
+      | 0 :: 1 :: _ -> Some "schedule ends p2 then p1"
+      | _ -> None)
+
+let test_sleep_set_safety_checked () =
+  let explore ~sleep_sets =
+    Explorer.explore ~sut:(single_writer_sut ()) ~properties:[ no_p2p1_suffix ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets ~depth:4 ())
+  in
+  let brute = explore ~sleep_sets:false in
+  Alcotest.(check bool)
+    "brute force finds the violation" true
+    (verdict_of "no-p2p1-suffix" brute <> Explorer.Ok_bounded);
+  (* regression: with the reduction on, every violating interleaving is
+     commutation-pruned; the violation must still be reported *)
+  let reduced = explore ~sleep_sets:true in
+  (match verdict_of "no-p2p1-suffix" reduced with
+  | Explorer.Ok_bounded ->
+      Alcotest.fail "sleep-set pruning silently skipped a safety violation"
+  | Explorer.Violated { schedule; _ } ->
+      Alcotest.(check bool)
+        "counterexample ends p2 then p1" true
+        (match List.rev (Schedule.to_list schedule) with
+        | 0 :: 1 :: _ -> true
+        | _ -> false));
+  let s = stats_of reduced in
+  Alcotest.(check bool)
+    "pruned states were safety-checked" true
+    (s.Budget.safety_checked > s.Budget.visited)
+
+(* ------------------------------------------------------------------ *)
+(* (f) check_schedule: one replay, not one per prefix *)
+
+let counting_sut sut =
+  let count = ref 0 in
+  ( {
+      sut with
+      Explorer.fresh =
+        (fun ~store ->
+          incr count;
+          sut.Explorer.fresh ~store);
+    },
+    count )
+
+(* the old per-prefix scan for reference *)
+let reference_check ~sut ~property s =
+  let len = Schedule.length s in
+  let rec scan d =
+    if d > len then None
+    else
+      match property.Property.check (Explorer.evaluate ~sut (Schedule.prefix s d)) with
+      | Some reason -> Some reason
+      | None -> scan (d + 1)
+  in
+  scan 0
+
+let test_check_schedule_single_replay () =
+  let property = pong_below 2 in
+  let schedules =
+    [
+      [ 0; 0; 1; 1 ] (* violates: pong reaches 2 *);
+      [ 0; 1; 0; 1 ] (* passes: pong stays at 1 *);
+      [ 1; 1; 0; 1; 1 ];
+      [];
+    ]
+  in
+  List.iter
+    (fun steps ->
+      let s = Schedule.of_list ~n:2 steps in
+      let sut, count = counting_sut (pipe_sut ()) in
+      let got = Explorer.check_schedule ~sut ~property s in
+      let want = reference_check ~sut:(pipe_sut ()) ~property s in
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict matches per-prefix scan (len %d)" (List.length steps))
+        true
+        ((got = None) = (want = None));
+      Alcotest.(check int)
+        (Printf.sprintf "one instance per check (len %d)" (List.length steps))
+        1 !count)
+    schedules
+
+let test_shrink_replay_count () =
+  let sut, count = counting_sut (pipe_sut ()) in
+  let property = pong_below 2 in
+  let found = Schedule.of_list ~n:2 [ 0; 1; 0; 1; 0; 1; 1 ] in
+  (* sanity: it violates (three ping bumps, pong copies the last) *)
+  Alcotest.(check bool) "input violates" true
+    (Explorer.check_schedule ~sut ~property found <> None);
+  count := 0;
+  let violates s = Explorer.check_schedule ~sut ~property s <> None in
+  let r = Shrink.run ~violates found in
+  Alcotest.(check bool) "shrunk still violates" true (violates r.Shrink.schedule);
+  (* one replay per ddmin test (plus the final violates above): the old
+     per-prefix scan cost O(len) instances per test *)
+  Alcotest.(check int) "one instance per ddmin test" (r.Shrink.tests + 1) !count
+
+(* ------------------------------------------------------------------ *)
+(* (g) parallel exploration: verdict-equivalent to sequential *)
+
+let violated_names (r : Explorer.report) =
+  List.filter_map
+    (fun (name, v) ->
+      match v with Explorer.Violated _ -> Some name | Explorer.Ok_bounded -> None)
+    r.Explorer.verdicts
+  |> List.sort String.compare
+
+(* with fingerprint pruning off the explored prefix set is
+   order-independent, so parallel counts must match sequentially
+   exactly (frontier peak excepted: the parallel one samples shared
+   deques) *)
+let cross_check ?(exact_counts = true) ~name ~mk_sut ~properties ~config () =
+  let seq = Explorer.explore ~sut:(mk_sut ()) ~properties (config ()) in
+  List.iter
+    (fun domains ->
+      let par = Explorer.explore ~domains ~sut:(mk_sut ()) ~properties (config ()) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: same violated set (domains=%d)" name domains)
+        (violated_names seq) (violated_names par);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: both exhaustive (domains=%d)" name domains)
+        seq.Explorer.stats.Budget.truncated par.Explorer.stats.Budget.truncated;
+      if exact_counts then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: identical counts (domains=%d)" name domains)
+          true
+          (counts_of seq.Explorer.stats = counts_of par.Explorer.stats)
+      else begin
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: plausible visited (domains=%d)" name domains)
+          true
+          (par.Explorer.stats.Budget.visited > 0
+          && par.Explorer.stats.Budget.replays >= par.Explorer.stats.Budget.visited);
+        (* any counterexample a parallel run reports must replay *)
+        List.iter
+          (fun (p : _ Property.t) ->
+            match List.assoc p.Property.name par.Explorer.verdicts with
+            | Explorer.Ok_bounded -> ()
+            | Explorer.Violated { schedule; _ } ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s counterexample replays (domains=%d)" name
+                     p.Property.name domains)
+                  true
+                  (Explorer.check_schedule ~sut:(mk_sut ()) ~property:p schedule <> None))
+          properties
+      end)
+    [ 2; 4 ]
+
+let test_parallel_pause_only () =
+  cross_check ~name:"pause-only"
+    ~mk_sut:(fun () -> Systems.pause_procs ~n:3)
+    ~properties:[]
+    ~config:(fun () ->
+      Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~depth:5 ())
+    ()
+
+let test_parallel_detector () =
+  let params = { Setsync_detector.Kanti_omega.n = 2; t = 1; k = 1 } in
+  cross_check ~name:"figure-2 detector"
+    ~mk_sut:(fun () -> Systems.kanti_detector ~params ())
+    ~properties:
+      [
+        Property.anti_omega_stabilized ~k:1
+          ~outputs:(fun st -> st.Explorer.obs.Systems.fd_outputs)
+          ~correct:(fun st -> Run.correct st.Explorer.run);
+      ]
+    ~config:(fun () -> Explorer.config ~prune_fingerprints:false ~depth:8 ())
+    ()
+
+let test_parallel_kset () =
+  let problem = Setsync_agreement.Problem.make ~t:1 ~k:1 ~n:3 in
+  let inputs = Setsync_agreement.Problem.distinct_inputs problem in
+  let decisions st = st.Explorer.obs.Systems.decisions in
+  cross_check ~name:"theorem-24 kset"
+    ~mk_sut:(fun () -> Systems.kset_agreement ~problem ~inputs ())
+    ~properties:
+      [
+        Property.kset_agreement ~k:1 ~decisions;
+        Property.validity ~inputs ~decisions;
+      ]
+    ~config:(fun () -> Explorer.config ~prune_fingerprints:false ~depth:5 ())
+    ()
+
+(* fingerprint pruning on: prune decisions race benignly across
+   domains, so only the verdicts (and counterexample replayability)
+   are required to match *)
+let test_parallel_fingerprints () =
+  cross_check ~exact_counts:false ~name:"double-writer fp"
+    ~mk_sut:double_writer_sut ~properties:[]
+    ~config:(fun () -> Explorer.config ~prune_fingerprints:true ~sleep_sets:false ~depth:4 ())
+    ();
+  cross_check ~exact_counts:false ~name:"pipe fp"
+    ~mk_sut:pipe_sut
+    ~properties:[ pong_below 2; pong_le_ping ]
+    ~config:(fun () -> Explorer.config ~prune_fingerprints:true ~sleep_sets:true ~depth:6 ())
+    ()
+
+(* the observation-sensitive sleep-set regression must hold under
+   domains too *)
+let test_parallel_sleep_safety () =
+  List.iter
+    (fun domains ->
+      let report =
+        Explorer.explore ~domains ~sut:(single_writer_sut ())
+          ~properties:[ no_p2p1_suffix ]
+          (Explorer.config ~prune_fingerprints:false ~sleep_sets:true ~depth:4 ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "violation found (domains=%d)" domains)
+        true
+        (verdict_of "no-p2p1-suffix" report <> Explorer.Ok_bounded))
+    [ 1; 2; 4 ]
+
+let test_parallel_invalid_args () =
+  let sut = single_writer_sut () in
+  Alcotest.check_raises "domains=0 rejected"
+    (Invalid_argument "Explorer.explore: domains must be >= 1") (fun () ->
+      ignore (Explorer.explore ~domains:0 ~sut ~properties:[] (Explorer.config ~depth:2 ())));
+  let custom () =
+    { Explorer.push = (fun _ -> ()); pop = (fun () -> None); size = (fun () -> 0) }
+  in
+  Alcotest.check_raises "custom frontier rejected in parallel"
+    (Invalid_argument
+       "Explorer.explore: custom frontiers are single-domain only (the parallel engine \
+        owns its work-stealing frontier)") (fun () ->
+      ignore
+        (Explorer.explore ~domains:2 ~sut ~properties:[]
+           (Explorer.config ~strategy:(Explorer.Custom custom) ~depth:2 ())))
 
 (* ------------------------------------------------------------------ *)
 (* plumbing the explorer relies on *)
@@ -396,6 +674,30 @@ let () =
           Alcotest.test_case "fixed seed and budget" `Quick test_deterministic;
           Alcotest.test_case "unbounded run is exhaustive" `Quick
             test_exhaustive_when_unbounded;
+          Alcotest.test_case "wall-clock budget" `Slow test_wall_clock_budget;
+        ] );
+      ( "sleep-set safety",
+        [
+          Alcotest.test_case "pruned interleavings are safety-checked" `Quick
+            test_sleep_set_safety_checked;
+        ] );
+      ( "check_schedule",
+        [
+          Alcotest.test_case "one replay per safety check" `Quick
+            test_check_schedule_single_replay;
+          Alcotest.test_case "shrinking replay count" `Quick test_shrink_replay_count;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "pause-only cross-check" `Quick test_parallel_pause_only;
+          Alcotest.test_case "figure-2 detector cross-check" `Quick
+            test_parallel_detector;
+          Alcotest.test_case "theorem-24 kset cross-check" `Quick test_parallel_kset;
+          Alcotest.test_case "fingerprint pruning cross-check" `Quick
+            test_parallel_fingerprints;
+          Alcotest.test_case "sleep-set safety under domains" `Quick
+            test_parallel_sleep_safety;
+          Alcotest.test_case "invalid arguments" `Quick test_parallel_invalid_args;
         ] );
       ( "plumbing",
         [
