@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt fmt-check bench bench-quick ci clean
+.PHONY: all build check test fmt fmt-check bench bench-quick obs-check ci clean
 
 all: build
 
@@ -38,11 +38,23 @@ bench:
 bench-quick: ## E11 smoke run (small depth, exploration only)
 	dune exec bench/main.exe -- --quick
 
-ci: ## the full gate: format check, build, tests, E11 smoke
+obs-check: ## traced exploration; validate the emitted JSONL/Chrome/metrics files
+	dune exec bin/setsync_cli.exe -- explore --check detector -n 2 -t 1 -k 1 \
+	  --depth 6 --domains 2 \
+	  --trace-out /tmp/setsync_ci_trace.jsonl --metrics-out /tmp/setsync_ci_metrics.json
+	dune exec bin/obs_validate.exe -- \
+	  --trace /tmp/setsync_ci_trace.jsonl \
+	  --chrome /tmp/setsync_ci_trace.chrome.json \
+	  --metrics /tmp/setsync_ci_metrics.json \
+	  --require replay,expand,sleep_prune \
+	  --require-counter explorer.states --require-counter explorer.replay_steps
+
+ci: ## the full gate: format check, build, tests, E11 smoke, traced-run check
 	$(MAKE) fmt-check
 	dune build
 	dune runtest
 	$(MAKE) bench-quick
+	$(MAKE) obs-check
 
 clean:
 	dune clean

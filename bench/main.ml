@@ -13,6 +13,36 @@ let section title =
 
 let subsection title = Fmt.pr "@.-- %s@." title
 
+(* ------------------------------------------------ machine-readable *)
+
+(* Sections push rows here as they print their tables; the driver
+   writes everything to BENCH_results.json (full run) or
+   BENCH_quick.json (--quick) so downstream tooling reads structured
+   data instead of scraping the text. *)
+module Results = struct
+  let rows : (string * (string * Json.t) list) list ref = ref []
+
+  let add sec fields = rows := (sec, fields) :: !rows
+
+  let write file =
+    let obj =
+      Json.Obj
+        [
+          ("schema", Json.String "setsync-bench/1");
+          ( "rows",
+            Json.List
+              (List.rev_map
+                 (fun (s, fields) -> Json.Obj (("section", Json.String s) :: fields))
+                 !rows) );
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (Json.to_string obj);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "@.machine-readable results written to %s@." file
+end
+
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — set timeliness versus process timeliness *)
 
@@ -376,7 +406,17 @@ let e11_domains ?(depth = 12) () =
       in
       Fmt.pr "  %-8d %-26s %-9d %s@." domains
         (Fmt.str "%a" Budget.pp_times r.Explorer.stats)
-        r.Explorer.stats.Budget.visited agrees)
+        r.Explorer.stats.Budget.visited agrees;
+      Results.add "E11d"
+        [
+          ("domains", Json.Int domains);
+          ("depth", Json.Int depth);
+          ("wall_seconds", Json.Float r.Explorer.stats.Budget.wall_seconds);
+          ("cpu_seconds", Json.Float r.Explorer.stats.Budget.cpu_seconds);
+          ("visited", Json.Int r.Explorer.stats.Budget.visited);
+          ("replay_steps", Json.Int r.Explorer.stats.Budget.replay_steps);
+          ("verdicts_agree", Json.Bool (agrees <> "VERDICT MISMATCH"));
+        ])
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
@@ -472,10 +512,63 @@ let bechamel_benchmarks () =
               Toolkit.Instance.monotonic_clock raw
           in
           match Analyze.OLS.estimates stats with
-          | Some [ est ] -> Fmt.pr "  %-40s %12.1f ns/run@." name est
+          | Some [ est ] ->
+              Results.add "P1-P6"
+                [ ("test", Json.String name); ("ns_per_run", Json.Float est) ];
+              Fmt.pr "  %-40s %12.1f ns/run@." name est
           | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
         results)
     tests
+
+(* ------------------------------------------------------------------ *)
+(* P9: observability overhead — the no-sink discipline, enforced *)
+
+(* The opt-in contract of setsync_obs: an un-instrumented run (?obs
+   absent) and a run with a nop-sink context must both keep the
+   executor's step throughput — instrumented-off cost is one [match]
+   per step. Manual timing rather than Bechamel: we want the ratio of
+   whole-run rates, not per-call estimates, and the same loop shape
+   the explorer drives. *)
+let p9_obs_overhead () =
+  section "P9. Observability overhead: executor step throughput (pause-loop bodies, n=4)";
+  let steps = 200_000 in
+  let run_once obs =
+    let body _ () =
+      while true do
+        Shm.pause ()
+      done
+    in
+    let source ~live = Generators.round_robin ~live ~n:4 () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Executor.run ~n:4 ~source ~max_steps:steps ?obs body);
+    Unix.gettimeofday () -. t0
+  in
+  let rate label obs =
+    (* best of 5 — the stable floor, robust to scheduling noise *)
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      best := min !best (run_once obs)
+    done;
+    let r = float_of_int steps /. !best in
+    Fmt.pr "  %-36s %12.0f steps/s@." label r;
+    r
+  in
+  let off = rate "no obs (pre-PR path)" None in
+  let nop = rate "obs ctx, nop event sink" (Some (Obs.create ())) in
+  let traced =
+    rate "obs ctx, memory sink (full trace)"
+      (Some (Obs.create ~events:(Events.memory ()) ()))
+  in
+  let overhead = (off -. nop) /. off in
+  Fmt.pr "  nop-sink overhead vs no obs: %.2f%% (target <= 2%%)@." (overhead *. 100.);
+  Results.add "P9"
+    [
+      ("steps", Json.Int steps);
+      ("no_obs_steps_per_s", Json.Float off);
+      ("nop_obs_steps_per_s", Json.Float nop);
+      ("traced_steps_per_s", Json.Float traced);
+      ("nop_overhead_fraction", Json.Float overhead);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Convergence profile: how fast the detector stabilizes *)
@@ -500,8 +593,15 @@ let convergence_profile () =
         }
       in
       let result, _ = Scenario.run_detector spec in
+      let step = Fd_harness.convergence_step result in
+      Results.add "P7"
+        [
+          ("n", Json.Int n); ("t", Json.Int t); ("k", Json.Int k);
+          ("bound", Json.Int bound);
+          ("stable_from", match step with Some s -> Json.Int s | None -> Json.Null);
+        ];
       Fmt.pr "  (t=%d,k=%d,n=%d)%8s %-8d %s@." t k n "" bound
-        (match Fd_harness.convergence_step result with
+        (match step with
         | Some s -> string_of_int s
         | None -> "no convergence within budget"))
     [
@@ -584,10 +684,13 @@ let ablations () =
 
 let quick () =
   (* `bench --quick`: the E11 smoke run used by `make ci` — small depth,
-     exploration only, no Bechamel sampling. *)
+     exploration only, no Bechamel sampling — plus the P9 overhead
+     check so the no-sink discipline is watched on every CI run. *)
   Fmt.pr "setsync bench --quick: E11 smoke (bounded exploration + domains table)@.";
   section "E11. Bounded exploration smoke";
   e11_domains ~depth:8 ();
+  p9_obs_overhead ();
+  Results.write "BENCH_quick.json";
   Fmt.pr "@.done.@."
 
 let () =
@@ -606,6 +709,8 @@ let () =
     e11_domains ();
     convergence_profile ();
     ablations ();
+    p9_obs_overhead ();
     bechamel_benchmarks ();
+    Results.write "BENCH_results.json";
     Fmt.pr "@.done.@."
   end

@@ -1,0 +1,139 @@
+(* Validate observability artifacts produced by a traced run: a JSONL
+   event trace, its Chrome trace-event companion, and a metrics JSON
+   dump. `make ci` runs a small traced exploration and then this tool,
+   so a malformed emitter or a silently-vanished event kind fails the
+   build rather than the first person who opens a trace.
+
+   Usage:
+     obs_validate [--trace FILE] [--chrome FILE] [--metrics FILE]
+                  [--require KIND,KIND,...] [--require-counter NAME]
+
+   --require asserts that each KIND appears among the trace's event
+   names; --require-counter that the metrics dump has that counter.
+   Exit 0 iff every given file parses and every requirement holds. *)
+
+module Json = Setsync_obs.Json
+
+let fail fmt =
+  Format.kasprintf
+    (fun s ->
+      prerr_endline ("obs_validate: " ^ s);
+      exit 1)
+    fmt
+
+let read_file f =
+  match In_channel.with_open_bin f In_channel.input_all with
+  | s -> s
+  | exception Sys_error e -> fail "%s" e
+
+let parse ~what f s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> fail "%s %s: %s" what f e
+
+let str_field ~what j name =
+  match Json.member name j with
+  | Some (Json.String s) -> s
+  | Some _ -> fail "%s: field %S is not a string in %s" what name (Json.to_string j)
+  | None -> fail "%s: missing field %S in %s" what name (Json.to_string j)
+
+let require_num ~what j name =
+  match Json.member name j with
+  | Some (Json.Int _ | Json.Float _) -> ()
+  | Some _ -> fail "%s: field %S is not a number" what name
+  | None -> fail "%s: missing field %S in %s" what name (Json.to_string j)
+
+(* returns the set of event names seen *)
+let check_trace f =
+  let names = Hashtbl.create 16 in
+  let lines = String.split_on_char '\n' (read_file f) in
+  let count = ref 0 in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        let what = Printf.sprintf "trace %s line %d" f (i + 1) in
+        let j = parse ~what f line in
+        require_num ~what j "ts";
+        ignore (str_field ~what j "cat");
+        Hashtbl.replace names (str_field ~what j "name") ();
+        incr count
+      end)
+    lines;
+  if !count = 0 then fail "trace %s: no events" f;
+  Printf.printf "trace %s: %d events, %d kinds\n" f !count (Hashtbl.length names);
+  names
+
+let check_chrome f =
+  let what = Printf.sprintf "chrome trace %s" f in
+  match parse ~what f (read_file f) with
+  | Json.List events ->
+      if events = [] then fail "%s: empty event array" what;
+      List.iter
+        (fun e ->
+          ignore (str_field ~what e "name");
+          ignore (str_field ~what e "ph");
+          require_num ~what e "ts";
+          require_num ~what e "pid")
+        events;
+      Printf.printf "chrome trace %s: %d events\n" f (List.length events)
+  | _ -> fail "%s: top level is not an array" what
+
+(* returns the set of counter names *)
+let check_metrics f =
+  let what = Printf.sprintf "metrics %s" f in
+  let j = parse ~what f (read_file f) in
+  let counters = Hashtbl.create 16 in
+  (match Json.member "counters" j with
+  | Some (Json.Obj kvs) -> List.iter (fun (k, _) -> Hashtbl.replace counters k ()) kvs
+  | Some _ -> fail "%s: \"counters\" is not an object" what
+  | None -> fail "%s: missing \"counters\"" what);
+  (match Json.member "histograms" j with
+  | Some (Json.Obj _) -> ()
+  | Some _ -> fail "%s: \"histograms\" is not an object" what
+  | None -> fail "%s: missing \"histograms\"" what);
+  Printf.printf "metrics %s: %d counters\n" f (Hashtbl.length counters);
+  counters
+
+let () =
+  let trace = ref None
+  and chrome = ref None
+  and metrics = ref None
+  and require = ref []
+  and require_counters = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--trace" :: f :: rest ->
+        trace := Some f;
+        parse_args rest
+    | "--chrome" :: f :: rest ->
+        chrome := Some f;
+        parse_args rest
+    | "--metrics" :: f :: rest ->
+        metrics := Some f;
+        parse_args rest
+    | "--require" :: ks :: rest ->
+        require := !require @ String.split_on_char ',' ks;
+        parse_args rest
+    | "--require-counter" :: c :: rest ->
+        require_counters := !require_counters @ [ c ];
+        parse_args rest
+    | a :: _ -> fail "unknown argument %S" a
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let names = Option.map check_trace !trace in
+  Option.iter check_chrome !chrome;
+  let counters = Option.map check_metrics !metrics in
+  List.iter
+    (fun kind ->
+      match names with
+      | None -> fail "--require %s given without --trace" kind
+      | Some tbl ->
+          if not (Hashtbl.mem tbl kind) then fail "trace has no %S events" kind)
+    !require;
+  List.iter
+    (fun c ->
+      match counters with
+      | None -> fail "--require-counter %s given without --metrics" c
+      | Some tbl -> if not (Hashtbl.mem tbl c) then fail "metrics has no counter %S" c)
+    !require_counters;
+  print_endline "obs_validate: ok"

@@ -47,6 +47,61 @@ let make_spec t k n i j bound seed crashes adversary max_steps =
   let j = Option.value j ~default:(min (t + 1) n) in
   { Scenario.t; k; n; i; j; bound; seed; crashes; adversary; max_steps }
 
+(* ---------------------------------------------------- observability *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a structured event trace and write it to $(docv) as JSONL (one event \
+           per line), plus a Chrome trace-event file next to it (FILE.jsonl becomes \
+           FILE.chrome.json; load it in chrome://tracing or Perfetto).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry (counters, gauges, histograms) to $(docv) \
+           as JSON.")
+
+let make_obs ?(shards = 1) ~trace_out ~metrics_out () =
+  match (trace_out, metrics_out) with
+  | None, None -> None
+  | _ ->
+      let events = if trace_out <> None then Events.memory () else Events.nop in
+      Some (Obs.create ~shards ~events ())
+
+let chrome_path file =
+  if Filename.check_suffix file ".jsonl" then
+    Filename.chop_suffix file ".jsonl" ^ ".chrome.json"
+  else file ^ ".chrome.json"
+
+let write_obs ~trace_out ~metrics_out = function
+  | None -> ()
+  | Some o ->
+      Option.iter
+        (fun f ->
+          let oc = open_out f in
+          output_string oc (Json.to_string (Metrics.to_json o.Obs.metrics));
+          output_char oc '\n';
+          close_out oc;
+          Fmt.pr "metrics written to %s@." f)
+        metrics_out;
+      Option.iter
+        (fun f ->
+          Events.save_jsonl o.Obs.events f;
+          let cf = chrome_path f in
+          Events.save_chrome o.Obs.events cf;
+          let dropped = Events.dropped o.Obs.events in
+          Fmt.pr "trace written to %s and %s (%d events%s)@." f cf
+            (Events.recorded o.Obs.events)
+            (if dropped > 0 then Fmt.str ", oldest %d dropped" dropped else ""))
+        trace_out
+
 (* ---------------------------------------------------------- figure1 *)
 
 let figure1_cmd =
@@ -71,26 +126,29 @@ let figure1_cmd =
 (* --------------------------------------------------------------- fd *)
 
 let fd_cmd =
-  let run t k n bound seed crashes adversary max_steps =
+  let run t k n bound seed crashes adversary max_steps trace_out metrics_out =
     let spec = make_spec t k n None None bound seed crashes adversary max_steps in
     Scenario.validate spec;
-    let result, predicted = Scenario.run_detector spec in
+    let obs = make_obs ~trace_out ~metrics_out () in
+    let result, predicted = Scenario.run_detector ?obs spec in
     Fmt.pr "system: S^%d_{%d,%d}  predicted solvable for (%d,%d,%d): %b@." spec.Scenario.i
       spec.Scenario.j n t k n predicted;
     Fmt.pr "run:    %a@." Run.pp result.Fd_harness.run;
     Fmt.pr "k-anti-omega: %a@." Anti_omega.pp_verdict result.Fd_harness.verdict;
-    Fmt.pr "winnerset:    %a@." Anti_omega.pp_winner_verdict result.Fd_harness.winner_verdict
+    Fmt.pr "winnerset:    %a@." Anti_omega.pp_winner_verdict result.Fd_harness.winner_verdict;
+    write_obs ~trace_out ~metrics_out obs
   in
   Cmd.v (Cmd.info "fd" ~doc:"Run the Figure 2 failure detector")
-    Term.(const run $ t_arg $ k_arg $ n_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg)
+    Term.(const run $ t_arg $ k_arg $ n_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------ solve *)
 
 let solve_cmd =
-  let run t k n i j bound seed crashes adversary max_steps =
+  let run t k n i j bound seed crashes adversary max_steps trace_out metrics_out =
     let spec = make_spec t k n i j bound seed crashes adversary max_steps in
     Scenario.validate spec;
-    let r = Scenario.run_agreement spec in
+    let obs = make_obs ~trace_out ~metrics_out () in
+    let r = Scenario.run_agreement ?obs spec in
     Fmt.pr "%a@." Scenario.pp_report r;
     Fmt.pr "witness: %a timely wrt %a (bound %d)@." Procset.pp r.Scenario.witness_p Procset.pp
       r.Scenario.witness_q bound;
@@ -99,10 +157,11 @@ let solve_cmd =
       (fun p d -> Fmt.pr " %a=%a" Proc.pp p Fmt.(option ~none:(any "-") int) d)
       r.Scenario.outcome.Ag_harness.decisions;
     Fmt.pr "@.";
+    write_obs ~trace_out ~metrics_out obs;
     exit (if r.Scenario.solved = r.Scenario.predicted then 0 else 1)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Solve (t,k,n)-agreement in S^i_{j,n}")
-    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg)
+    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------ sweep *)
 
@@ -208,15 +267,37 @@ let explore_cmd =
       & opt (some float) None
       & info [ "max-seconds" ] ~docv:"S" ~doc:"Budget: wall-clock seconds.")
   in
+  let progress_seconds_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "progress" ] ~docv:"S"
+          ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
+  in
   let run check n t k depth bound seed bfs max_states max_replay_steps max_seconds
-      fingerprints domains =
+      fingerprints domains trace_out metrics_out progress_seconds =
     let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
     let limits = Budget.limits ?max_states ?max_replay_steps ?max_seconds () in
+    let obs = make_obs ~shards:domains ~trace_out ~metrics_out () in
+    let on_progress (p : Explorer.progress) =
+      Fmt.epr "[%6.1fs] states %d  replays %d (%d steps)  frontier %d  fp-pruned %d  max depth %d@."
+        p.Explorer.wall p.Explorer.states p.Explorer.replays p.Explorer.replay_steps
+        p.Explorer.frontier p.Explorer.fp_pruned p.Explorer.max_depth
+    in
+    let explore_with ~sut ~properties config =
+      Explorer.explore ~domains ?obs ~on_progress ~progress_interval:progress_seconds
+        ~sut ~properties config
+    in
+    (* exit codes: 0 = no property violated; 2 = some property violated
+       (counting timeliness counterexamples, which that mode goes
+       looking for); 1 = operational failure (a shrunk counterexample
+       that no longer reproduces). *)
     let finish report ok =
       Fmt.pr "%a@." Explorer.pp_report report;
       Fmt.pr "time: %a (%d domain%s)@." Budget.pp_times report.Explorer.stats domains
         (if domains = 1 then "" else "s");
-      exit (if ok report then 0 else 1)
+      write_obs ~trace_out ~metrics_out obs;
+      exit (if ok report then 0 else 2)
     in
     match check with
     | Check_kset ->
@@ -240,7 +321,7 @@ let explore_cmd =
         Fmt.pr "exploring %a, inputs %a, depth %d@." Problem.pp problem
           Fmt.(array ~sep:sp int)
           inputs depth;
-        let report = Explorer.explore ~domains ~sut ~properties config in
+        let report = explore_with ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
     | Check_detector ->
@@ -257,7 +338,7 @@ let explore_cmd =
           Explorer.config ~strategy ~prune_fingerprints:fingerprints ~limits ~depth ()
         in
         Fmt.pr "exploring Figure 2 detector (n=%d, t=%d, k=%d), depth %d@." n t k depth;
-        let report = Explorer.explore ~domains ~sut ~properties config in
+        let report = explore_with ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
     | Check_timeliness ->
@@ -277,36 +358,55 @@ let explore_cmd =
           "exploring schedules over %d processes, depth %d: is {p1} timely wrt {p%d} at \
            bound %d?@."
           n depth n bound;
-        let report = Explorer.explore ~domains ~sut ~properties:[ property ] config in
+        let report = explore_with ~sut ~properties:[ property ] config in
         Fmt.pr "%a@." Explorer.pp_report report;
-        (match List.assoc property.Property.name report.Explorer.verdicts with
-        | Explorer.Ok_bounded ->
-            Fmt.pr "no counterexample within depth %d (raise --depth)@." depth;
-            exit 1
-        | Explorer.Violated { schedule; reason } ->
-            Fmt.pr "@.counterexample (%d steps): %a@.  %s@." (Schedule.length schedule)
-              Schedule.pp_full schedule reason;
-            let violates s =
-              Explorer.check_schedule ~sut ~property s <> None
-            in
-            let shrunk = Shrink.run ~violates schedule in
-            Fmt.pr "shrunk to %d steps in %d ddmin tests: %a@."
-              (Schedule.length shrunk.Shrink.schedule)
-              shrunk.Shrink.tests Schedule.pp_full shrunk.Shrink.schedule;
-            let reproduced =
-              Explorer.check_schedule ~sut ~property shrunk.Shrink.schedule
-            in
-            (match reproduced with
-            | Some why -> Fmt.pr "replayed shrunk schedule: violation reproduced (%s)@." why
-            | None -> Fmt.pr "replayed shrunk schedule: VIOLATION LOST@.");
-            exit (match reproduced with Some _ -> 0 | None -> 1))
+        let code =
+          match List.assoc property.Property.name report.Explorer.verdicts with
+          | Explorer.Ok_bounded ->
+              Fmt.pr "no counterexample within depth %d (raise --depth)@." depth;
+              1
+          | Explorer.Violated { schedule; reason } ->
+              Fmt.pr "@.counterexample (%d steps): %a@.  %s@." (Schedule.length schedule)
+                Schedule.pp_full schedule reason;
+              let violates s =
+                Explorer.check_schedule ~sut ~property s <> None
+              in
+              let shrunk = Shrink.run ~violates schedule in
+              Fmt.pr "shrunk to %d steps in %d ddmin tests: %a@."
+                (Schedule.length shrunk.Shrink.schedule)
+                shrunk.Shrink.tests Schedule.pp_full shrunk.Shrink.schedule;
+              let reproduced =
+                Explorer.check_schedule ~sut ~property shrunk.Shrink.schedule
+              in
+              (match reproduced with
+              | Some why ->
+                  Fmt.pr "replayed shrunk schedule: violation reproduced (%s)@." why;
+                  (* a found-and-reproduced counterexample is still a
+                     Violated verdict: report it as one (exit 2) *)
+                  2
+              | None ->
+                  Fmt.pr "replayed shrunk schedule: VIOLATION LOST@.";
+                  1)
+        in
+        write_obs ~trace_out ~metrics_out obs;
+        exit code
   in
   Cmd.v
-    (Cmd.info "explore" ~doc:"Bounded model checking of a small instance")
+    (Cmd.info "explore" ~doc:"Bounded model checking of a small instance"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "0 when no property is violated; 2 when any property has a Violated \
+              verdict (including a found-and-reproduced timeliness counterexample, \
+              which that mode goes looking for); 1 on operational failure (no \
+              counterexample found where one was expected, or a shrunk counterexample \
+              that no longer reproduces).";
+         ])
     Term.(
       const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
       $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
-      $ domains_arg)
+      $ domains_arg $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
 
 let () =
   let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in

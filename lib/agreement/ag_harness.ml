@@ -2,6 +2,10 @@ module Procset = Setsync_schedule.Procset
 module Store = Setsync_memory.Store
 module Executor = Setsync_runtime.Executor
 module Run = Setsync_runtime.Run
+module Obs = Setsync_obs.Obs
+module Metrics = Setsync_obs.Metrics
+module Events = Setsync_obs.Events
+module Json = Setsync_obs.Json
 
 type outcome = {
   run : Run.t;
@@ -65,7 +69,7 @@ let make_bundle ~problem ~inputs ?initial_timeout store =
     }
   end
 
-let execute ~problem ~inputs ~source ~max_steps ?fault bundle =
+let execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle =
   let { Problem.n; _ } = problem in
   let decide_steps = Array.make n None in
   (* Processes idle (taking pause steps) after deciding, so the run
@@ -88,12 +92,40 @@ let execute ~problem ~inputs ~source ~max_steps ?fault bundle =
     let rec check p = p >= n || (settled p && check (p + 1)) in
     check 0
   in
-  let run = Executor.run ~n ~source ~max_steps ?fault ~on_step ~stop bundle.body in
+  let run = Executor.run ~n ~source ~max_steps ?fault ~on_step ~stop ?obs bundle.body in
   let decisions = bundle.snapshot_decisions () in
   let report =
     Checker.check ~problem ~inputs ~decisions ~crashed:(Run.crashed run)
       ~starved:(starved_of run) ()
   in
+  (* Decision latency: the global step at which each decision first
+     became visible. Recorded per solved run, so the histogram across
+     an experiment campaign is the paper-facing "time to decide". *)
+  (match obs with
+  | None -> ()
+  | Some o ->
+      let latency = Metrics.histogram o.Obs.metrics "agreement.decision_latency_steps" in
+      let decided_c = Metrics.counter o.Obs.metrics "agreement.decided" in
+      let ev = if Obs.events_on o then Some o.Obs.events else None in
+      Array.iteri
+        (fun p step ->
+          match step with
+          | None -> ()
+          | Some step ->
+              Metrics.incr ~shard:o.Obs.shard decided_c;
+              Metrics.observe ~shard:o.Obs.shard latency (float_of_int step);
+              (match ev with
+              | Some sink ->
+                  Events.emit sink ~proc:p
+                    ~args:
+                      (("step", Json.Int step)
+                       ::
+                       (match decisions.(p) with
+                       | Some v -> [ ("value", Json.Int v) ]
+                       | None -> []))
+                    ~cat:"agreement" "decide"
+              | None -> ()))
+        decide_steps);
   {
     run;
     decisions;
@@ -103,16 +135,16 @@ let execute ~problem ~inputs ~source ~max_steps ?fault bundle =
     used_trivial = bundle.used_trivial;
   }
 
-let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout () =
+let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout ?obs () =
   let store = Store.create () in
   let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
-  execute ~problem ~inputs ~source ~max_steps ?fault bundle
+  execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle
 
-let solve_adaptive ~problem ~inputs ~make_source ~max_steps ?fault ?initial_timeout () =
+let solve_adaptive ~problem ~inputs ~make_source ~max_steps ?fault ?initial_timeout ?obs () =
   let store = Store.create () in
   let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
   let source = make_source ~view:bundle.view in
-  execute ~problem ~inputs ~source ~max_steps ?fault bundle
+  execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle
 
 let ok outcome = Checker.ok outcome.report
 

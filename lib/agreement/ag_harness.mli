@@ -26,10 +26,17 @@ val solve :
   max_steps:int ->
   ?fault:Setsync_runtime.Fault.plan ->
   ?initial_timeout:int ->
+  ?obs:Setsync_obs.Obs.t ->
   unit ->
   outcome
 (** The run ends as soon as every live process has decided and halted
-    (the executor's all-halted condition), or at [max_steps]. *)
+    (the executor's all-halted condition), or at [max_steps].
+
+    [obs] (also forwarded to the executor) records each decision's
+    first-visible step into the [agreement.decision_latency_steps]
+    histogram, counts decisions into [agreement.decided], and — when
+    tracing — emits one ["decide"] event per deciding process
+    (category ["agreement"]). *)
 
 val solve_adaptive :
   problem:Problem.t ->
@@ -39,6 +46,7 @@ val solve_adaptive :
   max_steps:int ->
   ?fault:Setsync_runtime.Fault.plan ->
   ?initial_timeout:int ->
+  ?obs:Setsync_obs.Obs.t ->
   unit ->
   outcome
 (** Like {!solve}, but the source factory receives an omniscient view

@@ -60,6 +60,12 @@ module Simulation = Setsync_bg.Simulation
 module Characterization = Setsync_solvability.Characterization
 module Lattice = Setsync_solvability.Lattice
 
+(* observability: metrics + structured event tracing *)
+module Obs = Setsync_obs.Obs
+module Metrics = Setsync_obs.Metrics
+module Events = Setsync_obs.Events
+module Json = Setsync_obs.Json
+
 (* bounded model checking (schedule-space exploration) *)
 module Budget = Setsync_explore.Budget
 module Property = Setsync_explore.Property

@@ -3,6 +3,10 @@ module Store = Setsync_memory.Store
 module Executor = Setsync_runtime.Executor
 module Run = Setsync_runtime.Run
 module Fault = Setsync_runtime.Fault
+module Obs = Setsync_obs.Obs
+module Metrics = Setsync_obs.Metrics
+module Events = Setsync_obs.Events
+module Json = Setsync_obs.Json
 
 type result = {
   run : Run.t;
@@ -15,7 +19,7 @@ type result = {
 }
 
 let run ~params ~source ~max_steps ?(fault = Fault.no_faults) ?initial_timeout
-    ?stop_after_stable ?margin () =
+    ?stop_after_stable ?margin ?obs () =
   Kanti_omega.check_params params;
   let { Kanti_omega.n; t; k } = params in
   let store = Store.create () in
@@ -33,6 +37,7 @@ let run ~params ~source ~max_steps ?(fault = Fault.no_faults) ?initial_timeout
   let steps_of = Array.make n 0 in
   let last_change = ref 0 in
   let global_now = ref 0 in
+  let ev = match obs with Some o when Obs.events_on o -> Some o.Obs.events | Some _ | None -> None in
   let on_step ~global ~proc =
     global_now := global;
     steps_of.(proc) <- steps_of.(proc) + 1;
@@ -41,7 +46,18 @@ let run ~params ~source ~max_steps ?(fault = Fault.no_faults) ?initial_timeout
     (match History.last winnersets ~proc with
     | Some (_, prev) when Procset.equal prev w -> ()
     | Some _ | None -> if survivor proc then last_change := global);
-    History.note outputs ~proc ~step:global ~equal:Procset.equal (Kanti_omega.fd_output p);
+    let out = Kanti_omega.fd_output p in
+    (match ev with
+    | Some sink -> (
+        match History.last outputs ~proc with
+        | Some (_, prev) when Procset.equal prev out -> ()
+        | Some _ | None ->
+            Events.emit sink ~proc
+              ~args:
+                [ ("step", Json.Int global); ("output", Json.String (Fmt.str "%a" Procset.pp out)) ]
+              ~cat:"detector" "fd_output_change")
+    | None -> ());
+    History.note outputs ~proc ~step:global ~equal:Procset.equal out;
     History.note winnersets ~proc ~step:global ~equal:Procset.equal w
   in
   let stop =
@@ -73,13 +89,31 @@ let run ~params ~source ~max_steps ?(fault = Fault.no_faults) ?initial_timeout
                   rest)
   in
   let body proc () = Kanti_omega.forever processes.(proc) in
-  let run = Executor.run ~n ~source ~max_steps ~fault ?stop ~on_step body in
+  let run = Executor.run ~n ~source ~max_steps ~fault ?stop ~on_step ?obs body in
   let crashed = Run.crashed run in
   let total_steps = Run.total_steps run in
   let verdict = Anti_omega.validate ~n ~t ~k ~crashed ~total_steps ?margin ~outputs () in
   let winner_verdict =
     Anti_omega.validate_winner ~n ~t ~crashed ~total_steps ?margin ~winnersets ()
   in
+  (match obs with
+  | Some o -> (
+      Metrics.incr ~shard:o.Obs.shard (Metrics.counter o.Obs.metrics "detector.runs");
+      match winner_verdict with
+      | Anti_omega.Winner_stable { winner; stable_from } ->
+          Metrics.observe ~shard:o.Obs.shard
+            (Metrics.histogram o.Obs.metrics "detector.stabilization_steps")
+            (float_of_int stable_from);
+          if Events.enabled o.Obs.events then
+            Events.emit o.Obs.events
+              ~args:
+                [
+                  ("stable_from", Json.Int stable_from);
+                  ("winner", Json.String (Fmt.str "%a" Procset.pp winner));
+                ]
+              ~cat:"detector" "stabilization_detected"
+      | Anti_omega.Winner_vacuous _ | Anti_omega.Winner_unstable _ -> ())
+  | None -> ());
   {
     run;
     outputs;

@@ -25,6 +25,7 @@ val run :
   ?initial_timeout:int ->
   ?stop_after_stable:int ->
   ?margin:int ->
+  ?obs:Setsync_obs.Obs.t ->
   unit ->
   result
 (** [stop_after_stable w] ends the run early once every live process
@@ -33,7 +34,14 @@ val run :
     convergence-detection optimization for experiments; leave it unset
     for fixed-length runs (the methodologically conservative mode used
     by the test-suite's correctness assertions). [margin] is passed to
-    the validators. *)
+    the validators.
+
+    [obs] (also forwarded to the executor) counts runs into
+    [detector.runs], records the winner-stabilization step in the
+    [detector.stabilization_steps] histogram, and — when tracing —
+    emits one ["fd_output_change"] event per change of a process's
+    fdOutput and a ["stabilization_detected"] event when the winner
+    verdict is stable (category ["detector"]). *)
 
 val convergence_step : result -> int option
 (** Step from which the winner was stable, if it was

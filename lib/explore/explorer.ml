@@ -6,6 +6,10 @@ module Trace = Setsync_memory.Trace
 module Fault = Setsync_runtime.Fault
 module Run = Setsync_runtime.Run
 module Executor = Setsync_runtime.Executor
+module Obs = Setsync_obs.Obs
+module Metrics = Setsync_obs.Metrics
+module Events = Setsync_obs.Events
+module Json = Setsync_obs.Json
 
 type 'obs instance = { body : Proc.t -> unit -> unit; observe : unit -> 'obs }
 
@@ -267,6 +271,8 @@ type 'obs engine = {
   e_on_visit : unit -> unit;  (* global-budget hook *)
   e_on_replay : steps:int -> unit;  (* global-budget hook *)
   e_frontier_size : unit -> int;
+  e_ev : Events.t option;  (* event sink, [None] when tracing is off *)
+  e_worker : int;  (* worker id stamped on emitted events *)
 }
 
 (* Replay one prefix and fold it into the exploration: check
@@ -279,6 +285,12 @@ let process_prefix eng ~push rev_steps =
   let executed = Run.total_steps run in
   Budget.note_replay meter ~steps:executed;
   eng.e_on_replay ~steps:executed;
+  (match eng.e_ev with
+  | Some sink ->
+      Events.emit sink ~worker:eng.e_worker
+        ~args:[ ("depth", Json.Int depth); ("steps", Json.Int executed) ]
+        ~cat:"explorer" "replay"
+  | None -> ());
   let sleep_pruned =
     config.sleep_sets && depth >= 2
     &&
@@ -289,6 +301,12 @@ let process_prefix eng ~push rev_steps =
   in
   if sleep_pruned then begin
     Budget.note_sleep_prune meter;
+    (match eng.e_ev with
+    | Some sink ->
+        Events.emit sink ~worker:eng.e_worker
+          ~args:[ ("depth", Json.Int depth) ]
+          ~cat:"explorer" "sleep_prune"
+    | None -> ());
     (* The replay is already paid for: check safety on its final state
        before discarding it. The state-equal sibling σ·b·a covers
        state-based safety, but a violation visible only through this
@@ -322,11 +340,23 @@ let process_prefix eng ~push rev_steps =
          if eng.e_fp_check fp ~depth then true
          else begin
            Budget.note_fingerprint_prune meter;
+           (match eng.e_ev with
+           | Some sink ->
+               Events.emit sink ~worker:eng.e_worker
+                 ~args:[ ("depth", Json.Int depth) ]
+                 ~cat:"explorer" "fp_prune"
+           | None -> ());
            false
          end)
     in
     if expand then begin
       let children = List.map (fun p -> p :: rev_steps) en in
+      (match eng.e_ev with
+      | Some sink ->
+          Events.emit sink ~worker:eng.e_worker
+            ~args:[ ("depth", Json.Int depth); ("children", Json.Int (List.length children)) ]
+            ~cat:"explorer" "expand"
+      | None -> ());
       (* LIFO frontiers pop last-pushed first: push descending so
          children are explored in ascending process order *)
       List.iter push (if eng.e_lifo then List.rev children else children);
@@ -339,11 +369,103 @@ let validate_explore ~sut config =
   Proc.check_n sut.n;
   Fault.validate ~n:sut.n config.fault
 
+(* -------------------------------------------------- observability *)
+
+type progress = {
+  wall : float;  (* seconds since exploration start *)
+  states : int;
+  replays : int;
+  replay_steps : int;
+  frontier : int;
+  fp_pruned : int;
+  sleep_pruned : int;
+  max_depth : int;
+}
+
+(* Periodic heartbeat: a wall-clock-gated callback plus a "heartbeat"
+   trace event, driven from the exploration loop (sequential) or from
+   worker 0 (parallel). The gettimeofday check costs ~25 ns per
+   visited state — noise next to the replay each state costs. *)
+type heartbeat = {
+  hb_interval : float;
+  mutable hb_last : float;
+  hb_cb : (progress -> unit) option;
+  hb_sink : Events.t;
+}
+
+let make_heartbeat ?on_progress ~interval obs =
+  let sink =
+    match obs with Some o when Obs.events_on o -> o.Obs.events | Some _ | None -> Events.nop
+  in
+  if interval <= 0. then None
+  else if Option.is_none on_progress && not (Events.enabled sink) then None
+  else
+    Some { hb_interval = interval; hb_last = Unix.gettimeofday (); hb_cb = on_progress; hb_sink = sink }
+
+let maybe_beat hb snapshot =
+  match hb with
+  | None -> ()
+  | Some hb ->
+      let now = Unix.gettimeofday () in
+      if now -. hb.hb_last >= hb.hb_interval then begin
+        hb.hb_last <- now;
+        let p : progress = snapshot () in
+        (match hb.hb_cb with Some f -> f p | None -> ());
+        if Events.enabled hb.hb_sink then
+          Events.emit hb.hb_sink
+            ~args:
+              [
+                ("states", Json.Int p.states);
+                ("replay_steps", Json.Int p.replay_steps);
+                ("frontier", Json.Int p.frontier);
+                ("fp_pruned", Json.Int p.fp_pruned);
+                ("max_depth", Json.Int p.max_depth);
+              ]
+            ~cat:"explorer" "heartbeat"
+      end
+
+let progress_of_stats ~frontier (s : Budget.stats) : progress =
+  {
+    wall = s.Budget.wall_seconds;
+    states = s.Budget.visited;
+    replays = s.Budget.replays;
+    replay_steps = s.Budget.replay_steps;
+    frontier;
+    fp_pruned = s.Budget.pruned_fingerprint;
+    sleep_pruned = s.Budget.pruned_sleep;
+    max_depth = s.Budget.max_depth;
+  }
+
+(* Fold one worker's final stats into the sharded explorer counters.
+   The counters are written from Budget's own meters, so the merged
+   metrics snapshot is numerically identical to the printed
+   [Budget.stats] — the acceptance contract of the metrics export. *)
+let record_metrics obs ~shard (s : Budget.stats) =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let m = o.Obs.metrics in
+      let c name v = Metrics.incr ~shard ~by:v (Metrics.counter m name) in
+      c "explorer.states" s.Budget.visited;
+      c "explorer.safety_checked" s.Budget.safety_checked;
+      c "explorer.fp_pruned" s.Budget.pruned_fingerprint;
+      c "explorer.sleep_pruned" s.Budget.pruned_sleep;
+      c "explorer.replays" s.Budget.replays;
+      c "explorer.replay_steps" s.Budget.replay_steps;
+      Metrics.set_max (Metrics.gauge m "explorer.max_depth") (float_of_int s.Budget.max_depth);
+      Metrics.set_max
+        (Metrics.gauge m "explorer.frontier_peak")
+        (float_of_int s.Budget.frontier_peak)
+
+let engine_sink obs =
+  match obs with Some o when Obs.events_on o -> Some o.Obs.events | Some _ | None -> None
+
 (* ------------------------------------------------------- sequential *)
 
-let explore_seq ~sut ~properties config =
+let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties config =
   validate_explore ~sut config;
   let meter = Budget.start config.limits in
+  let hb = make_heartbeat ?on_progress ~interval:progress_interval obs in
   let frontier = make_frontier config.strategy in
   let fingerprints : (string, int) Hashtbl.t = Hashtbl.create 1024 in
   let verdicts = List.map (fun p -> (p, ref Ok_bounded)) properties in
@@ -382,6 +504,8 @@ let explore_seq ~sut ~properties config =
       e_on_visit = (fun () -> ());
       e_on_replay = (fun ~steps:_ -> ());
       e_frontier_size = frontier.size;
+      e_ev = engine_sink obs;
+      e_worker = (match obs with Some o -> o.Obs.shard | None -> 0);
     }
   in
   (* prefixes are stored in reverse step order: extension is a cons *)
@@ -391,6 +515,8 @@ let explore_seq ~sut ~properties config =
   while not !stop do
     (* peak on every push/pop cycle, not only after expansions *)
     Budget.note_frontier meter (frontier.size ());
+    maybe_beat hb (fun () ->
+        progress_of_stats ~frontier:(frontier.size ()) (Budget.stats meter));
     if Budget.over meter then begin
       Budget.mark_truncated meter;
       stop := true
@@ -401,9 +527,11 @@ let explore_seq ~sut ~properties config =
       | None -> stop := true
       | Some rev_steps -> process_prefix eng ~push:frontier.push rev_steps
   done;
+  let stats = Budget.stats meter in
+  record_metrics obs ~shard:(match obs with Some o -> o.Obs.shard | None -> 0) stats;
   {
     verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
-    stats = Budget.stats meter;
+    stats;
   }
 
 (* --------------------------------------------------------- parallel *)
@@ -417,11 +545,13 @@ let explore_seq ~sut ~properties config =
    which counterexample is reported first, and the visited/pruned
    counts under fingerprint pruning, depend on the work interleaving
    (see DESIGN.md §8). *)
-let explore_par ~domains ~sut ~properties config =
+let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~properties
+    config =
   validate_explore ~sut config;
   let parent = Budget.start config.limits in
   let deadline = Budget.deadline parent in
   let meters = Array.init domains (fun _ -> Budget.start Budget.unlimited) in
+  let hb = make_heartbeat ?on_progress ~interval:progress_interval obs in
   let visited_g = Atomic.make 0 in
   let replay_steps_g = Atomic.make 0 in
   let over_gauge () =
@@ -432,7 +562,23 @@ let explore_par ~domains ~sut ~properties config =
           ~replay_steps:(Atomic.get replay_steps_g)
           ~wall_elapsed:0. (* wall handled by the deadline above *)
   in
-  let pool = Parallel.Pool.create ~workers:domains in
+  let on_steal =
+    match obs with
+    | None -> None
+    | Some o ->
+        let steals = Metrics.counter o.Obs.metrics "explorer.steals" in
+        let sink = engine_sink obs in
+        Some
+          (fun ~thief ~victim ->
+            Metrics.incr ~shard:thief steals;
+            match sink with
+            | Some s ->
+                Events.emit s ~worker:thief
+                  ~args:[ ("victim", Json.Int victim) ]
+                  ~cat:"explorer" "steal"
+            | None -> ())
+  in
+  let pool = Parallel.Pool.create ?on_steal ~workers:domains () in
   let verdict_mu = Mutex.create () in
   let verdicts = List.map (fun p -> (p, ref Ok_bounded)) properties in
   let all_violated () =
@@ -474,9 +620,29 @@ let explore_par ~domains ~sut ~properties config =
           e_on_visit = (fun () -> Atomic.incr visited_g);
           e_on_replay = (fun ~steps -> ignore (Atomic.fetch_and_add replay_steps_g steps));
           e_frontier_size = (fun () -> Parallel.Pool.frontier_size pool);
+          e_ev = engine_sink obs;
+          e_worker = wid;
         })
   in
+  (* Racy progress snapshot over the live worker meters: counts may be
+     mid-update, but each field is a single int read — good enough for
+     a heartbeat, never used for control. *)
+  let par_progress () =
+    let ss = Array.map Budget.stats meters in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 ss in
+    {
+      wall = Budget.wall_elapsed parent;
+      states = sum (fun s -> s.Budget.visited);
+      replays = sum (fun s -> s.Budget.replays);
+      replay_steps = sum (fun s -> s.Budget.replay_steps);
+      frontier = Parallel.Pool.frontier_size pool;
+      fp_pruned = sum (fun s -> s.Budget.pruned_fingerprint);
+      sleep_pruned = sum (fun s -> s.Budget.pruned_sleep);
+      max_depth = Array.fold_left (fun acc s -> max acc s.Budget.max_depth) 0 ss;
+    }
+  in
   let worker wid rev_steps =
+    if wid = 0 then maybe_beat hb par_progress;
     if over_gauge () then begin
       Budget.mark_truncated meters.(wid);
       Parallel.Pool.stop pool
@@ -486,15 +652,18 @@ let explore_par ~domains ~sut ~properties config =
   Parallel.Pool.push pool ~worker:0 [];
   Budget.note_frontier meters.(0) 1;
   Parallel.Pool.run pool worker;
+  (* per-worker stats land in that worker's metric shard, recorded
+     before the meters are folded into the parent *)
+  Array.iteri (fun wid m -> record_metrics obs ~shard:wid (Budget.stats m)) meters;
   Array.iter (fun m -> Budget.absorb ~into:parent m) meters;
   {
     verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
     stats = Budget.stats parent;
   }
 
-let explore ?(domains = 1) ~sut ~properties config =
+let explore ?(domains = 1) ?obs ?on_progress ?progress_interval ~sut ~properties config =
   if domains < 1 then invalid_arg "Explorer.explore: domains must be >= 1";
-  if domains = 1 then explore_seq ~sut ~properties config
+  if domains = 1 then explore_seq ?obs ?on_progress ?progress_interval ~sut ~properties config
   else begin
     (match config.strategy with
     | Custom _ ->
@@ -502,7 +671,7 @@ let explore ?(domains = 1) ~sut ~properties config =
           "Explorer.explore: custom frontiers are single-domain only (the parallel \
            engine owns its work-stealing frontier)"
     | Dfs | Bfs -> ());
-    explore_par ~domains ~sut ~properties config
+    explore_par ?obs ?on_progress ?progress_interval ~domains ~sut ~properties config
   end
 
 (* ----------------------------------------------------------- printing *)

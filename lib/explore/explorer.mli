@@ -104,10 +104,49 @@ type report = { verdicts : (string * verdict) list; stats : Budget.stats }
 (** One verdict per property, in the order given; plus the exploration
     report. *)
 
+type progress = {
+  wall : float;  (** seconds since exploration start *)
+  states : int;
+  replays : int;
+  replay_steps : int;
+  frontier : int;
+  fp_pruned : int;
+  sleep_pruned : int;
+  max_depth : int;
+}
+(** Periodic progress snapshot (see [?on_progress] below). In parallel
+    explorations the counts are racy sums over the live worker meters —
+    monitoring only, never exact until the run ends. *)
+
 val explore :
-  ?domains:int -> sut:'obs sut -> properties:'obs state Property.t list -> config -> report
+  ?domains:int ->
+  ?obs:Setsync_obs.Obs.t ->
+  ?on_progress:(progress -> unit) ->
+  ?progress_interval:float ->
+  sut:'obs sut ->
+  properties:'obs state Property.t list ->
+  config ->
+  report
 (** Exploration stops when the frontier empties, a budget limit fires
     (stats.truncated), or every property already has a counterexample.
+
+    [obs] opts the exploration into observability. Metrics (recorded at
+    the end of the run, from the same meters the report prints, so the
+    exported counters match {!Budget.stats} exactly): counters
+    [explorer.states], [explorer.safety_checked], [explorer.fp_pruned],
+    [explorer.sleep_pruned], [explorer.replays], [explorer.replay_steps],
+    [explorer.steals] (parallel only), gauges [explorer.max_depth] and
+    [explorer.frontier_peak]. In parallel mode each worker's counts land
+    in metric shard [wid] — create the registry with
+    [~shards:domains] to keep per-worker counts separable. When [obs]
+    carries a recording event sink, per-prefix events are emitted
+    (category ["explorer"]): ["replay"], ["expand"], ["fp_prune"],
+    ["sleep_prune"], ["steal"], and periodic ["heartbeat"] instants.
+
+    [on_progress] is called at most once per [progress_interval]
+    seconds (default 1.0; <= 0 disables) from the exploration loop
+    (worker 0 in parallel mode) — the CLI uses it to print a progress
+    line. Heartbeat events follow the same clock.
 
     [domains] (default 1) > 1 runs the exploration on a pool of OCaml
     domains: each worker owns a work-stealing deque of prefixes,

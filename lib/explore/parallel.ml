@@ -126,15 +126,19 @@ module Pool = struct
            anywhere and none is in flight: exact termination) *)
     stopped : bool Atomic.t;
     error : (exn * Printexc.raw_backtrace) option Atomic.t;
+    on_steal : (thief:int -> victim:int -> unit) option;
+        (* observability hook, called on the thief's domain after each
+           successful steal *)
   }
 
-  let create ~workers =
+  let create ?on_steal ~workers () =
     if workers < 1 then invalid_arg "Parallel.Pool.create: workers must be >= 1";
     {
       deques = Array.init workers (fun _ -> Ws_deque.create ());
       pending = Atomic.make 0;
       stopped = Atomic.make false;
       error = Atomic.make None;
+      on_steal;
     }
 
   let workers t = Array.length t.deques
@@ -157,8 +161,13 @@ module Pool = struct
         let rec try_steal i =
           if i >= w - 1 then None
           else
-            match Ws_deque.steal t.deques.((wid + 1 + i) mod w) with
-            | Some _ as r -> r
+            let victim = (wid + 1 + i) mod w in
+            match Ws_deque.steal t.deques.(victim) with
+            | Some _ as r ->
+                (match t.on_steal with
+                | Some f -> f ~thief:wid ~victim
+                | None -> ());
+                r
             | None -> try_steal (i + 1)
         in
         try_steal 0

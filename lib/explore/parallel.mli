@@ -52,7 +52,12 @@ end
 module Pool : sig
   type 'a t
 
-  val create : workers:int -> 'a t
+  val create : ?on_steal:(thief:int -> victim:int -> unit) -> workers:int -> unit -> 'a t
+  (** [on_steal] is an observability hook invoked on the thief's domain
+      after every successful steal (the explorer routes it to steal
+      events and per-worker steal counters). It runs outside the deque
+      locks; keep it cheap and thread-safe. *)
+
   val workers : 'a t -> int
 
   val push : 'a t -> worker:int -> 'a -> unit

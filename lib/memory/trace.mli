@@ -23,7 +23,8 @@ val create : capacity:int -> t
 val record : t -> register:string -> kind:kind -> value:string -> unit
 
 val recorded : t -> int
-(** Total operations recorded since creation (not capped). *)
+(** Total operations recorded since creation or the last {!clear}
+    (not capped at [capacity]). *)
 
 val entries : t -> entry list
 (** Retained entries, oldest first. *)
@@ -39,6 +40,8 @@ val recent : t -> int -> entry list
     (for the commutation check). *)
 
 val clear : t -> unit
+(** Empty the buffer and reset {!recorded} to 0 — the trace behaves as
+    freshly created (sequence numbers restart at 0). *)
 
 val pp_entry : entry Fmt.t
 

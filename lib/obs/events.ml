@@ -1,0 +1,147 @@
+(* Structured event tracing: typed events with timestamps, process and
+   worker ids, and span begin/end pairs, collected by a sink and
+   serialized to JSONL or to the Chrome trace-event format
+   (chrome://tracing / Perfetto).
+
+   The [Nop] sink is the default everywhere: call sites guard emission
+   with [enabled], so an un-traced run pays one branch per potential
+   event and allocates nothing. The [Mem] sink is a mutex-protected
+   ring — events from any domain, bounded memory, oldest events
+   dropped (and counted) on overflow. *)
+
+type phase = Instant | Begin | End
+
+type event = {
+  ts : float;  (* seconds since the sink was created *)
+  name : string;
+  cat : string;
+  phase : phase;
+  proc : int option;
+  worker : int option;
+  args : (string * Json.t) list;
+}
+
+type mem = {
+  capacity : int;
+  buf : event option array;
+  mutable next : int;  (* total events accepted; next mod capacity is the slot *)
+  epoch : float;
+  mu : Mutex.t;
+}
+
+type t = Nop | Mem of mem
+
+let nop = Nop
+
+let default_capacity = 1 lsl 20
+
+let memory ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Events.memory: capacity must be positive";
+  Mem
+    {
+      capacity;
+      buf = Array.make capacity None;
+      next = 0;
+      epoch = Unix.gettimeofday ();
+      mu = Mutex.create ();
+    }
+
+let enabled = function Nop -> false | Mem _ -> true
+
+let emit t ?proc ?worker ?(args = []) ?(phase = Instant) ~cat name =
+  match t with
+  | Nop -> ()
+  | Mem m ->
+      let ts = Unix.gettimeofday () -. m.epoch in
+      let e = { ts; name; cat; phase; proc; worker; args } in
+      Mutex.lock m.mu;
+      m.buf.(m.next mod m.capacity) <- Some e;
+      m.next <- m.next + 1;
+      Mutex.unlock m.mu
+
+let span t ?proc ?worker ?(args = []) ~cat name f =
+  match t with
+  | Nop -> f ()
+  | Mem _ ->
+      emit t ?proc ?worker ~args ~phase:Begin ~cat name;
+      let finally () = emit t ?proc ?worker ~phase:End ~cat name in
+      Fun.protect ~finally f
+
+let recorded = function Nop -> 0 | Mem m -> m.next
+
+let dropped = function Nop -> 0 | Mem m -> max 0 (m.next - m.capacity)
+
+let events = function
+  | Nop -> []
+  | Mem m ->
+      Mutex.lock m.mu;
+      let retained = min m.next m.capacity in
+      let out =
+        List.init retained (fun i ->
+            (* oldest retained first *)
+            let slot = (m.next - retained + i) mod m.capacity in
+            m.buf.(slot))
+      in
+      Mutex.unlock m.mu;
+      List.filter_map Fun.id out
+
+(* ---------------------------------------------------- serialization *)
+
+let phase_string = function Instant -> "i" | Begin -> "B" | End -> "E"
+
+let event_to_json e =
+  Json.Obj
+    (("ts", Json.Float e.ts)
+     :: ("name", Json.String e.name)
+     :: ("cat", Json.String e.cat)
+     :: ("ph", Json.String (phase_string e.phase))
+     :: ((match e.proc with Some p -> [ ("proc", Json.Int p) ] | None -> [])
+        @ (match e.worker with Some w -> [ ("worker", Json.Int w) ] | None -> [])
+        @ match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ]))
+
+(* Chrome trace-event format: an array of {name, cat, ph, ts (µs),
+   pid, tid, args}. We map the worker id (else the process id) to the
+   Chrome thread id, so chrome://tracing lays spans out one row per
+   worker/process. Instants carry scope "t" (thread-local). *)
+let event_to_chrome e =
+  let tid = match (e.worker, e.proc) with Some w, _ -> w | None, Some p -> p | None, None -> 0 in
+  let args =
+    (match e.proc with Some p -> [ ("proc", Json.Int p) ] | None -> [])
+    @ (match e.worker with Some w -> [ ("worker", Json.Int w) ] | None -> [])
+    @ e.args
+  in
+  Json.Obj
+    (("name", Json.String e.name)
+     :: ("cat", Json.String e.cat)
+     :: ("ph", Json.String (phase_string e.phase))
+     :: ("ts", Json.Float (e.ts *. 1e6))
+     :: ("pid", Json.Int 1)
+     :: ("tid", Json.Int tid)
+     :: ((match e.phase with Instant -> [ ("s", Json.String "t") ] | Begin | End -> [])
+        @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ]))
+
+let write_jsonl t oc =
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (event_to_json e));
+      output_char oc '\n')
+    (events t)
+
+let write_chrome t oc =
+  output_string oc "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc (Json.to_string (event_to_chrome e)))
+    (events t);
+  output_string oc "]\n"
+
+let save_jsonl t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_jsonl t oc)
+
+let save_chrome t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_chrome t oc)
+
+let pp_event ppf e = Json.pp ppf (event_to_json e)

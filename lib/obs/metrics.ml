@@ -1,0 +1,239 @@
+(* Metrics registry: counters, gauges, histograms with fixed log-scale
+   (power-of-two) buckets.
+
+   Every counter and histogram is an array of per-domain cells indexed
+   by a shard id (the explorer passes its worker id). A hot-path
+   update is one unsynchronized read-modify-write of the caller's own
+   cell — no atomics, no locks — which is race-free as long as each
+   shard id is used by at most one domain at a time (the explorer's
+   worker ids satisfy this by construction). Reads merge the cells,
+   so a snapshot taken while workers run is approximate; a snapshot
+   taken after the workers joined is exact. *)
+
+let bucket_count = 64
+
+(* Bucket 0 holds values < 1 (including zero and negatives); bucket i
+   (1 <= i < 63) holds [2^(i-1), 2^i); bucket 63 is the overflow.
+   [Float.frexp] decomposes v = m * 2^e with m in [0.5, 1), so e is
+   exactly the bucket index — no logarithm rounding at the bucket
+   boundaries. *)
+let bucket_of v =
+  if not (v >= 1.0) then 0
+  else
+    let _, e = Float.frexp v in
+    if e >= bucket_count then bucket_count - 1 else e
+
+let bucket_lower_bound i =
+  if i <= 0 then neg_infinity else Float.ldexp 1.0 (i - 1)
+
+let bucket_upper_bound i =
+  if i <= 0 then 1.0
+  else if i >= bucket_count - 1 then infinity
+  else Float.ldexp 1.0 i
+
+type counter = { c_name : string; c_cells : int array }
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type hcell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type histogram = { h_name : string; h_cells : hcell array }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  shards : int;
+  mu : Mutex.t;  (* guards registration only, never updates *)
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Metrics.create: shards must be >= 1";
+  { shards; mu = Mutex.create (); tbl = Hashtbl.create 32; order = [] }
+
+let shards t = t.shards
+
+let intern t name make get =
+  Mutex.lock t.mu;
+  let m =
+    match Hashtbl.find_opt t.tbl name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.replace t.tbl name m;
+        t.order <- name :: t.order;
+        m
+  in
+  Mutex.unlock t.mu;
+  get m
+
+let counter t name =
+  let get = function
+    | Counter c -> c
+    | Gauge _ | Histogram _ ->
+        invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+  in
+  intern t name (fun () -> Counter { c_name = name; c_cells = Array.make t.shards 0 }) get
+
+let gauge t name =
+  let get = function
+    | Gauge g -> g
+    | Counter _ | Histogram _ ->
+        invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+  in
+  intern t name (fun () -> Gauge { g_name = name; g_value = 0.; g_set = false }) get
+
+let fresh_hcell () =
+  {
+    h_count = 0;
+    h_sum = 0.;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_buckets = Array.make bucket_count 0;
+  }
+
+let histogram t name =
+  let get = function
+    | Histogram h -> h
+    | Counter _ | Gauge _ ->
+        invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+  in
+  intern t name
+    (fun () -> Histogram { h_name = name; h_cells = Array.init t.shards (fun _ -> fresh_hcell ()) })
+    get
+
+(* ---------------------------------------------------------- updates *)
+
+let[@inline] cell_index cells shard =
+  let n = Array.length cells in
+  if shard >= 0 && shard < n then shard else ((shard mod n) + n) mod n
+
+let incr ?(shard = 0) ?(by = 1) c =
+  let i = cell_index c.c_cells shard in
+  c.c_cells.(i) <- c.c_cells.(i) + by
+
+let set g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let set_max g v = if (not g.g_set) || v > g.g_value then set g v
+
+let observe ?(shard = 0) h v =
+  let i = cell_index h.h_cells shard in
+  let cell = h.h_cells.(i) in
+  cell.h_count <- cell.h_count + 1;
+  cell.h_sum <- cell.h_sum +. v;
+  if v < cell.h_min then cell.h_min <- v;
+  if v > cell.h_max then cell.h_max <- v;
+  let b = bucket_of v in
+  cell.h_buckets.(b) <- cell.h_buckets.(b) + 1
+
+(* ------------------------------------------------------------ reads *)
+
+let counter_value c = Array.fold_left ( + ) 0 c.c_cells
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+type hsnap = {
+  count : int;
+  sum : float;
+  min : float;  (** meaningless when [count = 0] *)
+  max : float;  (** meaningless when [count = 0] *)
+  buckets : int array;  (** length {!bucket_count}, merged over shards *)
+}
+
+let histogram_snapshot h =
+  let snap =
+    {
+      count = 0;
+      sum = 0.;
+      min = infinity;
+      max = neg_infinity;
+      buckets = Array.make bucket_count 0;
+    }
+  in
+  Array.fold_left
+    (fun acc cell ->
+      Array.iteri (fun i b -> acc.buckets.(i) <- acc.buckets.(i) + b) cell.h_buckets;
+      {
+        acc with
+        count = acc.count + cell.h_count;
+        sum = acc.sum +. cell.h_sum;
+        min = Float.min acc.min cell.h_min;
+        max = Float.max acc.max cell.h_max;
+      })
+    snap h.h_cells
+
+let counter_value_of_shard c shard = c.c_cells.(cell_index c.c_cells shard)
+
+(* ------------------------------------------------------------- dump *)
+
+let names t =
+  Mutex.lock t.mu;
+  let names = List.rev t.order in
+  Mutex.unlock t.mu;
+  names
+
+let find t name =
+  Mutex.lock t.mu;
+  let m = Hashtbl.find_opt t.tbl name in
+  Mutex.unlock t.mu;
+  m
+
+let hsnap_to_json s =
+  let buckets =
+    Array.to_list s.buckets
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (i, c) ->
+           Json.Obj
+             [
+               ("ge", if i = 0 then Json.Null else Json.Float (bucket_lower_bound i));
+               ("lt", if i >= bucket_count - 1 then Json.Null else Json.Float (bucket_upper_bound i));
+               ("count", Json.Int c);
+             ])
+  in
+  Json.Obj
+    (("count", Json.Int s.count)
+     :: ("sum", Json.Float s.sum)
+     :: (if s.count > 0 then
+           [ ("min", Json.Float s.min); ("max", Json.Float s.max) ]
+         else [])
+    @ [ ("buckets", Json.List buckets) ])
+
+let to_json t =
+  let pick f = List.filter_map f (names t) in
+  let counters =
+    pick (fun name ->
+        match find t name with
+        | Some (Counter c) -> Some (name, Json.Int (counter_value c))
+        | Some (Gauge _ | Histogram _) | None -> None)
+  in
+  let gauges =
+    pick (fun name ->
+        match find t name with
+        | Some (Gauge g) ->
+            Some (name, match gauge_value g with Some v -> Json.Float v | None -> Json.Null)
+        | Some (Counter _ | Histogram _) | None -> None)
+  in
+  let histograms =
+    pick (fun name ->
+        match find t name with
+        | Some (Histogram h) -> Some (name, hsnap_to_json (histogram_snapshot h))
+        | Some (Counter _ | Gauge _) | None -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let pp ppf t = Json.pp ppf (to_json t)

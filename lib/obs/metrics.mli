@@ -1,0 +1,91 @@
+(** Metrics registry: counters, gauges, and fixed log-scale histograms.
+
+    Counters and histograms are backed by {e per-domain sharded cells}:
+    the registry allocates one cell per shard (pass the worker/domain
+    id as [?shard]) and a hot-path update is a single unsynchronized
+    increment of the caller's own cell — no atomics, no locks. Cells
+    are merged on read. This is race-free as long as each shard id is
+    driven by one domain at a time (the explorer's worker ids); a
+    snapshot taken while workers are running is approximate, one taken
+    after they joined is exact.
+
+    Metrics are interned by name: [counter t "x"] returns the same
+    counter every time, so instruments can look their metrics up
+    cheaply once and update them in loops. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : ?shards:int -> unit -> t
+(** [shards] (default 1) is the number of independent update cells per
+    counter/histogram — use the worker/domain count. *)
+
+val shards : t -> int
+
+val counter : t -> string -> counter
+(** Get-or-create. Raises [Invalid_argument] if [name] is already a
+    metric of a different kind (same for {!gauge}, {!histogram}). *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+(** {2 Updates} (hot path; unsynchronized per shard) *)
+
+val incr : ?shard:int -> ?by:int -> counter -> unit
+
+val set : gauge -> float -> unit
+(** Gauges are single-cell: last write wins (racy across domains, which
+    is the usual gauge semantics — monitor, don't aggregate). *)
+
+val set_max : gauge -> float -> unit
+(** High-water-mark update: keeps the max of all values set. *)
+
+val observe : ?shard:int -> histogram -> float -> unit
+(** Record one sample. Bucketing is exact powers of two: bucket 0 holds
+    values < 1, bucket [i] holds [[2^(i-1), 2^i)], the last bucket
+    overflows to infinity. Boundary values land in the upper bucket
+    ([observe 8.] lands in the bucket starting at 8), computed via
+    [Float.frexp], so no rounding at the boundary. *)
+
+(** {2 Reads} (merge shards) *)
+
+val counter_value : counter -> int
+val counter_value_of_shard : counter -> int -> int
+val gauge_value : gauge -> float option
+
+type hsnap = {
+  count : int;
+  sum : float;
+  min : float;  (** meaningless when [count = 0] *)
+  max : float;  (** meaningless when [count = 0] *)
+  buckets : int array;  (** length {!bucket_count}, merged over shards *)
+}
+
+val histogram_snapshot : histogram -> hsnap
+
+(** {2 Buckets} *)
+
+val bucket_count : int
+(** 64. *)
+
+val bucket_of : float -> int
+(** The bucket index a value lands in. *)
+
+val bucket_lower_bound : int -> float
+(** Inclusive lower bound of bucket [i] ([neg_infinity] for bucket 0). *)
+
+val bucket_upper_bound : int -> float
+(** Exclusive upper bound of bucket [i] ([infinity] for the last). *)
+
+(** {2 Serialization} *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] in
+    registration order; histogram buckets are emitted sparsely (only
+    non-empty buckets, with their [ge]/[lt] bounds). *)
+
+val pp : t Fmt.t

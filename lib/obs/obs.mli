@@ -1,0 +1,26 @@
+(** Observability context: one metrics registry + one event sink.
+
+    Instrumented entry points across the runtime, detector, agreement,
+    and exploration layers accept [?obs:Obs.t]. [None] (the default)
+    is the zero-cost path; [Some ctx] routes counters/histograms into
+    [ctx.metrics] (under [ctx.shard]) and events into [ctx.events].
+
+    [shard] selects the cell sharded metrics update under — the
+    parallel explorer hands each worker [with_shard ctx wid] so hot
+    paths never contend (see {!Metrics}). *)
+
+type t = {
+  metrics : Metrics.t;
+  events : Events.t;
+  shard : int;  (** shard id for {!Metrics.incr}/{!Metrics.observe} *)
+}
+
+val create : ?shards:int -> ?events:Events.t -> unit -> t
+(** Fresh registry with [shards] cells (default 1) and the given sink
+    (default {!Events.nop}); [shard] starts at 0. *)
+
+val with_shard : t -> int -> t
+(** Same registry and sink, different shard id. *)
+
+val events_on : t -> bool
+(** [Events.enabled t.events] — guard allocation-heavy emission sites. *)

@@ -2,6 +2,10 @@ module Proc = Setsync_schedule.Proc
 module Procset = Setsync_schedule.Procset
 module Schedule = Setsync_schedule.Schedule
 module Source = Setsync_schedule.Source
+module Obs = Setsync_obs.Obs
+module Metrics = Setsync_obs.Metrics
+module Events = Setsync_obs.Events
+module Json = Setsync_obs.Json
 
 type source_factory = live:(Proc.t -> bool) -> Source.t
 
@@ -9,9 +13,22 @@ type source_factory = live:(Proc.t -> bool) -> Source.t
    a row, the run is declared stalled rather than looping forever. *)
 let max_consecutive_skips n = 64 * n
 
-let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop body =
+let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop ?obs body =
   Proc.check_n n;
   if max_steps < 0 then invalid_arg "Executor.run: negative step budget";
+  (* Instrumentation is resolved once, outside the step loop: the
+     un-instrumented path pays one [match] per step on [meters] and
+     one on [ev]; metric handles are interned here, never per step. *)
+  let meters =
+    match obs with
+    | None -> None
+    | Some o ->
+        Some
+          ( o.Obs.shard,
+            Metrics.counter o.Obs.metrics "runtime.steps",
+            Metrics.counter o.Obs.metrics "runtime.crashes" )
+  in
+  let ev = match obs with Some o when Obs.events_on o -> Some o.Obs.events | Some _ | None -> None in
   let fault_state = Fault.start ~n fault in
   let fibers = Array.init n (fun p -> Fiber.spawn (body p)) in
   let schedulable p = Fault.live fault_state p && not (Fiber.is_done fibers.(p)) in
@@ -41,9 +58,27 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop body =
     let died = Fault.note_step fault_state p in
     if died then crashes := (p, !executed) :: !crashes;
     incr executed;
+    (match meters with
+    | Some (shard, steps_c, crashes_c) ->
+        Metrics.incr ~shard steps_c;
+        if died then Metrics.incr ~shard crashes_c
+    | None -> ());
+    (match ev with
+    | Some sink ->
+        Events.emit sink ~proc:p ~args:[ ("global", Json.Int (!executed - 1)) ] ~cat:"runtime"
+          "step";
+        if died then
+          Events.emit sink ~proc:p
+            ~args:[ ("step", Json.Int (!executed - 1)) ]
+            ~cat:"runtime" "crash"
+    | None -> ());
     (match on_step with Some f -> f ~global:(!executed - 1) ~proc:p | None -> ());
     match stop with Some f when f () -> finish Run.Stopped_early | Some _ | None -> ()
   in
+  (match ev with
+  | Some sink ->
+      Events.emit sink ~phase:Events.Begin ~args:[ ("n", Json.Int n) ] ~cat:"runtime" "run"
+  | None -> ());
   while !reason = None do
     if !executed >= max_steps then finish Run.Step_budget
     else if not (any_schedulable ()) then finish Run.All_halted
@@ -57,6 +92,11 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop body =
             if !skips > max_consecutive_skips n then finish Run.Stalled
           end
   done;
+  (match ev with
+  | Some sink ->
+      Events.emit sink ~phase:Events.End ~args:[ ("steps", Json.Int !executed) ] ~cat:"runtime"
+        "run"
+  | None -> ());
   let halted =
     Array.to_list fibers
     |> List.mapi (fun p fiber -> (p, fiber))
@@ -72,6 +112,6 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop body =
     reason = (match !reason with Some r -> r | None -> assert false);
   }
 
-let replay ~n ~schedule ?fault ?on_step ?stop body =
+let replay ~n ~schedule ?fault ?on_step ?stop ?obs body =
   let source ~live:_ = Source.of_schedule schedule in
-  run ~n ~source ~max_steps:max_int ?fault ?on_step ?stop body
+  run ~n ~source ~max_steps:max_int ?fault ?on_step ?stop ?obs body

@@ -19,6 +19,7 @@ val run :
   ?fault:Fault.plan ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?stop:(unit -> bool) ->
+  ?obs:Setsync_obs.Obs.t ->
   (Setsync_schedule.Proc.t -> unit -> unit) ->
   Run.t
 (** [run ~n ~source ~max_steps body] executes [body p] as process [p]
@@ -30,6 +31,11 @@ val run :
       process outputs or shared state via [Register.peek]).
     - [stop] is polled after every step; returning [true] ends the run
       (used to stop once convergence is detected).
+    - [obs] (default: none, the zero-cost path) counts executed steps
+      and injected crashes into the [runtime.steps] / [runtime.crashes]
+      counters, and — when the event sink is enabled — emits a
+      ["run"] begin/end span plus one ["step"] event per executed step
+      and a ["crash"] event per injected crash (category ["runtime"]).
 
     Exceptions raised by process bodies propagate (a process with a bug
     fails the whole run loudly rather than being mistaken for a
@@ -41,10 +47,11 @@ val replay :
   ?fault:Fault.plan ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?stop:(unit -> bool) ->
+  ?obs:Setsync_obs.Obs.t ->
   (Setsync_schedule.Proc.t -> unit -> unit) ->
   Run.t
 (** Deterministic replay of a fixed finite schedule (steps naming
-    crashed or finished processes are skipped). [stop] as in {!run}
+    crashed or finished processes are skipped). [stop] and [obs] as in {!run}
     (used by the explorer's incremental safety probe to cut a replay
     at the first violation).
 

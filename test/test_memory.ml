@@ -82,6 +82,47 @@ let test_trace_invalid_capacity () =
   Alcotest.check_raises "capacity 0" (Invalid_argument "Trace.create: capacity must be positive")
     (fun () -> ignore (Trace.create ~capacity:0))
 
+(* Pin last/recent/clear across wraparound: entries is oldest first,
+   recent is newest first, and clear makes the trace behave exactly as
+   freshly created (recorded resets, sequence numbers restart). *)
+let test_trace_last_recent_wraparound () =
+  let trace = Trace.create ~capacity:4 in
+  Alcotest.(check bool) "last on empty" true (Trace.last trace = None);
+  Alcotest.(check int) "recent on empty" 0 (List.length (Trace.recent trace 3));
+  for i = 1 to 10 do
+    Trace.record trace ~register:"r" ~kind:Trace.Write ~value:(string_of_int i)
+  done;
+  (match Trace.last trace with
+  | Some e ->
+      Alcotest.(check string) "last is newest" "10" e.Trace.value;
+      Alcotest.(check int) "last seq" 9 e.Trace.seq
+  | None -> Alcotest.fail "last after records");
+  Alcotest.(check (list string)) "recent newest first" [ "10"; "9"; "8" ]
+    (List.map (fun e -> e.Trace.value) (Trace.recent trace 3));
+  Alcotest.(check (list string)) "recent capped at retention" [ "10"; "9"; "8"; "7" ]
+    (List.map (fun e -> e.Trace.value) (Trace.recent trace 100));
+  Alcotest.(check (list string)) "entries oldest first = reversed recent"
+    (List.rev (List.map (fun e -> e.Trace.value) (Trace.recent trace 4)))
+    (List.map (fun e -> e.Trace.value) (Trace.entries trace))
+
+let test_trace_clear_resets () =
+  let trace = Trace.create ~capacity:4 in
+  for i = 1 to 6 do
+    Trace.record trace ~register:"r" ~kind:Trace.Read ~value:(string_of_int i)
+  done;
+  Trace.clear trace;
+  Alcotest.(check int) "recorded reset" 0 (Trace.recorded trace);
+  Alcotest.(check bool) "last cleared" true (Trace.last trace = None);
+  Alcotest.(check int) "recent cleared" 0 (List.length (Trace.recent trace 4));
+  (* records after clear start a fresh sequence, exactly as after create *)
+  Trace.record trace ~register:"r" ~kind:Trace.Write ~value:"fresh";
+  Alcotest.(check int) "recorded restarts" 1 (Trace.recorded trace);
+  match Trace.last trace with
+  | Some e ->
+      Alcotest.(check int) "seq restarts at 0" 0 e.Trace.seq;
+      Alcotest.(check string) "value" "fresh" e.Trace.value
+  | None -> Alcotest.fail "last after clear+record"
+
 let test_trace_unprintable_value () =
   let trace = Trace.create ~capacity:4 in
   let store = Store.create ~trace () in
@@ -110,6 +151,9 @@ let () =
         [
           Alcotest.test_case "records operations" `Quick test_trace_records;
           Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
+          Alcotest.test_case "last/recent across wraparound" `Quick
+            test_trace_last_recent_wraparound;
+          Alcotest.test_case "clear resets to fresh" `Quick test_trace_clear_resets;
           Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
           Alcotest.test_case "invalid capacity" `Quick test_trace_invalid_capacity;
           Alcotest.test_case "value without printer" `Quick test_trace_unprintable_value;
