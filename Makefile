@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt fmt-check bench bench-quick obs-check ci clean
+.PHONY: all build check test fmt fmt-check bench bench-quick obs-check fuzz-smoke ci clean
 
 all: build
 
@@ -49,12 +49,20 @@ obs-check: ## traced exploration; validate the emitted JSONL/Chrome/metrics file
 	  --require replay,expand,sleep_prune \
 	  --require-counter explorer.states --require-counter explorer.replay_steps
 
-ci: ## the full gate: format check, build, tests, E11 smoke, traced-run check
+fuzz-smoke: ## fixed-seed fuzz run: the seeded-bug SUT must be found (exit 2)
+	dune exec bin/setsync_cli.exe -- fuzz --sut seeded-bug --seed 42 --execs 2000 --len 96; \
+	  status=$$?; \
+	  if [ $$status -ne 2 ]; then \
+	    echo "fuzz-smoke: expected exit 2 (violation found), got $$status"; exit 1; \
+	  fi
+
+ci: ## the full gate: format check, build, tests, E11 smoke, traced-run check, fuzz smoke
 	$(MAKE) fmt-check
 	dune build
 	dune runtest
 	$(MAKE) bench-quick
 	$(MAKE) obs-check
+	$(MAKE) fuzz-smoke
 
 clean:
 	dune clean

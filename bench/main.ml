@@ -571,6 +571,40 @@ let p9_obs_overhead () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* F1: fuzzing the detector boundary (setsync_fuzz) *)
+
+let f1_fuzz () =
+  section "F1. Fuzzing the detector boundary: seeded-bug counter core (n=2, t=1, k=1)";
+  let seed = 42 in
+  let sut = Fuzz_systems.counter_core ~params:{ Kanti_omega.n = 2; t = 1; k = 1 } () in
+  let report =
+    Fuzz.run ~len:96 ~limits:(Budget.limits ~max_states:2_000 ()) ~sut
+      ~properties:[ Fuzz_systems.winner_argmin () ] ~seed ()
+  in
+  let found, find_execs, shrunk_len =
+    match report.Fuzz.outcome with
+    | Fuzz.Passed -> (false, 0, 0)
+    | Fuzz.Violation v -> (true, v.Fuzz.exec, Schedule.length v.Fuzz.shrunk)
+  in
+  let wall = report.Fuzz.stats.Budget.wall_seconds in
+  let execs_per_s = if wall > 0. then float_of_int report.Fuzz.execs /. wall else 0. in
+  Fmt.pr "  seed %d: %s at exec %d, shrunk to %d steps; %d execs in %a (%.0f execs/s)@."
+    seed
+    (if found then "violation found" else "NO VIOLATION (expected one)")
+    find_execs shrunk_len report.Fuzz.execs Budget.pp_times report.Fuzz.stats execs_per_s;
+  Results.add "F1"
+    [
+      ("seed", Json.Int seed);
+      ("execs", Json.Int report.Fuzz.execs);
+      ("execs_per_s", Json.Float execs_per_s);
+      ("found", Json.Bool found);
+      ("find_execs", Json.Int find_execs);
+      ("shrunk_len", Json.Int shrunk_len);
+      ("replay_steps", Json.Int report.Fuzz.stats.Budget.replay_steps);
+      ("wall_seconds", Json.Float wall);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Convergence profile: how fast the detector stabilizes *)
 
 let convergence_profile () =
@@ -689,6 +723,7 @@ let quick () =
   Fmt.pr "setsync bench --quick: E11 smoke (bounded exploration + domains table)@.";
   section "E11. Bounded exploration smoke";
   e11_domains ~depth:8 ();
+  f1_fuzz ();
   p9_obs_overhead ();
   Results.write "BENCH_quick.json";
   Fmt.pr "@.done.@."
@@ -707,6 +742,7 @@ let () =
     e10_separation ();
     e11_explore ();
     e11_domains ();
+    f1_fuzz ();
     convergence_profile ();
     ablations ();
     p9_obs_overhead ();

@@ -408,9 +408,177 @@ let explore_cmd =
       $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
       $ domains_arg $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
 
+(* ------------------------------------------------------------- fuzz *)
+
+type fuzz_sut = Fuzz_seeded_bug | Fuzz_fixed | Fuzz_kset
+
+let fuzz_cmd =
+  let sut_conv =
+    Arg.enum
+      [ ("seeded-bug", Fuzz_seeded_bug); ("fixed", Fuzz_fixed); ("kset", Fuzz_kset) ]
+  in
+  let sut_arg =
+    Arg.(
+      value
+      & opt sut_conv Fuzz_seeded_bug
+      & info [ "sut" ] ~docv:"SUT"
+          ~doc:
+            "What to fuzz: $(b,seeded-bug) (a copy of the Figure 2 counter logic with a \
+             planted argmin off-by-one — the fuzzer must find and shrink it), \
+             $(b,fixed) (the faithful copy: same property, no violation expected), or \
+             $(b,kset) (the Theorem 24 k-set-agreement solver under agreement + \
+             validity).")
+  in
+  let fn_arg = Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.") in
+  let ft_arg = Arg.(value & opt int 1 & info [ "t" ] ~docv:"T" ~doc:"Resilience.") in
+  let fk_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Detector/agreement degree.") in
+  let execs_arg =
+    Arg.(value & opt int 2_000 & info [ "execs" ] ~docv:"N" ~doc:"Budget: schedules executed.")
+  in
+  let len_arg =
+    Arg.(value & opt int 96 & info [ "len" ] ~docv:"L" ~doc:"Target schedule length.")
+  in
+  let stride_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "stride" ] ~docv:"S"
+          ~doc:"Probe the trajectory every $(docv) executed steps (1 = every state).")
+  in
+  let fuzz_crashes_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "crashes" ] ~docv:"C"
+          ~doc:"Crash mutation budget: the crash-shift mutator keeps at most $(docv) crashes.")
+  in
+  let max_replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-replay-steps" ] ~docv:"N" ~doc:"Budget: total executed steps.")
+  in
+  let max_seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:"Budget: wall-clock seconds (trades determinism for a time box).")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repro" ] ~docv:"SEED"
+          ~doc:
+            "Replay the fuzz run for $(docv) under the same configuration flags; prints \
+             the identical violation block byte-for-byte (the loop is a pure function \
+             of its seed).")
+  in
+  let progress_seconds_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "progress" ] ~docv:"S"
+          ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
+  in
+  let run sut_choice n t k seed execs len stride crashes max_replay_steps max_seconds
+      repro trace_out metrics_out progress_seconds =
+    let seed = Option.value repro ~default:seed in
+    let limits = Budget.limits ~max_states:execs ?max_replay_steps ?max_seconds () in
+    let obs = make_obs ~trace_out ~metrics_out () in
+    let on_progress (p : Fuzz.progress) =
+      Fmt.epr "[%6.1fs] execs %d (%.0f/s)  corpus %d  digests %d@." p.Fuzz.wall
+        p.Fuzz.execs p.Fuzz.execs_per_s p.Fuzz.corpus p.Fuzz.digests
+    in
+    let sut_name =
+      match sut_choice with
+      | Fuzz_seeded_bug -> "seeded-bug"
+      | Fuzz_fixed -> "fixed"
+      | Fuzz_kset -> "kset"
+    in
+    let go ~sut ~properties =
+      let report =
+        Fuzz.run ?obs ~on_progress ~progress_interval:progress_seconds
+          ~max_crashes:crashes ~len ~stride ~limits ~sut ~properties ~seed ()
+      in
+      Fmt.pr "%a@." Fuzz.pp_report report;
+      Fmt.pr "time: %a@." Budget.pp_times report.Fuzz.stats;
+      write_obs ~trace_out ~metrics_out obs;
+      match report.Fuzz.outcome with
+      | Fuzz.Passed -> exit 0
+      | Fuzz.Violation v -> (
+          let property =
+            List.find (fun (p : _ Property.t) -> p.Property.name = v.Fuzz.property) properties
+          in
+          match Explorer.check_schedule ~sut ~property ~fault:v.Fuzz.fault v.Fuzz.shrunk with
+          | Some _ ->
+              Fmt.pr "replayed shrunk schedule: violation reproduced@.";
+              Fmt.pr "repro: setsync fuzz --sut %s -n %d -t %d -k %d --len %d --execs %d \
+                      --crashes %d --repro %d@."
+                sut_name n t k len execs crashes seed;
+              exit 2
+          | None ->
+              Fmt.pr "replayed shrunk schedule: VIOLATION LOST@.";
+              exit 1)
+    in
+    match sut_choice with
+    | Fuzz_seeded_bug ->
+        Fmt.pr "fuzzing the seeded-bug counter core (n=%d, t=%d, k=%d), seed %d, len %d@."
+          n t k seed len;
+        go
+          ~sut:(Fuzz_systems.counter_core ~params:{ Kanti_omega.n; t; k } ())
+          ~properties:[ Fuzz_systems.winner_argmin () ]
+    | Fuzz_fixed ->
+        Fmt.pr "fuzzing the faithful counter core (n=%d, t=%d, k=%d), seed %d, len %d@."
+          n t k seed len;
+        go
+          ~sut:(Fuzz_systems.counter_core ~bug:false ~params:{ Kanti_omega.n; t; k } ())
+          ~properties:[ Fuzz_systems.winner_argmin () ]
+    | Fuzz_kset ->
+        let problem = Problem.make ~t ~k ~n in
+        let inputs = Problem.distinct_inputs problem in
+        Fmt.pr "fuzzing %a, inputs %a, seed %d, len %d@." Problem.pp problem
+          Fmt.(array ~sep:sp int)
+          inputs seed len;
+        go
+          ~sut:(Explore_systems.kset_agreement ~problem ~inputs ())
+          ~properties:
+            [
+              Property.kset_agreement ~k ~decisions:(fun st ->
+                  st.Explorer.obs.Explore_systems.decisions);
+              Property.validity ~inputs ~decisions:(fun st ->
+                  st.Explorer.obs.Explore_systems.decisions);
+            ]
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Coverage-guided randomized schedule fuzzing"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Executes random schedules against the chosen system, keeps the ones that \
+              reach novel state fingerprints, and mutates them (swap / insert / delete \
+              / duplicate segments, crash-point shifts, timeliness-contract-preserving \
+              suffix regeneration). A violation is re-verified exactly, minimized with \
+              ddmin, and reported with the seed that found it. With no $(b,--max-seconds) \
+              the run is a pure function of its seed: $(b,--repro) SEED replays it and \
+              prints the identical violation block.";
+           `S Manpage.s_exit_status;
+           `P
+             "0 when the budget is exhausted with no violation; 2 when a violation is \
+              found, shrunk, and reproduced; 1 on operational failure (a shrunk \
+              counterexample that no longer violates).";
+         ])
+    Term.(
+      const run $ sut_arg $ fn_arg $ ft_arg $ fk_arg $ seed_arg $ execs_arg $ len_arg
+      $ stride_arg $ fuzz_crashes_arg $ max_replay_arg $ max_seconds_arg $ repro_arg
+      $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
+
 let () =
   let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in
   let info = Cmd.info "setsync" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ figure1_cmd; fd_cmd; solve_cmd; sweep_cmd; analyze_cmd; explore_cmd ]))
+       (Cmd.group info
+          [ figure1_cmd; fd_cmd; solve_cmd; sweep_cmd; analyze_cmd; explore_cmd; fuzz_cmd ]))

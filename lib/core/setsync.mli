@@ -73,5 +73,11 @@ module Explorer = Setsync_explore.Explorer
 module Shrink = Setsync_explore.Shrink
 module Explore_systems = Setsync_explore.Systems
 
+(* coverage-guided randomized schedule fuzzing *)
+module Mutate = Setsync_fuzz.Mutate
+module Corpus = Setsync_fuzz.Corpus
+module Fuzz = Setsync_fuzz.Fuzz
+module Fuzz_systems = Setsync_fuzz.Fuzz_systems
+
 (* high-level scenarios *)
 module Scenario = Scenario

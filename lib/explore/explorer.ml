@@ -250,6 +250,82 @@ let fingerprint ~sut ~snapshot ~run ~obs =
   Buffer.add_string buf (sut.obs_fingerprint obs);
   Digest.string (Buffer.contents buf)
 
+let digest ~sut (st : _ state) =
+  fingerprint ~sut ~snapshot:st.snapshot ~run:st.run ~obs:st.obs
+
+(* ----------------------------------------------------- trajectory *)
+
+(* Single-replay probe over the *executed* step sequence: invoke
+   [on_state] on the interim state after every [stride]-th executed
+   step (and on the initial and final states). Unlike
+   [check_safety_probe] this never falls back to a per-prefix scan:
+   interim run bookkeeping is reconstructed from the executed steps
+   themselves, so it stays exact even when the replay skips scheduled
+   steps (a mutated schedule naming a crashed/halted process) — the
+   interim prefixes are then prefixes of the executed subsequence, not
+   of the requested schedule. That is the right notion for fuzzing:
+   the executed sequence is itself a replayable schedule that rebuilds
+   the same states, which is what candidate counterexamples and
+   shrinking need. *)
+let trajectory ~sut ?(fault = Fault.no_faults) ?(stride = 1) ~on_state schedule =
+  if stride < 1 then invalid_arg "Explorer.trajectory: stride must be >= 1";
+  let n = sut.n in
+  Fault.validate ~n fault;
+  let store = Store.create () in
+  let inst = sut.fresh ~store in
+  let halted = Array.make n false in
+  let body p () =
+    inst.body p ();
+    halted.(p) <- true
+  in
+  let steps_of = Array.make n 0 in
+  let budgets = Array.make n max_int in
+  List.iter (fun (p, s) -> budgets.(p) <- s) fault;
+  let crashes =
+    ref (List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault)
+  in
+  let crashed p = List.exists (fun (q, _) -> q = p) !crashes in
+  let rev_taken = ref [] in
+  let taken = ref 0 in
+  let stopped = ref false in
+  let mk_state () =
+    let prefix = Schedule.of_list ~n (List.rev !rev_taken) in
+    let halted_set = ref Procset.empty in
+    Array.iteri (fun p h -> if h then halted_set := Procset.add p !halted_set) halted;
+    let all_done =
+      let rec go p = p >= n || ((halted.(p) || crashed p) && go (p + 1)) in
+      go 0
+    in
+    let run =
+      {
+        Run.n;
+        taken = prefix;
+        steps_of = Array.copy steps_of;
+        crashes = !crashes;
+        halted = !halted_set;
+        reason = (if all_done then Run.All_halted else Run.Source_exhausted);
+      }
+    in
+    { depth = !taken; prefix; run; snapshot = Store.snapshot store; obs = inst.observe () }
+  in
+  let emit () = if not !stopped then stopped := on_state (mk_state ()) in
+  emit ();
+  if !stopped then mk_state ()
+  else begin
+    let on_step ~global:_ ~proc =
+      rev_taken := proc :: !rev_taken;
+      incr taken;
+      steps_of.(proc) <- steps_of.(proc) + 1;
+      if steps_of.(proc) >= budgets.(proc) && not (crashed proc) then
+        crashes := !crashes @ [ (proc, !taken - 1) ];
+      if !taken mod stride = 0 then emit ()
+    in
+    let stop () = !stopped in
+    ignore (Executor.replay ~n ~schedule ~fault ~on_step ~stop body);
+    if !taken mod stride <> 0 && not !stopped then ignore (on_state (mk_state ()));
+    mk_state ()
+  end
+
 let enabled ~n run =
   List.filter
     (fun p ->

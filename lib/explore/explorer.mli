@@ -174,6 +174,35 @@ val evaluate :
     state (the counterexample-reproduction entry point: the schedule is
     driven through [Executor.replay] exactly as during exploration). *)
 
+val digest : sut:'obs sut -> 'obs state -> string
+(** The state's fingerprint digest — the same function the explorer's
+    fingerprint memoization uses (register snapshot + halted/crashed
+    sets + [sut.obs_fingerprint]). Exposed so the fuzzer can rank
+    corpus entries by novelty against exploration-equivalent
+    fingerprints. Same approximation caveat as pruning: the digest
+    determines future behaviour only when [obs_fingerprint] covers all
+    process-local state. *)
+
+val trajectory :
+  sut:'obs sut ->
+  ?fault:Setsync_runtime.Fault.plan ->
+  ?stride:int ->
+  on_state:('obs state -> bool) ->
+  Setsync_schedule.Schedule.t ->
+  'obs state
+(** Replay one schedule against a fresh instance, invoking [on_state]
+    on the initial state, after every [stride]-th (default 1) executed
+    step, and on the final state — all within a {e single} replay, the
+    coverage/safety probe of the fuzzer. [on_state] returning [true]
+    stops the replay early. Returns the state at the stop point (or
+    the final state).
+
+    Interim states are reconstructed from the {e executed} step
+    sequence: if the replay skips scheduled steps (a schedule naming a
+    crashed or halted process), the probed prefixes are prefixes of
+    the executed subsequence — itself a replayable schedule reaching
+    the same states — rather than of the requested schedule. *)
+
 val check_schedule :
   sut:'obs sut ->
   property:'obs state Property.t ->

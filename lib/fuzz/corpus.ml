@@ -1,0 +1,48 @@
+module Rng = Setsync_schedule.Rng
+
+type entry = { novelty : int; cand : Mutate.candidate }
+
+type t = {
+  seen : (string, unit) Hashtbl.t;
+  max_entries : int;
+  mutable entries : entry list;  (* novelty-descending, ties in insertion order *)
+  mutable count : int;
+}
+
+let create ?(max_entries = 64) () =
+  if max_entries < 1 then invalid_arg "Corpus.create: max_entries must be >= 1";
+  { seen = Hashtbl.create 4096; max_entries; entries = []; count = 0 }
+
+let note_digest t d =
+  if Hashtbl.mem t.seen d then false
+  else begin
+    Hashtbl.add t.seen d ();
+    true
+  end
+
+let digests t = Hashtbl.length t.seen
+
+let rec insert e = function
+  | [] -> [ e ]
+  | x :: rest when x.novelty >= e.novelty -> x :: insert e rest
+  | rest -> e :: rest
+
+let rec drop_last = function
+  | [] | [ _ ] -> []
+  | x :: rest -> x :: drop_last rest
+
+let add t ~novelty cand =
+  if novelty > 0 then begin
+    t.entries <- insert { novelty; cand } t.entries;
+    if t.count >= t.max_entries then t.entries <- drop_last t.entries
+    else t.count <- t.count + 1
+  end
+
+let size t = t.count
+
+let is_empty t = t.count = 0
+
+let pick t rng =
+  if t.count = 0 then invalid_arg "Corpus.pick: empty corpus";
+  let i = Rng.int rng t.count and j = Rng.int rng t.count in
+  (List.nth t.entries (min i j)).cand

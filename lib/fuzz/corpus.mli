@@ -1,0 +1,32 @@
+(** Fuzz corpus: interesting candidates ranked by fingerprint novelty.
+
+    The corpus owns the global set of state digests seen across all
+    executions ({!note_digest}); a candidate whose trajectory visited
+    previously-unseen digests is "interesting" and kept, ranked by how
+    many new digests it contributed. {!pick} is rank-biased toward
+    high-novelty entries. All operations are deterministic functions
+    of the call sequence and the supplied {!Setsync_schedule.Rng.t}. *)
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+(** [max_entries] (default 64) bounds the kept candidates; adding
+    beyond it evicts the lowest-novelty entry. *)
+
+val note_digest : t -> string -> bool
+(** Record one state digest; [true] iff it was never seen before. *)
+
+val digests : t -> int
+(** Distinct digests seen so far (the coverage count). *)
+
+val add : t -> novelty:int -> Mutate.candidate -> unit
+(** Keep a candidate that contributed [novelty > 0] new digests
+    (no-op at [novelty <= 0]). Ties keep insertion order. *)
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val pick : t -> Setsync_schedule.Rng.t -> Mutate.candidate
+(** Rank-biased draw (min of two uniform ranks over the
+    novelty-descending order). Raises [Invalid_argument] when empty. *)

@@ -1,0 +1,160 @@
+module Procset = Setsync_schedule.Procset
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+module Kanti_omega = Setsync_detector.Kanti_omega
+module Order_stat = Setsync_detector.Order_stat
+module Explorer = Setsync_explore.Explorer
+module Property = Setsync_explore.Property
+
+type obs = {
+  chosen : int array;
+  chosen_acc : int array;
+  min_acc : int array;
+  iterations : int array;
+}
+
+let default_params = { Kanti_omega.n = 2; t = 1; k = 1 }
+
+(* One process of the counter-logic copy. Unlike the full Figure 2
+   implementation this keeps its own column of every counter row
+   locally (only [proc] ever writes it) and runs heartbeat timers only
+   for sets not containing itself, so an iteration is a handful of
+   steps — small enough for shrunk counterexamples to stay readable. *)
+type pstate = {
+  proc : int;
+  local_cnt : int array;  (** own column per set: Counter[A, proc] *)
+  cnt : int array array;  (** last read rows *)
+  prev_hb : int array;
+  timeout : int array;
+  timer : int array;
+  mutable my_hb : int;
+}
+
+let counter_core ?(bug = true) ?(initial_timeout = 1) ~params () =
+  Kanti_omega.check_params params;
+  if initial_timeout < 1 then
+    invalid_arg "Fuzz_systems.counter_core: timeout must be >= 1";
+  let { Kanti_omega.n; t; k } = params in
+  let sets = Array.of_list (Procset.subsets_of_size ~n k) in
+  let num_sets = Array.length sets in
+  {
+    Explorer.n;
+    fresh =
+      (fun ~store ->
+        let heartbeat = Store.array store ~pp:Fmt.int ~name:"Heartbeat" n (fun _ -> 0) in
+        let counter =
+          Store.matrix store ~pp:Fmt.int ~name:"Counter" ~rows:num_sets ~cols:n
+            (fun _ _ -> 0)
+        in
+        let o =
+          {
+            chosen = Array.make n 0;
+            chosen_acc = Array.make n 0;
+            min_acc = Array.make n 0;
+            iterations = Array.make n 0;
+          }
+        in
+        let procs =
+          Array.init n (fun proc ->
+              {
+                proc;
+                local_cnt = Array.make num_sets 0;
+                cnt = Array.make_matrix num_sets n 0;
+                prev_hb = Array.make n 0;
+                timeout = Array.make num_sets initial_timeout;
+                timer = Array.make num_sets initial_timeout;
+                my_hb = 0;
+              })
+        in
+        let iterate p =
+          (* accusation counters: own column from local state, the
+             others read from shared memory (lines 2-3 of Figure 2) *)
+          let acc = Array.make num_sets 0 in
+          for a = 0 to num_sets - 1 do
+            for q = 0 to n - 1 do
+              p.cnt.(a).(q) <-
+                (if q = p.proc then p.local_cnt.(a) else Shm.read counter.(a).(q))
+            done;
+            acc.(a) <- Order_stat.kth_smallest p.cnt.(a) (t + 1)
+          done;
+          (* line 4, with the seeded off-by-one: the buggy scan stops
+             one set short, so sets.(num_sets-1) can never win *)
+          let hi = if bug then num_sets - 2 else num_sets - 1 in
+          let best = ref 0 in
+          for a = 1 to hi do
+            if acc.(a) < acc.(!best) then best := a
+          done;
+          o.chosen.(p.proc) <- !best;
+          o.chosen_acc.(p.proc) <- acc.(!best);
+          o.min_acc.(p.proc) <- Array.fold_left min acc.(0) acc;
+          o.iterations.(p.proc) <- o.iterations.(p.proc) + 1;
+          (* heartbeat-refreshed timers for sets not containing self
+             (lines 8-19, minus the vacuous self-set timers) *)
+          for q = 0 to n - 1 do
+            if q <> p.proc then begin
+              let hbq = Shm.read heartbeat.(q) in
+              if hbq > p.prev_hb.(q) then begin
+                for a = 0 to num_sets - 1 do
+                  if Procset.mem q sets.(a) then p.timer.(a) <- p.timeout.(a)
+                done;
+                p.prev_hb.(q) <- hbq
+              end
+            end
+          done;
+          for a = 0 to num_sets - 1 do
+            if not (Procset.mem p.proc sets.(a)) then begin
+              p.timer.(a) <- p.timer.(a) - 1;
+              if p.timer.(a) = 0 then begin
+                p.timeout.(a) <- p.timeout.(a) + 1;
+                p.timer.(a) <- p.timeout.(a);
+                p.local_cnt.(a) <- p.local_cnt.(a) + 1;
+                Shm.write counter.(a).(p.proc) p.local_cnt.(a)
+              end
+            end
+          done;
+          p.my_hb <- p.my_hb + 1;
+          Shm.write heartbeat.(p.proc) p.my_hb
+        in
+        {
+          Explorer.body =
+            (fun p () ->
+              while true do
+                iterate procs.(p)
+              done);
+          observe =
+            (fun () ->
+              {
+                chosen = Array.copy o.chosen;
+                chosen_acc = Array.copy o.chosen_acc;
+                min_acc = Array.copy o.min_acc;
+                iterations = Array.copy o.iterations;
+              });
+        });
+    obs_fingerprint =
+      (fun obs ->
+        Fmt.str "%a|%a|%a|%a"
+          Fmt.(array ~sep:semi int)
+          obs.chosen
+          Fmt.(array ~sep:semi int)
+          obs.chosen_acc
+          Fmt.(array ~sep:semi int)
+          obs.min_acc
+          Fmt.(array ~sep:semi int)
+          obs.iterations);
+  }
+
+let winner_argmin () =
+  Property.safety ~name:"winner-argmin" (fun (st : obs Explorer.state) ->
+      let o = st.Explorer.obs in
+      let bad = ref None in
+      Array.iteri
+        (fun p ca ->
+          if !bad = None && ca > o.min_acc.(p) then
+            bad :=
+              Some
+                (Fmt.str
+                   "process %d chose set %d with accusation %d but the minimum is %d \
+                    (after %d iterations)"
+                   p o.chosen.(p) ca o.min_acc.(p) o.iterations.(p)))
+        o.chosen_acc;
+      !bad)

@@ -1,0 +1,58 @@
+(** Schedule mutators: the fuzzer's candidate-perturbation step.
+
+    A candidate is a finite schedule plus a crash plan; a mutator is a
+    deterministic function of an explicit {!Setsync_schedule.Rng.t},
+    so the whole fuzz loop is a pure function of its seed.
+
+    Every mutant returned by {!apply} respects the environment's
+    constraints ({!valid}): it never names a process for which [live]
+    is false, it satisfies every declared timeliness contract
+    ({!Setsync_schedule.Timeliness.holds} on the schedule text), its
+    length stays within [max_len], and its crash plan stays within
+    [max_crashes] distinct processes with non-negative budgets. Raw
+    structural mutations (swap/insert/delete/duplicate, crash-point
+    shifts) are followed by a contract-enforcing repair pass; the
+    contract-preserving suffix regeneration is built directly on
+    {!Setsync_schedule.Generators.timely} with its [?gap] splice
+    parameter. *)
+
+type candidate = {
+  schedule : Setsync_schedule.Schedule.t;
+  fault : Setsync_runtime.Fault.plan;
+}
+
+type env = {
+  n : int;
+  live : Setsync_schedule.Proc.t -> bool;
+  contracts : Setsync_schedule.Generators.timely_contract list;
+  max_len : int;  (** schedules are truncated to this length *)
+  max_crashes : int;  (** crash plans never exceed this many entries *)
+}
+
+val env :
+  ?live:(Setsync_schedule.Proc.t -> bool) ->
+  ?contracts:Setsync_schedule.Generators.timely_contract list ->
+  ?max_crashes:int ->
+  n:int ->
+  max_len:int ->
+  unit ->
+  env
+(** Defaults: everybody live, no contracts, no crash mutation
+    ([max_crashes = 0]). Raises [Invalid_argument] when no process is
+    live or [max_len < 1]. *)
+
+val valid : env -> candidate -> bool
+(** The invariant every {!apply} result satisfies (checked by the
+    mutator-soundness tests). *)
+
+val mutators : (string * (env -> Setsync_schedule.Rng.t -> candidate -> candidate)) list
+(** The raw mutators by name ([swap], [insert], [delete-seg],
+    [dup-seg], [crash-shift], [regen-tail]) — {e before} the repair
+    pass, exposed for tests. [crash-shift] is included even when
+    [max_crashes = 0] (it is then the identity). *)
+
+val apply : env -> Setsync_schedule.Rng.t -> candidate -> string * candidate
+(** Pick a mutator, apply it, repair contract violations, validate;
+    retry (bounded) on repair failure, falling back to the unchanged
+    input. Returns the applied mutator's name (["id"] on fallback) and
+    the mutant. The input candidate must itself be {!valid}. *)

@@ -49,11 +49,12 @@ let random_fair ?(live = all_live) ~n ~rng () =
 
 type timely_contract = { p : Procset.t; q : Procset.t; bound : int }
 
-let timely ?(live = all_live) ?fairness ?(burstiness = 0.7) ~n ~contract ~rng () =
+let timely ?(live = all_live) ?fairness ?(burstiness = 0.7) ?(gap = 0) ~n ~contract ~rng () =
   Proc.check_n n;
   let { p; q; bound } = contract in
   if bound < 1 then invalid_arg "Generators.timely: bound must be >= 1";
   if Procset.is_empty p then invalid_arg "Generators.timely: empty timely set";
+  if gap < 0 then invalid_arg "Generators.timely: negative gap";
   Procset.iter (fun x -> Proc.check ~n x) p;
   Procset.iter (fun x -> Proc.check ~n x) q;
   let fairness = match fairness with Some f -> f | None -> 8 * n * bound in
@@ -62,7 +63,7 @@ let timely ?(live = all_live) ?fairness ?(burstiness = 0.7) ~n ~contract ~rng ()
      and by other starved processes draining first; triggering early by
      this margin keeps the documented cap exact. *)
   let fairness_trigger = fairness - (2 * n) in
-  let q_since_p = ref 0 in
+  let q_since_p = ref gap in
   (* age.(x) = emitted steps since x was last scheduled *)
   let age = Array.make n 0 in
   let last = ref (-1) in

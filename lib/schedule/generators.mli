@@ -41,12 +41,20 @@ val timely :
   ?live:(Proc.t -> bool) ->
   ?fairness:int ->
   ?burstiness:float ->
+  ?gap:int ->
   n:int ->
   contract:timely_contract ->
   rng:Rng.t ->
   unit ->
   Source.t
 (** Adversarial generator honoring a timeliness contract.
+
+    [gap] (default 0) is the number of [q]-steps already taken in the
+    currently open [p]-free gap of a schedule this output will be
+    appended to: the generator's first emissions close that gap within
+    the contract, so splicing its output after any prefix whose open
+    gap has [gap] [q]-steps preserves the contract across the seam
+    (the fuzzer's suffix-regeneration mutator).
 
     Guarantees on the emitted sequence, as long as at least one member
     of [contract.p] stays live:

@@ -26,6 +26,14 @@ let float t =
   let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
   raw /. 9007199254740992.0 (* 2^53 *)
 
+let geometric t p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Rng.geometric: need 0 < p <= 1";
+  (* count failures before the first success; cap keeps pathological
+     float draws from looping (P(hit) < 2^-53 per draw at p >= 2^-12) *)
+  let cap = 4096 in
+  let rec go k = if k >= cap || float t < p then k else go (k + 1) in
+  go 0
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
   | l -> List.nth l (int t (List.length l))

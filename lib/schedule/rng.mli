@@ -27,6 +27,12 @@ val bool : t -> bool
 val float : t -> float
 (** Uniform draw in [0, 1). *)
 
+val geometric : t -> float -> int
+(** [geometric t p] draws from the geometric distribution with success
+    probability [p]: the number of failures before the first success
+    (mean [(1-p)/p]), capped at 4096. Requires [0 < p <= 1]. Used by
+    the fuzzer for segment lengths and crash-point shifts. *)
+
 val pick : t -> 'a list -> 'a
 (** Uniform draw from a non-empty list. Raises [Invalid_argument] on an
     empty list. *)

@@ -1,0 +1,408 @@
+(* Tests for the coverage-guided fuzzer: RNG golden values (the
+   reproduction contract starts at the bit level), mutator soundness,
+   seed determinism, the seeded-bug hunt with its shrink-quality
+   acceptance, ddmin 1-minimality on known counterexamples, and the
+   [Generators.timely ?gap] splice contract under crash plans. *)
+
+open Setsync_schedule
+module Fault = Setsync_runtime.Fault
+module Budget = Setsync_explore.Budget
+module Property = Setsync_explore.Property
+module Explorer = Setsync_explore.Explorer
+module Shrink = Setsync_explore.Shrink
+module Mutate = Setsync_fuzz.Mutate
+module Corpus = Setsync_fuzz.Corpus
+module Fuzz = Setsync_fuzz.Fuzz
+module Fuzz_systems = Setsync_fuzz.Fuzz_systems
+
+let schedule = Alcotest.testable Schedule.pp Schedule.equal
+let set = Procset.of_list
+let to_list s = List.init (Schedule.length s) (Schedule.get s)
+
+(* ------------------------------------------------------------------ *)
+(* RNG golden values: the fuzz loop is a pure function of its seed, so
+   the raw streams are pinned — any change to the generator is a
+   reproduction break and must be deliberate. *)
+
+let test_rng_golden_int64 () =
+  let draw seed = List.init 4 (fun _ -> ()) |> fun l ->
+    let t = Rng.create ~seed in
+    List.map (fun () -> Rng.next_int64 t) l
+  in
+  Alcotest.(check (list int64))
+    "seed 1 raw stream"
+    [ 0x910a2dec89025cc1L; 0xbeeb8da1658eec67L; 0xf893a2eefb32555eL; 0x71c18690ee42c90bL ]
+    (draw 1);
+  Alcotest.(check (list int64))
+    "seed 42 raw stream"
+    [ 0xbdd732262feb6e95L; 0x28efe333b266f103L; 0x47526757130f9f52L; 0x581ce1ff0e4ae394L ]
+    (draw 42)
+
+let test_rng_golden_derived () =
+  let t = Rng.create ~seed:42 in
+  Alcotest.(check (list int))
+    "seed 42 int 100"
+    [ 5; 91; 54; 60; 50; 50; 25; 96 ]
+    (List.init 8 (fun _ -> Rng.int t 100));
+  let t = Rng.create ~seed:7 in
+  Alcotest.(check (list bool))
+    "seed 7 bool"
+    [ true; false; false; true; false; true; false; false ]
+    (List.init 8 (fun _ -> Rng.bool t));
+  let t = Rng.create ~seed:7 in
+  Alcotest.(check (list string))
+    "seed 7 float"
+    [
+      "0.38982974839127149"; "0.016788294528156111"; "0.90076068060688341";
+      "0.58293029302807808";
+    ]
+    (List.init 4 (fun _ -> Printf.sprintf "%.17g" (Rng.float t)));
+  let t = Rng.create ~seed:11 in
+  Alcotest.(check (list int))
+    "seed 11 geometric 0.35"
+    [ 0; 0; 2; 1; 1; 1; 0; 3 ]
+    (List.init 8 (fun _ -> Rng.geometric t 0.35))
+
+let test_rng_geometric_args () =
+  let t = Rng.create ~seed:1 in
+  Alcotest.check_raises "p = 0 rejected"
+    (Invalid_argument "Rng.geometric: need 0 < p <= 1") (fun () ->
+      ignore (Rng.geometric t 0.));
+  Alcotest.check_raises "p > 1 rejected"
+    (Invalid_argument "Rng.geometric: need 0 < p <= 1") (fun () ->
+      ignore (Rng.geometric t 1.5));
+  Alcotest.(check int) "p = 1 always succeeds immediately" 0 (Rng.geometric t 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Mutator soundness: every mutant [apply] produces respects [live],
+   every declared contract, the length cap, and the crash budget —
+   chained across many steps so mutants of mutants stay sound. *)
+
+let test_mutator_soundness () =
+  let contract = { Generators.p = set [ 0 ]; q = set [ 2 ]; bound = 2 } in
+  let live p = p <> 3 in
+  let env = Mutate.env ~live ~contracts:[ contract ] ~max_crashes:2 ~n:4 ~max_len:48 () in
+  let rng = Rng.create ~seed:5 in
+  let start =
+    {
+      Mutate.schedule = Source.take (Generators.timely ~live ~n:4 ~contract ~rng ()) 48;
+      fault = [];
+    }
+  in
+  Alcotest.(check bool) "start candidate valid" true (Mutate.valid env start);
+  let names = Hashtbl.create 8 in
+  let cand = ref start in
+  for i = 1 to 300 do
+    let name, mutant = Mutate.apply env rng !cand in
+    Hashtbl.replace names name ();
+    if not (Mutate.valid env mutant) then
+      Alcotest.failf "mutant %d (%s) invalid: %a" i name Schedule.pp_full
+        mutant.Mutate.schedule;
+    cand := mutant
+  done;
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mutator %s exercised" name)
+        true (Hashtbl.mem names name))
+    Mutate.mutators
+
+(* Crash plans produced by the crash-shift mutator stay within the
+   budget, in range, with distinct processes. *)
+let test_mutator_crash_plans () =
+  let env = Mutate.env ~max_crashes:2 ~n:3 ~max_len:24 () in
+  let rng = Rng.create ~seed:9 in
+  let cand = ref { Mutate.schedule = Source.take (Generators.round_robin ~n:3 ()) 24; fault = [] } in
+  let saw_crash = ref false in
+  for _ = 1 to 300 do
+    let _, mutant = Mutate.apply env rng !cand in
+    let plan = mutant.Mutate.fault in
+    if plan <> [] then saw_crash := true;
+    Alcotest.(check bool) "within crash budget" true (List.length plan <= 2);
+    Fault.validate ~n:3 plan;
+    cand := mutant
+  done;
+  Alcotest.(check bool) "crash-shift actually adds crashes" true !saw_crash
+
+(* ------------------------------------------------------------------ *)
+(* Seed determinism: same seed, same corpus trajectory, same verdict —
+   the whole report prints identically. *)
+
+let test_seed_determinism () =
+  let go () =
+    let sut = Fuzz_systems.counter_core ~params:Fuzz_systems.default_params () in
+    Fuzz.run ~progress_interval:0.
+      ~limits:(Budget.limits ~max_states:50 ())
+      ~sut
+      ~properties:[ Fuzz_systems.winner_argmin () ]
+      ~seed:42 ()
+  in
+  let r1 = go () and r2 = go () in
+  Alcotest.(check string)
+    "reports identical byte-for-byte"
+    (Fmt.str "%a" Fuzz.pp_report r1)
+    (Fmt.str "%a" Fuzz.pp_report r2);
+  match (r1.Fuzz.outcome, r2.Fuzz.outcome) with
+  | Fuzz.Violation v1, Fuzz.Violation v2 ->
+      Alcotest.check schedule "found schedules equal" v1.Fuzz.found v2.Fuzz.found;
+      Alcotest.check schedule "shrunk schedules equal" v1.Fuzz.shrunk v2.Fuzz.shrunk;
+      Alcotest.(check int) "same finding exec" v1.Fuzz.exec v2.Fuzz.exec
+  | _ -> Alcotest.fail "expected both runs to find the seeded bug"
+
+(* Different seeds explore differently (not a guarantee in general,
+   but a regression canary that the seed actually feeds the loop). *)
+let test_seed_matters () =
+  let go seed =
+    let sut = Fuzz_systems.counter_core ~bug:false ~params:Fuzz_systems.default_params () in
+    let r =
+      Fuzz.run ~progress_interval:0.
+        ~limits:(Budget.limits ~max_states:20 ())
+        ~sut
+        ~properties:[ Fuzz_systems.winner_argmin () ]
+        ~seed ()
+    in
+    r.Fuzz.digests
+  in
+  Alcotest.(check bool) "digest counts differ across seeds" true (go 1 <> go 2)
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance hunt: with the documented seed (42) and budget, the
+   fuzzer finds the planted argmin off-by-one, the shrunk
+   counterexample has at most 15 steps, still violates on exact
+   replay, and the faithful control finds nothing. *)
+
+let test_seeded_bug_found_and_shrunk () =
+  let sut = Fuzz_systems.counter_core ~params:Fuzz_systems.default_params () in
+  let property = Fuzz_systems.winner_argmin () in
+  let report =
+    Fuzz.run ~progress_interval:0. ~len:96
+      ~limits:(Budget.limits ~max_states:2_000 ())
+      ~sut ~properties:[ property ] ~seed:42 ()
+  in
+  match report.Fuzz.outcome with
+  | Fuzz.Passed -> Alcotest.fail "seeded bug not found within 2000 execs at seed 42"
+  | Fuzz.Violation v ->
+      Alcotest.(check string) "property" "winner-argmin" v.Fuzz.property;
+      Alcotest.(check bool)
+        (Fmt.str "shrunk to <= 15 steps (got %d)" (Schedule.length v.Fuzz.shrunk))
+        true
+        (Schedule.length v.Fuzz.shrunk <= 15);
+      Alcotest.(check bool) "shrunk still violates on exact replay" true
+        (Explorer.check_schedule ~sut ~property ~fault:v.Fuzz.fault v.Fuzz.shrunk <> None)
+
+let test_fixed_control_passes () =
+  let sut = Fuzz_systems.counter_core ~bug:false ~params:Fuzz_systems.default_params () in
+  let report =
+    Fuzz.run ~progress_interval:0. ~len:96
+      ~limits:(Budget.limits ~max_states:300 ())
+      ~sut
+      ~properties:[ Fuzz_systems.winner_argmin () ]
+      ~seed:42 ()
+  in
+  (match report.Fuzz.outcome with
+  | Fuzz.Passed -> ()
+  | Fuzz.Violation v ->
+      Alcotest.failf "faithful control violated winner-argmin: %s" v.Fuzz.reason);
+  Alcotest.(check int) "full budget spent" 300 report.Fuzz.execs
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker quality: on known counterexamples the ddmin output still
+   violates and is 1-minimal (deleting any single step loses the
+   violation). *)
+
+let test_shrink_quality () =
+  let sut = Fuzz_systems.counter_core ~params:Fuzz_systems.default_params () in
+  let property = Fuzz_systems.winner_argmin () in
+  let violates s = Explorer.check_schedule ~sut ~property s <> None in
+  let known =
+    [
+      (* the minimal trace plus leading/trailing noise of process 0 *)
+      Schedule.of_list ~n:2 [ 0; 0; 0; 1; 1; 1; 1; 1; 1; 1; 1; 0 ];
+      (* the same 8 steps of process 1 interleaved with process 0
+         (too few p0 steps to complete an expiry write) *)
+      Schedule.of_list ~n:2 [ 0; 1; 1; 0; 1; 1; 1; 0; 1; 1; 1; 0 ];
+    ]
+  in
+  List.iteri
+    (fun i ce ->
+      Alcotest.(check bool) (Fmt.str "ce%d violates" i) true (violates ce);
+      let r = Shrink.run ~violates ce in
+      let s = r.Shrink.schedule in
+      Alcotest.(check bool) (Fmt.str "ce%d shrunk still violates" i) true (violates s);
+      let steps = to_list s in
+      List.iteri
+        (fun j _ ->
+          let shorter =
+            Schedule.of_list ~n:2 (List.filteri (fun idx _ -> idx <> j) steps)
+          in
+          if violates shorter then
+            Alcotest.failf "ce%d shrunk not 1-minimal: step %d removable" i j)
+        steps)
+    known
+
+(* ------------------------------------------------------------------ *)
+(* [Generators.timely ?gap]: suffixes regenerated with the open-gap
+   count splice onto a prefix without breaching the contract at the
+   seam. *)
+
+let test_timely_gap_splice () =
+  let contract = { Generators.p = set [ 0 ]; q = set [ 2 ]; bound = 2 } in
+  let prefix = Schedule.of_list ~n:3 [ 0; 1; 2 ] in
+  (* open gap after the prefix: 1 q-step since the last p-step *)
+  let rng = Rng.create ~seed:3 in
+  let suffix = Source.take (Generators.timely ~gap:1 ~n:3 ~contract ~rng ()) 64 in
+  let full = Schedule.append prefix suffix in
+  for l = 1 to Schedule.length full do
+    if
+      not
+        (Timeliness.holds ~bound:contract.Generators.bound ~p:contract.Generators.p
+           ~q:contract.Generators.q (Schedule.prefix full l))
+    then Alcotest.failf "contract breached at prefix length %d" l
+  done;
+  (* gap = bound - 1 forces the very first emissions to close the gap:
+     the suffix must reach a p-step before any q-step *)
+  let rng = Rng.create ~seed:3 in
+  let tight = Source.take (Generators.timely ~gap:1 ~n:3 ~contract ~rng ()) 64 in
+  let rec first_pq = function
+    | [] -> None
+    | s :: rest ->
+        if Procset.mem s contract.Generators.p then Some `P
+        else if Procset.mem s contract.Generators.q then Some `Q
+        else first_pq rest
+  in
+  Alcotest.(check bool) "gap = bound-1: p arrives before q" true
+    (first_pq (to_list tight) <> Some `Q);
+  Alcotest.check_raises "negative gap rejected"
+    (Invalid_argument "Generators.timely: negative gap") (fun () ->
+      ignore (Generators.timely ~gap:(-1) ~n:3 ~contract ~rng ()))
+
+(* Crash plans: with [crash_after] flipping [live] mid-run, emitted
+   prefixes stay inside the promised S^i_{j,n} and dead processes
+   never take another step. *)
+
+let test_timely_under_crashes () =
+  (* n = 4: processes 0,1 are the timely set, 2 is the observed set,
+     3 is a bystander that keeps the system alive after p crashes *)
+  let contract = { Generators.p = set [ 0; 1 ]; q = set [ 2 ]; bound = 2 } in
+  let check plan ~len =
+    let live, observe = Generators.crash_after ~n:4 plan in
+    let rng = Rng.create ~seed:13 in
+    let src = Generators.timely ~live ~n:4 ~contract ~rng () in
+    let steps = Array.make 4 0 in
+    let taken = ref [] in
+    (try
+       for _ = 1 to len do
+         match Source.next src with
+         | None -> raise Exit
+         | Some p ->
+             if not (live p) then Alcotest.failf "dead process %d scheduled" p;
+             steps.(p) <- steps.(p) + 1;
+             ignore (observe p steps.(p));
+             taken := p :: !taken
+       done
+     with Exit -> ());
+    let s = Schedule.of_list ~n:4 (List.rev !taken) in
+    for l = 1 to Schedule.length s do
+      if
+        not
+          (Timeliness.holds ~bound:contract.Generators.bound ~p:contract.Generators.p
+             ~q:contract.Generators.q (Schedule.prefix s l))
+      then Alcotest.failf "contract breached at prefix length %d" l
+    done;
+    s
+  in
+  (* one member of p crashes: the other carries the contract *)
+  let s = check [ (0, 5) ] ~len:200 in
+  Alcotest.(check int) "process 0 stopped at its budget" 5 (Schedule.occurrences s 0);
+  Alcotest.(check bool) "process 1 keeps the contract alive" true
+    (Schedule.occurrences s 1 > 0);
+  (* all of p crashes: the generator must stop scheduling q (beyond
+     filling the still-open gap to bound - 1) so every prefix stays
+     inside the contract *)
+  let s = check [ (0, 4); (1, 7) ] ~len:200 in
+  let after_deaths =
+    (* steps taken after both p-members are gone *)
+    let l = to_list s in
+    let rec drop c0 c1 = function
+      | [] -> []
+      | x :: rest ->
+          let c0 = if x = 0 then c0 + 1 else c0 in
+          let c1 = if x = 1 then c1 + 1 else c1 in
+          if c0 >= 4 && c1 >= 7 then rest else drop c0 c1 rest
+    in
+    drop 0 0 l
+  in
+  let q_after =
+    List.length (List.filter (fun x -> Procset.mem x contract.Generators.q) after_deaths)
+  in
+  Alcotest.(check bool)
+    (Fmt.str "at most bound-1 q-steps once p is extinct (got %d)" q_after)
+    true
+    (q_after <= contract.Generators.bound - 1);
+  Alcotest.(check bool) "scheduling continues after p is extinct" true
+    (List.length after_deaths > 10)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus bookkeeping: novelty ranking, eviction, deterministic picks. *)
+
+let test_corpus () =
+  let c = Corpus.create ~max_entries:2 () in
+  Alcotest.(check bool) "fresh digest is novel" true (Corpus.note_digest c "a");
+  Alcotest.(check bool) "repeat digest is not" false (Corpus.note_digest c "a");
+  Alcotest.(check int) "digest count" 1 (Corpus.digests c);
+  let cand i = { Mutate.schedule = Schedule.of_list ~n:2 [ i mod 2 ]; fault = [] } in
+  Corpus.add c ~novelty:0 (cand 0);
+  Alcotest.(check bool) "novelty 0 not kept" true (Corpus.is_empty c);
+  Corpus.add c ~novelty:1 (cand 0);
+  Corpus.add c ~novelty:5 (cand 1);
+  Corpus.add c ~novelty:3 (cand 0);
+  Alcotest.(check int) "eviction holds the cap" 2 (Corpus.size c);
+  (* rank bias: the high-novelty entry dominates picks *)
+  let rng = Rng.create ~seed:1 in
+  let top = ref 0 in
+  for _ = 1 to 100 do
+    let p = Corpus.pick c rng in
+    if Schedule.get p.Mutate.schedule 0 = 1 then incr top
+  done;
+  Alcotest.(check bool) "picks skew toward high novelty" true (!top > 50)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "setsync_fuzz"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "golden int64 streams" `Quick test_rng_golden_int64;
+          Alcotest.test_case "golden derived draws" `Quick test_rng_golden_derived;
+          Alcotest.test_case "geometric argument checks" `Quick test_rng_geometric_args;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "soundness under chaining" `Quick test_mutator_soundness;
+          Alcotest.test_case "crash plans stay within budget" `Quick
+            test_mutator_crash_plans;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same report" `Quick test_seed_determinism;
+          Alcotest.test_case "different seeds differ" `Quick test_seed_matters;
+        ] );
+      ( "hunt",
+        [
+          Alcotest.test_case "seeded bug found and shrunk" `Quick
+            test_seeded_bug_found_and_shrunk;
+          Alcotest.test_case "faithful control passes" `Quick test_fixed_control_passes;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "still-violating and 1-minimal" `Quick test_shrink_quality ] );
+      ( "timely",
+        [
+          Alcotest.test_case "gap splice preserves the contract" `Quick
+            test_timely_gap_splice;
+          Alcotest.test_case "contract survives crash plans" `Quick
+            test_timely_under_crashes;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "novelty ranking and eviction" `Quick test_corpus ] );
+    ]
