@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt fmt-check bench bench-quick obs-check fuzz-smoke ci clean
+.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke ci clean
 
 all: build
 
@@ -38,6 +38,9 @@ bench:
 bench-quick: ## E11 smoke run (small depth, exploration only)
 	dune exec bench/main.exe -- --quick
 
+bench-guard: ## pinned ceilings on the quick run's replay amortization (E11e)
+	dune exec bin/bench_guard.exe -- BENCH_quick.json
+
 obs-check: ## traced exploration; validate the emitted JSONL/Chrome/metrics files
 	dune exec bin/setsync_cli.exe -- explore --check detector -n 2 -t 1 -k 1 \
 	  --depth 6 --domains 2 \
@@ -56,11 +59,12 @@ fuzz-smoke: ## fixed-seed fuzz run: the seeded-bug SUT must be found (exit 2)
 	    echo "fuzz-smoke: expected exit 2 (violation found), got $$status"; exit 1; \
 	  fi
 
-ci: ## the full gate: format check, build, tests, E11 smoke, traced-run check, fuzz smoke
+ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run check, fuzz smoke
 	$(MAKE) fmt-check
 	dune build
 	dune runtest
 	$(MAKE) bench-quick
+	$(MAKE) bench-guard
 	$(MAKE) obs-check
 	$(MAKE) fuzz-smoke
 

@@ -391,7 +391,7 @@ let e11_domains ?(depth = 12) () =
       (fun (name, v) -> match v with Explorer.Violated _ -> Some name | Explorer.Ok_bounded -> None)
       r.Explorer.verdicts
   in
-  Fmt.pr "  %-8s %-26s %-9s %s@." "domains" "wall / cpu" "visited" "verdicts";
+  Fmt.pr "  %-8s %-26s %-9s %-9s %s@." "domains" "wall / cpu" "visited" "steps/v" "verdicts";
   let baseline = ref None in
   List.iter
     (fun domains ->
@@ -404,9 +404,15 @@ let e11_domains ?(depth = 12) () =
             "baseline"
         | Some b -> if violated = b then "same as 1 domain" else "VERDICT MISMATCH"
       in
-      Fmt.pr "  %-8d %-26s %-9d %s@." domains
+      let steps_per_visited =
+        float_of_int r.Explorer.stats.Budget.replay_steps
+        /. float_of_int (max 1 r.Explorer.stats.Budget.visited)
+      in
+      Fmt.pr "  %-8d %-26s %-9d %-9s %s@." domains
         (Fmt.str "%a" Budget.pp_times r.Explorer.stats)
-        r.Explorer.stats.Budget.visited agrees;
+        r.Explorer.stats.Budget.visited
+        (Fmt.str "%.2f" steps_per_visited)
+        agrees;
       Results.add "E11d"
         [
           ("domains", Json.Int domains);
@@ -415,9 +421,73 @@ let e11_domains ?(depth = 12) () =
           ("cpu_seconds", Json.Float r.Explorer.stats.Budget.cpu_seconds);
           ("visited", Json.Int r.Explorer.stats.Budget.visited);
           ("replay_steps", Json.Int r.Explorer.stats.Budget.replay_steps);
+          ("steps_per_visited", Json.Float steps_per_visited);
           ("verdicts_agree", Json.Bool (agrees <> "VERDICT MISMATCH"));
         ])
     [ 1; 2; 4 ]
+
+(* E11e: the replay-amortization claim behind the path-replay engine —
+   one DFS descent replays a maximal schedule once and visits every
+   interim state from it, so replay steps per visited state drop from
+   O(depth) to amortized O(1). Run both engines on the same k-set
+   instances (fingerprints off so visited counts are mode-independent)
+   and report the ratio; `make ci` pins ceilings on the quick run's
+   numbers (bin/bench_guard.ml). *)
+let e11_engines () =
+  subsection "e. replay amortization: path-replay vs per-state engine (k-set, fp off)";
+  Fmt.pr "  %-18s %-9s %-9s %-9s %-13s %-9s %s@." "instance" "engine" "visited"
+    "replays" "replay_steps" "steps/v" "vs state";
+  List.iter
+    (fun (n, depth) ->
+      let problem = Problem.make ~t:1 ~k:1 ~n in
+      let inputs = Problem.distinct_inputs problem in
+      let sut = Explore_systems.kset_agreement ~problem ~inputs () in
+      let decisions st = st.Explorer.obs.Explore_systems.decisions in
+      let properties =
+        [ Property.kset_agreement ~k:1 ~decisions; Property.validity ~inputs ~decisions ]
+      in
+      let run path_replay =
+        Explorer.explore ~sut ~properties
+          (Explorer.config ~prune_fingerprints:false ~path_replay ~depth ())
+      in
+      let r_state = run false in
+      let r_path = run true in
+      let agree =
+        r_state.Explorer.verdicts = r_path.Explorer.verdicts
+        && r_state.Explorer.stats.Budget.visited = r_path.Explorer.stats.Budget.visited
+      in
+      let ratio =
+        float_of_int r_state.Explorer.stats.Budget.replay_steps
+        /. float_of_int (max 1 r_path.Explorer.stats.Budget.replay_steps)
+      in
+      let instance = Fmt.str "t=1,k=1,n=%d @%d" n depth in
+      let row engine (r : Explorer.report) note =
+        let s = r.Explorer.stats in
+        let spv =
+          float_of_int s.Budget.replay_steps /. float_of_int (max 1 s.Budget.visited)
+        in
+        Fmt.pr "  %-18s %-9s %-9d %-9d %-13d %-9s %s@." instance engine s.Budget.visited
+          s.Budget.replays s.Budget.replay_steps
+          (Fmt.str "%.2f" spv)
+          note;
+        Results.add "E11e"
+          [
+            ("engine", Json.String engine);
+            ("n", Json.Int n);
+            ("depth", Json.Int depth);
+            ("visited", Json.Int s.Budget.visited);
+            ("replays", Json.Int s.Budget.replays);
+            ("replay_steps", Json.Int s.Budget.replay_steps);
+            ("steps_per_visited", Json.Float spv);
+            ("ratio_vs_state", Json.Float ratio);
+            ("equivalent", Json.Bool agree);
+          ]
+      in
+      row "state" r_state "baseline";
+      row "path" r_path
+        (Fmt.str "%.2fx fewer steps%s" ratio
+           (if agree then ", same verdicts+visited" else ", ENGINE MISMATCH")))
+    [ (2, 8); (3, 8) ]
 
 (* ------------------------------------------------------------------ *)
 (* P*: performance profile (Bechamel) *)
@@ -723,6 +793,7 @@ let quick () =
   Fmt.pr "setsync bench --quick: E11 smoke (bounded exploration + domains table)@.";
   section "E11. Bounded exploration smoke";
   e11_domains ~depth:8 ();
+  e11_engines ();
   f1_fuzz ();
   p9_obs_overhead ();
   Results.write "BENCH_quick.json";
@@ -742,6 +813,7 @@ let () =
     e10_separation ();
     e11_explore ();
     e11_domains ();
+    e11_engines ();
     f1_fuzz ();
     convergence_profile ();
     ablations ();

@@ -1,0 +1,81 @@
+(* Regression guard over the quick bench's machine-readable output:
+   `make ci` runs `bench --quick` (which writes BENCH_quick.json) and
+   then this tool, which fails the build if the path-replay engine's
+   replay amortization regresses past pinned ceilings on the E11e
+   k-set instances. The ceilings sit above the measured values
+   (2.73 steps/visited at n=2 depth 8, 4.10 at n=3; 3.09x reduction
+   vs the per-state engine) with enough slack for benign drift, and
+   low enough that losing the amortization (O(depth) replays per
+   state, ~8-10 steps/visited) trips immediately.
+
+   Usage: bench_guard BENCH_quick.json *)
+
+module Json = Setsync_obs.Json
+
+let fail fmt =
+  Format.kasprintf
+    (fun s ->
+      prerr_endline ("bench_guard: " ^ s);
+      exit 1)
+    fmt
+
+(* (n, steps/visited ceiling, minimum reduction vs per-state engine) *)
+let ceilings = [ (2, 3.0, 3.0); (3, 4.5, 2.0) ]
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_quick.json" in
+  let contents =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | s -> s
+    | exception Sys_error e -> fail "%s" e
+  in
+  let json =
+    match Json.of_string contents with Ok j -> j | Error e -> fail "%s: %s" file e
+  in
+  let rows =
+    match Json.member "rows" json with
+    | Some r -> Option.value (Json.to_list r) ~default:[]
+    | None -> fail "%s: no rows field" file
+  in
+  let str row name = Option.bind (Json.member name row) Json.to_str in
+  let num row name = Option.bind (Json.member name row) Json.to_float in
+  let path_rows =
+    List.filter
+      (fun row ->
+        str row "section" = Some "E11e" && str row "engine" = Some "path")
+      rows
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (n, max_spv, min_ratio) ->
+      match
+        List.find_opt
+          (fun row -> Option.bind (Json.member "n" row) Json.to_int = Some n)
+          path_rows
+      with
+      | None -> fail "%s: no E11e path row for n=%d — did bench --quick change?" file n
+      | Some row ->
+          incr checked;
+          let spv =
+            match num row "steps_per_visited" with
+            | Some v -> v
+            | None -> fail "E11e n=%d: missing steps_per_visited" n
+          in
+          let ratio =
+            match num row "ratio_vs_state" with
+            | Some v -> v
+            | None -> fail "E11e n=%d: missing ratio_vs_state" n
+          in
+          (match Json.member "equivalent" row with
+          | Some (Json.Bool true) -> ()
+          | _ -> fail "E11e n=%d: path engine no longer verdict/visited-equivalent" n);
+          if spv > max_spv then
+            fail "E11e n=%d: %.2f replay steps/visited exceeds the %.1f ceiling" n spv
+              max_spv;
+          if ratio < min_ratio then
+            fail "E11e n=%d: only %.2fx fewer replay steps than per-state (need %.1fx)" n
+              ratio min_ratio;
+          Printf.printf "bench_guard: E11e n=%d ok (%.2f steps/visited, %.2fx vs state)\n"
+            n spv ratio)
+    ceilings;
+  if !checked = 0 then fail "no E11e rows checked"

@@ -261,6 +261,16 @@ let explore_cmd =
              are equivalent across domain counts; which counterexample is reported \
              first, and the visited/pruned split under $(b,--fingerprints), are not.")
   in
+  let per_state_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "per-state" ]
+          ~doc:
+            "Disable the amortized path-replay engine and replay every state's prefix \
+             from scratch (the comparison baseline; same verdicts and visited counts, \
+             O(depth) more replay steps per state).")
+  in
   let max_seconds_arg =
     Arg.(
       value
@@ -275,8 +285,9 @@ let explore_cmd =
           ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
   in
   let run check n t k depth bound seed bfs max_states max_replay_steps max_seconds
-      fingerprints domains trace_out metrics_out progress_seconds =
+      fingerprints per_state domains trace_out metrics_out progress_seconds =
     let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
+    let path_replay = not per_state in
     let limits = Budget.limits ?max_states ?max_replay_steps ?max_seconds () in
     let obs = make_obs ~shards:domains ~trace_out ~metrics_out () in
     let on_progress (p : Explorer.progress) =
@@ -316,7 +327,8 @@ let explore_cmd =
           ]
         in
         let config =
-          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~limits ~depth ()
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~path_replay ~limits
+            ~depth ()
         in
         Fmt.pr "exploring %a, inputs %a, depth %d@." Problem.pp problem
           Fmt.(array ~sep:sp int)
@@ -335,7 +347,8 @@ let explore_cmd =
           ]
         in
         let config =
-          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~limits ~depth ()
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~path_replay ~limits
+            ~depth ()
         in
         Fmt.pr "exploring Figure 2 detector (n=%d, t=%d, k=%d), depth %d@." n t k depth;
         let report = explore_with ~sut ~properties config in
@@ -352,7 +365,7 @@ let explore_cmd =
         in
         let config =
           Explorer.config ~strategy:Explorer.Bfs ~prune_fingerprints:false
-            ~sleep_sets:false ~limits ~depth ()
+            ~sleep_sets:false ~path_replay ~limits ~depth ()
         in
         Fmt.pr
           "exploring schedules over %d processes, depth %d: is {p1} timely wrt {p%d} at \
@@ -406,7 +419,8 @@ let explore_cmd =
     Term.(
       const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
       $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
-      $ domains_arg $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
+      $ per_state_arg $ domains_arg $ trace_out_arg $ metrics_out_arg
+      $ progress_seconds_arg)
 
 (* ------------------------------------------------------------- fuzz *)
 

@@ -64,6 +64,18 @@ let over t =
   limits_hit t.lim ~states:t.visited ~replay_steps:t.replay_steps
     ~wall_elapsed:(wall_elapsed t)
 
+(* The two halves of [over], for the path-replay engine's mid-descent
+   checks: a visit costs one state and no steps, executing the next
+   step costs steps and no state — checking the wrong cap at either
+   point would truncate a run that completes on exactly its budget. *)
+let over_visit t =
+  (match t.lim.max_states with Some c -> t.visited >= c | None -> false)
+  || (match t.lim.max_seconds with Some s -> wall_elapsed t >= s | None -> false)
+
+let over_steps t =
+  (match t.lim.max_replay_steps with Some c -> t.replay_steps >= c | None -> false)
+  || (match t.lim.max_seconds with Some s -> wall_elapsed t >= s | None -> false)
+
 let mark_truncated t = t.truncated <- true
 
 let note_state t = t.visited <- t.visited + 1
@@ -73,6 +85,8 @@ let note_safety_check t = t.safety_checked <- t.safety_checked + 1
 let note_replay t ~steps =
   t.replays <- t.replays + 1;
   t.replay_steps <- t.replay_steps + steps
+
+let note_replay_steps t k = t.replay_steps <- t.replay_steps + k
 
 let note_depth t d = if d > t.max_depth then t.max_depth <- d
 
@@ -124,10 +138,10 @@ let stats (t : t) : stats =
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "visited %d (fp-pruned %d, commute-pruned %d) replays %d/%d steps, max depth %d, \
-     frontier peak %d, %s"
-    s.visited s.pruned_fingerprint s.pruned_sleep s.replays s.replay_steps s.max_depth
-    s.frontier_peak
+    "visited %d (fp-pruned %d, commute-pruned %d, safety-checked %d) replays %d/%d steps, \
+     max depth %d, frontier peak %d, %s"
+    s.visited s.pruned_fingerprint s.pruned_sleep s.safety_checked s.replays s.replay_steps
+    s.max_depth s.frontier_peak
     (if s.truncated then "TRUNCATED by budget" else "exhaustive")
 
 let pp_times ppf s = Fmt.pf ppf "%.3fs wall / %.3fs cpu" s.wall_seconds s.cpu_seconds

@@ -44,7 +44,27 @@ val start : limits -> t
 
 val over : t -> bool
 (** Some limit has been reached ([max_seconds] against the wall
-    clock). *)
+    clock).
+
+    Boundary contract: a budget of [k] ([max_states = Some k], likewise
+    [max_replay_steps]) means {e at most} [k] are spent — [over] flips
+    exactly when the meter reaches [k], so callers must consult it
+    {e before} paying for the next unit of work, and only after having
+    claimed that unit (pop first, then test): a run that completes the
+    bounded space using exactly its budget is exhaustive, not
+    truncated. [Some 0] therefore visits nothing and is truncated
+    whenever any work was pending. *)
+
+val over_visit : t -> bool
+(** The states/wall half of {!over}: true when visiting one more state
+    would exceed the budget. The path-replay engine consults this
+    before each mid-descent visit — a visit costs no replay steps, so
+    the step cap must not veto it. *)
+
+val over_steps : t -> bool
+(** The replay-steps/wall half of {!over}: true when executing one more
+    step would exceed the budget. Consulted before a descent continues
+    into its next child. *)
 
 val limits_hit :
   limits -> states:int -> replay_steps:int -> wall_elapsed:float -> bool
@@ -66,6 +86,14 @@ val mark_truncated : t -> unit
 val note_state : t -> unit
 val note_safety_check : t -> unit
 val note_replay : t -> steps:int -> unit
+
+val note_replay_steps : t -> int -> unit
+(** Add executed steps without counting a replay. The path-replay
+    descent engine counts one {!note_replay} [~steps:0] per descent and
+    accounts the steps incrementally through this as they execute, so
+    [max_replay_steps] is enforced mid-descent, not only at replay
+    boundaries. *)
+
 val note_depth : t -> int -> unit
 val note_fingerprint_prune : t -> unit
 val note_sleep_prune : t -> unit
@@ -114,7 +142,7 @@ val stats : t -> stats
 
 val pp_stats : stats Fmt.t
 (** One-line report, e.g.
-    ["visited 4121 (fp-pruned 310, commute-pruned 988) replays 5109/31880 steps, max depth 7, frontier peak 24, exhaustive"].
+    ["visited 4121 (fp-pruned 310, commute-pruned 988, safety-checked 5109) replays 5109/31880 steps, max depth 7, frontier peak 24, exhaustive"].
     Deliberately omits the times so that reports of deterministic
     explorations print identically across runs; print {!pp_times}
     separately when the timing matters. *)

@@ -1,6 +1,7 @@
 module Proc = Setsync_schedule.Proc
 module Procset = Setsync_schedule.Procset
 module Schedule = Setsync_schedule.Schedule
+module Source = Setsync_schedule.Source
 module Store = Setsync_memory.Store
 module Trace = Setsync_memory.Trace
 module Fault = Setsync_runtime.Fault
@@ -40,13 +41,15 @@ type config = {
   strategy : strategy;
   prune_fingerprints : bool;
   sleep_sets : bool;
+  path_replay : bool;
   limits : Budget.limits;
   fault : Fault.plan;
 }
 
 let config ?(strategy = Dfs) ?(prune_fingerprints = true) ?(sleep_sets = true)
-    ?(limits = Budget.unlimited) ?(fault = Fault.no_faults) ~depth () =
-  { depth; strategy; prune_fingerprints; sleep_sets; limits; fault }
+    ?(path_replay = true) ?(limits = Budget.unlimited) ?(fault = Fault.no_faults) ~depth
+    () =
+  { depth; strategy; prune_fingerprints; sleep_sets; path_replay; limits; fault }
 
 type verdict = Ok_bounded | Violated of { schedule : Schedule.t; reason : string }
 
@@ -128,19 +131,92 @@ let evaluate ~sut ?(fault = Fault.no_faults) schedule =
   in
   { depth = Schedule.length schedule; prefix = schedule; run; snapshot; obs }
 
+(* ------------------------------------------------- replay bookkeeping *)
+
+(* Shared mirror of one live replay: registers and observation are live
+   in the instance; run bookkeeping (halts, per-process step counts,
+   budget crashes) is reconstructed from the executed steps themselves,
+   so a single replay can materialize an exact [state] at any point
+   along its path. The safety probe, [trajectory], and the path-replay
+   descent engine all drive one of these. *)
+module Mirror = struct
+  type 'obs m = {
+    n : int;
+    store : Store.t;
+    inst : 'obs instance;
+    halted : bool array;
+    steps_of : int array;
+    budgets : int array;
+    mutable crashes : (Proc.t * int) list;
+  }
+
+  let make ~(sut : 'obs sut) ~fault ?trace () =
+    let n = sut.n in
+    let store = Store.create ?trace () in
+    let inst = sut.fresh ~store in
+    let budgets = Array.make n max_int in
+    List.iter (fun (p, s) -> budgets.(p) <- s) fault;
+    {
+      n;
+      store;
+      inst;
+      halted = Array.make n false;
+      steps_of = Array.make n 0;
+      budgets;
+      crashes = List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault;
+    }
+
+  (* the executor must drive this wrapper so halts become visible *)
+  let body m p () =
+    m.inst.body p ();
+    m.halted.(p) <- true
+
+  let crashed m p = List.exists (fun (q, _) -> q = p) m.crashes
+
+  (* call once per executed step; [at] is the position recorded for a
+     budget-exhaustion crash *)
+  let note_exec m ~proc ~at =
+    m.steps_of.(proc) <- m.steps_of.(proc) + 1;
+    if m.steps_of.(proc) >= m.budgets.(proc) && not (crashed m proc) then
+      m.crashes <- m.crashes @ [ (proc, at) ]
+
+  let skippable m p = m.halted.(p) || crashed m p
+
+  let enabled m = List.filter (fun p -> not (skippable m p)) (Proc.all ~n:m.n)
+
+  let state m ~depth ~prefix =
+    let halted_set = ref Procset.empty in
+    Array.iteri (fun p h -> if h then halted_set := Procset.add p !halted_set) m.halted;
+    let all_done =
+      let rec go p = p >= m.n || (skippable m p && go (p + 1)) in
+      go 0
+    in
+    let run =
+      {
+        Run.n = m.n;
+        taken = prefix;
+        steps_of = Array.copy m.steps_of;
+        crashes = m.crashes;
+        halted = !halted_set;
+        reason = (if all_done then Run.All_halted else Run.Source_exhausted);
+      }
+    in
+    { depth; prefix; run; snapshot = Store.snapshot m.store; obs = m.inst.observe () }
+end
+
 (* ------------------------------------------- counterexample re-check *)
 
 (* Safety re-verification used to replay every prefix 0..len from
    scratch — O(len²) steps per call, which made ddmin shrinking
    O(len²) replays per candidate. Instead: one replay with an on-step
-   probe that rebuilds the interim state (registers and observation
-   are live in the instance; run bookkeeping is reconstructed from the
-   fault plan and a halt flag set when a body returns). The
-   reconstruction is exact as long as every scheduled step actually
-   executes; the first skipped step (a crashed/halted process named
-   again) breaks the alignment, which the probe detects by comparing
-   each executed step against the schedule — it then falls back to the
-   per-prefix scan. *)
+   probe over a [Mirror]. The probe is skip-aware: entries the executor
+   skips (naming a crashed or halted process) leave the state unchanged,
+   so the probe advances its schedule pointer past them — checking the
+   unchanged state at each skipped prefix boundary — and stays exact
+   through arbitrary skips instead of bailing to the per-prefix scan.
+   The scan remains as a defensive fallback for any residual
+   misalignment (e.g. a source-level divergence the mirror cannot
+   predict). *)
 let check_safety_scan ~sut ~property ~fault schedule =
   let len = Schedule.length schedule in
   let rec scan d =
@@ -157,64 +233,56 @@ let check_safety_scan ~sut ~property ~fault schedule =
 let check_safety_probe ~sut ~property ~fault schedule =
   let n = sut.n in
   let len = Schedule.length schedule in
-  let store = Store.create () in
-  let inst = sut.fresh ~store in
-  let halted = Array.make n false in
-  let body p () =
-    inst.body p ();
-    halted.(p) <- true
-  in
-  let steps_of = Array.make n 0 in
-  let budgets = Array.make n max_int in
-  List.iter (fun (p, s) -> budgets.(p) <- s) fault;
-  let crashes =
-    ref (List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault)
-  in
-  let crashed p = List.exists (fun (q, _) -> q = p) !crashes in
-  let mk_state depth =
-    let taken = Schedule.prefix schedule depth in
-    let halted_set = ref Procset.empty in
-    Array.iteri (fun p h -> if h then halted_set := Procset.add p !halted_set) halted;
-    let all_done =
-      let rec go p = p >= n || ((halted.(p) || crashed p) && go (p + 1)) in
-      go 0
-    in
-    let run =
-      {
-        Run.n;
-        taken;
-        steps_of = Array.copy steps_of;
-        crashes = !crashes;
-        halted = !halted_set;
-        reason = (if all_done then Run.All_halted else Run.Source_exhausted);
-      }
-    in
-    { depth; prefix = taken; run; snapshot = Store.snapshot store; obs = inst.observe () }
-  in
+  let m = Mirror.make ~sut ~fault () in
   let violation = ref None in
   let exact = ref true in
-  let check depth =
-    match property.Property.check (mk_state depth) with
+  (* schedule entries accounted for so far, executed or skipped; the
+     interim state after them is the prefix-[consumed] state *)
+  let consumed = ref 0 in
+  let check () =
+    match
+      property.Property.check
+        (Mirror.state m ~depth:!consumed ~prefix:(Schedule.prefix schedule !consumed))
+    with
     | Some r -> violation := Some r
     | None -> ()
   in
-  check 0;
+  (* [until]: advancing past skipped entries must stop at the entry the
+     executor actually executed — that entry's process may have halted
+     during its own step, making it look skippable in hindsight *)
+  let advance_skips ?until () =
+    let continue_ () =
+      !violation = None && !consumed < len
+      &&
+      let p = Schedule.get schedule !consumed in
+      Mirror.skippable m p && (match until with Some q -> p <> q | None -> true)
+    in
+    while continue_ () do
+      incr consumed;
+      check ()
+    done
+  in
+  check ();
   if !violation <> None then (true, !violation)
   else if len = 0 then (true, None)
   else begin
-    let on_step ~global ~proc =
-      if !exact then
-        if Schedule.get schedule global <> proc then exact := false
-        else begin
-          steps_of.(proc) <- steps_of.(proc) + 1;
-          if steps_of.(proc) >= budgets.(proc) && not (crashed proc) then
-            crashes := !crashes @ [ (proc, global) ];
-          if !violation = None then check (global + 1)
-        end
+    let on_step ~global:_ ~proc =
+      if !exact && !violation = None then begin
+        advance_skips ~until:proc ();
+        if !violation = None then
+          if !consumed >= len || Schedule.get schedule !consumed <> proc then
+            exact := false
+          else begin
+            Mirror.note_exec m ~proc ~at:!consumed;
+            incr consumed;
+            check ()
+          end
+      end
     in
     let stop () = (not !exact) || !violation <> None in
-    let run = Executor.replay ~n ~schedule ~fault ~on_step ~stop body in
-    let complete = Run.total_steps run = len in
+    ignore (Executor.replay ~n ~schedule ~fault ~on_step ~stop (Mirror.body m));
+    if !exact && !violation = None then advance_skips ();
+    let complete = !consumed = len in
     ((!exact && (complete || !violation <> None)), !violation)
   end
 
@@ -271,42 +339,12 @@ let trajectory ~sut ?(fault = Fault.no_faults) ?(stride = 1) ~on_state schedule 
   if stride < 1 then invalid_arg "Explorer.trajectory: stride must be >= 1";
   let n = sut.n in
   Fault.validate ~n fault;
-  let store = Store.create () in
-  let inst = sut.fresh ~store in
-  let halted = Array.make n false in
-  let body p () =
-    inst.body p ();
-    halted.(p) <- true
-  in
-  let steps_of = Array.make n 0 in
-  let budgets = Array.make n max_int in
-  List.iter (fun (p, s) -> budgets.(p) <- s) fault;
-  let crashes =
-    ref (List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault)
-  in
-  let crashed p = List.exists (fun (q, _) -> q = p) !crashes in
+  let m = Mirror.make ~sut ~fault () in
   let rev_taken = ref [] in
   let taken = ref 0 in
   let stopped = ref false in
   let mk_state () =
-    let prefix = Schedule.of_list ~n (List.rev !rev_taken) in
-    let halted_set = ref Procset.empty in
-    Array.iteri (fun p h -> if h then halted_set := Procset.add p !halted_set) halted;
-    let all_done =
-      let rec go p = p >= n || ((halted.(p) || crashed p) && go (p + 1)) in
-      go 0
-    in
-    let run =
-      {
-        Run.n;
-        taken = prefix;
-        steps_of = Array.copy steps_of;
-        crashes = !crashes;
-        halted = !halted_set;
-        reason = (if all_done then Run.All_halted else Run.Source_exhausted);
-      }
-    in
-    { depth = !taken; prefix; run; snapshot = Store.snapshot store; obs = inst.observe () }
+    Mirror.state m ~depth:!taken ~prefix:(Schedule.of_list ~n (List.rev !rev_taken))
   in
   let emit () = if not !stopped then stopped := on_state (mk_state ()) in
   emit ();
@@ -315,13 +353,11 @@ let trajectory ~sut ?(fault = Fault.no_faults) ?(stride = 1) ~on_state schedule 
     let on_step ~global:_ ~proc =
       rev_taken := proc :: !rev_taken;
       incr taken;
-      steps_of.(proc) <- steps_of.(proc) + 1;
-      if steps_of.(proc) >= budgets.(proc) && not (crashed proc) then
-        crashes := !crashes @ [ (proc, !taken - 1) ];
+      Mirror.note_exec m ~proc ~at:(!taken - 1);
       if !taken mod stride = 0 then emit ()
     in
     let stop () = !stopped in
-    ignore (Executor.replay ~n ~schedule ~fault ~on_step ~stop body);
+    ignore (Executor.replay ~n ~schedule ~fault ~on_step ~stop (Mirror.body m));
     if !taken mod stride <> 0 && not !stopped then ignore (on_state (mk_state ()));
     mk_state ()
   end
@@ -343,9 +379,19 @@ type 'obs engine = {
   e_lifo : bool;  (* reverse children so LIFO frontiers pop ascending *)
   e_record : kind:Property.kind -> 'obs state -> unit;
   e_pending_safety : unit -> bool;
+  e_pending_sched_safety : unit -> bool;
+      (* some pending safety property is schedule-sensitive: pruned
+         interleavings must be materialized before being discarded *)
   e_fp_check : string -> depth:int -> bool;  (* true = expand *)
   e_on_visit : unit -> unit;  (* global-budget hook *)
   e_on_replay : steps:int -> unit;  (* global-budget hook *)
+  e_over_visit : unit -> bool;
+      (* states/wall budget check, consulted before each visit (a visit
+         costs one state and no steps — the step cap must not veto it) *)
+  e_over_steps : unit -> bool;
+      (* steps/wall budget check, consulted before a descent continues
+         into its next child (the next step costs steps, not states) *)
+  e_stop_now : unit -> bool;  (* external stop (all violated / pool stop) *)
   e_frontier_size : unit -> int;
   e_ev : Events.t option;  (* event sink, [None] when tracing is off *)
   e_worker : int;  (* worker id stamped on emitted events *)
@@ -439,6 +485,246 @@ let process_prefix eng ~push rev_steps =
       Budget.note_frontier meter (eng.e_frontier_size ())
     end
   end
+
+(* ------------------------------------------------ path-replay descents *)
+
+(* Amortized engine: one executor run per *descent*. The replay feeds a
+   fixed prefix, then keeps extending in place — every interim state is
+   visited (properties, fingerprint, frontier bookkeeping) from the
+   single live [Mirror], and the run continues into the first unpruned
+   child; the remaining children become frontier items, each costing
+   one fresh replay of its prefix when popped. Replay steps per visited
+   state drop from O(depth) to the amortized cost of the descent paths
+   (see DESIGN.md §8).
+
+   Two modes share this function:
+
+   - [synthesize = true] (sequential DFS): the commutation prune for a
+     child [σ·a·b] (b < a) needs the footprints of [a] and [b] taken
+     *from σ* — and by the footprint-commutation property (disjoint
+     steps leave each other's reads untouched) those decide the prune
+     without executing [b]. Each node keeps a table mapping process to
+     the footprint of its outgoing step; entries are *measured* when a
+     child's step executes (descent continuation, or a frontier item's
+     last feed step written back into the shared parent table) and
+     *inherited* when a child is pruned (the pruned step's footprint at
+     the child equals its footprint at the parent, exactly because the
+     prune established disjointness). In LIFO ascending-order DFS every
+     sibling entry the rule needs has already been filled when it is
+     consulted.
+
+   - [synthesize = false] (parallel workers): tables would be shared
+     across domains, so instead a descent simply runs until the arrival
+     step itself completes a commutable pair (own-path last-two check,
+     as [process_prefix] does) — the pruned state is then already
+     materialized and is safety-checked directly (PR 2 semantics).
+     Counts (visited / pruned / safety-checked) match the sequential
+     engine; replay accounting differs, since sequential synthesis
+     avoids materializing pruned prefixes.
+
+   Budget: one [note_replay ~steps:0] per descent plus an incremental
+   [note_replay_steps] per executed step, so [max_replay_steps] cuts
+   mid-descent. The boundary contract splits the check by what the next
+   unit of work costs: [e_over_visit] (states/wall) gates each visit —
+   a visit after exactly the step budget costs no further steps and
+   still happens — while [e_over_steps] (steps/wall) gates continuing
+   the descent into the next child; a cut with work still pending marks
+   the run truncated and parks the continuation on the frontier. *)
+let process_descent eng ~push ~synthesize rev_start parent_tbl0 =
+  let sut = eng.e_sut and config = eng.e_config and meter = eng.e_meter in
+  let n = sut.n in
+  let fault = config.fault in
+  let trace = Trace.create ~capacity:trace_capacity in
+  let m = Mirror.make ~sut ~fault ~trace () in
+  let emit name args =
+    match eng.e_ev with
+    | Some sink -> Events.emit sink ~worker:eng.e_worker ~args ~cat:"explorer" name
+    | None -> ()
+  in
+  (* footprints of the last two executed steps along this path *)
+  let prev_recorded = ref 0 in
+  let fp_prev = ref [] and fp_last = ref [] in
+  let measure_fp () =
+    let now = Trace.recorded trace in
+    let delta = now - !prev_recorded in
+    prev_recorded := now;
+    fp_prev := !fp_last;
+    fp_last :=
+      (if delta > trace_capacity then unknown_footprint
+       else
+         Trace.recent trace delta
+         |> List.map (fun e -> e.Trace.register)
+         |> List.sort_uniq String.compare)
+  in
+  let cur_rev = ref [] in
+  let depth = ref 0 in
+  let steps_in = ref 0 in
+  (* table of the current node's parent (synthesis mode only) *)
+  let parent_tbl = ref parent_tbl0 in
+  let feed = ref (List.rev rev_start) in
+  let fixed = List.length rev_start in
+  let pending_child = ref None in
+  (* visit the node the replay just reached; decide the continuation *)
+  let visit () =
+    pending_child := None;
+    let d = !depth in
+    let own_pruned =
+      (* non-synthesizing arrival onto a commutation-pruned node: the
+         replay is already paid for, so check pending safety on it
+         directly (PR 2 semantics) and end the descent *)
+      (not synthesize) && config.sleep_sets && d >= 2
+      &&
+      match !cur_rev with
+      | b :: a :: _ -> b < a && disjoint_footprints !fp_prev !fp_last
+      | _ -> false
+    in
+    if own_pruned then begin
+      Budget.note_sleep_prune meter;
+      emit "sleep_prune" [ ("depth", Json.Int d) ];
+      if eng.e_pending_safety () then begin
+        Budget.note_safety_check meter;
+        eng.e_record ~kind:Property.Safety
+          (Mirror.state m ~depth:d ~prefix:(Schedule.of_list ~n (List.rev !cur_rev)))
+      end
+    end
+    else if eng.e_stop_now () then ()
+    else if eng.e_over_visit () then Budget.mark_truncated meter
+    else begin
+      Budget.note_state meter;
+      eng.e_on_visit ();
+      Budget.note_depth meter d;
+      let state =
+        Mirror.state m ~depth:d ~prefix:(Schedule.of_list ~n (List.rev !cur_rev))
+      in
+      if eng.e_pending_safety () then Budget.note_safety_check meter;
+      eng.e_record ~kind:Property.Safety state;
+      let en = Mirror.enabled m in
+      if d >= config.depth || en = [] then
+        eng.e_record ~kind:Property.Stabilization state
+      else begin
+        let expand =
+          (not config.prune_fingerprints)
+          ||
+          let fp =
+            fingerprint ~sut ~snapshot:state.snapshot ~run:state.run ~obs:state.obs
+          in
+          if eng.e_fp_check fp ~depth:d then true
+          else begin
+            Budget.note_fingerprint_prune meter;
+            emit "fp_prune" [ ("depth", Json.Int d) ];
+            false
+          end
+        in
+        if expand then begin
+          let arriving = match !cur_rev with a :: _ -> Some a | [] -> None in
+          let a_fp = !fp_last in
+          let my_tbl = if synthesize then Array.make n None else parent_tbl0 in
+          let synth_prune b =
+            (* child σ·a·b pruned iff b < a and the two steps' footprints
+               at σ are disjoint; b's is read from the parent table *)
+            match arriving with
+            | Some a when synthesize && config.sleep_sets && b < a -> (
+                match !parent_tbl.(b) with
+                | Some fb when disjoint_footprints a_fp fb -> Some fb
+                | Some _ | None -> None)
+            | Some _ | None -> None
+          in
+          let reals =
+            List.filter
+              (fun b ->
+                match synth_prune b with
+                | None -> true
+                | Some fb ->
+                    (* inherited: b's footprint is unchanged across the
+                       disjoint step a *)
+                    my_tbl.(b) <- Some fb;
+                    Budget.note_sleep_prune meter;
+                    emit "sleep_prune" [ ("depth", Json.Int (d + 1)) ];
+                    (if eng.e_pending_sched_safety () then begin
+                       (* a schedule-sensitive safety property is still
+                          pending: this interleaving is a genuinely
+                          different input, materialize it with a classic
+                          replay before discarding (what the per-state
+                          engine paid anyway) *)
+                       let steps = List.rev (b :: !cur_rev) in
+                       let run, obs, snapshot, _ =
+                         replay_instrumented ~sut ~fault steps
+                       in
+                       let executed = Run.total_steps run in
+                       Budget.note_replay meter ~steps:executed;
+                       eng.e_on_replay ~steps:executed;
+                       Budget.note_safety_check meter;
+                       eng.e_record ~kind:Property.Safety
+                         {
+                           depth = d + 1;
+                           prefix = Schedule.of_list ~n steps;
+                           run;
+                           snapshot;
+                           obs;
+                         }
+                     end
+                     else if eng.e_pending_safety () then
+                       (* state-based safety only: the pruned state equals
+                          the surviving sibling's, whose visit establishes
+                          the verdict *)
+                       Budget.note_safety_check meter);
+                    false)
+              en
+          in
+          match reals with
+          | [] -> ()
+          | c :: rest ->
+              emit "expand"
+                [ ("depth", Json.Int d); ("children", Json.Int (List.length reals)) ];
+              (* continue the run into the first (ascending) child; the
+                 rest become frontier items, pushed descending so LIFO
+                 pops ascending, sharing this node's table *)
+              List.iter (fun b -> push (b :: !cur_rev) my_tbl) (List.rev rest);
+              (if eng.e_over_steps () then begin
+                 (* the next step would exceed the budget: park the
+                    continuation as a frontier item (pushed last so a
+                    LIFO resume would pop it first) and end the descent *)
+                 Budget.mark_truncated meter;
+                 push (c :: !cur_rev) my_tbl
+               end
+               else begin
+                 parent_tbl := my_tbl;
+                 pending_child := Some c
+               end);
+              Budget.note_frontier meter (eng.e_frontier_size ())
+        end
+      end
+    end
+  in
+  let on_step ~global ~proc =
+    measure_fp ();
+    cur_rev := proc :: !cur_rev;
+    incr depth;
+    incr steps_in;
+    Budget.note_replay_steps meter 1;
+    eng.e_on_replay ~steps:1;
+    Mirror.note_exec m ~proc ~at:global;
+    (* measured: the executed step's footprint, recorded in the table of
+       the node it departs from (the frontier item's last feed step
+       lands in the shared parent table — its siblings need it) *)
+    if synthesize && global >= fixed - 1 then !parent_tbl.(proc) <- Some !fp_last;
+    if global >= fixed - 1 then visit ()
+  in
+  let source ~live:_ =
+    Source.make ~n (fun () ->
+        match !feed with
+        | p :: rest ->
+            feed := rest;
+            Some p
+        | [] ->
+            let c = !pending_child in
+            pending_child := None;
+            c)
+  in
+  if fixed = 0 then visit ();
+  ignore (Executor.run ~n ~source ~max_steps:max_int ~fault ~on_step (Mirror.body m));
+  Budget.note_replay meter ~steps:0;
+  emit "replay" [ ("depth", Json.Int !depth); ("steps", Json.Int !steps_in) ]
 
 let validate_explore ~sut config =
   if config.depth < 0 then invalid_arg "Explorer.explore: negative depth bound";
@@ -542,7 +828,6 @@ let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties co
   validate_explore ~sut config;
   let meter = Budget.start config.limits in
   let hb = make_heartbeat ?on_progress ~interval:progress_interval obs in
-  let frontier = make_frontier config.strategy in
   let fingerprints : (string, int) Hashtbl.t = Hashtbl.create 1024 in
   let verdicts = List.map (fun p -> (p, ref Ok_bounded)) properties in
   let all_violated () =
@@ -562,7 +847,15 @@ let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties co
       (fun ((p : _ Property.t), v) -> p.Property.kind = Property.Safety && !v = Ok_bounded)
       verdicts
   in
-  let eng =
+  let pending_sched_safety () =
+    List.exists
+      (fun ((p : _ Property.t), v) ->
+        p.Property.kind = Property.Safety
+        && p.Property.sensitivity = Property.Schedule_sensitive
+        && !v = Ok_bounded)
+      verdicts
+  in
+  let mk_engine ~frontier_size =
     {
       e_sut = sut;
       e_config = config;
@@ -570,6 +863,7 @@ let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties co
       e_lifo = (match config.strategy with Dfs -> true | Bfs | Custom _ -> false);
       e_record = record_violations;
       e_pending_safety = pending_safety;
+      e_pending_sched_safety = pending_sched_safety;
       e_fp_check =
         (fun fp ~depth ->
           match Hashtbl.find_opt fingerprints fp with
@@ -579,30 +873,71 @@ let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties co
               true);
       e_on_visit = (fun () -> ());
       e_on_replay = (fun ~steps:_ -> ());
-      e_frontier_size = frontier.size;
+      e_over_visit = (fun () -> Budget.over_visit meter);
+      e_over_steps = (fun () -> Budget.over_steps meter);
+      e_stop_now = all_violated;
+      e_frontier_size = frontier_size;
       e_ev = engine_sink obs;
       e_worker = (match obs with Some o -> o.Obs.shard | None -> 0);
     }
   in
-  (* prefixes are stored in reverse step order: extension is a cons *)
-  frontier.push [];
-  Budget.note_frontier meter 1;
-  let stop = ref false in
-  while not !stop do
-    (* peak on every push/pop cycle, not only after expansions *)
-    Budget.note_frontier meter (frontier.size ());
-    maybe_beat hb (fun () ->
-        progress_of_stats ~frontier:(frontier.size ()) (Budget.stats meter));
-    if Budget.over meter then begin
-      Budget.mark_truncated meter;
-      stop := true
-    end
-    else if all_violated () then stop := true
-    else
-      match frontier.pop () with
-      | None -> stop := true
-      | Some rev_steps -> process_prefix eng ~push:frontier.push rev_steps
-  done;
+  let use_path = config.path_replay && (match config.strategy with Dfs -> true | _ -> false) in
+  if use_path then begin
+    (* descent frontier: (reverse prefix, parent's sibling-footprint
+       table); plain LIFO stack, ascending pop order by construction *)
+    let stack = ref [ ([], Array.make sut.n None) ] in
+    let size = ref 1 in
+    let push rev tbl =
+      stack := (rev, tbl) :: !stack;
+      incr size
+    in
+    let eng = mk_engine ~frontier_size:(fun () -> !size) in
+    Budget.note_frontier meter 1;
+    let stop = ref false in
+    while not !stop do
+      Budget.note_frontier meter !size;
+      maybe_beat hb (fun () -> progress_of_stats ~frontier:!size (Budget.stats meter));
+      if all_violated () then stop := true
+      else
+        match !stack with
+        | [] -> stop := true
+        | (rev, tbl) :: rest ->
+            stack := rest;
+            decr size;
+            (* pop first, then test: completing the space on exactly the
+               budget is exhaustive, not truncated *)
+            if Budget.over meter then begin
+              Budget.mark_truncated meter;
+              stop := true
+            end
+            else process_descent eng ~push ~synthesize:true rev tbl
+    done
+  end
+  else begin
+    let frontier = make_frontier config.strategy in
+    let eng = mk_engine ~frontier_size:frontier.size in
+    (* prefixes are stored in reverse step order: extension is a cons *)
+    frontier.push [];
+    Budget.note_frontier meter 1;
+    let stop = ref false in
+    while not !stop do
+      (* peak on every push/pop cycle, not only after expansions *)
+      Budget.note_frontier meter (frontier.size ());
+      maybe_beat hb (fun () ->
+          progress_of_stats ~frontier:(frontier.size ()) (Budget.stats meter));
+      if all_violated () then stop := true
+      else
+        match frontier.pop () with
+        | None -> stop := true
+        | Some rev_steps ->
+            (* pop first, then test (see Budget boundary contract) *)
+            if Budget.over meter then begin
+              Budget.mark_truncated meter;
+              stop := true
+            end
+            else process_prefix eng ~push:frontier.push rev_steps
+    done
+  end;
   let stats = Budget.stats meter in
   record_metrics obs ~shard:(match obs with Some o -> o.Obs.shard | None -> 0) stats;
   {
@@ -630,13 +965,28 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
   let hb = make_heartbeat ?on_progress ~interval:progress_interval obs in
   let visited_g = Atomic.make 0 in
   let replay_steps_g = Atomic.make 0 in
+  let deadline_hit () =
+    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  in
   let over_gauge () =
-    match deadline with
-    | Some d when Unix.gettimeofday () >= d -> true
-    | Some _ | None ->
-        Budget.limits_hit config.limits ~states:(Atomic.get visited_g)
-          ~replay_steps:(Atomic.get replay_steps_g)
-          ~wall_elapsed:0. (* wall handled by the deadline above *)
+    deadline_hit ()
+    || Budget.limits_hit config.limits ~states:(Atomic.get visited_g)
+         ~replay_steps:(Atomic.get replay_steps_g)
+         ~wall_elapsed:0. (* wall handled by the deadline above *)
+  in
+  (* the two halves of [over_gauge], mirroring [Budget.over_visit] /
+     [over_steps] for the descent engine's mid-descent checks *)
+  let over_visit_gauge () =
+    deadline_hit ()
+    || (match config.limits.Budget.max_states with
+       | Some c -> Atomic.get visited_g >= c
+       | None -> false)
+  in
+  let over_steps_gauge () =
+    deadline_hit ()
+    || (match config.limits.Budget.max_replay_steps with
+       | Some c -> Atomic.get replay_steps_g >= c
+       | None -> false)
   in
   let on_steal =
     match obs with
@@ -682,6 +1032,14 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
       (fun ((p : _ Property.t), v) -> p.Property.kind = Property.Safety && !v = Ok_bounded)
       verdicts
   in
+  let pending_sched_safety () =
+    List.exists
+      (fun ((p : _ Property.t), v) ->
+        p.Property.kind = Property.Safety
+        && p.Property.sensitivity = Property.Schedule_sensitive
+        && !v = Ok_bounded)
+      verdicts
+  in
   let fingerprints = Parallel.Shard_tbl.create () in
   let engines =
     Array.init domains (fun wid ->
@@ -692,9 +1050,13 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
           e_lifo = true;  (* per-worker deques are LIFO for the owner *)
           e_record = record_violations;
           e_pending_safety = pending_safety;
+          e_pending_sched_safety = pending_sched_safety;
           e_fp_check = Parallel.Shard_tbl.check_and_record fingerprints;
           e_on_visit = (fun () -> Atomic.incr visited_g);
           e_on_replay = (fun ~steps -> ignore (Atomic.fetch_and_add replay_steps_g steps));
+          e_over_visit = over_visit_gauge;
+          e_over_steps = over_steps_gauge;
+          e_stop_now = (fun () -> Parallel.Pool.stopped pool);
           e_frontier_size = (fun () -> Parallel.Pool.frontier_size pool);
           e_ev = engine_sink obs;
           e_worker = wid;
@@ -723,6 +1085,10 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
       Budget.mark_truncated meters.(wid);
       Parallel.Pool.stop pool
     end
+    else if config.path_replay then
+      process_descent engines.(wid)
+        ~push:(fun rev _tbl -> Parallel.Pool.push pool ~worker:wid rev)
+        ~synthesize:false rev_steps [||]
     else process_prefix engines.(wid) ~push:(Parallel.Pool.push pool ~worker:wid) rev_steps
   in
   Parallel.Pool.push pool ~worker:0 [];

@@ -76,6 +76,20 @@ type config = {
   strategy : strategy;
   prune_fingerprints : bool;
   sleep_sets : bool;
+  path_replay : bool;
+      (** amortized path-replay engine (default [true]): one executor
+          run per DFS {e descent} visits every interim state from a
+          single live replay and continues into the first unpruned
+          child, so replay steps per visited state are amortized O(1)
+          instead of O(depth). Verdicts, visited/pruned counts and the
+          DFS visit order are identical to the per-state engine (the
+          cross-check tests pin this); replay accounting
+          ([stats.replays]/[replay_steps]) is what improves. Applies to
+          [Dfs] sequentially and to every parallel worker; [Bfs] and
+          [Custom] frontiers always use the per-state engine (their pop
+          order defeats descent amortization). [false] forces the
+          per-state engine everywhere — the comparison baseline bench
+          E11e measures. *)
   limits : Budget.limits;
   fault : Setsync_runtime.Fault.plan;
       (** crash plan applied to every replay (same schedule-space with
@@ -86,12 +100,14 @@ val config :
   ?strategy:strategy ->
   ?prune_fingerprints:bool ->
   ?sleep_sets:bool ->
+  ?path_replay:bool ->
   ?limits:Budget.limits ->
   ?fault:Setsync_runtime.Fault.plan ->
   depth:int ->
   unit ->
   config
-(** Defaults: DFS, both reductions on, unlimited budget, no faults. *)
+(** Defaults: DFS, both reductions on, path-replay engine on, unlimited
+    budget, no faults. *)
 
 type verdict =
   | Ok_bounded
@@ -154,10 +170,17 @@ val explore :
     store/trace/fiber instance), and the fingerprint table is
     lock-striped. The parallel run is {e verdict-equivalent} to the
     sequential one — the same set of properties is violated — and with
-    fingerprint pruning off its visited/pruned counts are identical;
-    what is {e not} reproducible across parallel runs is which
-    counterexample is found first and, under fingerprint pruning, the
-    exact visited/pruned split (see DESIGN.md §8). [config.strategy]
+    fingerprint pruning off its visited/pruned/safety-checked counts
+    are identical; what is {e not} reproducible across parallel runs is
+    which counterexample is found first and, under fingerprint pruning,
+    the exact visited/pruned split (see DESIGN.md §8). Replay
+    accounting ([stats.replays]/[replay_steps]) is mode-specific under
+    [path_replay]: sequential descents synthesize commutation prunes
+    from sibling footprints without replaying them, while parallel
+    workers discover prunes on arrival with the replay already paid —
+    both are deterministic per mode, but they are not equal across
+    modes (with [sleep_sets] off the difference vanishes).
+    [config.strategy]
     must be {!Dfs} or {!Bfs} (both are treated as hints; each worker
     drains its own deque depth-first) — [Custom] frontiers raise
     [Invalid_argument]. Budget limits are enforced against global
@@ -217,10 +240,12 @@ val check_schedule :
     Safety checking costs a {e single} replay: an on-step probe
     evaluates the property at every prefix boundary against the live
     instance, so ddmin shrinking is O(len) rather than O(len²) replays
-    per candidate. If the replay skips a scheduled step (a schedule
-    naming a crashed or halted process — possible for hand-written or
-    shrunk schedules), the probe detects the misalignment and falls
-    back to the exact per-prefix scan. *)
+    per candidate. The probe is skip-aware: scheduled steps the replay
+    skips (a schedule naming a crashed or halted process — routine for
+    hand-written, mutated, or shrunk schedules) leave the state
+    unchanged, so the probe advances past them, still checking the
+    state at every skipped prefix boundary, and stays a single exact
+    replay; a per-prefix scan remains only as a defensive fallback. *)
 
 val pp_verdict : verdict Fmt.t
 

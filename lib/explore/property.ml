@@ -3,11 +3,20 @@ module Timeliness = Setsync_schedule.Timeliness
 
 type kind = Safety | Stabilization
 
-type 'state t = { name : string; kind : kind; check : 'state -> string option }
+type sensitivity = State_based | Schedule_sensitive
 
-let safety ~name check = { name; kind = Safety; check }
+type 'state t = {
+  name : string;
+  kind : kind;
+  sensitivity : sensitivity;
+  check : 'state -> string option;
+}
 
-let stabilization ~name check = { name; kind = Stabilization; check }
+let safety ?(sensitivity = Schedule_sensitive) ~name check =
+  { name; kind = Safety; sensitivity; check }
+
+let stabilization ~name check =
+  { name; kind = Stabilization; sensitivity = State_based; check }
 
 let distinct_decided decisions =
   Array.to_list decisions
@@ -15,7 +24,7 @@ let distinct_decided decisions =
   |> List.sort_uniq Int.compare
 
 let kset_agreement ~k ~decisions =
-  safety
+  safety ~sensitivity:State_based
     ~name:(Fmt.str "kset-agreement(k=%d)" k)
     (fun st ->
       let values = distinct_decided (decisions st) in
@@ -28,7 +37,7 @@ let kset_agreement ~k ~decisions =
              values k))
 
 let validity ~inputs ~decisions =
-  safety ~name:"validity" (fun st ->
+  safety ~sensitivity:State_based ~name:"validity" (fun st ->
       let bad = ref None in
       Array.iteri
         (fun p d ->

@@ -2,47 +2,128 @@ module Rng = Setsync_schedule.Rng
 
 type entry = { novelty : int; cand : Mutate.candidate }
 
+(* Digest filter: a fixed-size open-addressed table of 62-bit digest
+   hashes (0 = empty), probed over a bounded window. Bounding both the
+   table and the probe keeps long fuzz runs at constant memory where
+   the old hashtable grew with every distinct digest, at the price of
+   approximation in both directions:
+
+   - false positives: two digests hashing identically make the second
+     read as already-seen (novelty undercount) — with 62-bit hashes,
+     vanishing in practice;
+   - false negatives: once a probe window saturates, the home slot is
+     deterministically overwritten, forgetting an old digest — if it
+     reappears it counts as novel again (novelty overcount).
+
+   Both errors only perturb the novelty heuristic, never soundness
+   (violations are exactly re-verified), and both are deterministic
+   functions of the digest sequence, preserving the same-seed
+   reproduction contract. *)
+let probe_window = 8
+
 type t = {
-  seen : (string, unit) Hashtbl.t;
+  slots : int array;  (* power-of-two length *)
+  mutable distinct : int;  (* note_digest calls that returned true *)
+  mutable digest_evictions : int;  (* saturated-window overwrites *)
   max_entries : int;
-  mutable entries : entry list;  (* novelty-descending, ties in insertion order *)
+  mutable arr : entry array;  (* novelty-descending, ties in insertion order *)
   mutable count : int;
+  mutable evictions : int;  (* at-capacity adds that displaced a worse entry *)
+  mutable rejections : int;  (* at-capacity adds not novel enough to keep *)
 }
 
-let create ?(max_entries = 64) () =
+let create ?(max_entries = 64) ?(digest_slots = 1 lsl 16) () =
   if max_entries < 1 then invalid_arg "Corpus.create: max_entries must be >= 1";
-  { seen = Hashtbl.create 4096; max_entries; entries = []; count = 0 }
+  if digest_slots < probe_window then
+    invalid_arg "Corpus.create: digest_slots must be >= 8";
+  let pow2 = ref probe_window in
+  while !pow2 < digest_slots do
+    pow2 := !pow2 * 2
+  done;
+  {
+    slots = Array.make !pow2 0;
+    distinct = 0;
+    digest_evictions = 0;
+    max_entries;
+    arr = [||];
+    count = 0;
+    evictions = 0;
+    rejections = 0;
+  }
+
+(* 62-bit multiplicative fold, forced nonzero so 0 stays the empty
+   sentinel. Digests are already uniform (explorer fingerprints are
+   MD5), so the fold only needs to spread them over the native range. *)
+let hash_digest d =
+  let h = ref 5381 in
+  String.iter (fun ch -> h := (!h * 33) lxor Char.code ch) d;
+  let h = !h land max_int in
+  if h = 0 then 1 else h
 
 let note_digest t d =
-  if Hashtbl.mem t.seen d then false
-  else begin
-    Hashtbl.add t.seen d ();
-    true
-  end
+  let h = hash_digest d in
+  let mask = Array.length t.slots - 1 in
+  let home = h land mask in
+  let rec go k =
+    if k = probe_window then begin
+      (* saturated window: overwrite the home slot (deterministic
+         eviction — the forgotten digest may later re-count as novel) *)
+      t.slots.(home) <- h;
+      t.digest_evictions <- t.digest_evictions + 1;
+      t.distinct <- t.distinct + 1;
+      true
+    end
+    else
+      let idx = (home + k) land mask in
+      let s = t.slots.(idx) in
+      if s = h then false
+      else if s = 0 then begin
+        t.slots.(idx) <- h;
+        t.distinct <- t.distinct + 1;
+        true
+      end
+      else go (k + 1)
+  in
+  go 0
 
-let digests t = Hashtbl.length t.seen
+let digests t = t.distinct
 
-let rec insert e = function
-  | [] -> [ e ]
-  | x :: rest when x.novelty >= e.novelty -> x :: insert e rest
-  | rest -> e :: rest
-
-let rec drop_last = function
-  | [] | [ _ ] -> []
-  | x :: rest -> x :: drop_last rest
+let digest_evictions t = t.digest_evictions
 
 let add t ~novelty cand =
   if novelty > 0 then begin
-    t.entries <- insert { novelty; cand } t.entries;
-    if t.count >= t.max_entries then t.entries <- drop_last t.entries
-    else t.count <- t.count + 1
+    let e = { novelty; cand } in
+    if t.arr = [||] then t.arr <- Array.make t.max_entries e;
+    (* insertion position: after every entry of novelty >= [e]'s, so
+       ties keep insertion order *)
+    let pos = ref 0 in
+    while !pos < t.count && t.arr.(!pos).novelty >= novelty do
+      incr pos
+    done;
+    let pos = !pos in
+    if t.count < t.max_entries then begin
+      Array.blit t.arr pos t.arr (pos + 1) (t.count - pos);
+      t.arr.(pos) <- e;
+      t.count <- t.count + 1
+    end
+    else if pos >= t.max_entries then t.rejections <- t.rejections + 1
+    else begin
+      (* displace the current worst entry *)
+      Array.blit t.arr pos t.arr (pos + 1) (t.max_entries - 1 - pos);
+      t.arr.(pos) <- e;
+      t.evictions <- t.evictions + 1
+    end
   end
 
 let size t = t.count
 
 let is_empty t = t.count = 0
 
+let evictions t = t.evictions
+
+let rejections t = t.rejections
+
 let pick t rng =
   if t.count = 0 then invalid_arg "Corpus.pick: empty corpus";
   let i = Rng.int rng t.count and j = Rng.int rng t.count in
-  (List.nth t.entries (min i j)).cand
+  t.arr.(min i j).cand

@@ -5,28 +5,61 @@
     previously-unseen digests is "interesting" and kept, ranked by how
     many new digests it contributed. {!pick} is rank-biased toward
     high-novelty entries. All operations are deterministic functions
-    of the call sequence and the supplied {!Setsync_schedule.Rng.t}. *)
+    of the call sequence and the supplied {!Setsync_schedule.Rng.t}.
+
+    Both stores are bounded: the candidate store is an array of
+    [max_entries] slots with O(1) {!pick} and explicit
+    {!evictions}/{!rejections} accounting, and the digest set is a
+    fixed-size hash filter rather than an exact table — long fuzz runs
+    hold constant memory, at the price of an {e approximate} novelty
+    signal. A hash collision makes a genuinely new digest read as seen
+    (false positive, vanishing at 62-bit hashes); a saturated probe
+    window deterministically evicts an old digest, which then
+    re-counts as novel if revisited (false negative, counted by
+    {!digest_evictions}). Neither affects soundness — violations are
+    exactly re-verified — and both are deterministic, preserving the
+    same-seed reproduction contract. *)
 
 type t
 
-val create : ?max_entries:int -> unit -> t
-(** [max_entries] (default 64) bounds the kept candidates; adding
-    beyond it evicts the lowest-novelty entry. *)
+val create : ?max_entries:int -> ?digest_slots:int -> unit -> t
+(** [max_entries] (default 64) bounds the kept candidates.
+    [digest_slots] (default [65536], rounded up to a power of two,
+    minimum 8) bounds the digest filter: beyond ~that many distinct
+    digests the filter starts evicting and the novelty signal degrades
+    gracefully toward re-counting. *)
 
 val note_digest : t -> string -> bool
-(** Record one state digest; [true] iff it was never seen before. *)
+(** Record one state digest; [true] iff the filter had not seen it
+    (approximately — see the trade-offs above). *)
 
 val digests : t -> int
-(** Distinct digests seen so far (the coverage count). *)
+(** Number of [true] {!note_digest} results so far (the coverage
+    count; an overcount once {!digest_evictions} is nonzero). *)
+
+val digest_evictions : t -> int
+(** Digests forgotten by the bounded filter (saturated-window
+    overwrites). [0] until the filter is near capacity. *)
 
 val add : t -> novelty:int -> Mutate.candidate -> unit
 (** Keep a candidate that contributed [novelty > 0] new digests
-    (no-op at [novelty <= 0]). Ties keep insertion order. *)
+    (no-op at [novelty <= 0]). Ties keep insertion order. At capacity
+    the lowest-novelty entry is displaced ({!evictions}) — unless the
+    newcomer itself ranks last, in which case it is dropped
+    ({!rejections}). *)
 
 val size : t -> int
 
 val is_empty : t -> bool
 
+val evictions : t -> int
+(** At-capacity adds that displaced a kept entry. *)
+
+val rejections : t -> int
+(** At-capacity adds dropped for ranking at or below the current
+    worst entry. *)
+
 val pick : t -> Setsync_schedule.Rng.t -> Mutate.candidate
 (** Rank-biased draw (min of two uniform ranks over the
-    novelty-descending order). Raises [Invalid_argument] when empty. *)
+    novelty-descending order), O(1). Raises [Invalid_argument] when
+    empty. *)

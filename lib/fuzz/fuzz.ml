@@ -30,7 +30,10 @@ type report = {
   execs : int;
   spurious : int;
   corpus : int;
+  corpus_evictions : int;
+  corpus_rejections : int;
   digests : int;
+  digest_evictions : int;
   stats : Budget.stats;
   seed : int;
 }
@@ -243,6 +246,9 @@ let run ?obs ?on_progress ?(progress_interval = 1.0) ?(live = Generators.all_liv
       c "fuzz.replay_steps" stats.Budget.replay_steps;
       c "fuzz.novel" !novel_total;
       c "fuzz.corpus_adds" !corpus_adds;
+      c "fuzz.corpus_evictions" (Corpus.evictions corpus);
+      c "fuzz.corpus_rejections" (Corpus.rejections corpus);
+      c "fuzz.digest_evictions" (Corpus.digest_evictions corpus);
       c "fuzz.spurious" !spurious;
       c "fuzz.violations" (match !outcome with Passed -> 0 | Violation _ -> 1);
       Metrics.set (Metrics.gauge m "fuzz.corpus") (float_of_int (Corpus.size corpus));
@@ -252,7 +258,10 @@ let run ?obs ?on_progress ?(progress_interval = 1.0) ?(live = Generators.all_liv
     execs = !execs;
     spurious = !spurious;
     corpus = Corpus.size corpus;
+    corpus_evictions = Corpus.evictions corpus;
+    corpus_rejections = Corpus.rejections corpus;
     digests = Corpus.digests corpus;
+    digest_evictions = Corpus.digest_evictions corpus;
     stats;
     seed;
   }
@@ -273,6 +282,9 @@ let pp_report ppf r =
   (match r.outcome with
   | Passed -> Fmt.pf ppf "no violation found@."
   | Violation v -> Fmt.pf ppf "%a@." pp_violation v);
-  Fmt.pf ppf "seed %d: %d execs (%d spurious), corpus %d, %d distinct digests@." r.seed
-    r.execs r.spurious r.corpus r.digests;
+  Fmt.pf ppf
+    "seed %d: %d execs (%d spurious), corpus %d (%d evicted, %d rejected), %d distinct \
+     digests (%d forgotten)@."
+    r.seed r.execs r.spurious r.corpus r.corpus_evictions r.corpus_rejections r.digests
+    r.digest_evictions;
   Fmt.pf ppf "%a" Budget.pp_stats r.stats

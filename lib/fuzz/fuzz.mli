@@ -37,7 +37,14 @@ type report = {
   execs : int;  (** schedules executed *)
   spurious : int;  (** candidate violations that failed exact re-verification *)
   corpus : int;  (** corpus entries at the end *)
+  corpus_evictions : int;
+      (** at-capacity corpus adds that displaced a lower-novelty entry *)
+  corpus_rejections : int;
+      (** at-capacity corpus adds dropped for ranking at or below the worst *)
   digests : int;  (** distinct state digests seen (the coverage count) *)
+  digest_evictions : int;
+      (** digests forgotten by the bounded filter ({!Corpus.digest_evictions});
+          nonzero means [digests] overcounts *)
   stats : Setsync_explore.Budget.stats;
   seed : int;
 }
@@ -83,7 +90,8 @@ val run :
 
     [obs] opts into observability: counters [fuzz.execs],
     [fuzz.replay_steps], [fuzz.novel] (digests first seen),
-    [fuzz.corpus_adds], [fuzz.spurious], [fuzz.violations]; gauges
+    [fuzz.corpus_adds], [fuzz.corpus_evictions], [fuzz.corpus_rejections],
+    [fuzz.digest_evictions], [fuzz.spurious], [fuzz.violations]; gauges
     [fuzz.corpus] and [fuzz.digests]. With a recording event sink,
     events (category ["fuzz"]): ["corpus_add"] per kept candidate,
     ["violation"], and periodic ["heartbeat"] instants on the

@@ -487,8 +487,22 @@ let violated_names (r : Explorer.report) =
     r.Explorer.verdicts
   |> List.sort String.compare
 
+(* visit accounting, without the replay accounting: under [path_replay]
+   the sequential engine synthesizes commutation prunes from sibling
+   footprints (no replay paid) while parallel workers discover them on
+   arrival (replay already paid), so replays/replay_steps are
+   deterministic per mode but not equal across modes — visit counts
+   are *)
+let visit_counts_of (s : Budget.stats) =
+  ( s.Budget.visited,
+    s.Budget.safety_checked,
+    s.Budget.pruned_fingerprint,
+    s.Budget.pruned_sleep,
+    s.Budget.max_depth,
+    s.Budget.truncated )
+
 (* with fingerprint pruning off the explored prefix set is
-   order-independent, so parallel counts must match sequentially
+   order-independent, so parallel visit counts must match sequential
    exactly (frontier peak excepted: the parallel one samples shared
    deques) *)
 let cross_check ?(exact_counts = true) ~name ~mk_sut ~properties ~config () =
@@ -502,17 +516,25 @@ let cross_check ?(exact_counts = true) ~name ~mk_sut ~properties ~config () =
       Alcotest.(check bool)
         (Printf.sprintf "%s: both exhaustive (domains=%d)" name domains)
         seq.Explorer.stats.Budget.truncated par.Explorer.stats.Budget.truncated;
-      if exact_counts then
+      if exact_counts then begin
         Alcotest.(check bool)
-          (Printf.sprintf "%s: identical counts (domains=%d)" name domains)
+          (Printf.sprintf "%s: identical visit counts (domains=%d)" name domains)
           true
-          (counts_of seq.Explorer.stats = counts_of par.Explorer.stats)
+          (visit_counts_of seq.Explorer.stats = visit_counts_of par.Explorer.stats);
+        (* without the commutation reduction both modes pay exactly the
+           same replays, so the full accounting must line up too *)
+        if not (config ()).Explorer.sleep_sets then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: identical replay accounting (domains=%d)" name domains)
+            true
+            (counts_of seq.Explorer.stats = counts_of par.Explorer.stats)
+      end
       else begin
         Alcotest.(check bool)
           (Printf.sprintf "%s: plausible visited (domains=%d)" name domains)
           true
           (par.Explorer.stats.Budget.visited > 0
-          && par.Explorer.stats.Budget.replays >= par.Explorer.stats.Budget.visited);
+          && par.Explorer.stats.Budget.replay_steps > 0);
         (* any counterexample a parallel run reports must replay *)
         List.iter
           (fun (p : _ Property.t) ->
@@ -610,6 +632,269 @@ let test_parallel_invalid_args () =
            (Explorer.config ~strategy:(Explorer.Custom custom) ~depth:2 ())))
 
 (* ------------------------------------------------------------------ *)
+(* (h) path-replay engine ≡ per-state engine *)
+
+(* the acceptance contract of the amortized engine: identical verdicts
+   and visit counts (fingerprinting off), strictly cheaper replay
+   accounting on anything deeper than a couple of levels *)
+let engine_pair ~mk_sut ~properties mk_config =
+  let run path_replay =
+    Explorer.explore ~sut:(mk_sut ()) ~properties (mk_config ~path_replay)
+  in
+  (run false, run true)
+
+let check_engine_equiv ~name ~mk_sut ~properties mk_config =
+  let state_r, path_r = engine_pair ~mk_sut ~properties mk_config in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s: same violated set" name)
+    (violated_names state_r) (violated_names path_r);
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: verdict %s identical" name n1)
+        true
+        (String.equal n1 n2
+        &&
+        match (v1, v2) with
+        | Explorer.Ok_bounded, Explorer.Ok_bounded -> true
+        | Explorer.Violated x, Explorer.Violated y ->
+            Schedule.equal x.schedule y.schedule && String.equal x.reason y.reason
+        | _ -> false))
+    state_r.Explorer.verdicts path_r.Explorer.verdicts;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: identical visit counts" name)
+    true
+    (visit_counts_of state_r.Explorer.stats = visit_counts_of path_r.Explorer.stats);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: path engine pays fewer replay steps" name)
+    true
+    (path_r.Explorer.stats.Budget.replay_steps
+    <= state_r.Explorer.stats.Budget.replay_steps);
+  (state_r, path_r)
+
+let test_engine_equiv_pause () =
+  let state_r, path_r =
+    check_engine_equiv ~name:"pause-only"
+      ~mk_sut:(fun () -> Systems.pause_procs ~n:3)
+      ~properties:[]
+      (fun ~path_replay ->
+        Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~path_replay
+          ~depth:5 ())
+  in
+  (* strict: at depth 5 over 3 never-halting processes the per-state
+     engine pays Σ depth·3^depth steps, the path engine Σ over maximal
+     paths *)
+  Alcotest.(check bool) "strictly fewer steps" true
+    (path_r.Explorer.stats.Budget.replay_steps
+    < state_r.Explorer.stats.Budget.replay_steps)
+
+let test_engine_equiv_detector () =
+  let params = { Setsync_detector.Kanti_omega.n = 2; t = 1; k = 1 } in
+  ignore
+    (check_engine_equiv ~name:"figure-2 detector"
+       ~mk_sut:(fun () -> Systems.kanti_detector ~params ())
+       ~properties:
+         [
+           Property.anti_omega_stabilized ~k:1
+             ~outputs:(fun st -> st.Explorer.obs.Systems.fd_outputs)
+             ~correct:(fun st -> Run.correct st.Explorer.run);
+         ]
+       (fun ~path_replay ->
+         Explorer.config ~prune_fingerprints:false ~path_replay ~depth:8 ()))
+
+let test_engine_equiv_kset () =
+  let problem = Setsync_agreement.Problem.make ~t:1 ~k:1 ~n:2 in
+  let inputs = Setsync_agreement.Problem.distinct_inputs problem in
+  let decisions st = st.Explorer.obs.Systems.decisions in
+  let state_r, path_r =
+    check_engine_equiv ~name:"theorem-24 kset"
+      ~mk_sut:(fun () -> Systems.kset_agreement ~problem ~inputs ())
+      ~properties:
+        [
+          Property.kset_agreement ~k:1 ~decisions;
+          Property.validity ~inputs ~decisions;
+        ]
+      (fun ~path_replay ->
+        Explorer.config ~prune_fingerprints:false ~path_replay ~depth:8 ())
+  in
+  (* the acceptance target: ≥3× fewer replay steps on the depth-8 kset
+     space (deterministic counts, also pinned in bench E11e) *)
+  Alcotest.(check bool) "≥3× fewer replay steps" true
+    (3 * path_r.Explorer.stats.Budget.replay_steps
+    <= state_r.Explorer.stats.Budget.replay_steps);
+  (* the commutation+safety interplay is the risky part: the kset
+     properties are state-based, so synthesis must not have materialized
+     pruned prefixes — one descent replay per frontier pop only *)
+  Alcotest.(check int) "safety checks cover visits and prunes"
+    (path_r.Explorer.stats.Budget.visited + path_r.Explorer.stats.Budget.pruned_sleep)
+    path_r.Explorer.stats.Budget.safety_checked
+
+(* the schedule-sensitive regression (e) must hold under the path
+   engine in both verdict and accounting: pruned interleavings are
+   materialized (classic replays) exactly because the pending safety
+   property reads the schedule *)
+let test_engine_sched_sensitive_safety () =
+  let report =
+    Explorer.explore ~sut:(single_writer_sut ()) ~properties:[ no_p2p1_suffix ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:true ~path_replay:true
+         ~depth:4 ())
+  in
+  (match verdict_of "no-p2p1-suffix" report with
+  | Explorer.Ok_bounded ->
+      Alcotest.fail "path engine silently skipped a schedule-sensitive violation"
+  | Explorer.Violated { schedule; _ } ->
+      Alcotest.(check bool)
+        "counterexample ends p2 then p1" true
+        (match List.rev (Schedule.to_list schedule) with
+        | 0 :: 1 :: _ -> true
+        | _ -> false));
+  let s = stats_of report in
+  Alcotest.(check bool)
+    "pruned states were safety-checked" true
+    (s.Budget.safety_checked > s.Budget.visited)
+
+(* ------------------------------------------------------------------ *)
+(* (i) budget boundary semantics: "budget of k means at most k" *)
+
+let explore_single ~path_replay ~limits () =
+  Explorer.explore ~sut:(single_writer_sut ()) ~properties:[]
+    (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~path_replay ~limits
+       ~depth:4 ())
+
+let test_budget_boundaries () =
+  List.iter
+    (fun path_replay ->
+      let label fmt =
+        Printf.sprintf "%s (path_replay=%b)" fmt path_replay
+      in
+      let run limits = (explore_single ~path_replay ~limits ()).Explorer.stats in
+      (* the space is exactly 19 states (hand-counted in (a)) *)
+      let s = run (Budget.limits ~max_states:0 ()) in
+      Alcotest.(check int) (label "max_states=0 visits nothing") 0 s.Budget.visited;
+      Alcotest.(check bool) (label "max_states=0 truncated") true s.Budget.truncated;
+      let s = run (Budget.limits ~max_states:1 ()) in
+      Alcotest.(check int) (label "max_states=1 visits one") 1 s.Budget.visited;
+      Alcotest.(check bool) (label "max_states=1 truncated") true s.Budget.truncated;
+      let s = run (Budget.limits ~max_states:18 ()) in
+      Alcotest.(check int) (label "max_states=18 visits 18") 18 s.Budget.visited;
+      Alcotest.(check bool) (label "max_states=18 truncated") true s.Budget.truncated;
+      (* exactly the budget: completing the space on the nose is
+         exhaustive, not truncated (the old loop checked [over] before
+         popping and spuriously truncated this run) *)
+      let s = run (Budget.limits ~max_states:19 ()) in
+      Alcotest.(check int) (label "max_states=19 visits all") 19 s.Budget.visited;
+      Alcotest.(check bool) (label "max_states=19 exhaustive") false s.Budget.truncated;
+      (* same contract for the step budget: the unbounded run's total is
+         the exact cost of the space under this engine *)
+      let total = (run Budget.unlimited).Budget.replay_steps in
+      let s = run (Budget.limits ~max_replay_steps:total ()) in
+      Alcotest.(check bool) (label "exact step budget exhaustive") false s.Budget.truncated;
+      Alcotest.(check int) (label "exact step budget visits all") 19 s.Budget.visited;
+      if path_replay then begin
+        (* the incremental accounting enforces the step cap to the
+           single step: one short must cut the final visit *)
+        let s = run (Budget.limits ~max_replay_steps:(total - 1) ()) in
+        Alcotest.(check bool) (label "one step short truncated") true s.Budget.truncated;
+        Alcotest.(check bool) (label "one step short visits fewer") true
+          (s.Budget.visited < 19)
+      end
+      else begin
+        (* the per-state engine only checks between replays, so its
+           overshoot is bounded by one replay — a cap short by more than
+           the deepest replay must truncate *)
+        let s = run (Budget.limits ~max_replay_steps:(total - 5) ()) in
+        Alcotest.(check bool) (label "cap short by >1 replay truncated") true
+          s.Budget.truncated;
+        Alcotest.(check bool) (label "cap short by >1 replay visits fewer") true
+          (s.Budget.visited < 19)
+      end)
+    [ false; true ]
+
+(* parallel workers enforce the same contract against the shared gauge;
+   overshoot is bounded by in-flight items, and an exact-budget
+   completion must not be flagged truncated *)
+let test_budget_boundary_parallel () =
+  List.iter
+    (fun domains ->
+      let run limits =
+        (Explorer.explore ~domains ~sut:(single_writer_sut ()) ~properties:[]
+           (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~limits
+              ~depth:4 ()))
+          .Explorer.stats
+      in
+      let label fmt = Printf.sprintf "%s (domains=%d)" fmt domains in
+      let s = run (Budget.limits ~max_states:0 ()) in
+      Alcotest.(check int) (label "max_states=0 visits nothing") 0 s.Budget.visited;
+      Alcotest.(check bool) (label "max_states=0 truncated") true s.Budget.truncated;
+      let s = run (Budget.limits ~max_states:19 ()) in
+      Alcotest.(check int) (label "max_states=19 visits all") 19 s.Budget.visited;
+      Alcotest.(check bool) (label "max_states=19 exhaustive") false s.Budget.truncated)
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* (j) the printed report line carries every counter (S1 regression:
+   safety_checked was invisible in every report) *)
+
+let test_pp_stats_line () =
+  let report =
+    Explorer.explore ~sut:(single_writer_sut ()) ~properties:[ no_p2p1_suffix ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:true ~depth:4 ())
+  in
+  let s = stats_of report in
+  Alcotest.(check string)
+    "pinned report line"
+    (Printf.sprintf
+       "visited %d (fp-pruned %d, commute-pruned %d, safety-checked %d) replays %d/%d \
+        steps, max depth %d, frontier peak %d, exhaustive"
+       s.Budget.visited s.Budget.pruned_fingerprint s.Budget.pruned_sleep
+       s.Budget.safety_checked s.Budget.replays s.Budget.replay_steps s.Budget.max_depth
+       s.Budget.frontier_peak)
+    (Fmt.str "%a" Budget.pp_stats s);
+  (* and the counter is live, not a zero placeholder *)
+  Alcotest.(check bool) "safety_checked printed nonzero" true (s.Budget.safety_checked > 0)
+
+(* ------------------------------------------------------------------ *)
+(* (k) check_schedule stays a single replay across skipped steps *)
+
+(* single-writer processes halt after 2 steps, so a schedule naming a
+   process a third time forces the executor to skip the entry — the old
+   probe bailed to the O(len²) per-prefix scan on the first skip *)
+let test_check_schedule_skips () =
+  let both_written =
+    Property.safety ~name:"not-both-written" (fun st ->
+        let a, b = st.Explorer.obs in
+        if a = 1 && b = 1 then Some "both registers written" else None)
+  in
+  let schedules =
+    [
+      ([ 0; 0; 0; 1; 1 ], true) (* skip in the middle: still violates *);
+      ([ 0; 0; 0 ], false) (* trailing skipped entry, passes *);
+      ([ 0; 1; 0; 0; 1; 1; 0 ], true) (* multiple skips, violates *);
+      ([ 1; 1; 1; 1 ], false) (* one writer only, trailing skips *);
+    ]
+  in
+  List.iter
+    (fun (steps, want_violation) ->
+      let s = Schedule.of_list ~n:2 steps in
+      let sut, count = counting_sut (single_writer_sut ()) in
+      let got = Explorer.check_schedule ~sut ~property:both_written s in
+      let want = reference_check ~sut:(single_writer_sut ()) ~property:both_written s in
+      Alcotest.(check bool)
+        (Printf.sprintf "verdict matches per-prefix scan (%s)"
+           (String.concat "" (List.map string_of_int steps)))
+        true
+        ((got = None) = (want = None));
+      Alcotest.(check bool)
+        (Printf.sprintf "expected verdict (%s)"
+           (String.concat "" (List.map string_of_int steps)))
+        want_violation (got <> None);
+      Alcotest.(check int)
+        (Printf.sprintf "one instance despite skips (%s)"
+           (String.concat "" (List.map string_of_int steps)))
+        1 !count)
+    schedules
+
+(* ------------------------------------------------------------------ *)
 (* plumbing the explorer relies on *)
 
 let test_trace_recent () =
@@ -698,6 +983,30 @@ let () =
           Alcotest.test_case "sleep-set safety under domains" `Quick
             test_parallel_sleep_safety;
           Alcotest.test_case "invalid arguments" `Quick test_parallel_invalid_args;
+        ] );
+      ( "path-replay engine",
+        [
+          Alcotest.test_case "pause-only equivalence" `Quick test_engine_equiv_pause;
+          Alcotest.test_case "figure-2 detector equivalence" `Quick
+            test_engine_equiv_detector;
+          Alcotest.test_case "theorem-24 kset equivalence, ≥3× fewer steps" `Quick
+            test_engine_equiv_kset;
+          Alcotest.test_case "schedule-sensitive safety materialized" `Quick
+            test_engine_sched_sensitive_safety;
+        ] );
+      ( "budget boundaries",
+        [
+          Alcotest.test_case "at most k, exact k exhaustive" `Quick
+            test_budget_boundaries;
+          Alcotest.test_case "parallel gauge boundaries" `Quick
+            test_budget_boundary_parallel;
+        ] );
+      ( "report line",
+        [ Alcotest.test_case "pp_stats pins every counter" `Quick test_pp_stats_line ] );
+      ( "check_schedule skips",
+        [
+          Alcotest.test_case "single replay across skipped steps" `Quick
+            test_check_schedule_skips;
         ] );
       ( "plumbing",
         [

@@ -107,6 +107,45 @@ let test_mutator_soundness () =
         true (Hashtbl.mem names name))
     Mutate.mutators
 
+(* Cross-check [Timeliness.holds]/[observed_bound] boundary agreement
+   against the mutator's contract-repair pass: every repaired mutant
+   satisfies its contract exactly when its observed bound is within
+   the contract bound, and tightening the bound by one flips [holds]
+   unless the schedule is strictly tighter than required. *)
+let test_timeliness_boundary_vs_repair () =
+  let contract = { Generators.p = set [ 0 ]; q = set [ 2 ]; bound = 3 } in
+  let env = Mutate.env ~contracts:[ contract ] ~max_crashes:0 ~n:4 ~max_len:40 () in
+  let rng = Rng.create ~seed:23 in
+  let cand =
+    ref
+      {
+        Mutate.schedule = Source.take (Generators.timely ~n:4 ~contract ~rng ()) 40;
+        fault = [];
+      }
+  in
+  let p = contract.Generators.p and q = contract.Generators.q in
+  let saw_exact = ref 0 in
+  for i = 1 to 200 do
+    let name, mutant = Mutate.apply env rng !cand in
+    let s = mutant.Mutate.schedule in
+    let b = Timeliness.observed_bound ~p ~q s in
+    if not (Timeliness.holds ~bound:contract.Generators.bound ~p ~q s) then
+      Alcotest.failf "mutant %d (%s) violates the repaired contract" i name;
+    if b > contract.Generators.bound then
+      Alcotest.failf "mutant %d (%s): observed %d exceeds contract bound" i name b;
+    (* boundary agreement on this concrete schedule *)
+    Alcotest.(check bool) "holds at observed" true (Timeliness.holds ~bound:b ~p ~q s);
+    if b > 1 then
+      Alcotest.(check bool)
+        "fails one below observed" false
+        (Timeliness.holds ~bound:(b - 1) ~p ~q s);
+    if b = contract.Generators.bound then incr saw_exact;
+    cand := mutant
+  done;
+  (* the repair pass is not over-conservative: some mutants sit exactly
+     on the contract boundary *)
+  Alcotest.(check bool) "boundary is reached" true (!saw_exact > 0)
+
 (* Crash plans produced by the crash-shift mutator stay within the
    budget, in range, with distinct processes. *)
 let test_mutator_crash_plans () =
@@ -366,6 +405,58 @@ let test_corpus () =
   done;
   Alcotest.(check bool) "picks skew toward high novelty" true (!top > 50)
 
+(* At-capacity accounting: a better candidate displaces the worst
+   (eviction), a candidate ranking at or below the worst is dropped
+   (rejection) — the old list implementation silently conflated the
+   two. The surviving entries and their order are pinned. *)
+let test_corpus_capacity_counters () =
+  let c = Corpus.create ~max_entries:2 () in
+  let cand i = { Mutate.schedule = Schedule.of_list ~n:4 [ i mod 4 ]; fault = [] } in
+  Corpus.add c ~novelty:5 (cand 0);
+  Corpus.add c ~novelty:3 (cand 1);
+  Alcotest.(check int) "no eviction below capacity" 0 (Corpus.evictions c);
+  Corpus.add c ~novelty:3 (cand 2);
+  (* ties with the worst -> newcomer ranks after it -> rejected *)
+  Alcotest.(check int) "tie with worst is rejected" 1 (Corpus.rejections c);
+  Alcotest.(check int) "rejection does not evict" 0 (Corpus.evictions c);
+  Corpus.add c ~novelty:4 (cand 3);
+  Alcotest.(check int) "better candidate evicts the worst" 1 (Corpus.evictions c);
+  Alcotest.(check int) "size stays at capacity" 2 (Corpus.size c);
+  (* deterministic rank order: rng always drawing rank 0 then rank 1 *)
+  let rng = Rng.create ~seed:3 in
+  let ranks = ref [] in
+  for _ = 1 to 200 do
+    let p = Corpus.pick c rng in
+    ranks := Schedule.get p.Mutate.schedule 0 :: !ranks
+  done;
+  let seen = List.sort_uniq compare !ranks in
+  Alcotest.(check (list int)) "survivors are novelty 5 and 4" [ 0; 3 ] seen
+
+(* The digest filter is fixed-size: noting far more digests than the
+   old hashtable could hold leaves the corpus at constant memory, the
+   filter starts forgetting (deterministically), and the novelty
+   signal stays monotone. *)
+let test_digest_filter_bounded () =
+  let c = Corpus.create ~digest_slots:1024 () in
+  let novel = ref 0 in
+  for i = 1 to 100_000 do
+    if Corpus.note_digest c (Printf.sprintf "digest-%d" i) then incr novel
+  done;
+  Alcotest.(check int) "every distinct digest reads as novel" 100_000 !novel;
+  Alcotest.(check int) "coverage count matches" 100_000 (Corpus.digests c);
+  Alcotest.(check bool) "the bounded filter forgot digests" true
+    (Corpus.digest_evictions c > 0);
+  (* the whole corpus stays near the slot-array size: ~1k slots plus
+     bookkeeping, where the unbounded table held 100k digest strings
+     (> 400k words). [Obj.reachable_words] counts every live word. *)
+  let words = Obj.reachable_words (Obj.repr c) in
+  Alcotest.(check bool)
+    (Fmt.str "constant memory (%d words)" words)
+    true (words < 10_000);
+  (* repeats within the live window are still deduplicated *)
+  Alcotest.(check bool) "fresh repeat is not novel" true
+    (Corpus.note_digest c "again" && not (Corpus.note_digest c "again"))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -380,6 +471,8 @@ let () =
       ( "mutate",
         [
           Alcotest.test_case "soundness under chaining" `Quick test_mutator_soundness;
+          Alcotest.test_case "timeliness boundary vs contract repair" `Quick
+            test_timeliness_boundary_vs_repair;
           Alcotest.test_case "crash plans stay within budget" `Quick
             test_mutator_crash_plans;
         ] );
@@ -404,5 +497,11 @@ let () =
             test_timely_under_crashes;
         ] );
       ( "corpus",
-        [ Alcotest.test_case "novelty ranking and eviction" `Quick test_corpus ] );
+        [
+          Alcotest.test_case "novelty ranking and eviction" `Quick test_corpus;
+          Alcotest.test_case "capacity eviction/rejection counters" `Quick
+            test_corpus_capacity_counters;
+          Alcotest.test_case "bounded digest filter memory" `Quick
+            test_digest_filter_bounded;
+        ] );
     ]

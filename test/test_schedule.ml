@@ -200,6 +200,60 @@ let test_timeliness_overlap () =
   let s = Schedule.of_list ~n:3 [ 2; 2; 1; 2; 2; 0 ] in
   Alcotest.(check int) "overlap" 3 (Timeliness.observed_bound ~p ~q s)
 
+(* Edge cases of Definition 1: empty witness sets, full overlap, and
+   the boundary agreement [holds ~bound <-> observed_bound <= bound]
+   that every caller of the pair implicitly assumes. *)
+let test_timeliness_edges () =
+  let p = Procset.singleton 0 and q = Procset.singleton 1 in
+  (* empty q: no window contains a Q-step, so timeliness is vacuous at
+     the least possible bound, whatever p is *)
+  let s = Schedule.of_list ~n:2 [ 0; 1; 1; 0 ] in
+  Alcotest.(check int) "empty q is vacuous" 1
+    (Timeliness.observed_bound ~p ~q:Procset.empty s);
+  Alcotest.(check int) "empty q, empty p still vacuous" 1
+    (Timeliness.observed_bound ~p:Procset.empty ~q:Procset.empty s);
+  Alcotest.(check bool) "empty q holds at 1" true
+    (Timeliness.holds ~bound:1 ~p ~q:Procset.empty s);
+  (* empty p: the whole schedule is one P-free gap *)
+  Alcotest.(check int) "empty p counts every q step" 3
+    (Timeliness.observed_bound ~p:Procset.empty ~q s);
+  (* empty schedule: no window at all *)
+  let nil = Schedule.of_list ~n:2 [] in
+  Alcotest.(check int) "empty schedule" 1 (Timeliness.observed_bound ~p ~q nil);
+  (* q a subset of p: every Q-step is itself a P-step — P wins on
+     every overlap, bound collapses to self-timeliness *)
+  let big_p = Procset.of_list [ 0; 1 ] in
+  let s = Schedule.of_list ~n:3 [ 1; 1; 2; 1; 2; 2; 1 ] in
+  Alcotest.(check int) "q within p is self-timely" 1
+    (Timeliness.observed_bound ~p:big_p ~q s);
+  (* partial overlap: only the q-steps outside p accumulate (the
+     longest p-free run of [s] has two 2-steps -> bound 3) *)
+  let q2 = Procset.of_list [ 1; 2 ] in
+  Alcotest.(check int) "only q-steps outside p count" 3
+    (Timeliness.observed_bound ~p:big_p ~q:q2 s);
+  (* boundary agreement, swept across the pivot on several shapes *)
+  let shapes =
+    [
+      Schedule.of_list ~n:3 [ 1; 1; 0; 1; 1; 1; 0 ];
+      Schedule.of_list ~n:3 [ 0; 1; 1; 1; 1; 1 ];
+      Schedule.of_list ~n:3 [ 2; 2; 1; 2; 2; 0 ];
+      nil;
+    ]
+  in
+  List.iter
+    (fun s ->
+      let b = Timeliness.observed_bound ~p ~q:q2 s in
+      for bound = 1 to b + 2 do
+        Alcotest.(check bool)
+          (Fmt.str "holds at %d agrees with observed %d" bound b)
+          (bound >= b)
+          (Timeliness.holds ~bound ~p ~q:q2 s)
+      done)
+    shapes;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Timeliness.holds: bound must be >= 1") (fun () ->
+      ignore (Timeliness.holds ~bound:0 ~p ~q nil))
+
 let test_process_timely () =
   let s = fig1_prefix 1000 in
   Alcotest.(check bool) "p1 not timely wrt q at 5" false
@@ -575,6 +629,8 @@ let () =
           Alcotest.test_case "trailing gap" `Quick test_timeliness_trailing_gap;
           Alcotest.test_case "vacuous / self" `Quick test_timeliness_vacuous;
           Alcotest.test_case "P/Q overlap" `Quick test_timeliness_overlap;
+          Alcotest.test_case "edge cases and boundary agreement" `Quick
+            test_timeliness_edges;
           Alcotest.test_case "process timeliness" `Quick test_process_timely;
           Alcotest.test_case "union bound (Obs 2)" `Quick test_union_bound;
         ] );
