@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke ci clean
+.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke net-smoke ci clean
 
 all: build
 
@@ -59,7 +59,24 @@ fuzz-smoke: ## fixed-seed fuzz run: the seeded-bug SUT must be found (exit 2)
 	    echo "fuzz-smoke: expected exit 2 (violation found), got $$status"; exit 1; \
 	  fi
 
-ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run check, fuzz smoke
+net-smoke: ## net backend gate: bounded exploration passes, BRS fuzz finds the k-set violation, traced CT run validates
+	dune exec bin/setsync_cli.exe -- explore --backend net --check detector \
+	  -n 2 --depth 14 --delta 1 --gst 4
+	dune exec bin/setsync_cli.exe -- fuzz --backend net --sut kset \
+	  -n 2 -t 1 -k 1 --execs 50 --len 10 --seed 7; \
+	  status=$$?; \
+	  if [ $$status -ne 2 ]; then \
+	    echo "net-smoke: expected exit 2 (BRS k-set violation found), got $$status"; exit 1; \
+	  fi
+	dune exec bin/setsync_cli.exe -- fd --backend net -n 2 --delta 1 --gst 4 --max-steps 60 \
+	  --trace-out /tmp/setsync_ci_net.jsonl --metrics-out /tmp/setsync_ci_net_metrics.json
+	dune exec bin/obs_validate.exe -- \
+	  --trace /tmp/setsync_ci_net.jsonl --net-check \
+	  --require send,deliver,drop,gst \
+	  --metrics /tmp/setsync_ci_net_metrics.json \
+	  --require-counter net.sent --require-counter net.delivered
+
+ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run check, fuzz + net smokes
 	$(MAKE) fmt-check
 	dune build
 	dune runtest
@@ -67,6 +84,7 @@ ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run 
 	$(MAKE) bench-guard
 	$(MAKE) obs-check
 	$(MAKE) fuzz-smoke
+	$(MAKE) net-smoke
 
 clean:
 	dune clean

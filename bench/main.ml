@@ -675,6 +675,62 @@ let f1_fuzz () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* N1: the net backend — Δ/GST partial synchrony over messages *)
+
+(* Round-robin CT-detector runs on the message-passing substrate:
+   stabilization step and throughput as Δ and the GST position vary.
+   Everything is deterministic (round-robin grants, gst_drop
+   adversary), so stabilized_from is machine-independent and
+   bin/bench_guard.ml pins a ceiling on the quick row. *)
+let n1_net ?(quick = false) () =
+  section "N1. Net backend: CT stabilization and throughput vs Delta and GST";
+  Fmt.pr "  %-10s %-6s %-6s %-7s %-11s %-7s %-8s %s@." "instance" "delta" "gst" "steps"
+    "stable from" "sent" "dropped" "steps/s";
+  let cases =
+    if quick then [ (2, 1, 4, 400) ]
+    else
+      [
+        (2, 1, 4, 400); (2, 2, 4, 400); (2, 4, 4, 600);
+        (2, 1, 16, 600); (2, 2, 16, 600);
+        (3, 1, 8, 900); (3, 2, 8, 900); (3, 1, 32, 1_200);
+        (4, 2, 16, 1_600);
+      ]
+  in
+  List.iter
+    (fun (n, delta, gst, max_steps) ->
+      let adversary = Adversary.gst_drop ~delta ~gst in
+      let t0 = Unix.gettimeofday () in
+      let r = Net_systems.run_ct ~initial_timeout:2 ~clients:n ~adversary ~max_steps () in
+      let wall = Unix.gettimeofday () -. t0 in
+      let steps_per_s =
+        if wall > 0. then float_of_int r.Net_systems.steps /. wall else 0.
+      in
+      let s = r.Net_systems.net_stats in
+      Fmt.pr "  n=%-8d %-6d %-6d %-7d %-11s %-7d %-8d %.0f@." n delta gst
+        r.Net_systems.steps
+        (match r.Net_systems.stabilized_from with
+        | Some v -> string_of_int v
+        | None -> "never")
+        s.Net.sent s.Net.dropped steps_per_s;
+      Results.add "N1"
+        [
+          ("n", Json.Int n);
+          ("delta", Json.Int delta);
+          ("gst", Json.Int gst);
+          ("steps", Json.Int r.Net_systems.steps);
+          ( "stabilized_from",
+            match r.Net_systems.stabilized_from with
+            | Some v -> Json.Int v
+            | None -> Json.Null );
+          ("sent", Json.Int s.Net.sent);
+          ("delivered", Json.Int s.Net.delivered);
+          ("dropped", Json.Int s.Net.dropped);
+          ("steps_per_s", Json.Float steps_per_s);
+          ("wall_seconds", Json.Float wall);
+        ])
+    cases
+
+(* ------------------------------------------------------------------ *)
 (* Convergence profile: how fast the detector stabilizes *)
 
 let convergence_profile () =
@@ -795,6 +851,7 @@ let quick () =
   e11_domains ~depth:8 ();
   e11_engines ();
   f1_fuzz ();
+  n1_net ~quick:true ();
   p9_obs_overhead ();
   Results.write "BENCH_quick.json";
   Fmt.pr "@.done.@."
@@ -815,6 +872,7 @@ let () =
     e11_domains ();
     e11_engines ();
     f1_fuzz ();
+    n1_net ();
     convergence_profile ();
     ablations ();
     p9_obs_overhead ();

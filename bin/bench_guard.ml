@@ -8,6 +8,11 @@
    low enough that losing the amortization (O(depth) replays per
    state, ~8-10 steps/visited) trips immediately.
 
+   It also pins the net backend's N1 quick row: the round-robin CT run
+   (n=2, delta=1, gst=4) is fully deterministic, so its stabilization
+   step is an exact machine-independent regression signal — measured 9,
+   ceiling 12 — and pre-GST drops must actually occur.
+
    Usage: bench_guard BENCH_quick.json *)
 
 module Json = Setsync_obs.Json
@@ -78,4 +83,33 @@ let () =
           Printf.printf "bench_guard: E11e n=%d ok (%.2f steps/visited, %.2fx vs state)\n"
             n spv ratio)
     ceilings;
-  if !checked = 0 then fail "no E11e rows checked"
+  if !checked = 0 then fail "no E11e rows checked";
+  (* N1 quick row: n=2, delta=1, gst=4 — deterministic stabilization *)
+  let n1_row =
+    List.find_opt
+      (fun row ->
+        str row "section" = Some "N1"
+        && Option.bind (Json.member "n" row) Json.to_int = Some 2
+        && Option.bind (Json.member "delta" row) Json.to_int = Some 1
+        && Option.bind (Json.member "gst" row) Json.to_int = Some 4)
+      rows
+  in
+  (match n1_row with
+  | None -> fail "%s: no N1 row for n=2 delta=1 gst=4 — did bench --quick change?" file
+  | Some row ->
+      let stable =
+        match Json.member "stabilized_from" row with
+        | Some (Json.Int v) -> v
+        | Some Json.Null -> fail "N1: CT detector never stabilized on the quick row"
+        | _ -> fail "N1: missing stabilized_from"
+      in
+      let max_stable = 12 in
+      if stable > max_stable then
+        fail "N1: stabilized from step %d, past the %d ceiling (gst=4, delta=1)" stable
+          max_stable;
+      (match Option.bind (Json.member "dropped" row) Json.to_int with
+      | Some d when d > 0 -> ()
+      | Some _ -> fail "N1: adversary dropped no messages pre-GST — gst_drop inert?"
+      | None -> fail "N1: missing dropped");
+      Printf.printf "bench_guard: N1 n=2 ok (stabilized from %d, ceiling %d)\n" stable
+        max_stable)

@@ -7,10 +7,15 @@
    Usage:
      obs_validate [--trace FILE] [--chrome FILE] [--metrics FILE]
                   [--require KIND,KIND,...] [--require-counter NAME]
+                  [--net-check]
 
    --require asserts that each KIND appears among the trace's event
    names; --require-counter that the metrics dump has that counter.
-   Exit 0 iff every given file parses and every requirement holds. *)
+   --net-check validates the net category's lifecycle invariants over
+   the trace: every deliver/drop names a previously sent (src,dst,seq)
+   message, no message both delivers and drops, and the gst marker is
+   emitted at most once. Exit 0 iff every given file parses and every
+   requirement holds. *)
 
 module Json = Setsync_obs.Json
 
@@ -94,10 +99,82 @@ let check_metrics f =
   Printf.printf "metrics %s: %d counters\n" f (Hashtbl.length counters);
   counters
 
+(* Net-category lifecycle invariants. Messages are keyed by the
+   (src, dst, seq) triple carried in the event args; the trace is
+   replayed in file order, which matches emission order. *)
+let check_net f =
+  let what0 = Printf.sprintf "net-check %s" f in
+  let int_arg ~what args k =
+    match Json.member k args with
+    | Some (Json.Int v) -> v
+    | Some _ -> fail "%s: arg %S is not an int" what k
+    | None -> fail "%s: missing arg %S" what k
+  in
+  let sent = Hashtbl.create 64
+  and dropped = Hashtbl.create 16
+  and delivered = Hashtbl.create 64 in
+  let sends = ref 0
+  and delivers = ref 0
+  and drops = ref 0
+  and gsts = ref 0 in
+  let lines = String.split_on_char '\n' (read_file f) in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then begin
+        let what = Printf.sprintf "%s line %d" what0 (i + 1) in
+        let j = parse ~what f line in
+        if str_field ~what j "cat" = "net" then begin
+          let name = str_field ~what j "name" in
+          let key () =
+            let args =
+              match Json.member "args" j with
+              | Some (Json.Obj _ as a) -> a
+              | Some _ -> fail "%s: \"args\" is not an object" what
+              | None -> fail "%s: %s event has no args" what name
+            in
+            (int_arg ~what args "src", int_arg ~what args "dst", int_arg ~what args "seq")
+          in
+          match name with
+          | "send" ->
+              let k = key () in
+              if Hashtbl.mem sent k then
+                fail "%s: duplicate send of message %s" what (Json.to_string j);
+              Hashtbl.replace sent k ();
+              incr sends
+          | "deliver" ->
+              let k = key () in
+              if not (Hashtbl.mem sent k) then
+                fail "%s: deliver without matching send: %s" what (Json.to_string j);
+              if Hashtbl.mem dropped k then
+                fail "%s: deliver after drop: %s" what (Json.to_string j);
+              if Hashtbl.mem delivered k then
+                fail "%s: duplicate deliver: %s" what (Json.to_string j);
+              Hashtbl.replace delivered k ();
+              incr delivers
+          | "drop" ->
+              let k = key () in
+              if not (Hashtbl.mem sent k) then
+                fail "%s: drop without matching send: %s" what (Json.to_string j);
+              if Hashtbl.mem delivered k then
+                fail "%s: drop after deliver: %s" what (Json.to_string j);
+              Hashtbl.replace dropped k ();
+              incr drops
+          | "gst" ->
+              incr gsts;
+              if !gsts > 1 then fail "%s: gst emitted more than once" what
+          | _ -> fail "%s: unknown net event %S" what name
+        end
+      end)
+    lines;
+  if !sends = 0 then fail "%s: no send events" what0;
+  Printf.printf "net-check %s: %d sends, %d delivers, %d drops, %d gst\n" f !sends
+    !delivers !drops !gsts
+
 let () =
   let trace = ref None
   and chrome = ref None
   and metrics = ref None
+  and net_check = ref false
   and require = ref []
   and require_counters = ref [] in
   let rec parse_args = function
@@ -117,10 +194,17 @@ let () =
     | "--require-counter" :: c :: rest ->
         require_counters := !require_counters @ [ c ];
         parse_args rest
+    | "--net-check" :: rest ->
+        net_check := true;
+        parse_args rest
     | a :: _ -> fail "unknown argument %S" a
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   let names = Option.map check_trace !trace in
+  (if !net_check then
+     match !trace with
+     | None -> fail "--net-check given without --trace"
+     | Some f -> check_net f);
   Option.iter check_chrome !chrome;
   let counters = Option.map check_metrics !metrics in
   List.iter

@@ -47,6 +47,47 @@ let make_spec t k n i j bound seed crashes adversary max_steps =
   let j = Option.value j ~default:(min (t + 1) n) in
   { Scenario.t; k; n; i; j; bound; seed; crashes; adversary; max_steps }
 
+(* ---------------------------------------------------------- backend *)
+
+type backend = Backend_shm | Backend_net
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("shm", Backend_shm); ("net", Backend_net) ]) Backend_shm
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Communication substrate: $(b,shm) (shared memory, the default) or $(b,net) \
+           (simulated partially synchronous message passing; tune it with $(b,--delta) \
+           and $(b,--gst)).")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "delta" ] ~docv:"D"
+        ~doc:
+          "Net backend: post-GST delivery bound Delta, in network ticks (= global \
+           steps).")
+
+let gst_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gst" ] ~docv:"G"
+        ~doc:
+          "Net backend: global stabilization time, in network ticks. Default depends \
+           on the subcommand: 4 for $(b,fd)/$(b,solve)/$(b,explore) (stabilization \
+           within small horizons), effectively-never for $(b,fuzz) (so the \
+           Biely/Robinson/Schmid partition stays up and the seeded k-set violation is \
+           reachable).")
+
+let net_inputs n = Array.init n (fun p -> 10 * p)
+
+let brs_groups ~n ~k =
+  List.init (k + 1) (fun g ->
+      List.filter (fun p -> p mod (k + 1) = g) (List.init n (fun p -> p)))
+
 (* ---------------------------------------------------- observability *)
 
 let trace_out_arg =
@@ -126,42 +167,113 @@ let figure1_cmd =
 (* --------------------------------------------------------------- fd *)
 
 let fd_cmd =
-  let run t k n bound seed crashes adversary max_steps trace_out metrics_out =
-    let spec = make_spec t k n None None bound seed crashes adversary max_steps in
-    Scenario.validate spec;
-    let obs = make_obs ~trace_out ~metrics_out () in
-    let result, predicted = Scenario.run_detector ?obs spec in
-    Fmt.pr "system: S^%d_{%d,%d}  predicted solvable for (%d,%d,%d): %b@." spec.Scenario.i
-      spec.Scenario.j n t k n predicted;
-    Fmt.pr "run:    %a@." Run.pp result.Fd_harness.run;
-    Fmt.pr "k-anti-omega: %a@." Anti_omega.pp_verdict result.Fd_harness.verdict;
-    Fmt.pr "winnerset:    %a@." Anti_omega.pp_winner_verdict result.Fd_harness.winner_verdict;
-    write_obs ~trace_out ~metrics_out obs
+  let run t k n bound seed crashes adversary max_steps backend delta gst trace_out
+      metrics_out =
+    match backend with
+    | Backend_shm ->
+        let spec = make_spec t k n None None bound seed crashes adversary max_steps in
+        Scenario.validate spec;
+        let obs = make_obs ~trace_out ~metrics_out () in
+        let result, predicted = Scenario.run_detector ?obs spec in
+        Fmt.pr "system: S^%d_{%d,%d}  predicted solvable for (%d,%d,%d): %b@."
+          spec.Scenario.i spec.Scenario.j n t k n predicted;
+        Fmt.pr "run:    %a@." Run.pp result.Fd_harness.run;
+        Fmt.pr "k-anti-omega: %a@." Anti_omega.pp_verdict result.Fd_harness.verdict;
+        Fmt.pr "winnerset:    %a@." Anti_omega.pp_winner_verdict
+          result.Fd_harness.winner_verdict;
+        write_obs ~trace_out ~metrics_out obs
+    | Backend_net ->
+        (* the Chandra-Toueg-style timeout detector over Δ/GST channels:
+           round-robin run, leader timeline summarized as the step the
+           last wrong leader disappeared *)
+        let gst = Option.value gst ~default:4 in
+        let adversary = Adversary.gst_drop ~delta ~gst in
+        let obs = make_obs ~trace_out ~metrics_out () in
+        let r =
+          Net_systems.run_ct ?obs ~initial_timeout:2 ~clients:n ~adversary ~max_steps ()
+        in
+        Fmt.pr "net backend: CT timeout detector, %s (delta=%d, gst=%d), %d processes@."
+          adversary.Adversary.name delta gst n;
+        Fmt.pr "run:    %d steps@." r.Net_systems.steps;
+        Fmt.pr "stabilized from step: %a@."
+          Fmt.(option ~none:(any "never") int)
+          r.Net_systems.stabilized_from;
+        Fmt.pr "final leaders:%a@."
+          Fmt.(array ~sep:nop (any " p" ++ int))
+          (Array.map (fun l -> l + 1) r.Net_systems.final_leaders);
+        let s = r.Net_systems.net_stats in
+        Fmt.pr "net:    sent %d  delivered %d  dropped %d  in flight %d@." s.Net.sent
+          s.Net.delivered s.Net.dropped s.Net.in_flight;
+        write_obs ~trace_out ~metrics_out obs;
+        let ok =
+          r.Net_systems.stabilized_from <> None
+          && Array.for_all (fun l -> l = 0) r.Net_systems.final_leaders
+        in
+        exit (if ok then 0 else 1)
   in
-  Cmd.v (Cmd.info "fd" ~doc:"Run the Figure 2 failure detector")
-    Term.(const run $ t_arg $ k_arg $ n_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ trace_out_arg $ metrics_out_arg)
+  Cmd.v (Cmd.info "fd" ~doc:"Run a failure detector (Figure 2 on shm, CT timeouts on net)")
+    Term.(const run $ t_arg $ k_arg $ n_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------ solve *)
 
 let solve_cmd =
-  let run t k n i j bound seed crashes adversary max_steps trace_out metrics_out =
-    let spec = make_spec t k n i j bound seed crashes adversary max_steps in
-    Scenario.validate spec;
-    let obs = make_obs ~trace_out ~metrics_out () in
-    let r = Scenario.run_agreement ?obs spec in
-    Fmt.pr "%a@." Scenario.pp_report r;
-    Fmt.pr "witness: %a timely wrt %a (bound %d)@." Procset.pp r.Scenario.witness_p Procset.pp
-      r.Scenario.witness_q bound;
-    Fmt.pr "decisions:";
-    Array.iteri
-      (fun p d -> Fmt.pr " %a=%a" Proc.pp p Fmt.(option ~none:(any "-") int) d)
-      r.Scenario.outcome.Ag_harness.decisions;
-    Fmt.pr "@.";
-    write_obs ~trace_out ~metrics_out obs;
-    exit (if r.Scenario.solved = r.Scenario.predicted then 0 else 1)
+  let run t k n i j bound seed crashes adversary max_steps backend delta gst trace_out
+      metrics_out =
+    match backend with
+    | Backend_shm ->
+        let spec = make_spec t k n i j bound seed crashes adversary max_steps in
+        Scenario.validate spec;
+        let obs = make_obs ~trace_out ~metrics_out () in
+        let r = Scenario.run_agreement ?obs spec in
+        Fmt.pr "%a@." Scenario.pp_report r;
+        Fmt.pr "witness: %a timely wrt %a (bound %d)@." Procset.pp r.Scenario.witness_p
+          Procset.pp r.Scenario.witness_q bound;
+        Fmt.pr "decisions:";
+        Array.iteri
+          (fun p d -> Fmt.pr " %a=%a" Proc.pp p Fmt.(option ~none:(any "-") int) d)
+          r.Scenario.outcome.Ag_harness.decisions;
+        Fmt.pr "@.";
+        write_obs ~trace_out ~metrics_out obs;
+        exit (if r.Scenario.solved = r.Scenario.predicted then 0 else 1)
+    | Backend_net ->
+        (* best-effort k-set gossip under a BRS partition adversary: a
+           round-robin run decides within k exactly when GST lands
+           before the decision point *)
+        let gst = Option.value gst ~default:4 in
+        let adversary = Adversary.brs_kset ~delta ~gst ~n ~k in
+        let inputs = net_inputs n in
+        let obs = make_obs ~trace_out ~metrics_out () in
+        let sut = Net_systems.kset_blind ?obs ~inputs ~adversary () in
+        let len = n * ((2 * n) + 1) in
+        let st = Explorer.evaluate ~sut (Source.take (Generators.round_robin ~n ()) len) in
+        let decisions = st.Explorer.obs.Explore_systems.decisions in
+        Fmt.pr "net backend: blind k-set gossip vs %s (delta=%d, gst=%d), %d processes, \
+                round robin %d steps@."
+          adversary.Adversary.name delta gst n len;
+        Fmt.pr "decisions:";
+        Array.iteri
+          (fun p d -> Fmt.pr " %a=%a" Proc.pp p Fmt.(option ~none:(any "-") int) d)
+          decisions;
+        Fmt.pr "@.";
+        let prop =
+          Property.kset_agreement ~k ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions)
+        in
+        write_obs ~trace_out ~metrics_out obs;
+        (match prop.Property.check st with
+        | None ->
+            Fmt.pr "k-set agreement (k=%d): holds@." k;
+            exit 0
+        | Some why ->
+            Fmt.pr "k-set agreement (k=%d): VIOLATED — %s@." k why;
+            exit 2)
   in
-  Cmd.v (Cmd.info "solve" ~doc:"Solve (t,k,n)-agreement in S^i_{j,n}")
-    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ trace_out_arg $ metrics_out_arg)
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Solve (t,k,n)-agreement in S^i_{j,n} (shm), or run the blind k-set gossip \
+          against a BRS partition (net)")
+    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------ sweep *)
 
@@ -221,7 +333,10 @@ let explore_cmd =
             "What to model-check: $(b,kset) (k-set-agreement safety + validity), \
              $(b,timeliness) (single-process timeliness, seeded false on the Figure 1 \
              family: finds and shrinks a counterexample), or $(b,detector) (Figure 2 \
-             stabilization at the horizon).")
+             stabilization at the horizon). With $(b,--backend net), $(b,kset) checks \
+             the blind gossip protocol under a BRS partition and $(b,detector) checks \
+             CT timeout-detector stabilization after GST (both with the explorer's \
+             reductions forced off).")
   in
   let depth_arg =
     Arg.(value & opt int 6 & info [ "depth" ] ~docv:"D" ~doc:"Exploration depth bound.")
@@ -285,11 +400,13 @@ let explore_cmd =
           ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
   in
   let run check n t k depth bound seed bfs max_states max_replay_steps max_seconds
-      fingerprints per_state domains trace_out metrics_out progress_seconds =
+      fingerprints per_state domains backend delta gst trace_out metrics_out
+      progress_seconds =
     let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
     let path_replay = not per_state in
     let limits = Budget.limits ?max_states ?max_replay_steps ?max_seconds () in
     let obs = make_obs ~shards:domains ~trace_out ~metrics_out () in
+    let gst = Option.value gst ~default:4 in
     let on_progress (p : Explorer.progress) =
       Fmt.epr "[%6.1fs] states %d  replays %d (%d steps)  frontier %d  fp-pruned %d  max depth %d@."
         p.Explorer.wall p.Explorer.states p.Explorer.replays p.Explorer.replay_steps
@@ -310,8 +427,8 @@ let explore_cmd =
       write_obs ~trace_out ~metrics_out obs;
       exit (if ok report then 0 else 2)
     in
-    match check with
-    | Check_kset ->
+    match (check, backend) with
+    | Check_kset, Backend_shm ->
         let problem = Problem.make ~t ~k ~n in
         let inputs =
           if seed = 1 then Problem.distinct_inputs problem
@@ -336,7 +453,31 @@ let explore_cmd =
         let report = explore_with ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
-    | Check_detector ->
+    | Check_kset, Backend_net ->
+        (* net replay footprints under-approximate clock reads, so both
+           reductions are forced off (see Net's exploration caveat) *)
+        let adversary = Adversary.brs_kset ~delta ~gst ~n ~k in
+        let inputs = net_inputs n in
+        let sut = Net_systems.kset_blind ~inputs ~adversary () in
+        let properties =
+          [
+            Property.kset_agreement ~k ~decisions:(fun st ->
+                st.Explorer.obs.Explore_systems.decisions);
+            Property.validity ~inputs ~decisions:(fun st ->
+                st.Explorer.obs.Explore_systems.decisions);
+          ]
+        in
+        let config =
+          Explorer.config ~strategy ~prune_fingerprints:false ~sleep_sets:false
+            ~path_replay ~limits ~depth ()
+        in
+        Fmt.pr
+          "exploring blind k-set gossip vs %s (n=%d, k=%d, delta=%d, gst=%d), depth %d@."
+          adversary.Adversary.name n k delta gst depth;
+        let report = explore_with ~sut ~properties config in
+        finish report (fun r ->
+            List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
+    | Check_detector, Backend_shm ->
         let params = { Kanti_omega.n; t; k } in
         let sut = Explore_systems.kanti_detector ~params () in
         let properties =
@@ -354,7 +495,26 @@ let explore_cmd =
         let report = explore_with ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
-    | Check_timeliness ->
+    | Check_detector, Backend_net ->
+        (* CT timeout detector stabilization after GST; reductions off,
+           as for net kset. Readiness needs depth >= about 7n after GST
+           on round-robin paths — depth 14 covers (n=2, gst=4, delta=1). *)
+        let adversary = Adversary.gst_drop ~delta ~gst in
+        let sut = Net_systems.ct_leader ~clients:n ~adversary () in
+        let properties = [ Net_systems.ct_stabilized ~delta ] in
+        let config =
+          Explorer.config ~strategy ~prune_fingerprints:false ~sleep_sets:false
+            ~path_replay ~limits ~depth ()
+        in
+        Fmt.pr "exploring CT timeout detector (n=%d, delta=%d, gst=%d), depth %d@." n
+          delta gst depth;
+        let report = explore_with ~sut ~properties config in
+        finish report (fun r ->
+            List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
+    | Check_timeliness, Backend_net ->
+        Fmt.epr "--check timeliness is schedule-only; --backend net does not apply@.";
+        exit 1
+    | Check_timeliness, Backend_shm ->
         (* Single-process timeliness of {p1} wrt {pn} — false on the
            Figure 1 family, so exploration must find a counterexample;
            schedule-sensitive, so both reductions are off. *)
@@ -419,8 +579,8 @@ let explore_cmd =
     Term.(
       const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
       $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
-      $ per_state_arg $ domains_arg $ trace_out_arg $ metrics_out_arg
-      $ progress_seconds_arg)
+      $ per_state_arg $ domains_arg $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg
+      $ metrics_out_arg $ progress_seconds_arg)
 
 (* ------------------------------------------------------------- fuzz *)
 
@@ -497,7 +657,7 @@ let fuzz_cmd =
           ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
   in
   let run sut_choice n t k seed execs len stride crashes max_replay_steps max_seconds
-      repro trace_out metrics_out progress_seconds =
+      repro backend delta gst trace_out metrics_out progress_seconds =
     let seed = Option.value repro ~default:seed in
     let limits = Budget.limits ~max_states:execs ?max_replay_steps ?max_seconds () in
     let obs = make_obs ~trace_out ~metrics_out () in
@@ -511,10 +671,10 @@ let fuzz_cmd =
       | Fuzz_fixed -> "fixed"
       | Fuzz_kset -> "kset"
     in
-    let go ~sut ~properties =
+    let go ?(seeds = []) ?(repro_extra = "") ~sut ~properties () =
       let report =
         Fuzz.run ?obs ~on_progress ~progress_interval:progress_seconds
-          ~max_crashes:crashes ~len ~stride ~limits ~sut ~properties ~seed ()
+          ~max_crashes:crashes ~len ~stride ~limits ~seeds ~sut ~properties ~seed ()
       in
       Fmt.pr "%a@." Fuzz.pp_report report;
       Fmt.pr "time: %a@." Budget.pp_times report.Fuzz.stats;
@@ -529,27 +689,33 @@ let fuzz_cmd =
           | Some _ ->
               Fmt.pr "replayed shrunk schedule: violation reproduced@.";
               Fmt.pr "repro: setsync fuzz --sut %s -n %d -t %d -k %d --len %d --execs %d \
-                      --crashes %d --repro %d@."
-                sut_name n t k len execs crashes seed;
+                      --crashes %d%s --repro %d@."
+                sut_name n t k len execs crashes repro_extra seed;
               exit 2
           | None ->
               Fmt.pr "replayed shrunk schedule: VIOLATION LOST@.";
               exit 1)
     in
-    match sut_choice with
-    | Fuzz_seeded_bug ->
+    match (sut_choice, backend) with
+    | (Fuzz_seeded_bug | Fuzz_fixed), Backend_net ->
+        Fmt.epr "--backend net supports only --sut kset (the counter cores are \
+                 shared-memory systems)@.";
+        exit 1
+    | Fuzz_seeded_bug, Backend_shm ->
         Fmt.pr "fuzzing the seeded-bug counter core (n=%d, t=%d, k=%d), seed %d, len %d@."
           n t k seed len;
         go
           ~sut:(Fuzz_systems.counter_core ~params:{ Kanti_omega.n; t; k } ())
           ~properties:[ Fuzz_systems.winner_argmin () ]
-    | Fuzz_fixed ->
+          ()
+    | Fuzz_fixed, Backend_shm ->
         Fmt.pr "fuzzing the faithful counter core (n=%d, t=%d, k=%d), seed %d, len %d@."
           n t k seed len;
         go
           ~sut:(Fuzz_systems.counter_core ~bug:false ~params:{ Kanti_omega.n; t; k } ())
           ~properties:[ Fuzz_systems.winner_argmin () ]
-    | Fuzz_kset ->
+          ()
+    | Fuzz_kset, Backend_shm ->
         let problem = Problem.make ~t ~k ~n in
         let inputs = Problem.distinct_inputs problem in
         Fmt.pr "fuzzing %a, inputs %a, seed %d, len %d@." Problem.pp problem
@@ -564,6 +730,38 @@ let fuzz_cmd =
               Property.validity ~inputs ~decisions:(fun st ->
                   st.Explorer.obs.Explore_systems.decisions);
             ]
+          ()
+    | Fuzz_kset, Backend_net ->
+        (* blind gossip under a BRS partition that (by default) never
+           heals: the net_adversary burst schedule is seeded into the
+           corpus, so the k-set violation is found and ddmin-shrunk *)
+        let gst = Option.value gst ~default:1_000_000 in
+        let adversary = Adversary.brs_kset ~delta ~gst ~n ~k in
+        let inputs = net_inputs n in
+        let sut = Net_systems.kset_blind ~inputs ~adversary () in
+        let burst = (2 * n) + 1 in
+        let seeds =
+          [
+            Source.take
+              (Generators.net_adversary ~n ~groups:(brs_groups ~n ~k) ~burst ())
+              (n * burst);
+          ]
+        in
+        Fmt.pr
+          "fuzzing blind k-set gossip vs %s (n=%d, k=%d, delta=%d, gst=%d), seed %d, \
+           len %d, %d burst-seeded schedules@."
+          adversary.Adversary.name n k delta gst seed len (List.length seeds);
+        go ~seeds
+          ~repro_extra:(Fmt.str " --backend net --delta %d --gst %d" delta gst)
+          ~sut
+          ~properties:
+            [
+              Property.kset_agreement ~k ~decisions:(fun st ->
+                  st.Explorer.obs.Explore_systems.decisions);
+              Property.validity ~inputs ~decisions:(fun st ->
+                  st.Explorer.obs.Explore_systems.decisions);
+            ]
+          ()
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Coverage-guided randomized schedule fuzzing"
@@ -587,7 +785,8 @@ let fuzz_cmd =
     Term.(
       const run $ sut_arg $ fn_arg $ ft_arg $ fk_arg $ seed_arg $ execs_arg $ len_arg
       $ stride_arg $ fuzz_crashes_arg $ max_replay_arg $ max_seconds_arg $ repro_arg
-      $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
+      $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg $ metrics_out_arg
+      $ progress_seconds_arg)
 
 let () =
   let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in

@@ -79,5 +79,15 @@ module Corpus = Setsync_fuzz.Corpus
 module Fuzz = Setsync_fuzz.Fuzz
 module Fuzz_systems = Setsync_fuzz.Fuzz_systems
 
+(* message passing: the Î/GST bridge *)
+module Substrate = Setsync_runtime.Substrate
+module Msg = Setsync_net.Msg
+module Adversary = Setsync_net.Adversary
+module Net = Setsync_net.Net
+module Netmem = Setsync_net.Netmem
+module Ct_detector = Setsync_net.Ct_detector
+module Net_kset = Setsync_net.Net_kset
+module Net_systems = Setsync_net.Net_systems
+
 (* high-level scenarios *)
 module Scenario = Scenario

@@ -12,7 +12,11 @@ module Metrics = Setsync_obs.Metrics
 module Events = Setsync_obs.Events
 module Json = Setsync_obs.Json
 
-type 'obs instance = { body : Proc.t -> unit -> unit; observe : unit -> 'obs }
+type 'obs instance = {
+  body : Proc.t -> unit -> unit;
+  observe : unit -> 'obs;
+  substrate : Setsync_runtime.Substrate.t option;
+}
 
 type 'obs sut = {
   n : int;
@@ -121,7 +125,7 @@ let replay_instrumented ~sut ~fault steps =
            |> List.sort_uniq String.compare)
   in
   let schedule = Schedule.of_list ~n steps in
-  let run = Executor.replay ~n ~schedule ~fault ~on_step inst.body in
+  let run = Executor.replay ~n ~schedule ~fault ?substrate:inst.substrate ~on_step inst.body in
   let obs = inst.observe () in
   (run, obs, Store.snapshot store, touched)
 
@@ -280,7 +284,9 @@ let check_safety_probe ~sut ~property ~fault schedule =
       end
     in
     let stop () = (not !exact) || !violation <> None in
-    ignore (Executor.replay ~n ~schedule ~fault ~on_step ~stop (Mirror.body m));
+    ignore
+      (Executor.replay ~n ~schedule ~fault ?substrate:m.Mirror.inst.substrate ~on_step ~stop
+         (Mirror.body m));
     if !exact && !violation = None then advance_skips ();
     let complete = !consumed = len in
     ((!exact && (complete || !violation <> None)), !violation)
@@ -357,7 +363,9 @@ let trajectory ~sut ?(fault = Fault.no_faults) ?(stride = 1) ~on_state schedule 
       if !taken mod stride = 0 then emit ()
     in
     let stop () = !stopped in
-    ignore (Executor.replay ~n ~schedule ~fault ~on_step ~stop (Mirror.body m));
+    ignore
+      (Executor.replay ~n ~schedule ~fault ?substrate:m.Mirror.inst.substrate ~on_step ~stop
+         (Mirror.body m));
     if !taken mod stride <> 0 && not !stopped then ignore (on_state (mk_state ()));
     mk_state ()
   end
@@ -722,7 +730,9 @@ let process_descent eng ~push ~synthesize rev_start parent_tbl0 =
             c)
   in
   if fixed = 0 then visit ();
-  ignore (Executor.run ~n ~source ~max_steps:max_int ~fault ~on_step (Mirror.body m));
+  ignore
+    (Executor.run ~n ~source ~max_steps:max_int ~fault ?substrate:m.Mirror.inst.substrate
+       ~on_step (Mirror.body m));
   Budget.note_replay meter ~steps:0;
   emit "replay" [ ("depth", Json.Int !depth); ("steps", Json.Int !steps_in) ]
 

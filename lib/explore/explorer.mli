@@ -34,6 +34,12 @@ type 'obs instance = {
       (** snapshot of the instance's current observation — local
           detector outputs, decision arrays, hidden process-local
           state, … Uses observer reads only; never costs a step. *)
+  substrate : Setsync_runtime.Substrate.t option;
+      (** communication substrate for this instance's runs, rebuilt by
+          [fresh] alongside the registers ([None] = shared memory).
+          A substrate must keep any behaviour-relevant hidden state in
+          routed-through registers of the same store, or expose it via
+          its snapshot, for fingerprints to stay sound. *)
 }
 
 type 'obs sut = {

@@ -15,6 +15,7 @@ let pause_procs ~n =
                 Shm.pause ()
               done);
           observe = (fun () -> ());
+          substrate = None;
         });
     obs_fingerprint = (fun () -> "");
   }
@@ -46,6 +47,7 @@ let kanti_detector ~params ?initial_timeout () =
                 winnersets = Array.map Kanti_omega.winnerset procs;
                 iterations = Array.map Kanti_omega.iterations procs;
               });
+          substrate = None;
         });
     obs_fingerprint =
       (fun obs ->
@@ -70,6 +72,7 @@ let kset_agreement ~problem ~inputs ?initial_timeout () =
         {
           Explorer.body = Kset_solver.body solver;
           observe = (fun () -> { decisions = Kset_solver.decisions solver });
+          substrate = None;
         });
     obs_fingerprint =
       (fun obs ->

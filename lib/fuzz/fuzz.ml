@@ -71,7 +71,7 @@ let initial_candidates ~env ~fault ~len rng =
 
 let run ?obs ?on_progress ?(progress_interval = 1.0) ?(live = Generators.all_live)
     ?(contracts = []) ?(fault = Fault.no_faults) ?max_crashes ?(len = 96) ?(stride = 1)
-    ?(limits = Budget.unlimited) ~sut ~properties ~seed () =
+    ?(limits = Budget.unlimited) ?(seeds = []) ~sut ~properties ~seed () =
   Proc.check_n sut.Explorer.n;
   Fault.validate ~n:sut.Explorer.n fault;
   if len < 1 then invalid_arg "Fuzz.run: len must be >= 1";
@@ -209,7 +209,10 @@ let run ?obs ?on_progress ?(progress_interval = 1.0) ?(live = Generators.all_liv
                 }));
     novel_total := !novel_total + !novel
   in
-  let init = ref (initial_candidates ~env ~fault ~len rng) in
+  let seeded =
+    List.map (fun schedule -> { Mutate.schedule; fault }) seeds
+  in
+  let init = ref (seeded @ initial_candidates ~env ~fault ~len rng) in
   let stop = ref false in
   while not !stop do
     maybe_beat ();

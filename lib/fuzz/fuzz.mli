@@ -68,6 +68,7 @@ val run :
   ?len:int ->
   ?stride:int ->
   ?limits:Setsync_explore.Budget.limits ->
+  ?seeds:Setsync_schedule.Schedule.t list ->
   sut:'obs Setsync_explore.Explorer.sut ->
   properties:'obs Setsync_explore.Explorer.state Setsync_explore.Property.t list ->
   seed:int ->
@@ -85,6 +86,10 @@ val run :
     safety-blind between probes). [fault] (default none) is the base
     crash plan; [max_crashes] (default its length) lets the
     crash-shift mutator move/add/remove up to that many crashes.
+    [seeds] are extra initial candidates executed (and admitted to the
+    corpus on novelty) before the built-in round-robin/contract/random
+    openers — the hook for domain-specific schedule families such as
+    {!Setsync_schedule.Generators.net_adversary} bursts.
     [contracts] constrains every candidate to the declared timeliness
     contracts and enables contract-preserving regeneration.
 

@@ -129,6 +129,7 @@ let counter_core ?(bug = true) ?(initial_timeout = 1) ~params () =
                 min_acc = Array.copy o.min_acc;
                 iterations = Array.copy o.iterations;
               });
+          substrate = None;
         });
     obs_fingerprint =
       (fun obs ->

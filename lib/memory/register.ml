@@ -1,5 +1,7 @@
 type hook = kind:Trace.kind -> register:string -> value:string -> unit
 
+type 'a route = { route_read : unit -> 'a; route_write : 'a -> unit }
+
 type 'a t = {
   name : string;
   id : int;
@@ -8,10 +10,11 @@ type 'a t = {
   mutable value : 'a;
   mutable reads : int;
   mutable writes : int;
+  mutable route : 'a route option;
 }
 
 let make ?pp ?hook ~name ~id init =
-  { name; id; pp; hook; value = init; reads = 0; writes = 0 }
+  { name; id; pp; hook; value = init; reads = 0; writes = 0; route = None }
 
 let name t = t.name
 
@@ -38,6 +41,12 @@ let write t v =
 let peek t = t.value
 
 let poke t v = t.value <- v
+
+let set_route t r = t.route <- Some r
+
+let route t = t.route
+
+let render t v = print_value t v
 
 let reads t = t.reads
 

@@ -16,6 +16,18 @@ type 'a t
 type hook = kind:Trace.kind -> register:string -> value:string -> unit
 (** Trace callback invoked on every access. *)
 
+type 'a route = { route_read : unit -> 'a; route_write : 'a -> unit }
+(** An access route that replaces the local cell as the target of the
+    runtime's step-disciplined operations ({!Setsync_runtime.Shm}):
+    when set, [Shm.read]/[Shm.write] call [route_read]/[route_write]
+    instead of touching the cell directly. A message-passing backend
+    installs routes that forward each operation to the register's
+    owner process, which applies the {e authoritative} {!read}/{!write}
+    on the cell — so the cell, its counters, and its trace entries stay
+    the single source of truth while the route decides {e who} performs
+    the access and at what step cost. Validators ({!peek}/{!poke}) and
+    {!Store.snapshot} always see the cell and bypass routes. *)
+
 val make : ?pp:'a Fmt.t -> ?hook:hook -> name:string -> id:int -> 'a -> 'a t
 (** [make ~name ~id init] creates a register holding [init]. [pp] is
     used to print values into traces (defaults to an opaque
@@ -43,3 +55,13 @@ val reads : 'a t -> int
 
 val writes : 'a t -> int
 (** Number of counted writes so far. *)
+
+val set_route : 'a t -> 'a route -> unit
+(** Install an access route (normally via {!Store.set_router}, which
+    wires every subsequently created register). *)
+
+val route : 'a t -> 'a route option
+
+val render : 'a t -> 'a -> string
+(** Print a value with the register's own printer (the placeholder
+    when none was supplied) — what traces and snapshots show. *)

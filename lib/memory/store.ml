@@ -2,14 +2,19 @@ type counters = { get_reads : unit -> int; get_writes : unit -> int }
 
 type view = { view_name : string; render : unit -> string }
 
+type router = { route_for : 'a. 'a Register.t -> 'a Register.route option }
+
 type t = {
   trace : Trace.t option;
   mutable next_id : int;
   mutable all : counters list;
   mutable views : view list;
+  mutable router : router option;
 }
 
-let create ?trace () = { trace; next_id = 0; all = []; views = [] }
+let create ?trace () = { trace; next_id = 0; all = []; views = []; router = None }
+
+let set_router t r = t.router <- Some r
 
 let hook_of t =
   match t.trace with
@@ -20,6 +25,12 @@ let register t ?pp ~name init =
   let id = t.next_id in
   t.next_id <- id + 1;
   let reg = Register.make ?pp ?hook:(hook_of t) ~name ~id init in
+  (match t.router with
+  | None -> ()
+  | Some r -> (
+      match r.route_for reg with
+      | None -> ()
+      | Some route -> Register.set_route reg route));
   t.all <-
     { get_reads = (fun () -> Register.reads reg); get_writes = (fun () -> Register.writes reg) }
     :: t.all;

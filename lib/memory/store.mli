@@ -11,6 +11,17 @@ val create : ?trace:Trace.t -> unit -> t
 (** A fresh, empty shared memory. When [trace] is given, every access
     to every register allocated here is recorded into it. *)
 
+type router = { route_for : 'a. 'a Register.t -> 'a Register.route option }
+(** Decides, per register, whether step-disciplined access should be
+    forwarded somewhere else (see {!Register.route}); [None] keeps the
+    register local. *)
+
+val set_router : t -> router -> unit
+(** Install a router. Applies to registers created {e after} this call
+    — a message-passing backend installs it right after allocating its
+    own channel state, so algorithm registers get proxied while the
+    substrate's do not. *)
+
 val register : t -> ?pp:'a Fmt.t -> name:string -> 'a -> 'a Register.t
 (** Allocate one named register with an initial value. *)
 

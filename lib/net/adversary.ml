@@ -1,0 +1,67 @@
+module Proc = Setsync_schedule.Proc
+
+type action = Deliver of int | Drop
+
+type t = {
+  delta : int;
+  gst : int;
+  name : string;
+  decide : now:int -> src:Proc.t -> dst:Proc.t -> seq:int -> action;
+}
+
+let make ?(name = "custom") ~delta ~gst decide =
+  if delta < 1 then invalid_arg "Adversary.make: delta must be >= 1";
+  if gst < 0 then invalid_arg "Adversary.make: gst must be >= 0";
+  { delta; gst; name; decide }
+
+(* Where a message sent [now] lands, before FIFO clamping. Pre-GST the
+   adversary is unconstrained except that nothing outlives GST + Δ:
+   even a pre-GST send must arrive within Δ of GST (DLS semantics —
+   the bound holds for all messages in flight at GST). [gst = max_int]
+   encodes "GST never happens": skip the cap instead of overflowing. *)
+let due t ~now ~src ~dst ~seq =
+  let delay d = max 1 d in
+  if now >= t.gst then
+    (* after GST every message is delivered within Δ, drops included *)
+    match t.decide ~now ~src ~dst ~seq with
+    | Drop -> Some (now + t.delta)
+    | Deliver d -> Some (now + min (delay d) t.delta)
+  else
+    match t.decide ~now ~src ~dst ~seq with
+    | Drop -> None
+    | Deliver d ->
+        let at = now + delay d in
+        if t.gst > max_int - t.delta - 1 then Some at else Some (min at (t.gst + t.delta))
+
+let synchronous ~delta =
+  make ~name:"synchronous" ~delta ~gst:0 (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Deliver 1)
+
+let gst_drop ~delta ~gst =
+  make ~name:"gst_drop" ~delta ~gst (fun ~now ~src:_ ~dst:_ ~seq:_ ->
+      if now < gst then Drop else Deliver 1)
+
+let partition ~delta ~gst ~groups =
+  let group = Hashtbl.create 16 in
+  List.iteri (fun g ps -> List.iter (fun p -> Hashtbl.replace group p g) ps) groups;
+  let same_group src dst =
+    match (Hashtbl.find_opt group src, Hashtbl.find_opt group dst) with
+    | Some a, Some b -> a = b
+    | _ -> false
+  in
+  make ~name:"partition" ~delta ~gst (fun ~now ~src ~dst ~seq:_ ->
+      if now < gst && not (same_group src dst) then Drop else Deliver 1)
+
+(* Biely/Robinson/Schmid: to defeat k-set agreement with message loss,
+   split the processes into k+1 near-equal groups and silence all
+   cross-group traffic until GST — each group runs solo and decides
+   its own value, giving k+1 > k distinct decisions. *)
+let brs_kset ~delta ~gst ~n ~k =
+  if k < 1 || k >= n then invalid_arg "Adversary.brs_kset: need 1 <= k < n";
+  let groups =
+    List.init (k + 1) (fun g ->
+        List.filter (fun p -> p mod (k + 1) = g) (List.init n (fun p -> p)))
+  in
+  { (partition ~delta ~gst ~groups) with name = "brs_kset" }
+
+let never ~delta =
+  make ~name:"never" ~delta ~gst:max_int (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Drop)

@@ -1,0 +1,67 @@
+(** Message-delay/loss adversaries: the Δ/GST side of the bridge.
+
+    An adversary decides, per message, whether it is dropped or how
+    long it floats. The Dwork-Lynch-Stockmeyer contract is enforced by
+    the substrate regardless of what [decide] returns:
+
+    - before GST the adversary is unconstrained — arbitrary finite
+      delays, outright drops — except that a delivered message still
+      arrives no later than [gst + delta];
+    - from GST on, every message (including ones the adversary tries
+      to drop) is delivered within [delta] network ticks.
+
+    Per-pair channels are FIFO: the substrate additionally clamps each
+    delivery to be no earlier than the previous message on the same
+    channel. The network clock ticks once per executed process step,
+    so Δ and GST are measured in global steps. *)
+
+type action = Deliver of int | Drop  (** [Deliver d]: arrive after [d >= 1] ticks *)
+
+type t = {
+  delta : int;
+  gst : int;
+  name : string;
+  decide :
+    now:int -> src:Setsync_schedule.Proc.t -> dst:Setsync_schedule.Proc.t -> seq:int -> action;
+}
+
+val make :
+  ?name:string ->
+  delta:int ->
+  gst:int ->
+  (now:int ->
+  src:Setsync_schedule.Proc.t ->
+  dst:Setsync_schedule.Proc.t ->
+  seq:int ->
+  action) ->
+  t
+(** Raises [Invalid_argument] unless [delta >= 1] and [gst >= 0]. *)
+
+val due :
+  t -> now:int -> src:Setsync_schedule.Proc.t -> dst:Setsync_schedule.Proc.t -> seq:int -> int option
+(** Delivery tick for a message sent at [now], with the Δ/GST contract
+    applied on top of [decide]; [None] means dropped (only possible
+    before GST). Exposed for tests; {!Net.send} applies it plus the
+    FIFO clamp. *)
+
+val synchronous : delta:int -> t
+(** GST at step 0, every message takes exactly one tick — the lock-step
+    network used for shared-memory emulation. *)
+
+val gst_drop : delta:int -> gst:int -> t
+(** Drops everything before GST, synchronous after. The classic
+    eventual-synchrony scenario for timeout-detector stabilization. *)
+
+val partition : delta:int -> gst:int -> groups:Setsync_schedule.Proc.t list list -> t
+(** Silences cross-group messages before GST; intra-group traffic is
+    synchronous throughout. Processes absent from every group are in
+    no group (all their traffic drops pre-GST). *)
+
+val brs_kset : delta:int -> gst:int -> n:int -> k:int -> t
+(** The Biely/Robinson/Schmid construction against k-set agreement:
+    [k + 1] near-equal groups ([p mod (k+1)]), cross-group silence
+    until GST. Raises [Invalid_argument] unless [1 <= k < n]. *)
+
+val never : delta:int -> t
+(** GST never arrives and everything drops — the negative control for
+    stabilization properties. *)

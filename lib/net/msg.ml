@@ -1,0 +1,37 @@
+(* Wire format of the simulated network. Payloads carry either native
+   protocol content (heartbeats, values) or one half of the
+   register-over-messages protocol ({!Netmem}). Register values travel
+   as [exn] — the universal type trick: each register's router creates
+   a local [exception V of a] constructor, so only the matching handler
+   can project the value back out — alongside a pre-rendered [pr]
+   string so queue snapshots stay printable and deterministic. *)
+
+module Proc = Setsync_schedule.Proc
+
+type payload =
+  | Hb  (** heartbeat, no content *)
+  | Value of int  (** native protocol value (e.g. a proposal) *)
+  | Read_req of { rid : int }
+  | Read_reply of { rid : int; v : exn; pr : string }
+  | Write_req of { rid : int; v : exn; pr : string }
+  | Write_ack of { rid : int }
+
+type t = {
+  src : Proc.t;  (** stamped by the substrate, not the sender *)
+  dst : Proc.t;
+  seq : int;  (** per-(src,dst) sequence number *)
+  sent_at : int;  (** network clock at send *)
+  payload : payload;
+}
+
+let pp_payload ppf = function
+  | Hb -> Fmt.string ppf "hb"
+  | Value v -> Fmt.pf ppf "val:%d" v
+  | Read_req { rid } -> Fmt.pf ppf "rd?%d" rid
+  | Read_reply { rid; pr; _ } -> Fmt.pf ppf "rd!%d=%s" rid pr
+  | Write_req { rid; pr; _ } -> Fmt.pf ppf "wr?%d=%s" rid pr
+  | Write_ack { rid } -> Fmt.pf ppf "wr!%d" rid
+
+let pp ppf m =
+  Fmt.pf ppf "%a->%a#%d@%d:%a" Proc.pp m.src Proc.pp m.dst m.seq m.sent_at pp_payload
+    m.payload

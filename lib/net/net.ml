@@ -1,0 +1,236 @@
+module Proc = Setsync_schedule.Proc
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Fiber = Setsync_runtime.Fiber
+module Substrate = Setsync_runtime.Substrate
+module Obs = Setsync_obs.Obs
+module Metrics = Setsync_obs.Metrics
+module Events = Setsync_obs.Events
+module Json = Setsync_obs.Json
+
+type meters = {
+  shard : int;
+  sent_c : Metrics.counter;
+  delivered_c : Metrics.counter;
+  dropped_c : Metrics.counter;
+  in_flight_g : Metrics.gauge;
+  delay_h : Metrics.histogram;
+}
+
+type t = {
+  n : int;
+  adversary : Adversary.t;
+  (* Per-pair FIFO channels and per-process inboxes are ordinary
+     registers of the run's own store, so Mirror snapshots and state
+     fingerprints see the network for free. Channel entries are
+     [(deliver_at, msg)], monotone in [deliver_at] by the FIFO clamp,
+     so the due part is always a prefix. *)
+  chans : (int * Msg.t) list Register.t array array;
+  inboxes : Msg.t list Register.t array;
+  clock : int Register.t;
+  (* Per-pair sequence counters live outside the store: they are
+     derivable from the channel history (number of sends so far) and
+     only ever surface in event args, so they cannot distinguish
+     states the registers don't. *)
+  seqs : int array array;
+  mutable gst_passed : bool;
+  (* running tallies for reports; behaviour-invisible like [seqs] *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable in_flight : int;
+  current : Proc.t option ref;
+  meters : meters option;
+  ev : Events.t option;
+}
+
+let pp_entry ppf (at, m) = Fmt.pf ppf "%d>%a" at Msg.pp m
+
+let pp_chan ppf q = Fmt.(brackets (list ~sep:comma pp_entry)) ppf q
+
+let pp_inbox ppf q = Fmt.(brackets (list ~sep:comma Msg.pp)) ppf q
+
+let create ?obs ~store ~n ~adversary () =
+  Proc.check_n n;
+  let chans =
+    Store.matrix store ~pp:pp_chan ~name:"Chan" ~rows:n ~cols:n (fun _ _ -> [])
+  in
+  let inboxes = Store.array store ~pp:pp_inbox ~name:"Inbox" n (fun _ -> []) in
+  let clock = Store.register store ~pp:Fmt.int ~name:"NetClock" 0 in
+  let meters =
+    match obs with
+    | None -> None
+    | Some o ->
+        Some
+          {
+            shard = o.Obs.shard;
+            sent_c = Metrics.counter o.Obs.metrics "net.sent";
+            delivered_c = Metrics.counter o.Obs.metrics "net.delivered";
+            dropped_c = Metrics.counter o.Obs.metrics "net.dropped";
+            in_flight_g = Metrics.gauge o.Obs.metrics "net.in_flight";
+            delay_h = Metrics.histogram o.Obs.metrics "net.delivery_delay";
+          }
+  in
+  let ev = match obs with Some o when Obs.events_on o -> Some o.Obs.events | _ -> None in
+  {
+    n;
+    adversary;
+    chans;
+    inboxes;
+    clock;
+    seqs = Array.make_matrix n n 0;
+    gst_passed = false;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    in_flight = 0;
+    current = ref None;
+    meters;
+    ev;
+  }
+
+let n t = t.n
+
+let adversary t = t.adversary
+
+let now t = Register.peek t.clock
+
+let current t =
+  match !(t.current) with
+  | Some p -> p
+  | None -> invalid_arg "Net: no process is stepping (primitive used outside a run?)"
+
+let key_args m =
+  [ ("src", Json.Int m.Msg.src); ("dst", Json.Int m.Msg.dst); ("seq", Json.Int m.Msg.seq) ]
+
+(* Enqueue or drop one message; runs inside the sender's atomic action. *)
+let enqueue t ~src ~dst payload =
+  Proc.check ~n:t.n dst;
+  let now = Register.peek t.clock in
+  let seq = t.seqs.(src).(dst) in
+  t.seqs.(src).(dst) <- seq + 1;
+  let m = { Msg.src; dst; seq; sent_at = now; payload } in
+  t.sent <- t.sent + 1;
+  (match t.meters with Some ms -> Metrics.incr ~shard:ms.shard ms.sent_c | None -> ());
+  (match t.ev with
+  | Some sink -> Events.emit sink ~proc:src ~args:(key_args m) ~cat:"net" "send"
+  | None -> ());
+  match Adversary.due t.adversary ~now ~src ~dst ~seq with
+  | None ->
+      t.dropped <- t.dropped + 1;
+      (match t.meters with Some ms -> Metrics.incr ~shard:ms.shard ms.dropped_c | None -> ());
+      (match t.ev with
+      | Some sink -> Events.emit sink ~proc:src ~args:(key_args m) ~cat:"net" "drop"
+      | None -> ())
+  | Some at ->
+      let q = Register.peek t.chans.(src).(dst) in
+      (* FIFO: never overtake the message already at the tail *)
+      let at =
+        match List.rev q with [] -> at | (tail_at, _) :: _ -> max at tail_at
+      in
+      Register.write t.chans.(src).(dst) (q @ [ (at, m) ]);
+      t.in_flight <- t.in_flight + 1;
+      (match t.meters with
+      | Some ms -> Metrics.set ms.in_flight_g (float_of_int t.in_flight)
+      | None -> ())
+
+(* Move every due message to its inbox. Reads are observer [peek]s
+   (cheap, untraced); the writes that change behaviour go through
+   [Register.write] so replay footprints include them. Runs in
+   [pre_step], before the granted process's atomic action — a message
+   due at tick [g] is readable by a recv executed at global step [g]. *)
+let flush t ~clock =
+  for src = 0 to t.n - 1 do
+    for dst = 0 to t.n - 1 do
+      match Register.peek t.chans.(src).(dst) with
+      | [] -> ()
+      | q ->
+          let due, rest = List.partition (fun (at, _) -> at <= clock) q in
+          if due <> [] then begin
+            Register.write t.chans.(src).(dst) rest;
+            let inbox = Register.peek t.inboxes.(dst) in
+            Register.write t.inboxes.(dst) (inbox @ List.map snd due);
+            List.iter
+              (fun (_, m) ->
+                t.delivered <- t.delivered + 1;
+                t.in_flight <- t.in_flight - 1;
+                (match t.meters with
+                | Some ms ->
+                    Metrics.incr ~shard:ms.shard ms.delivered_c;
+                    Metrics.observe ms.delay_h (float_of_int (clock - m.Msg.sent_at))
+                | None -> ());
+                match t.ev with
+                | Some sink ->
+                    Events.emit sink ~proc:dst ~args:(key_args m) ~cat:"net" "deliver"
+                | None -> ())
+              due
+          end
+    done
+  done;
+  match t.meters with
+  | Some ms -> Metrics.set ms.in_flight_g (float_of_int t.in_flight)
+  | None -> ()
+
+let pre_step t ~global ~proc =
+  Register.poke t.clock global;
+  t.current := Some proc;
+  if (not t.gst_passed) && global >= t.adversary.Adversary.gst then begin
+    t.gst_passed <- true;
+    match t.ev with
+    | Some sink ->
+        Events.emit sink ~args:[ ("step", Json.Int global) ] ~cat:"net" "gst"
+    | None -> ()
+  end;
+  flush t ~clock:global
+
+module Net_substrate = struct
+  type nonrec t = t
+
+  let name t = Printf.sprintf "net(%s,delta=%d)" t.adversary.Adversary.name t.adversary.Adversary.delta
+
+  let live _ _ = true
+
+  let pre_step = pre_step
+
+  (* Channels, inboxes and the clock are store registers, so the run's
+     own snapshot already covers the network — nothing extra here. *)
+  let snapshot _ = []
+end
+
+let substrate t = Substrate.S ((module Net_substrate), t)
+
+let send t ~dst payload =
+  Fiber.atomic (fun () ->
+      let src = current t in
+      enqueue t ~src ~dst payload)
+
+let recv t =
+  Fiber.atomic (fun () ->
+      let p = current t in
+      match Register.read t.inboxes.(p) with
+      | [] -> []
+      | msgs ->
+          Register.write t.inboxes.(p) [];
+          msgs)
+
+let pause _t = Fiber.atomic (fun () -> ())
+
+let step_serve t ~handle =
+  Fiber.atomic (fun () ->
+      let p = current t in
+      let msgs =
+        match Register.read t.inboxes.(p) with
+        | [] -> []
+        | msgs ->
+            Register.write t.inboxes.(p) [];
+            msgs
+      in
+      List.iter
+        (fun m ->
+          List.iter (fun (dst, payload) -> enqueue t ~src:p ~dst payload) (handle m))
+        msgs)
+
+type stats = { sent : int; delivered : int; dropped : int; in_flight : int }
+
+let stats (t : t) =
+  { sent = t.sent; delivered = t.delivered; dropped = t.dropped; in_flight = t.in_flight }

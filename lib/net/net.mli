@@ -1,0 +1,85 @@
+(** The simulated message-passing substrate.
+
+    Per-pair FIFO channels with an in-flight queue, driven by the same
+    step discipline as shared memory: {!send} and {!recv} each cost
+    exactly one scheduled step. The network clock ticks with the global
+    step counter ({!Setsync_runtime.Substrate.pre_step}), and delivery
+    is interleaved with process steps: at the start of each granted
+    step, every message whose delivery tick has arrived moves to its
+    destination inbox. The {!Adversary} decides delays and drops under
+    the Δ/GST contract it documents.
+
+    {b Authentication.} A message's [src] field is stamped by the
+    substrate from the identity of the currently stepping process — the
+    sender never supplies it — so processes cannot forge origins, the
+    message-passing analogue of single-writer registers.
+
+    {b Where the state lives.} Channels, inboxes and the clock are
+    registers of the run's own {!Setsync_memory.Store}, created by
+    {!create} before any router is installed (so they are never proxied
+    through themselves). Mirror snapshots and explorer fingerprints
+    therefore capture network state with no extra plumbing. The only
+    state outside the store — per-pair sequence counters and event/stat
+    tallies — is derivable from the channel history and cannot
+    distinguish states the registers don't.
+
+    {b Exploration caveat.} The flush performed in [pre_step] reads
+    channels with observer peeks and process code reads the clock with
+    peeks (timeouts), so replay footprints under-approximate
+    clock-dependent behaviour; run the explorer with sleep-set
+    reduction disabled on this backend (the CLI does). *)
+
+type t
+
+val create :
+  ?obs:Setsync_obs.Obs.t ->
+  store:Setsync_memory.Store.t ->
+  n:int ->
+  adversary:Adversary.t ->
+  unit ->
+  t
+(** Allocate the network's registers in [store]. With [obs], maintains
+    counters [net.sent]/[net.delivered]/[net.dropped], the
+    [net.in_flight] gauge and the [net.delivery_delay] histogram, and —
+    when the event sink is on — emits ["send"]/["deliver"]/["drop"]
+    events (args [src]/[dst]/[seq]) plus one ["gst"] event, all under
+    category ["net"]. *)
+
+val substrate : t -> Setsync_runtime.Substrate.t
+(** Pass to {!Setsync_runtime.Executor.run} — ticks the clock, stamps
+    the stepping process, delivers due messages. A net primitive used
+    in a run driven without this substrate raises. *)
+
+val n : t -> int
+
+val adversary : t -> Adversary.t
+
+val now : t -> int
+(** Current network clock (observer read; for harnesses and tests). *)
+
+val current : t -> Setsync_schedule.Proc.t
+(** The process whose step is executing. Raises [Invalid_argument]
+    outside a granted step. *)
+
+val send : t -> dst:Setsync_schedule.Proc.t -> Msg.payload -> unit
+(** One step: emit a message to [dst] (src stamped, seq assigned,
+    delivery decided by the adversary, FIFO-clamped per channel). *)
+
+val recv : t -> Msg.t list
+(** One step: drain and return the caller's inbox, possibly empty —
+    receives are non-blocking, as in the round-based reduction model;
+    poll again (each poll costs a step) to wait. *)
+
+val pause : t -> unit
+(** One no-op step, like {!Setsync_runtime.Shm.pause}. *)
+
+val step_serve : t -> handle:(Msg.t -> (Setsync_schedule.Proc.t * Msg.payload) list) -> unit
+(** One step: drain the inbox, run [handle] on each message in arrival
+    order, and send all returned replies — a receive-compute-send round
+    in a single atomic action. This is what makes a register owner's
+    turnaround cost one step ({!Netmem}), mirroring how a shared-memory
+    register serves any access in the accessor's own step. *)
+
+type stats = { sent : int; delivered : int; dropped : int; in_flight : int }
+
+val stats : t -> stats

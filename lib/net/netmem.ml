@@ -1,0 +1,101 @@
+module Proc = Setsync_schedule.Proc
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+
+type handler = { h_read : unit -> exn * string; h_write : exn -> unit }
+
+type t = {
+  net : Net.t;
+  clients : int;
+  owners : int;
+  handlers : (int, handler) Hashtbl.t;
+  names : (string, int) Hashtbl.t;
+}
+
+let owner_of t ~rid = t.clients + (rid mod t.owners)
+
+let owner_of_name t name =
+  match Hashtbl.find_opt t.names name with
+  | Some rid -> Some (owner_of t ~rid)
+  | None -> None
+
+(* The universal-type trick: each routed register gets its own local
+   [exception V of a] constructor, so values cross the wire as [exn]
+   yet only this register's handler and proxy can (un)pack them. *)
+let route_for : type a. t -> a Register.t -> a Register.route option =
+ fun t reg ->
+  let module M = struct
+    exception V of a
+  end in
+  let rid = Register.id reg in
+  Hashtbl.replace t.names (Register.name reg) rid;
+  Hashtbl.replace t.handlers rid
+    {
+      h_read =
+        (fun () ->
+          let v = Register.read reg in
+          (M.V v, Register.render reg v));
+      h_write = (fun e -> match e with M.V v -> Register.write reg v | _ -> assert false);
+    };
+  let owner = owner_of t ~rid in
+  let route_read () =
+    Net.send t.net ~dst:owner (Msg.Read_req { rid });
+    let rec wait () =
+      let reply =
+        List.find_map
+          (fun m ->
+            match m.Msg.payload with
+            | Msg.Read_reply { rid = r; v; _ } when r = rid -> Some v
+            | _ -> None)
+          (Net.recv t.net)
+      in
+      match reply with
+      | Some (M.V v) -> v
+      | Some _ -> assert false
+      | None -> wait ()
+    in
+    wait ()
+  in
+  let route_write v =
+    Net.send t.net ~dst:owner (Msg.Write_req { rid; v = M.V v; pr = Register.render reg v });
+    let rec wait () =
+      let acked =
+        List.exists
+          (fun m ->
+            match m.Msg.payload with Msg.Write_ack { rid = r } -> r = rid | _ -> false)
+          (Net.recv t.net)
+      in
+      if not acked then wait ()
+    in
+    wait ()
+  in
+  Some { Register.route_read; route_write }
+
+let install ~net ~store ~clients ~owners () =
+  if clients < 1 then invalid_arg "Netmem.install: need at least one client";
+  if owners < 1 then invalid_arg "Netmem.install: need at least one owner";
+  if clients + owners > Net.n net then
+    invalid_arg "Netmem.install: clients + owners exceeds the network size";
+  let t = { net; clients; owners; handlers = Hashtbl.create 64; names = Hashtbl.create 64 } in
+  Store.set_router store { Store.route_for = (fun reg -> route_for t reg) };
+  t
+
+let clients t = t.clients
+
+let owners t = t.owners
+
+let serve t m =
+  match m.Msg.payload with
+  | Msg.Read_req { rid } ->
+      let h = Hashtbl.find t.handlers rid in
+      let v, pr = h.h_read () in
+      [ (m.Msg.src, Msg.Read_reply { rid; v; pr }) ]
+  | Msg.Write_req { rid; v; _ } ->
+      (Hashtbl.find t.handlers rid).h_write v;
+      [ (m.Msg.src, Msg.Write_ack { rid }) ]
+  | Msg.Hb | Msg.Value _ | Msg.Read_reply _ | Msg.Write_ack _ -> []
+
+let owner_body t _p () =
+  while true do
+    Net.step_serve t.net ~handle:(serve t)
+  done

@@ -1,0 +1,55 @@
+(** Shared registers over messages — the paper's bridge, run backwards.
+
+    The paper derives partial synchrony for shared memory from set
+    timeliness; this module implements atomic registers {e on top of}
+    the message substrate so every shared-memory algorithm in the repo
+    (the detectors, the agreement harnesses) runs unchanged against
+    Δ/GST channels. Each register is served by an owner process: a
+    client's [Shm.read]/[Shm.write] is routed
+    ({!Setsync_memory.Register.route}) into a request message, the
+    owner answers in a single {!Net.step_serve} step applying the
+    authoritative access to the underlying cell, and the client spins
+    on {!Net.recv} until the reply lands.
+
+    {b Step cost.} Under the synchronous adversary (Δ = 1, GST = 0)
+    with ops serialized, one register access costs exactly three steps:
+    client send, owner serve, client recv. The shared-memory emulation
+    schedules used by the cross-backend tests expand each shm step
+    [p] into [p, owner, p] accordingly.
+
+    {b Layout.} Processes [0..clients-1] run the algorithm; processes
+    [clients..clients+owners-1] run {!owner_body}. Register [rid] is
+    owned by [clients + rid mod owners] — pass [owners] equal to the
+    algorithm's register count for a per-register owner, or fewer to
+    shard.
+
+    {b Caveat.} A client whose op is in flight must not be sent
+    unrelated messages: the reply spin drains the inbox and discards
+    non-matching messages. Pure-register clients (everything built on
+    [Shm]) satisfy this by construction. *)
+
+type t
+
+val install :
+  net:Net.t -> store:Setsync_memory.Store.t -> clients:int -> owners:int -> unit -> t
+(** Install the router on [store]: every register created {e after}
+    this call is proxied (the network's own registers, created by
+    {!Net.create} before, stay local). Raises [Invalid_argument] if
+    [clients + owners] exceeds the network size. *)
+
+val clients : t -> int
+
+val owners : t -> int
+
+val owner_of : t -> rid:int -> Setsync_schedule.Proc.t
+
+val owner_of_name : t -> string -> Setsync_schedule.Proc.t option
+(** Owner of the register with that name, if one was routed — how
+    emulation schedules map a register access to the serving process. *)
+
+val owner_body : t -> Setsync_schedule.Proc.t -> unit -> unit
+(** Process body for owners: serve requests forever, one
+    {!Net.step_serve} round per granted step. *)
+
+val serve : t -> Msg.t -> (Setsync_schedule.Proc.t * Msg.payload) list
+(** The owner's per-message handler (exposed for custom bodies). *)

@@ -13,7 +13,7 @@ type source_factory = live:(Proc.t -> bool) -> Source.t
    a row, the run is declared stalled rather than looping forever. *)
 let max_consecutive_skips n = 64 * n
 
-let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop ?obs body =
+let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?substrate ?on_step ?stop ?obs body =
   Proc.check_n n;
   if max_steps < 0 then invalid_arg "Executor.run: negative step budget";
   (* Instrumentation is resolved once, outside the step loop: the
@@ -31,7 +31,12 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop ?obs bod
   let ev = match obs with Some o when Obs.events_on o -> Some o.Obs.events | Some _ | None -> None in
   let fault_state = Fault.start ~n fault in
   let fibers = Array.init n (fun p -> Fiber.spawn (body p)) in
-  let schedulable p = Fault.live fault_state p && not (Fiber.is_done fibers.(p)) in
+  let substrate_live =
+    match substrate with None -> fun _ -> true | Some s -> Substrate.live s
+  in
+  let schedulable p =
+    Fault.live fault_state p && (not (Fiber.is_done fibers.(p))) && substrate_live p
+  in
   let src = source ~live:schedulable in
   if Source.n src <> n then invalid_arg "Executor.run: source universe mismatch";
   let taken = ref [] in
@@ -49,6 +54,9 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop ?obs bod
     scan 0
   in
   let execute p =
+    (match substrate with
+    | Some s -> Substrate.pre_step s ~global:!executed ~proc:p
+    | None -> ());
     (match Fiber.step fibers.(p) with
     | Fiber.Performed | Fiber.Finished -> ()
     | Fiber.Already_done -> assert false);
@@ -112,6 +120,6 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?on_step ?stop ?obs bod
     reason = (match !reason with Some r -> r | None -> assert false);
   }
 
-let replay ~n ~schedule ?fault ?on_step ?stop ?obs body =
+let replay ~n ~schedule ?fault ?substrate ?on_step ?stop ?obs body =
   let source ~live:_ = Source.of_schedule schedule in
-  run ~n ~source ~max_steps:max_int ?fault ?on_step ?stop ?obs body
+  run ~n ~source ~max_steps:max_int ?fault ?substrate ?on_step ?stop ?obs body

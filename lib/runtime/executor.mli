@@ -17,6 +17,7 @@ val run :
   source:source_factory ->
   max_steps:int ->
   ?fault:Fault.plan ->
+  ?substrate:Substrate.t ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?stop:(unit -> bool) ->
   ?obs:Setsync_obs.Obs.t ->
@@ -27,6 +28,10 @@ val run :
 
     - [max_steps] bounds the total number of executed steps.
     - [fault] injects crashes (default: none).
+    - [substrate] supplies the communication medium's hooks (default:
+      shared memory semantics — no liveness veto, no pre-step work).
+      Its [live] predicate vetoes steps like a crash does; its
+      [pre_step] runs just before each granted atomic action.
     - [on_step] is invoked after every executed step (use it to sample
       process outputs or shared state via [Register.peek]).
     - [stop] is polled after every step; returning [true] ends the run
@@ -45,6 +50,7 @@ val replay :
   n:int ->
   schedule:Setsync_schedule.Schedule.t ->
   ?fault:Fault.plan ->
+  ?substrate:Substrate.t ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?stop:(unit -> bool) ->
   ?obs:Setsync_obs.Obs.t ->

@@ -1,5 +1,11 @@
-let read reg = Fiber.atomic (fun () -> Setsync_memory.Register.read reg)
+let read reg =
+  match Setsync_memory.Register.route reg with
+  | None -> Fiber.atomic (fun () -> Setsync_memory.Register.read reg)
+  | Some r -> r.Setsync_memory.Register.route_read ()
 
-let write reg v = Fiber.atomic (fun () -> Setsync_memory.Register.write reg v)
+let write reg v =
+  match Setsync_memory.Register.route reg with
+  | None -> Fiber.atomic (fun () -> Setsync_memory.Register.write reg v)
+  | Some r -> r.Setsync_memory.Register.route_write v
 
 let pause () = Fiber.atomic (fun () -> ())

@@ -8,10 +8,13 @@
 
 val read : 'a Setsync_memory.Register.t -> 'a
 (** Atomic read; suspends until the scheduler grants this process a
-    step. *)
+    step. When the register carries a {!Setsync_memory.Register.route}
+    the call is forwarded to it instead, and costs whatever steps the
+    route's protocol takes (e.g. three for the net backend's
+    send/serve/recv round trip). *)
 
 val write : 'a Setsync_memory.Register.t -> 'a -> unit
-(** Atomic write; one step. *)
+(** Atomic write; one step (routed like {!read}). *)
 
 val pause : unit -> unit
 (** A no-op step (the process "takes a step" without a shared access).

@@ -1,0 +1,37 @@
+module Proc = Setsync_schedule.Proc
+
+module type STEP_SUBSTRATE = sig
+  type t
+
+  val name : t -> string
+
+  val live : t -> Proc.t -> bool
+
+  val pre_step : t -> global:int -> proc:Proc.t -> unit
+
+  val snapshot : t -> (string * string) list
+end
+
+type t = S : (module STEP_SUBSTRATE with type t = 'a) * 'a -> t
+
+let name (S ((module M), s)) = M.name s
+
+let live (S ((module M), s)) p = M.live s p
+
+let pre_step (S ((module M), s)) ~global ~proc = M.pre_step s ~global ~proc
+
+let snapshot (S ((module M), s)) = M.snapshot s
+
+module Shm_substrate = struct
+  type t = Setsync_memory.Store.t
+
+  let name _ = "shm"
+
+  let live _ _ = true
+
+  let pre_step _ ~global:_ ~proc:_ = ()
+
+  let snapshot store = Setsync_memory.Store.snapshot store
+end
+
+let shm ~store = S ((module Shm_substrate), store)

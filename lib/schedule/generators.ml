@@ -40,6 +40,39 @@ let figure1 ?(n = 3) ?(p1 = 0) ?(p2 = 1) ?(q = 2) () =
       end;
       Some step)
 
+let net_adversary ?(live = all_live) ?(burst = 6) ~n ~groups () =
+  Proc.check_n n;
+  if burst < 1 then invalid_arg "Generators.net_adversary: burst must be >= 1";
+  let order = List.concat groups in
+  if order = [] then invalid_arg "Generators.net_adversary: empty groups";
+  List.iter (Proc.check ~n) order;
+  let order = Array.of_list order in
+  let len = Array.length order in
+  let pos = ref 0 in
+  let left = ref burst in
+  Source.make ~n (fun () ->
+      (* serial bursts: the current process runs [burst] steps, then
+         the next in group order; dead processes forfeit their burst *)
+      let rec pick tries =
+        if tries >= len then None
+        else begin
+          if !left = 0 then begin
+            pos := (!pos + 1) mod len;
+            left := burst
+          end;
+          let p = order.(!pos) in
+          if live p then begin
+            decr left;
+            Some p
+          end
+          else begin
+            left := 0;
+            pick (tries + 1)
+          end
+        end
+      in
+      pick 0)
+
 let random_fair ?(live = all_live) ~n ~rng () =
   Proc.check_n n;
   Source.make ~n (fun () ->

@@ -24,6 +24,22 @@ val figure1 : ?n:int -> ?p1:Proc.t -> ?p2:Proc.t -> ?q:Proc.t -> unit -> Source.
     In it, neither [{p1}] nor [{p2}] is timely with respect to [{q}],
     but [{p1, p2}] is (with bound 2). *)
 
+val net_adversary :
+  ?live:(Proc.t -> bool) ->
+  ?burst:int ->
+  n:int ->
+  groups:Proc.t list list ->
+  unit ->
+  Source.t
+(** Serial process bursts in group order, cycling forever: with
+    [groups = [[1; 2]; [0]]] and [burst = 6] the schedule is
+    [1⁶·2⁶·0⁶·1⁶·…]. Paired with a partition adversary over the same
+    groups, each burst lets one isolated group run whole protocol
+    rounds while its messages to the others sit undeliverable — the
+    schedule shape of the Biely/Robinson/Schmid k-set impossibility
+    runs, and the seed family for fuzzing the net backend. Dead
+    processes forfeit their bursts; exhausts only if all die. *)
+
 val random_fair :
   ?live:(Proc.t -> bool) -> n:int -> rng:Rng.t -> unit -> Source.t
 (** Uniformly random steps over live processes. Fair with probability

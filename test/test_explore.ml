@@ -34,6 +34,7 @@ let single_writer_sut () =
         {
           Explorer.body = (fun p () -> Shm.write r.(p) 1);
           observe = (fun () -> (Register.peek r.(0), Register.peek r.(1)));
+          substrate = None;
         });
     obs_fingerprint = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
   }
@@ -56,6 +57,7 @@ let double_writer_sut () =
               Shm.write r.(p) 1;
               Shm.write r.(p) 2);
           observe = (fun () -> (Register.peek r.(0), Register.peek r.(1)));
+          substrate = None;
         });
     obs_fingerprint = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
   }
@@ -106,6 +108,7 @@ let pipe_sut () =
                 v1 = !v1;
                 phase1 = !phase1;
               });
+          substrate = None;
         });
     obs_fingerprint =
       (fun o -> Printf.sprintf "%d,%d,%d,%d" o.ping o.pong o.v1 o.phase1);

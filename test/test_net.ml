@@ -1,0 +1,570 @@
+(* Tests for the message-passing substrate: delivery semantics under
+   Δ/GST, FIFO channels, substrate conformance on both backends,
+   registers-over-messages, the CT timeout detector's stabilization,
+   and the BRS-style k-set violations the fuzzer must find. *)
+
+open Setsync_schedule
+module Register = Setsync_memory.Register
+module Store = Setsync_memory.Store
+module Trace = Setsync_memory.Trace
+module Fault = Setsync_runtime.Fault
+module Run = Setsync_runtime.Run
+module Executor = Setsync_runtime.Executor
+module Substrate = Setsync_runtime.Substrate
+module Shm = Setsync_runtime.Shm
+module Msg = Setsync_net.Msg
+module Adversary = Setsync_net.Adversary
+module Net = Setsync_net.Net
+module Netmem = Setsync_net.Netmem
+module Ct_detector = Setsync_net.Ct_detector
+module Net_kset = Setsync_net.Net_kset
+module Net_systems = Setsync_net.Net_systems
+module Explorer = Setsync_explore.Explorer
+module Property = Setsync_explore.Property
+module Systems = Setsync_explore.Systems
+module Kanti_omega = Setsync_detector.Kanti_omega
+module Obs = Setsync_obs.Obs
+module Events = Setsync_obs.Events
+module Metrics = Setsync_obs.Metrics
+module Json = Setsync_obs.Json
+module Fuzz = Setsync_fuzz.Fuzz
+
+(* ------------------------------------------------------ adversaries *)
+
+let test_adversary_due () =
+  (* pre-GST: drops allowed, deliveries capped at gst + delta *)
+  let a =
+    Adversary.make ~delta:2 ~gst:5 (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Adversary.Deliver 50)
+  in
+  Alcotest.(check (option int)) "pre-GST capped" (Some 7) (Adversary.due a ~now:0 ~src:0 ~dst:1 ~seq:0);
+  (* post-GST: within delta, drops overridden *)
+  let d = Adversary.gst_drop ~delta:2 ~gst:5 in
+  Alcotest.(check (option int)) "pre-GST dropped" None (Adversary.due d ~now:4 ~src:0 ~dst:1 ~seq:0);
+  Alcotest.(check (option int)) "post-GST synchronous" (Some 6)
+    (Adversary.due d ~now:5 ~src:0 ~dst:1 ~seq:0);
+  let always_drop =
+    Adversary.make ~delta:2 ~gst:5 (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Adversary.Drop)
+  in
+  Alcotest.(check (option int)) "post-GST drop overridden" (Some 7)
+    (Adversary.due always_drop ~now:5 ~src:0 ~dst:1 ~seq:0);
+  let a2 =
+    Adversary.make ~delta:3 ~gst:0 (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Adversary.Deliver 50)
+  in
+  Alcotest.(check (option int)) "post-GST capped at delta" (Some 13)
+    (Adversary.due a2 ~now:10 ~src:0 ~dst:1 ~seq:0);
+  (* GST-never: no overflow, pre-GST forever *)
+  let nv = Adversary.never ~delta:1 in
+  Alcotest.(check (option int)) "never delivers" None
+    (Adversary.due nv ~now:(max_int - 1) ~src:0 ~dst:1 ~seq:0)
+
+(* ------------------------------------------------------- delivery *)
+
+(* p0 sends one heartbeat then pauses; p1 records (clock, src) of every
+   message it ever receives. [at] is read in the same granted step as
+   the recv it labels (pure code before the atomic), so it names the
+   receiving step's clock; the recording itself runs at p1's next
+   granted step, which the schedules below always include. *)
+let one_shot_harness ~adversary ~schedule =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary () in
+  let got = ref [] in
+  let body p () =
+    if p = 0 then begin
+      Net.send net ~dst:1 Msg.Hb;
+      while true do
+        Net.pause net
+      done
+    end
+    else
+      while true do
+        let at = Net.now net in
+        let msgs = Net.recv net in
+        List.iter (fun m -> got := (at, m.Msg.src) :: !got) msgs
+      done
+  in
+  ignore
+    (Executor.replay ~n:2 ~schedule:(Schedule.of_list ~n:2 schedule)
+       ~substrate:(Net.substrate net) body);
+  (Net.stats net, List.rev !got)
+
+let test_synchronous_delivery () =
+  (* sent at step 0, due at 1, received by the recv executed at step 1 *)
+  let stats, got = one_shot_harness ~adversary:(Adversary.synchronous ~delta:1) ~schedule:[ 0; 1; 1 ] in
+  Alcotest.(check (list (pair int int))) "received at clock 1" [ (1, 0) ] got;
+  Alcotest.(check int) "sent" 1 stats.Net.sent;
+  Alcotest.(check int) "delivered" 1 stats.Net.delivered;
+  Alcotest.(check int) "in flight drained" 0 stats.Net.in_flight
+
+let test_pre_gst_drop () =
+  let stats, got =
+    one_shot_harness ~adversary:(Adversary.gst_drop ~delta:1 ~gst:100)
+      ~schedule:[ 0; 1; 1; 1; 1; 1 ]
+  in
+  Alcotest.(check (list (pair int int))) "nothing received" [] got;
+  Alcotest.(check int) "dropped" 1 stats.Net.dropped;
+  Alcotest.(check int) "not delivered" 0 stats.Net.delivered
+
+let test_pre_gst_delay_capped () =
+  (* adversary wants 50 ticks; the Δ/GST contract forces gst + delta = 7 *)
+  let a = Adversary.make ~delta:2 ~gst:5 (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Deliver 50) in
+  let schedule = 0 :: List.init 12 (fun _ -> 1) in
+  let _, got = one_shot_harness ~adversary:a ~schedule in
+  Alcotest.(check (list (pair int int))) "received exactly at gst+delta" [ (7, 0) ] got
+
+let test_fifo_no_overtaking () =
+  (* second message is faster but must not overtake the first *)
+  let a =
+    Adversary.make ~delta:10 ~gst:0 (fun ~now:_ ~src:_ ~dst:_ ~seq ->
+        if seq = 0 then Deliver 5 else Deliver 1)
+  in
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary:a () in
+  let got = ref [] in
+  let body p () =
+    if p = 0 then begin
+      Net.send net ~dst:1 (Msg.Value 1);
+      Net.send net ~dst:1 (Msg.Value 2);
+      while true do
+        Net.pause net
+      done
+    end
+    else
+      while true do
+        let at = Net.now net in
+        let msgs = Net.recv net in
+        List.iter
+          (fun m ->
+            match m.Msg.payload with
+            | Msg.Value v -> got := (at, v, m.Msg.seq) :: !got
+            | _ -> ())
+          msgs
+      done
+  in
+  let schedule = [ 0; 0 ] @ List.init 8 (fun _ -> 1) in
+  ignore
+    (Executor.replay ~n:2 ~schedule:(Schedule.of_list ~n:2 schedule)
+       ~substrate:(Net.substrate net) body);
+  (* msg 0 sent at 0 due 5; msg 1 sent at 1 wants due 2, clamped to 5 *)
+  Alcotest.(check (list (triple int int int)))
+    "same tick, FIFO order" [ (5, 1, 0); (5, 2, 1) ] (List.rev !got)
+
+let test_authenticated_src () =
+  (* src is stamped from the stepping process, whatever the sender claims *)
+  let store = Store.create () in
+  let net = Net.create ~store ~n:3 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let srcs = ref [] in
+  let body p () =
+    if p < 2 then begin
+      Net.send net ~dst:2 Msg.Hb;
+      while true do
+        Net.pause net
+      done
+    end
+    else
+      while true do
+        List.iter (fun m -> srcs := m.Msg.src :: !srcs) (Net.recv net)
+      done
+  in
+  (* the extra p2 step lets the post-recv recording code run *)
+  ignore
+    (Executor.replay ~n:3 ~schedule:(Schedule.of_list ~n:3 [ 0; 1; 2; 2 ])
+       ~substrate:(Net.substrate net) body);
+  Alcotest.(check (list int)) "distinct stamped sources" [ 0; 1 ] (List.sort compare !srcs)
+
+(* ------------------------------------- substrate conformance functor *)
+
+(* One functor, both backends: whatever the medium, the substrate
+   contract must hold — nobody vetoed at start, pre_step idempotent on
+   a fresh instance, replay deterministic (same schedule, same run,
+   same snapshot), and skipped steps don't consume budget. *)
+module Conformance (B : sig
+  val name : string
+
+  (* fresh instance: substrate + store + a 2-process body that runs forever *)
+  val make : unit -> Substrate.t * Store.t * (Proc.t -> unit -> unit)
+end) =
+struct
+  let test_live_at_start () =
+    let s, _, _ = B.make () in
+    Alcotest.(check bool) "p0 live" true (Substrate.live s 0);
+    Alcotest.(check bool) "p1 live" true (Substrate.live s 1)
+
+  let run_once sched =
+    let s, store, body = B.make () in
+    let run = Executor.replay ~n:2 ~schedule:(Schedule.of_list ~n:2 sched) ~substrate:s body in
+    (run, Store.snapshot store)
+
+  let test_deterministic_replay () =
+    let sched = [ 0; 1; 1; 0; 0; 1 ] in
+    let r1, snap1 = run_once sched in
+    let r2, snap2 = run_once sched in
+    Alcotest.(check int) "same steps" (Run.total_steps r1) (Run.total_steps r2);
+    Alcotest.(check bool) "same snapshot" true (snap1 = snap2)
+
+  let test_crash_veto_composes () =
+    (* fault kills p0 after 1 step; its later schedule entries are
+       skipped without consuming budget, on any substrate *)
+    let s, _, body = B.make () in
+    let run =
+      Executor.replay ~n:2
+        ~schedule:(Schedule.of_list ~n:2 [ 0; 0; 0; 1; 1 ])
+        ~fault:[ (0, 1) ] ~substrate:s body
+    in
+    Alcotest.(check int) "p0 stepped once" 1 run.Run.steps_of.(0);
+    Alcotest.(check int) "p1 stepped twice" 2 run.Run.steps_of.(1);
+    Alcotest.(check bool) "crash recorded" true (Procset.mem 0 (Run.crashed run))
+
+  let tests =
+    [
+      Alcotest.test_case (B.name ^ ": live at start") `Quick test_live_at_start;
+      Alcotest.test_case (B.name ^ ": deterministic replay") `Quick test_deterministic_replay;
+      Alcotest.test_case (B.name ^ ": crash veto composes") `Quick test_crash_veto_composes;
+    ]
+end
+
+module Shm_conf = Conformance (struct
+  let name = "shm"
+
+  let make () =
+    let store = Store.create () in
+    let r = Store.array store ~pp:Fmt.int ~name:"R" 2 (fun _ -> 0) in
+    let body p () =
+      let i = ref 0 in
+      while true do
+        incr i;
+        Shm.write r.(p) !i
+      done
+    in
+    (Substrate.shm ~store, store, body)
+end)
+
+module Net_conf = Conformance (struct
+  let name = "net"
+
+  let make () =
+    let store = Store.create () in
+    let net = Net.create ~store ~n:2 ~adversary:(Adversary.gst_drop ~delta:2 ~gst:3) () in
+    let body p () =
+      while true do
+        Net.send net ~dst:(1 - p) Msg.Hb;
+        ignore (Net.recv net)
+      done
+    in
+    (Net.substrate net, store, body)
+end)
+
+(* ------------------------------------------- registers over messages *)
+
+(* One client, one owner: write 42 then read it back. Under the
+   synchronous adversary each op is exactly three steps — client send,
+   owner serve, client recv — so write is global steps 0-2, read is
+   3-5, and step 6 (a pause) lets the client's post-recv code record
+   the value it read. *)
+let test_netmem_write_read () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm = Netmem.install ~net ~store ~clients:1 ~owners:1 () in
+  let reg = Store.register store ~pp:Fmt.int ~name:"X" 0 in
+  let seen = ref None in
+  let body p () =
+    if p = 0 then begin
+      Shm.write reg 42;
+      seen := Some (Shm.read reg);
+      while true do
+        Net.pause net
+      done
+    end
+    else Netmem.owner_body nm p ()
+  in
+  let sched = [ 0; 1; 0; 0; 1; 0; 0 ] in
+  let run =
+    Executor.replay ~n:2 ~schedule:(Schedule.of_list ~n:2 sched) ~substrate:(Net.substrate net)
+      body
+  in
+  Alcotest.(check (option int)) "read own write" (Some 42) !seen;
+  Alcotest.(check int) "cell holds the value" 42 (Register.peek reg);
+  Alcotest.(check int) "authoritative write counted once" 1 (Register.writes reg);
+  Alcotest.(check int) "authoritative read counted once" 1 (Register.reads reg);
+  Alcotest.(check int) "7 scheduled steps" 7 (Run.total_steps run)
+
+let test_netmem_owner_mapping () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:5 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm = Netmem.install ~net ~store ~clients:2 ~owners:3 () in
+  let regs = Store.array store ~pp:Fmt.int ~name:"Y" 4 (fun _ -> 0) in
+  let owners =
+    Array.to_list regs
+    |> List.map (fun r ->
+           match Netmem.owner_of_name nm (Register.name r) with
+           | Some o -> o
+           | None -> Alcotest.fail "register not routed")
+  in
+  List.iter
+    (fun o -> Alcotest.(check bool) "owner in owner range" true (o >= 2 && o < 5))
+    owners;
+  (* consecutive rids shard round-robin across the three owners *)
+  Alcotest.(check int) "4 registers, 3 distinct owners" 3
+    (List.length (List.sort_uniq compare owners))
+
+(* -------------------------------------- cross-backend equivalence *)
+
+(* Replay the unchanged k-anti-Ω detector on shared memory, recording
+   which register each step touched; expand every step [p] into
+   [p; owner; p] and run the same detector over message-served
+   registers on that schedule. Detector outputs must match exactly. *)
+let test_kanti_cross_backend () =
+  let params = { Kanti_omega.n = 2; t = 1; k = 1 } in
+  let shm_len = 40 in
+  (* shared-memory run, tracing one register access per step *)
+  let trace = Trace.create ~capacity:4 in
+  let store = Store.create ~trace () in
+  let shared = Kanti_omega.create_shared store params in
+  let procs = Array.init 2 (fun p -> Kanti_omega.make_process shared params ~proc:p) in
+  let sched = Schedule.to_list (Source.take (Generators.round_robin ~n:2 ()) shm_len) in
+  let touched = Array.make shm_len "" in
+  let on_step ~global ~proc:_ =
+    match Trace.last trace with
+    | Some e -> touched.(global) <- e.Trace.register
+    | None -> Alcotest.fail "step without register access"
+  in
+  ignore
+    (Executor.replay ~n:2 ~schedule:(Schedule.of_list ~n:2 sched) ~on_step (fun p () ->
+         Kanti_omega.forever procs.(p)));
+  let shm_obs p = (Kanti_omega.fd_output p, Kanti_omega.winnerset p, Kanti_omega.iterations p) in
+  let expect = Array.map shm_obs procs in
+  (* net run over routed registers *)
+  let owners = Net_systems.kanti_register_count params in
+  let total = 2 + owners in
+  let store2 = Store.create () in
+  let net = Net.create ~store:store2 ~n:total ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm = Netmem.install ~net ~store:store2 ~clients:2 ~owners () in
+  let shared2 = Kanti_omega.create_shared store2 params in
+  let procs2 = Array.init 2 (fun p -> Kanti_omega.make_process shared2 params ~proc:p) in
+  let expanded =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           match Netmem.owner_of_name nm touched.(i) with
+           | Some o -> [ p; o; p ]
+           | None -> Alcotest.fail ("no owner for " ^ touched.(i)))
+         sched)
+  in
+  let run =
+    Executor.replay ~n:total
+      ~schedule:(Schedule.of_list ~n:total expanded)
+      ~substrate:(Net.substrate net)
+      (fun p () ->
+        if p < 2 then Kanti_omega.forever procs2.(p) else Netmem.owner_body nm p ())
+  in
+  Alcotest.(check int) "3x the steps" (3 * shm_len) (Run.total_steps run);
+  Array.iteri
+    (fun p (fd, ws, iters) ->
+      let fd2, ws2, iters2 = shm_obs procs2.(p) in
+      Alcotest.(check bool) "fd_output equal" true (Procset.equal fd fd2);
+      Alcotest.(check bool) "winnerset equal" true (Procset.equal ws ws2);
+      Alcotest.(check int) "iterations equal" iters iters2)
+    expect
+
+(* --------------------------------------------- CT timeout detector *)
+
+let test_ct_stabilizes_after_gst () =
+  (* initial_timeout 2 makes the pre-GST silence cause a real false
+     suspicion, which post-GST heartbeats must undo *)
+  let adversary = Adversary.gst_drop ~delta:1 ~gst:4 in
+  let r = Net_systems.run_ct ~initial_timeout:2 ~clients:2 ~adversary ~max_steps:40 () in
+  Alcotest.(check bool) "stabilized" true (r.Net_systems.stabilized_from <> None);
+  Alcotest.(check (list int)) "everyone trusts p0" [ 0; 0 ]
+    (Array.to_list r.Net_systems.final_leaders);
+  (match r.Net_systems.stabilized_from with
+  | Some s -> Alcotest.(check bool) "suspicion actually happened" true (s > 0)
+  | None -> ());
+  Alcotest.(check bool) "pre-GST messages were dropped" true (r.Net_systems.net_stats.Net.dropped > 0)
+
+let test_ct_property_positive () =
+  let adversary = Adversary.gst_drop ~delta:1 ~gst:4 in
+  let sut = Net_systems.ct_leader ~clients:2 ~adversary () in
+  let property = Net_systems.ct_stabilized ~delta:1 in
+  (* the round-robin maximal prefix at depth 14 is ready and correct *)
+  let rr = Source.take (Generators.round_robin ~n:2 ()) 14 in
+  let st = Explorer.evaluate ~sut rr in
+  let o = st.Explorer.obs in
+  Alcotest.(check bool) "readiness is reachable in bound" true
+    (Array.for_all (fun x -> x <> None) o.Net_systems.post_gst_end);
+  Alcotest.(check (option string)) "round robin conforms" None (property.Property.check st);
+  (* and no maximal prefix within the bound refutes stabilization *)
+  let report =
+    Explorer.explore ~sut ~properties:[ property ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~depth:14 ())
+  in
+  (match report.Explorer.verdicts with
+  | [ (_, Explorer.Ok_bounded) ] -> ()
+  | [ (_, v) ] -> Alcotest.failf "expected Ok_bounded, got %a" Explorer.pp_verdict v
+  | _ -> Alcotest.fail "one verdict expected")
+
+let test_ct_property_negative_control () =
+  (* network that never honours the claimed GST: the property must
+     have teeth and report a violation *)
+  let adversary = Adversary.never ~delta:1 in
+  let sut = Net_systems.ct_leader ~clients:2 ~adversary ~gst_hint:4 () in
+  let property = Net_systems.ct_stabilized ~delta:1 in
+  let rr = Source.take (Generators.round_robin ~n:2 ()) 14 in
+  (match Explorer.check_schedule ~sut ~property rr with
+  | Some _ -> ()
+  | None -> Alcotest.fail "drop-everything network passed the stabilization check");
+  let report =
+    Explorer.explore ~sut ~properties:[ property ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~depth:14 ())
+  in
+  match report.Explorer.verdicts with
+  | [ (_, Explorer.Violated _) ] -> ()
+  | [ (_, v) ] -> Alcotest.failf "expected Violated, got %a" Explorer.pp_verdict v
+  | _ -> Alcotest.fail "one verdict expected"
+
+(* ------------------------------------------------ BRS k-set breakage *)
+
+let kset_inputs = [| 0; 10; 20 |]
+
+let kset_groups = [ [ 0 ]; [ 1; 2 ] ]
+
+let kset_adversary = Adversary.partition ~delta:1 ~gst:9 ~groups:kset_groups
+
+let brs_burst_schedule =
+  Source.take (Generators.net_adversary ~n:3 ~groups:[ [ 1; 2 ]; [ 0 ] ] ~burst:7 ()) 21
+
+let run_kset schedule =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:3 ~adversary:kset_adversary () in
+  let solvers =
+    Array.init 3 (fun me -> Net_kset.create ~net ~clients:3 ~me ~input:kset_inputs.(me) ())
+  in
+  ignore
+    (Executor.replay ~n:3 ~schedule ~substrate:(Net.substrate net) (fun p () ->
+         Net_kset.body solvers.(p) ()));
+  Array.map Net_kset.decision solvers
+
+let test_brs_burst_violates () =
+  let decisions = run_kset brs_burst_schedule in
+  let distinct =
+    Array.to_list decisions |> List.filter_map Fun.id |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "everyone decided" true (Array.for_all (fun d -> d <> None) decisions);
+  Alcotest.(check bool) "more than k=1 distinct decisions" true (List.length distinct > 1)
+
+let test_round_robin_agrees () =
+  let decisions = run_kset (Source.take (Generators.round_robin ~n:3 ()) 21) in
+  Alcotest.(check (list (option int))) "all decide the global minimum"
+    [ Some 0; Some 0; Some 0 ] (Array.to_list decisions)
+
+let test_fuzzer_finds_brs_violation () =
+  let sut = Net_systems.kset_blind ~inputs:kset_inputs ~adversary:kset_adversary () in
+  let property =
+    Property.kset_agreement ~k:1 ~decisions:(fun st -> st.Explorer.obs.Systems.decisions)
+  in
+  let report =
+    Fuzz.run ~len:21 ~seeds:[ brs_burst_schedule ]
+      ~limits:(Setsync_explore.Budget.limits ~max_states:50 ())
+      ~sut ~properties:[ property ] ~seed:7 ()
+  in
+  match report.Fuzz.outcome with
+  | Fuzz.Passed -> Alcotest.fail "fuzzer missed the seeded BRS violation"
+  | Fuzz.Violation v ->
+      Alcotest.(check bool) "shrunk no longer than found" true
+        (Schedule.length v.Fuzz.shrunk <= Schedule.length v.Fuzz.found);
+      (* the shrunk schedule still violates on replay *)
+      let decisions = run_kset v.Fuzz.shrunk in
+      let distinct =
+        Array.to_list decisions |> List.filter_map Fun.id |> List.sort_uniq compare
+      in
+      Alcotest.(check bool) "shrunk reproduces" true (List.length distinct > 1)
+
+(* ------------------------------------------------------- net events *)
+
+let test_net_event_invariants () =
+  let events = Events.memory ~capacity:4096 () in
+  let obs = Obs.create ~events () in
+  let adversary = Adversary.gst_drop ~delta:1 ~gst:4 in
+  ignore (Net_systems.run_ct ~obs ~initial_timeout:2 ~clients:2 ~adversary ~max_steps:30 ());
+  let key args =
+    match (List.assoc_opt "src" args, List.assoc_opt "dst" args, List.assoc_opt "seq" args) with
+    | Some (Json.Int s), Some (Json.Int d), Some (Json.Int q) -> (s, d, q)
+    | _ -> Alcotest.fail "net event missing src/dst/seq"
+  in
+  let sent = Hashtbl.create 64 in
+  let dropped = Hashtbl.create 64 in
+  let delivered = ref 0 in
+  let gst_events = ref 0 in
+  List.iter
+    (fun (e : Events.event) ->
+      if e.cat = "net" then
+        match e.name with
+        | "send" -> Hashtbl.replace sent (key e.args) ()
+        | "drop" ->
+            Alcotest.(check bool) "drop follows send" true (Hashtbl.mem sent (key e.args));
+            Hashtbl.replace dropped (key e.args) ()
+        | "deliver" ->
+            incr delivered;
+            Alcotest.(check bool) "deliver follows send" true (Hashtbl.mem sent (key e.args));
+            Alcotest.(check bool) "no deliver after drop" false (Hashtbl.mem dropped (key e.args))
+        | "gst" -> incr gst_events
+        | other -> Alcotest.failf "unexpected net event %s" other)
+    (Events.events events);
+  Alcotest.(check bool) "messages were sent" true (Hashtbl.length sent > 0);
+  Alcotest.(check bool) "messages were dropped pre-GST" true (Hashtbl.length dropped > 0);
+  Alcotest.(check bool) "messages were delivered post-GST" true (!delivered > 0);
+  Alcotest.(check int) "exactly one gst event" 1 !gst_events
+
+let test_net_metrics () =
+  let obs = Obs.create () in
+  let adversary = Adversary.gst_drop ~delta:1 ~gst:4 in
+  let r = Net_systems.run_ct ~obs ~initial_timeout:2 ~clients:2 ~adversary ~max_steps:30 () in
+  let m name = Metrics.counter_value (Metrics.counter obs.Obs.metrics name) in
+  Alcotest.(check int) "net.sent matches stats" r.Net_systems.net_stats.Net.sent (m "net.sent");
+  Alcotest.(check int) "net.delivered matches stats" r.Net_systems.net_stats.Net.delivered
+    (m "net.delivered");
+  Alcotest.(check int) "net.dropped matches stats" r.Net_systems.net_stats.Net.dropped
+    (m "net.dropped")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "setsync_net"
+    [
+      ( "adversary",
+        [ Alcotest.test_case "due: delta/gst contract" `Quick test_adversary_due ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "synchronous delivery" `Quick test_synchronous_delivery;
+          Alcotest.test_case "pre-GST drop" `Quick test_pre_gst_drop;
+          Alcotest.test_case "pre-GST delay capped at gst+delta" `Quick test_pre_gst_delay_capped;
+          Alcotest.test_case "FIFO: no overtaking" `Quick test_fifo_no_overtaking;
+          Alcotest.test_case "authenticated src" `Quick test_authenticated_src;
+        ] );
+      ("conformance", Shm_conf.tests @ Net_conf.tests);
+      ( "netmem",
+        [
+          Alcotest.test_case "write/read over messages, 3 steps per op" `Quick
+            test_netmem_write_read;
+          Alcotest.test_case "owner sharding" `Quick test_netmem_owner_mapping;
+        ] );
+      ( "cross-backend",
+        [ Alcotest.test_case "kanti outputs identical" `Quick test_kanti_cross_backend ] );
+      ( "ct-detector",
+        [
+          Alcotest.test_case "stabilizes after GST" `Quick test_ct_stabilizes_after_gst;
+          Alcotest.test_case "explorer: stabilization holds in bound" `Quick
+            test_ct_property_positive;
+          Alcotest.test_case "explorer: negative control violates" `Quick
+            test_ct_property_negative_control;
+        ] );
+      ( "brs-kset",
+        [
+          Alcotest.test_case "burst schedule violates k-set" `Quick test_brs_burst_violates;
+          Alcotest.test_case "round robin agrees" `Quick test_round_robin_agrees;
+          Alcotest.test_case "fuzzer finds and shrinks it" `Quick test_fuzzer_finds_brs_violation;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "event invariants" `Quick test_net_event_invariants;
+          Alcotest.test_case "counters match stats" `Quick test_net_metrics;
+        ] );
+    ]

@@ -235,6 +235,56 @@ let test_run_correct_and_pp () =
   Alcotest.(check int) "correct count" 2 (Procset.cardinal (Run.correct run));
   Alcotest.(check bool) "pp smoke" true (String.length (Fmt.str "%a" Run.pp run) > 0)
 
+(* pause steps consume schedule budget without touching any register *)
+let test_pause_step_accounting () =
+  let store = Store.create () in
+  let r = Store.register store ~name:"r" 0 in
+  let body p () =
+    if p = 0 then
+      while true do
+        Shm.pause ()
+      done
+    else
+      while true do
+        Shm.write r (Shm.read r + 1)
+      done
+  in
+  let source ~live = Generators.round_robin ~live ~n:2 () in
+  let run = Executor.run ~n:2 ~source ~max_steps:10 body in
+  Alcotest.(check int) "pauses counted as steps" 5 run.Run.steps_of.(0);
+  Alcotest.(check int) "worker stepped as often" 5 run.Run.steps_of.(1);
+  Alcotest.(check int) "pauses left no footprint" 5
+    (Register.reads r + Register.writes r)
+
+(* a fault whose budget runs out on a pause step: the pause executes,
+   the process is dead from then on, and the local code after the pause
+   (which would run on the next grant) is never reached *)
+let test_crash_on_pause_step () =
+  let after_pause = ref 0 in
+  let body p () =
+    if p = 0 then
+      while true do
+        Shm.pause ();
+        incr after_pause
+      done
+    else
+      while true do
+        Shm.pause ()
+      done
+  in
+  let sched = Schedule.of_list ~n:2 [ 0; 0; 0; 1; 0; 0; 1 ] in
+  let run = Executor.replay ~n:2 ~schedule:sched ~fault:[ (0, 3) ] body in
+  Alcotest.(check int) "exactly the budget" 3 run.Run.steps_of.(0);
+  Alcotest.(check bool) "crashed" true (Procset.mem 0 (Run.crashed run));
+  (* the grant resuming after pause k is step k+1; with the crash on
+     step 3 only the code after pauses 1 and 2 ever ran *)
+  Alcotest.(check int) "post-pause code stops with the crash" 2 !after_pause;
+  (* schedule entries naming the dead process are skipped, not executed *)
+  Alcotest.check schedule "taken" (Schedule.of_list ~n:2 [ 0; 0; 0; 1; 1 ]) run.Run.taken;
+  match run.Run.crashes with
+  | [ (0, 2) ] -> ()
+  | _ -> Alcotest.fail "expected p0's crash recorded at global step 2"
+
 (* step accounting: one shared op per scheduled step *)
 let test_step_accounting () =
   let store = Store.create () in
@@ -280,6 +330,8 @@ let () =
           Alcotest.test_case "replay skips dead" `Quick test_executor_skips_dead_in_replay;
           Alcotest.test_case "stall detection" `Quick test_executor_stall_detection;
           Alcotest.test_case "run record" `Quick test_run_correct_and_pp;
+          Alcotest.test_case "pause step accounting" `Quick test_pause_step_accounting;
+          Alcotest.test_case "crash on a pause step" `Quick test_crash_on_pause_step;
           Alcotest.test_case "step accounting" `Quick test_step_accounting;
         ] );
     ]
