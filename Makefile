@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke net-smoke ci clean
+.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke net-smoke cli-smoke ci clean
 
 all: build
 
@@ -76,6 +76,32 @@ net-smoke: ## net backend gate: bounded exploration passes, BRS fuzz finds the k
 	  --metrics /tmp/setsync_ci_net_metrics.json \
 	  --require-counter net.sent --require-counter net.delivered
 
+cli-smoke: ## explore flag-compatibility gate: impossible combinations fail loudly (exit 1 + stderr), honored approximations warn
+	@set -e; \
+	run() { dune exec bin/setsync_cli.exe -- "$$@" >/dev/null 2>/tmp/setsync_ci_cli.err; }; \
+	expect() { want=$$1; shift; \
+	  if run "$$@"; then status=0; else status=$$?; fi; \
+	  if [ $$status -ne $$want ]; then \
+	    echo "cli-smoke: setsync $$* -> exit $$status, wanted $$want"; \
+	    cat /tmp/setsync_ci_cli.err; exit 1; \
+	  fi; }; \
+	stderr_has() { grep -q "$$1" /tmp/setsync_ci_cli.err || { \
+	  echo "cli-smoke: stderr missing '$$1'"; cat /tmp/setsync_ci_cli.err; exit 1; }; }; \
+	expect 0 explore --check kset --backend net -n 2 -t 1 -k 1 --depth 2 --fingerprints; \
+	stderr_has "warning: --fingerprints"; \
+	expect 1 explore --check kset --backend net -n 2 -t 1 -k 1 --depth 2 --engine snapshot; \
+	stderr_has "machine-form"; \
+	expect 1 explore --check kset --depth 2 --symmetry --fingerprints; \
+	stderr_has "requires --engine snapshot"; \
+	expect 1 explore --check kset --depth 2 --engine snapshot --symmetry; \
+	stderr_has "add --fingerprints"; \
+	expect 1 explore --check kset --depth 2 --engine snapshot --bfs; \
+	stderr_has "depth-first only"; \
+	expect 1 explore --check timeliness -n 2 --depth 2 --engine snapshot; \
+	stderr_has "breadth-first"; \
+	expect 0 explore --check kset -n 2 -t 1 -k 1 --depth 6 --engine snapshot --symmetry --fingerprints; \
+	echo "cli-smoke: ok"
+
 ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run check, fuzz + net smokes
 	$(MAKE) fmt-check
 	dune build
@@ -85,6 +111,7 @@ ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run 
 	$(MAKE) obs-check
 	$(MAKE) fuzz-smoke
 	$(MAKE) net-smoke
+	$(MAKE) cli-smoke
 
 clean:
 	dune clean

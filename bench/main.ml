@@ -489,6 +489,114 @@ let e11_engines () =
            (if agree then ", same verdicts+visited" else ", ENGINE MISMATCH")))
     [ (2, 8); (3, 8) ]
 
+(* E11f: the snapshot engine and symmetry reduction. Part one re-runs
+   the E11e instances on the snapshot engine (fingerprints off, so
+   visited counts are engine-independent): replay steps drop to exactly
+   zero — state reconstruction is typed copy/restore, accounted
+   separately as machine steps and restores. Part two checks a
+   symmetric instance (equal inputs, so the admissible renaming group
+   is non-trivial) at depth 10 with canonical renaming-minimal
+   fingerprints: still exhaustive, and the visited-state count drops by
+   a pinned factor against the fp-off baseline. `make ci` pins
+   replay_steps = 0, engine equivalence, and a floor on the reduction
+   factor (bin/bench_guard.ml). *)
+let e11_snapshot () =
+  subsection "f. snapshot engine: zero replay steps; symmetry reduction (canonical fp)";
+  Fmt.pr "  %-20s %-9s %-9s %-13s %-14s %-9s %s@." "instance" "engine" "visited"
+    "replay_steps" "machine_steps" "restores" "note";
+  let machine_metrics obs =
+    let m name = Metrics.counter_value (Metrics.counter obs.Obs.metrics name) in
+    (m "explorer.machine_steps", m "explorer.restores")
+  in
+  List.iter
+    (fun (n, depth) ->
+      let problem = Problem.make ~t:1 ~k:1 ~n in
+      let inputs = Problem.distinct_inputs problem in
+      let sut = Explore_systems.kset_agreement ~problem ~inputs () in
+      let decisions st = st.Explorer.obs.Explore_systems.decisions in
+      let properties =
+        [ Property.kset_agreement ~k:1 ~decisions; Property.validity ~inputs ~decisions ]
+      in
+      let r_path =
+        Explorer.explore ~sut ~properties
+          (Explorer.config ~prune_fingerprints:false ~engine:Explorer.Path ~depth ())
+      in
+      let obs = Obs.create () in
+      let r_snap =
+        Explorer.explore ~obs ~sut ~properties
+          (Explorer.config ~prune_fingerprints:false ~engine:Explorer.Snapshot ~depth ())
+      in
+      let machine_steps, restores = machine_metrics obs in
+      let agree =
+        r_snap.Explorer.verdicts = r_path.Explorer.verdicts
+        && r_snap.Explorer.stats.Budget.visited = r_path.Explorer.stats.Budget.visited
+      in
+      let instance = Fmt.str "t=1,k=1,n=%d @%d" n depth in
+      Fmt.pr "  %-20s %-9s %-9d %-13d %-14s %-9s %s@." instance "path"
+        r_path.Explorer.stats.Budget.visited r_path.Explorer.stats.Budget.replay_steps "-"
+        "-" "baseline";
+      Fmt.pr "  %-20s %-9s %-9d %-13d %-14d %-9d %s@." instance "snapshot"
+        r_snap.Explorer.stats.Budget.visited r_snap.Explorer.stats.Budget.replay_steps
+        machine_steps restores
+        (if agree then "same verdicts+visited, 0 replay steps" else "ENGINE MISMATCH");
+      Results.add "E11f"
+        [
+          ("kind", Json.String "engine");
+          ("n", Json.Int n);
+          ("depth", Json.Int depth);
+          ("visited", Json.Int r_snap.Explorer.stats.Budget.visited);
+          ("path_replay_steps", Json.Int r_path.Explorer.stats.Budget.replay_steps);
+          ("replay_steps", Json.Int r_snap.Explorer.stats.Budget.replay_steps);
+          ("machine_steps", Json.Int machine_steps);
+          ("restores", Json.Int restores);
+          ("equivalent", Json.Bool agree);
+        ])
+    [ (2, 8); (3, 8) ];
+  (* part two: symmetry on a renaming-symmetric instance *)
+  let n = 3 and depth = 10 in
+  let problem = Problem.make ~t:1 ~k:1 ~n in
+  let inputs = Array.make n 7 in
+  let sut = Explore_systems.kset_agreement ~problem ~inputs () in
+  let decisions st = st.Explorer.obs.Explore_systems.decisions in
+  let properties =
+    [ Property.kset_agreement ~k:1 ~decisions; Property.validity ~inputs ~decisions ]
+  in
+  let run ~prune ~symmetry =
+    Explorer.explore ~sut ~properties
+      (Explorer.config ~prune_fingerprints:prune ~engine:Explorer.Snapshot ~symmetry
+         ~depth ())
+  in
+  let r_full = run ~prune:false ~symmetry:false in
+  let r_sym = run ~prune:true ~symmetry:true in
+  let v_full = r_full.Explorer.stats.Budget.visited in
+  let v_sym = r_sym.Explorer.stats.Budget.visited in
+  let reduction = float_of_int v_full /. float_of_int (max 1 v_sym) in
+  let agree = r_full.Explorer.verdicts = r_sym.Explorer.verdicts in
+  let exhaustive =
+    (not r_full.Explorer.stats.Budget.truncated)
+    && not r_sym.Explorer.stats.Budget.truncated
+  in
+  let instance = Fmt.str "t=1,k=1,n=%d @%d =in" n depth in
+  Fmt.pr "  %-20s %-9s %-9d %-13d %-14s %-9s %s@." instance "snapshot" v_full
+    r_full.Explorer.stats.Budget.replay_steps "-" "-" "fp off (exhaustive baseline)";
+  Fmt.pr "  %-20s %-9s %-9d %-13d %-14s %-9s %s@." instance "sym" v_sym
+    r_sym.Explorer.stats.Budget.replay_steps "-" "-"
+    (Fmt.str "%.2fx fewer states%s%s" reduction
+       (if agree then ", same verdicts" else ", VERDICT MISMATCH")
+       (if exhaustive then ", exhaustive" else ", TRUNCATED"));
+  Results.add "E11f"
+    [
+      ("kind", Json.String "symmetry");
+      ("n", Json.Int n);
+      ("depth", Json.Int depth);
+      ("visited_full", Json.Int v_full);
+      ("visited_sym", Json.Int v_sym);
+      ("replay_steps", Json.Int r_sym.Explorer.stats.Budget.replay_steps);
+      ("reduction", Json.Float reduction);
+      ("equivalent", Json.Bool agree);
+      ("exhaustive", Json.Bool exhaustive);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* P*: performance profile (Bechamel) *)
 
@@ -850,6 +958,7 @@ let quick () =
   section "E11. Bounded exploration smoke";
   e11_domains ~depth:8 ();
   e11_engines ();
+  e11_snapshot ();
   f1_fuzz ();
   n1_net ~quick:true ();
   p9_obs_overhead ();
@@ -871,6 +980,7 @@ let () =
     e11_explore ();
     e11_domains ();
     e11_engines ();
+    e11_snapshot ();
     f1_fuzz ();
     n1_net ();
     convergence_profile ();

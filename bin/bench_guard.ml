@@ -8,7 +8,15 @@
    low enough that losing the amortization (O(depth) replays per
    state, ~8-10 steps/visited) trips immediately.
 
-   It also pins the net backend's N1 quick row: the round-robin CT run
+   It also pins the E11f snapshot-engine rows: the snapshot engine must
+   execute {e exactly zero} replay steps (state reconstruction is typed
+   copy/restore, accounted as machine steps) while staying
+   verdict/visited-equivalent to the path engine, and on the symmetric
+   equal-inputs instance (n=3, depth 10) the canonical-fingerprint
+   symmetry reduction must stay exhaustive and shrink the visited-state
+   count by at least 20x against the fp-off baseline (measured 31.5x).
+
+   And the net backend's N1 quick row: the round-robin CT run
    (n=2, delta=1, gst=4) is fully deterministic, so its stabilization
    step is an exact machine-independent regression signal — measured 9,
    ceiling 12 — and pre-GST drops must actually occur.
@@ -84,6 +92,59 @@ let () =
             n spv ratio)
     ceilings;
   if !checked = 0 then fail "no E11e rows checked";
+  (* E11f engine rows: the snapshot engine replays nothing, ever *)
+  let e11f_rows kind =
+    List.filter
+      (fun row -> str row "section" = Some "E11f" && str row "kind" = Some kind)
+      rows
+  in
+  let engine_rows = e11f_rows "engine" in
+  if engine_rows = [] then
+    fail "%s: no E11f engine rows — did bench --quick change?" file;
+  List.iter
+    (fun row ->
+      let n =
+        match Option.bind (Json.member "n" row) Json.to_int with
+        | Some n -> n
+        | None -> fail "E11f: engine row missing n"
+      in
+      (match Option.bind (Json.member "replay_steps" row) Json.to_int with
+      | Some 0 -> ()
+      | Some s -> fail "E11f n=%d: snapshot engine executed %d replay steps (want 0)" n s
+      | None -> fail "E11f n=%d: missing replay_steps" n);
+      (match Option.bind (Json.member "machine_steps" row) Json.to_int with
+      | Some s when s > 0 -> ()
+      | Some _ -> fail "E11f n=%d: zero machine steps — snapshot engine inert?" n
+      | None -> fail "E11f n=%d: missing machine_steps" n);
+      (match Json.member "equivalent" row with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "E11f n=%d: snapshot engine no longer verdict/visited-equivalent" n);
+      Printf.printf "bench_guard: E11f n=%d ok (0 replay steps, equivalent)\n" n)
+    engine_rows;
+  (* E11f symmetry row: exhaustive, equivalent, and actually reducing *)
+  (match e11f_rows "symmetry" with
+  | [] -> fail "%s: no E11f symmetry row — did bench --quick change?" file
+  | row :: _ ->
+      let min_reduction = 20.0 in
+      let reduction =
+        match num row "reduction" with
+        | Some v -> v
+        | None -> fail "E11f symmetry: missing reduction"
+      in
+      (match Option.bind (Json.member "replay_steps" row) Json.to_int with
+      | Some 0 -> ()
+      | _ -> fail "E11f symmetry: snapshot engine executed replay steps (want 0)");
+      (match Json.member "exhaustive" row with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "E11f symmetry: run no longer exhaustive");
+      (match Json.member "equivalent" row with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "E11f symmetry: verdicts differ between sym-on and sym-off");
+      if reduction < min_reduction then
+        fail "E11f symmetry: only %.2fx fewer visited states (need %.1fx)" reduction
+          min_reduction;
+      Printf.printf "bench_guard: E11f symmetry ok (%.2fx fewer states, exhaustive)\n"
+        reduction);
   (* N1 quick row: n=2, delta=1, gst=4 — deterministic stabilization *)
   let n1_row =
     List.find_opt

@@ -364,7 +364,9 @@ let explore_cmd =
           ~doc:
             "Enable fingerprint memoization for $(b,kset)/$(b,detector) (approximate: \
              process-local state is not fingerprinted; the default for those checks is \
-             sleep-set reduction only, which is exact).")
+             sleep-set reduction only, which is exact). With $(b,--backend net) the \
+             approximation is coarser still (channel contents are digested but local \
+             timers are not) and a warning is printed.")
   in
   let domains_arg =
     Arg.(
@@ -376,15 +378,45 @@ let explore_cmd =
              are equivalent across domain counts; which counterexample is reported \
              first, and the visited/pruned split under $(b,--fingerprints), are not.")
   in
+  let engine_conv =
+    Arg.enum
+      [
+        ("per-state", Explorer.Per_state);
+        ("path", Explorer.Path);
+        ("snapshot", Explorer.Snapshot);
+      ]
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (some engine_conv) None
+      & info [ "engine" ] ~docv:"E"
+          ~doc:
+            "State (re)construction engine: $(b,path) (amortized path replay, the \
+             default), $(b,per-state) (replay every state's prefix from scratch; the \
+             comparison baseline), or $(b,snapshot) (typed copy/restore along the DFS \
+             spine — zero replay steps; needs a machine-form shm system and a \
+             depth-first frontier, so it excludes $(b,--backend net), $(b,--bfs) and \
+             $(b,--check timeliness)).")
+  in
+  let symmetry_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "symmetry" ]
+          ~doc:
+            "Process-renaming symmetry reduction: fingerprints are canonicalized over \
+             the system's admissible renamings, so states equal up to renaming are \
+             explored once. Requires $(b,--engine snapshot) and $(b,--fingerprints).")
+  in
   let per_state_arg =
     Arg.(
       value
       & flag
       & info [ "per-state" ]
           ~doc:
-            "Disable the amortized path-replay engine and replay every state's prefix \
-             from scratch (the comparison baseline; same verdicts and visited counts, \
-             O(depth) more replay steps per state).")
+            "Legacy alias of $(b,--engine per-state) (ignored when $(b,--engine) is \
+             given).")
   in
   let max_seconds_arg =
     Arg.(
@@ -400,10 +432,41 @@ let explore_cmd =
           ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
   in
   let run check n t k depth bound seed bfs max_states max_replay_steps max_seconds
-      fingerprints per_state domains backend delta gst trace_out metrics_out
-      progress_seconds =
+      fingerprints engine_opt symmetry per_state domains backend delta gst trace_out
+      metrics_out progress_seconds =
     let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
-    let path_replay = not per_state in
+    let engine =
+      match engine_opt with
+      | Some e -> e
+      | None -> if per_state then Explorer.Per_state else Explorer.Path
+    in
+    (* flag-compatibility gate: reject inert or impossible combinations
+       loudly instead of silently ignoring them *)
+    if symmetry && engine <> Explorer.Snapshot then begin
+      Fmt.epr "setsync: --symmetry requires --engine snapshot (canonical fingerprints \
+               are computed from the machine-form state)@.";
+      exit 1
+    end;
+    if symmetry && not fingerprints then begin
+      Fmt.epr "setsync: --symmetry reduces the fingerprint table and does nothing \
+               without it; add --fingerprints@.";
+      exit 1
+    end;
+    if engine = Explorer.Snapshot && bfs then begin
+      Fmt.epr "setsync: --engine snapshot is depth-first only (its savepoint stack is \
+               the DFS spine); drop --bfs@.";
+      exit 1
+    end;
+    if engine = Explorer.Snapshot && backend = Backend_net then begin
+      Fmt.epr "setsync: --engine snapshot needs a machine-form system; --backend net \
+               systems step through the substrate and have none (use the path or \
+               per-state engine)@.";
+      exit 1
+    end;
+    if fingerprints && backend = Backend_net then
+      Fmt.epr "setsync: warning: --fingerprints with --backend net is a coarse \
+               approximation (channel contents are digested, per-process timers are \
+               not); pruning may merge states that differ in timer state@.";
     let limits = Budget.limits ?max_states ?max_replay_steps ?max_seconds () in
     let obs = make_obs ~shards:domains ~trace_out ~metrics_out () in
     let gst = Option.value gst ~default:4 in
@@ -444,8 +507,8 @@ let explore_cmd =
           ]
         in
         let config =
-          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~path_replay ~limits
-            ~depth ()
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~engine ~symmetry
+            ~limits ~depth ()
         in
         Fmt.pr "exploring %a, inputs %a, depth %d@." Problem.pp problem
           Fmt.(array ~sep:sp int)
@@ -454,8 +517,9 @@ let explore_cmd =
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
     | Check_kset, Backend_net ->
-        (* net replay footprints under-approximate clock reads, so both
-           reductions are forced off (see Net's exploration caveat) *)
+        (* net replay footprints under-approximate clock reads, so sleep
+           sets stay forced off (see Net's exploration caveat);
+           fingerprints are opt-in and warned about above *)
         let adversary = Adversary.brs_kset ~delta ~gst ~n ~k in
         let inputs = net_inputs n in
         let sut = Net_systems.kset_blind ~inputs ~adversary () in
@@ -468,8 +532,8 @@ let explore_cmd =
           ]
         in
         let config =
-          Explorer.config ~strategy ~prune_fingerprints:false ~sleep_sets:false
-            ~path_replay ~limits ~depth ()
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~sleep_sets:false
+            ~engine ~limits ~depth ()
         in
         Fmt.pr
           "exploring blind k-set gossip vs %s (n=%d, k=%d, delta=%d, gst=%d), depth %d@."
@@ -488,23 +552,23 @@ let explore_cmd =
           ]
         in
         let config =
-          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~path_replay ~limits
-            ~depth ()
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~engine ~symmetry
+            ~limits ~depth ()
         in
         Fmt.pr "exploring Figure 2 detector (n=%d, t=%d, k=%d), depth %d@." n t k depth;
         let report = explore_with ~sut ~properties config in
         finish report (fun r ->
             List.for_all (fun (_, v) -> v = Explorer.Ok_bounded) r.Explorer.verdicts)
     | Check_detector, Backend_net ->
-        (* CT timeout detector stabilization after GST; reductions off,
+        (* CT timeout detector stabilization after GST; sleep sets off,
            as for net kset. Readiness needs depth >= about 7n after GST
            on round-robin paths — depth 14 covers (n=2, gst=4, delta=1). *)
         let adversary = Adversary.gst_drop ~delta ~gst in
         let sut = Net_systems.ct_leader ~clients:n ~adversary () in
         let properties = [ Net_systems.ct_stabilized ~delta ] in
         let config =
-          Explorer.config ~strategy ~prune_fingerprints:false ~sleep_sets:false
-            ~path_replay ~limits ~depth ()
+          Explorer.config ~strategy ~prune_fingerprints:fingerprints ~sleep_sets:false
+            ~engine ~limits ~depth ()
         in
         Fmt.pr "exploring CT timeout detector (n=%d, delta=%d, gst=%d), depth %d@." n
           delta gst depth;
@@ -517,7 +581,14 @@ let explore_cmd =
     | Check_timeliness, Backend_shm ->
         (* Single-process timeliness of {p1} wrt {pn} — false on the
            Figure 1 family, so exploration must find a counterexample;
-           schedule-sensitive, so both reductions are off. *)
+           schedule-sensitive, so both reductions are off. The frontier
+           is forced breadth-first (shortest counterexample first),
+           which the depth-first-only snapshot engine cannot serve. *)
+        if engine = Explorer.Snapshot then begin
+          Fmt.epr "setsync: --check timeliness forces a breadth-first frontier; the \
+                   snapshot engine is depth-first only@.";
+          exit 1
+        end;
         let p = Procset.singleton 0 and q = Procset.singleton (n - 1) in
         let sut = Explore_systems.pause_procs ~n in
         let property =
@@ -525,7 +596,7 @@ let explore_cmd =
         in
         let config =
           Explorer.config ~strategy:Explorer.Bfs ~prune_fingerprints:false
-            ~sleep_sets:false ~path_replay ~limits ~depth ()
+            ~sleep_sets:false ~engine ~limits ~depth ()
         in
         Fmt.pr
           "exploring schedules over %d processes, depth %d: is {p1} timely wrt {p%d} at \
@@ -579,8 +650,8 @@ let explore_cmd =
     Term.(
       const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
       $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
-      $ per_state_arg $ domains_arg $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg
-      $ metrics_out_arg $ progress_seconds_arg)
+      $ engine_arg $ symmetry_arg $ per_state_arg $ domains_arg $ backend_arg $ delta_arg
+      $ gst_arg $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
 
 (* ------------------------------------------------------------- fuzz *)
 

@@ -86,6 +86,174 @@ let body t proc () =
       Shm.pause ()
     done
 
+(* {2 Machine form}
+
+   Explicit-PC composition of the solver loop for the snapshot
+   exploration engine: the same interleaving of detector iterations,
+   decision-gossip scans and Paxos attempts as [body], with the fiber
+   replaced by a per-process PC. Step boundaries mirror the fiber
+   form's exactly — each step runs the local code since the previous
+   shared-memory atomic and performs the next one — so footprints and
+   snapshots coincide. *)
+
+type spc =
+  | S_fd of Kanti_omega.mpc  (** inside a detector iteration *)
+  | S_dec of int * int option  (** read [Dec[q]]; adoption pending *)
+  | S_paxos of int * Procset.t * Paxos.mpc
+      (** attempting instance [r] with the winnerset the rank came from *)
+  | S_dec_written  (** published own decision *)
+  | S_paused  (** idling decided process *)
+
+type machine = {
+  solver : t;
+  fds : Kanti_omega.process array;
+  props : Paxos.proposer array array;  (** [proc].(rank) *)
+  pcs : spc option array;
+}
+
+let machine t =
+  let { Problem.k; n; _ } = t.problem in
+  let fds =
+    Array.init n (fun proc ->
+        let fd =
+          Kanti_omega.make_process ?initial_timeout:t.initial_timeout t.fd_shared t.fd_params
+            ~proc
+        in
+        t.fd_processes.(proc) <- Some fd;
+        fd)
+  in
+  let props =
+    Array.init n (fun proc ->
+        Array.init k (fun r -> Paxos.make_proposer t.instances.(r) ~proc ~input:t.inputs.(proc)))
+  in
+  { solver = t; fds; props; pcs = Array.make n None }
+
+(* the [Decided] handler of [body]: runs in the step that performs the
+   decision-register write *)
+let machine_decide m proc v =
+  let t = m.solver in
+  t.engagement.(proc) <- None;
+  t.decisions.(proc) <- Some v;
+  Setsync_runtime.Machine.write t.dec.(proc) (Some v);
+  S_dec_written
+
+(* the rank loop of [body] from rank [r]: engage the first rank this
+   process holds in [w]; falling off the end starts the next detector
+   iteration. Always performs this step's atomic. *)
+let rec machine_ranks m proc w r =
+  let t = m.solver in
+  let { Problem.k; _ } = t.problem in
+  if r >= k then S_fd (Kanti_omega.iterate_start m.fds.(proc))
+  else if (not (Procset.is_empty w)) && Proc.equal (Procset.nth w r) proc then begin
+    t.engagement.(proc) <- Some (r, Paxos.current_ballot m.props.(proc).(r));
+    match Paxos.attempt_start m.props.(proc).(r) with
+    | Paxos.M_more pc -> S_paxos (r, w, pc)
+    | Paxos.M_decided v -> machine_decide m proc v
+    | Paxos.M_interfered -> assert false
+  end
+  else machine_ranks m proc w (r + 1)
+
+let machine_step m proc =
+  let t = m.solver in
+  let { Problem.n; _ } = t.problem in
+  let pc' =
+    match m.pcs.(proc) with
+    | None -> S_fd (Kanti_omega.iterate_start m.fds.(proc))
+    | Some (S_fd pc) -> (
+        match Kanti_omega.iterate_resume m.fds.(proc) pc with
+        | Some pc' -> S_fd pc'
+        | None -> S_dec (0, Setsync_runtime.Machine.read t.dec.(0)))
+    | Some (S_dec (_, Some v)) -> machine_decide m proc v
+    | Some (S_dec (q, None)) ->
+        if q < n - 1 then S_dec (q + 1, Setsync_runtime.Machine.read t.dec.(q + 1))
+        else machine_ranks m proc (Kanti_omega.winnerset m.fds.(proc)) 0
+    | Some (S_paxos (r, w, pc)) -> (
+        match Paxos.attempt_resume m.props.(proc).(r) pc with
+        | Paxos.M_more pc' -> S_paxos (r, w, pc')
+        | Paxos.M_interfered ->
+            t.engagement.(proc) <- None;
+            machine_ranks m proc w (r + 1)
+        | Paxos.M_decided v -> machine_decide m proc v)
+    | Some S_dec_written -> S_paused
+    | Some S_paused -> S_paused
+  in
+  m.pcs.(proc) <- Some pc'
+
+let machine_save m =
+  let fd_saves = Array.map Kanti_omega.save_process m.fds in
+  let prop_saves = Array.map (Array.map Paxos.save_proposer) m.props in
+  let pcs = Array.copy m.pcs in
+  let decisions = Array.copy m.solver.decisions in
+  let engagement = Array.copy m.solver.engagement in
+  fun () ->
+    Array.iter (fun f -> f ()) fd_saves;
+    Array.iter (Array.iter (fun f -> f ())) prop_saves;
+    Array.blit pcs 0 m.pcs 0 (Array.length pcs);
+    Array.blit decisions 0 m.solver.decisions 0 (Array.length decisions);
+    Array.blit engagement 0 m.solver.engagement 0 (Array.length engagement)
+
+(* {2 Symmetry} *)
+
+let rename_set ~perm s =
+  Procset.fold (fun p acc -> Procset.add perm.(p) acc) s Procset.empty
+
+(* Admissible renamings: the detector's (preserve the canonical first
+   set) intersected with input invariance — renaming may only identify
+   processes with equal proposal values, or validity-relevant state
+   would be conflated. *)
+let sym_perms t =
+  Kanti_omega.sym_perms t.fd_params
+  |> List.filter (fun perm ->
+         let ok = ref true in
+         Array.iteri (fun p q -> if t.inputs.(q) <> t.inputs.(p) then ok := false) perm;
+         !ok)
+
+let spc_string m ~perm = function
+  | S_fd _ -> "F"  (* detail lives in the detector payload *)
+  | S_dec (q, v) ->
+      Printf.sprintf "D%d=%s" perm.(q)
+        (match v with None -> "-" | Some v -> string_of_int v)
+  | S_paxos (r, w, pc) ->
+      Printf.sprintf "P%d;%s;%s" r
+        (Procset.to_string (rename_set ~perm w))
+        (Paxos.sym_payload_pc ~perm m.solver.instances.(r) pc)
+  | S_dec_written -> "W"
+  | S_paused -> "Z"
+
+let sym_payload m ~perm =
+  let t = m.solver in
+  let { Problem.k; n; _ } = t.problem in
+  let inv = Array.make n 0 in
+  Array.iteri (fun p q -> inv.(q) <- p) perm;
+  let kanti_pcs =
+    Array.map (function Some (S_fd pc) -> Some pc | _ -> None) m.pcs
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Kanti_omega.sym_payload t.fd_shared t.fd_params m.fds kanti_pcs ~perm);
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  for r = 0 to k - 1 do
+    add "!I%d:%s" r (Paxos.sym_payload_blocks ~perm t.instances.(r));
+    for p' = 0 to n - 1 do
+      add "~%s" (Paxos.sym_payload_proposer ~perm m.props.(inv.(p')).(r))
+    done
+  done;
+  (* Dec registers, local decisions, engagement, solver PCs — renamed
+     process perm p carries process p's slots; decision values are
+     payload data and stay fixed. *)
+  let str_of_opt = function None -> "-" | Some v -> string_of_int v in
+  for p' = 0 to n - 1 do
+    let p = inv.(p') in
+    add "!d%s;D%s;e%s;pc%s"
+      (str_of_opt (Setsync_memory.Register.peek t.dec.(p)))
+      (str_of_opt t.decisions.(p))
+      (match t.engagement.(p) with
+      | None -> "-"
+      | Some (r, b) ->
+          Printf.sprintf "(%d,%d)" r (Paxos.rename_ballot ~n ~perm b))
+      (match m.pcs.(p) with None -> "-" | Some pc -> spc_string m ~perm pc)
+  done;
+  Buffer.contents buf
+
 let decisions t = Array.copy t.decisions
 
 let fd_iterations t =

@@ -37,6 +37,45 @@ val decisions : t -> int option array
 (** Snapshot of per-process decisions (local records, readable at any
     point; index = process). *)
 
+(** {2 Machine form} — explicit-PC composition of the solver loop for
+    the snapshot exploration engine; per-process steps perform exactly
+    the register operations {!body}'s fiber steps perform, in the same
+    order, so footprints and snapshots coincide across both forms. *)
+
+type machine
+
+val machine : t -> machine
+(** Build the machine form over the same solver state: detector
+    processes and proposers are created eagerly (they allocate no
+    registers), PCs start unset. Use either {!body} or the machine to
+    drive a given [t], not both. *)
+
+val machine_step : machine -> Setsync_schedule.Proc.t -> unit
+(** One step of the given process: the local code since its previous
+    shared-memory atomic plus the next atomic. Decided processes idle
+    (no register operations), mirroring [body]'s pause loop; no
+    process ever halts. *)
+
+val machine_save : machine -> unit -> unit
+(** Capture all per-process local state (detector locals, proposer
+    ballots/decisions, PCs, decision records, engagement); the
+    returned thunk restores it. Register state is the store's job. *)
+
+val sym_perms : t -> int array list
+(** Admissible process renamings for symmetry reduction: the
+    detector's admissible renamings ({!Setsync_detector.Kanti_omega.sym_perms})
+    restricted to those fixing the input assignment pointwise
+    ([inputs ∘ perm = inputs]). Always contains the identity. *)
+
+val sym_payload : machine -> perm:int array -> string
+(** Deterministic rendering of the full machine state under the
+    renaming [perm] (detector payload, Paxos blocks/proposers with
+    owner-renamed ballots, decision registers, engagement, PCs).
+    Equal payloads under some admissible renaming identify symmetric
+    states; rank selection ([Procset.nth]) and argmin tie-breaks are
+    not order-equivariant, so this is a sound-in-practice heuristic
+    validated by the symmetry cross-check tests, not an exact quotient. *)
+
 val fd_iterations : t -> int array
 (** Completed detector iterations per process (diagnostics). *)
 

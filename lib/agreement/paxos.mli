@@ -53,3 +53,44 @@ val peek_decision : shared -> int option
     aid; agreement validation uses the processes' actual decisions. *)
 
 val peek_max_ballot : shared -> int
+
+(** {2 Machine form} — explicit-PC version of {!attempt} for the
+    snapshot exploration engine; steps perform exactly the register
+    operations the fiber form performs, in the same order. *)
+
+type mpc
+(** An in-flight attempt: the atomic just performed plus the
+    attempt's accumulated locals. *)
+
+type mres =
+  | M_more of mpc  (** an atomic was performed; the attempt continues *)
+  | M_decided of int
+      (** resolved, value decided; {e no} atomic was performed in this
+          resolution — the caller owns the step's atomic *)
+  | M_interfered
+      (** resolved by interference, ballot already raised; no atomic
+          was performed — the caller owns the step's atomic *)
+
+val attempt_start : proposer -> mres
+(** Begin an attempt: performs its first atomic (the own-block read),
+    or resolves immediately (already decided) without an atomic.
+    Never returns [M_interfered]. *)
+
+val attempt_resume : proposer -> mpc -> mres
+
+val save_proposer : proposer -> unit -> unit
+(** Capture ballot and decision; the returned thunk restores them. *)
+
+(** {2 Symmetry helpers} — renderings of proposer/shared state under a
+    process renaming, used by the k-set solver's symmetry payload.
+    Ballots encode their owner ([p] uses [{r·n + p + 1}]) and are
+    renamed within the residue class; inputs are payload data and stay
+    fixed. *)
+
+val rename_ballot : n:int -> perm:int array -> int -> int
+
+val sym_payload_proposer : perm:int array -> proposer -> string
+
+val sym_payload_blocks : perm:int array -> shared -> string
+
+val sym_payload_pc : perm:int array -> shared -> mpc -> string

@@ -3,6 +3,7 @@ module Procset = Setsync_schedule.Procset
 module Register = Setsync_memory.Register
 module Store = Setsync_memory.Store
 module Shm = Setsync_runtime.Shm
+module Machine = Setsync_runtime.Machine
 
 type params = { n : int; t : int; k : int }
 
@@ -135,3 +136,210 @@ let iterations p = p.iterations
 let local_accusation p ~set_index = p.accusation.(set_index)
 
 let local_timeout p ~set_index = p.timeout.(set_index)
+
+(* {2 Machine form}
+
+   Explicit-PC version of [iterate], one shared-memory atomic per
+   step, for the snapshot exploration engine (fibers park one-shot
+   continuations and cannot be copied into savepoints). Each PC value
+   names the atomic just performed, carrying its pending result; the
+   resume function runs the local code that follows it in [iterate]
+   and performs the next atomic — exactly the code layout a fiber step
+   executes, so step footprints and snapshots coincide with the fiber
+   form's. *)
+
+type mpc =
+  | M_cnt of int * int * int  (** read [Counter[a][q]] = v; assignment pending *)
+  | M_hb_written  (** wrote own [Heartbeat] (lines 6-7) *)
+  | M_hb of int * int  (** read [Heartbeat[q]] = v; refresh pending *)
+  | M_cnt_written of int  (** accused set [a] in the tick loop (line 19) *)
+
+let num_sets p = Array.length p.shared.sets
+
+let iterate_start p = M_cnt (0, 0, Machine.read p.shared.counter.(0).(0))
+
+(* lines 14-19 from set index [a0]: tick timers until one expires; the
+   expiry's counter write ends the step. Falling off the end runs the
+   iteration's trailing code (line 20's loop bookkeeping) and returns
+   [None]: the caller owns this step's atomic. *)
+let rec tick_from p a0 =
+  if a0 >= num_sets p then begin
+    p.iterations <- p.iterations + 1;
+    None
+  end
+  else begin
+    p.timer.(a0) <- p.timer.(a0) - 1;
+    if p.timer.(a0) = 0 then begin
+      p.timeout.(a0) <- p.timeout.(a0) + 1;
+      p.timer.(a0) <- p.timeout.(a0);
+      Machine.write p.shared.counter.(a0).(p.proc) (p.cnt.(a0).(p.proc) + 1);
+      Some (M_cnt_written a0)
+    end
+    else tick_from p (a0 + 1)
+  end
+
+let iterate_resume p pc =
+  let { n; t; _ } = p.params in
+  let ns = num_sets p in
+  match pc with
+  | M_cnt (a, q, v) ->
+      p.cnt.(a).(q) <- v;
+      if q = n - 1 then p.accusation.(a) <- Order_stat.kth_smallest p.cnt.(a) (t + 1);
+      let a', q' = if q = n - 1 then (a + 1, 0) else (a, q + 1) in
+      if a' < ns then Some (M_cnt (a', q', Machine.read p.shared.counter.(a').(q')))
+      else begin
+        (* lines 4-7 *)
+        let best = ref 0 in
+        for a = 1 to ns - 1 do
+          if p.accusation.(a) < p.accusation.(!best) then best := a
+        done;
+        p.winnerset <- p.shared.sets.(!best);
+        p.fd_output <- Procset.diff (Procset.full ~n) p.winnerset;
+        p.my_hb <- p.my_hb + 1;
+        Machine.write p.shared.heartbeat.(p.proc) p.my_hb;
+        Some M_hb_written
+      end
+  | M_hb_written -> Some (M_hb (0, Machine.read p.shared.heartbeat.(0)))
+  | M_hb (q, hbq) ->
+      if hbq > p.prev_heartbeat.(q) then begin
+        for a = 0 to ns - 1 do
+          if Procset.mem q p.shared.sets.(a) then p.timer.(a) <- p.timeout.(a)
+        done;
+        p.prev_heartbeat.(q) <- hbq
+      end;
+      if q < n - 1 then Some (M_hb (q + 1, Machine.read p.shared.heartbeat.(q + 1)))
+      else tick_from p 0
+  | M_cnt_written a -> tick_from p (a + 1)
+
+let save_process p =
+  let fd_output = p.fd_output
+  and winnerset = p.winnerset
+  and my_hb = p.my_hb
+  and iterations = p.iterations in
+  let prev_heartbeat = Array.copy p.prev_heartbeat in
+  let timeout = Array.copy p.timeout in
+  let timer = Array.copy p.timer in
+  let accusation = Array.copy p.accusation in
+  let cnt = Array.map Array.copy p.cnt in
+  fun () ->
+    p.fd_output <- fd_output;
+    p.winnerset <- winnerset;
+    p.my_hb <- my_hb;
+    p.iterations <- iterations;
+    Array.blit prev_heartbeat 0 p.prev_heartbeat 0 (Array.length prev_heartbeat);
+    Array.blit timeout 0 p.timeout 0 (Array.length timeout);
+    Array.blit timer 0 p.timer 0 (Array.length timer);
+    Array.blit accusation 0 p.accusation 0 (Array.length accusation);
+    Array.iteri (fun i row -> Array.blit row 0 p.cnt.(i) 0 (Array.length row)) cnt
+
+(* {2 Symmetry} *)
+
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: ys -> (x :: y :: ys) :: List.map (fun zs -> y :: zs) (insert_everywhere x ys)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: xs -> List.concat_map (insert_everywhere x) (permutations xs)
+
+(* Admissible renamings: the initial [fd_output] is the complement of
+   sets[0] = {0..k-1} at every process, so a renaming maps initial
+   states to initial states only when it preserves {0..k-1} setwise. *)
+let sym_perms { n; k; _ } =
+  permutations (List.init n Fun.id)
+  |> List.map Array.of_list
+  |> List.filter (fun perm ->
+         let ok = ref true in
+         for p = 0 to k - 1 do
+           if perm.(p) >= k then ok := false
+         done;
+         !ok)
+
+let rename_set ~perm s =
+  Procset.fold (fun p acc -> Procset.add perm.(p) acc) s Procset.empty
+
+let set_index shared s =
+  let rec go a =
+    if a >= Array.length shared.sets then invalid_arg "Kanti_omega: renamed set not canonical"
+    else if Procset.equal shared.sets.(a) s then a
+    else go (a + 1)
+  in
+  go 0
+
+let rename_pc ~set_idx ~perm = function
+  | M_cnt (a, q, v) -> M_cnt (set_idx.(a), perm.(q), v)
+  | M_hb_written -> M_hb_written
+  | M_hb (q, v) -> M_hb (perm.(q), v)
+  | M_cnt_written a -> M_cnt_written set_idx.(a)
+
+let pc_string = function
+  | M_cnt (a, q, v) -> Printf.sprintf "C%d.%d=%d" a q v
+  | M_hb_written -> "HW"
+  | M_hb (q, v) -> Printf.sprintf "H%d=%d" q v
+  | M_cnt_written a -> Printf.sprintf "CW%d" a
+
+let sym_payload shared params procs pcs ~perm =
+  let { n; _ } = params in
+  let ns = Array.length shared.sets in
+  let set_idx = Array.init ns (fun a -> set_index shared (rename_set ~perm shared.sets.(a))) in
+  let inv = Array.make n 0 in
+  Array.iteri (fun p q -> inv.(q) <- p) perm;
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* shared registers, renamed: Heartbeat'[perm p] = Heartbeat[p],
+     Counter'[set_idx a][perm q] = Counter[a][q] *)
+  let hb = Array.make n 0 in
+  for p = 0 to n - 1 do
+    hb.(perm.(p)) <- Register.peek shared.heartbeat.(p)
+  done;
+  Array.iter (add "h%d,") hb;
+  let cnt = Array.make_matrix ns n 0 in
+  for a = 0 to ns - 1 do
+    for q = 0 to n - 1 do
+      cnt.(set_idx.(a)).(perm.(q)) <- Register.peek shared.counter.(a).(q)
+    done
+  done;
+  Array.iter
+    (fun row ->
+      Array.iter (add "c%d,") row;
+      add "|")
+    cnt;
+  (* per-process local state: renamed process perm p carries p's *)
+  for p' = 0 to n - 1 do
+    let p = procs.(inv.(p')) in
+    add "/p%d:" p';
+    add "f%s;w%s;m%d;i%d;"
+      (Procset.to_string (rename_set ~perm p.fd_output))
+      (Procset.to_string (rename_set ~perm p.winnerset))
+      p.my_hb p.iterations;
+    let prev = Array.make n 0 in
+    for q = 0 to n - 1 do
+      prev.(perm.(q)) <- p.prev_heartbeat.(q)
+    done;
+    Array.iter (add "v%d,") prev;
+    let by_rows src tag =
+      let out = Array.make ns 0 in
+      for a = 0 to ns - 1 do
+        out.(set_idx.(a)) <- src.(a)
+      done;
+      Array.iter (add "%s%d," tag) out
+    in
+    by_rows p.timeout "t";
+    by_rows p.timer "r";
+    by_rows p.accusation "a";
+    let c = Array.make_matrix ns n 0 in
+    for a = 0 to ns - 1 do
+      for q = 0 to n - 1 do
+        c.(set_idx.(a)).(perm.(q)) <- p.cnt.(a).(q)
+      done
+    done;
+    Array.iter
+      (fun row ->
+        Array.iter (add "l%d,") row;
+        add "|")
+      c;
+    (match pcs.(inv.(p')) with
+    | None -> add "pc:-"
+    | Some pc -> add "pc:%s" (pc_string (rename_pc ~set_idx ~perm pc)))
+  done;
+  Buffer.contents buf

@@ -75,3 +75,43 @@ val local_accusation : process -> set_index:int -> int
 
 val local_timeout : process -> set_index:int -> int
 (** Current [timeout[A]]. *)
+
+(** {2 Machine form} — explicit-PC version of {!iterate} for the
+    snapshot exploration engine (one-shot fiber continuations cannot
+    be copied into savepoints). Steps perform exactly the register
+    operations the fiber form's steps perform, in the same order, so
+    footprints and snapshots coincide across both forms. *)
+
+type mpc
+(** Program counter: the shared-memory atomic just performed, with its
+    pending result. *)
+
+val iterate_start : process -> mpc
+(** Begin an iteration: performs its first atomic (the [Counter[0][0]]
+    read of line 2). *)
+
+val iterate_resume : process -> mpc -> mpc option
+(** Run the local code following [pc]'s atomic, then perform the next
+    atomic of the iteration. [None] means the iteration's trailing
+    local code ran and {e no} atomic was performed — the caller owns
+    the step's atomic (start the next iteration, or move on, within
+    the same step), mirroring how a fiber step spans the code between
+    two atomics. *)
+
+val save_process : process -> unit -> unit
+(** Capture all local variables; the returned thunk restores them. *)
+
+val sym_perms : params -> int array list
+(** The admissible process renamings for symmetry reduction: all
+    permutations of [Πn] preserving the canonical first set
+    [{0..k-1}] setwise (the initial [fdOutput] is its complement at
+    every process, so other renamings do not fix the initial state).
+    Always contains the identity. *)
+
+val sym_payload :
+  shared -> params -> process array -> mpc option array -> perm:int array -> string
+(** Deterministic rendering of the full machine state (shared
+    registers, per-process locals, PCs) under the renaming [perm]:
+    process [perm p] is given process [p]'s state, with process
+    indices, set rows and PC operands renamed as data. Equal payloads
+    under some admissible renaming identify symmetric states. *)

@@ -12,10 +12,22 @@ module Metrics = Setsync_obs.Metrics
 module Events = Setsync_obs.Events
 module Json = Setsync_obs.Json
 
+(* Machine form of a system: explicit-PC step functions over the same
+   store, for the snapshot engine (fiber continuations are one-shot
+   and cannot be copied into savepoints). *)
+type minstance = {
+  m_step : Proc.t -> unit;
+  m_halted : Proc.t -> bool;
+  m_save : unit -> unit -> unit;
+  m_payload : (perm:int array -> string) option;
+  m_perms : int array list;
+}
+
 type 'obs instance = {
   body : Proc.t -> unit -> unit;
   observe : unit -> 'obs;
   substrate : Setsync_runtime.Substrate.t option;
+  machine : minstance option;
 }
 
 type 'obs sut = {
@@ -40,20 +52,31 @@ type frontier = {
 
 type strategy = Dfs | Bfs | Custom of (unit -> frontier)
 
+type engine_kind = Per_state | Path | Snapshot
+
 type config = {
   depth : int;
   strategy : strategy;
   prune_fingerprints : bool;
   sleep_sets : bool;
-  path_replay : bool;
+  engine : engine_kind;
+  symmetry : bool;
   limits : Budget.limits;
   fault : Fault.plan;
 }
 
-let config ?(strategy = Dfs) ?(prune_fingerprints = true) ?(sleep_sets = true)
-    ?(path_replay = true) ?(limits = Budget.unlimited) ?(fault = Fault.no_faults) ~depth
-    () =
-  { depth; strategy; prune_fingerprints; sleep_sets; path_replay; limits; fault }
+let config ?(strategy = Dfs) ?(prune_fingerprints = true) ?(sleep_sets = true) ?path_replay
+    ?engine ?(symmetry = false) ?(limits = Budget.unlimited) ?(fault = Fault.no_faults)
+    ~depth () =
+  let engine =
+    match (engine, path_replay) with
+    | Some e, _ -> e
+    | None, Some false -> Per_state
+    | None, (Some true | None) -> Path
+  in
+  if symmetry && engine <> Snapshot then
+    invalid_arg "Explorer.config: symmetry reduction requires the snapshot engine";
+  { depth; strategy; prune_fingerprints; sleep_sets; engine; symmetry; limits; fault }
 
 type verdict = Ok_bounded | Violated of { schedule : Schedule.t; reason : string }
 
@@ -127,7 +150,11 @@ let replay_instrumented ~sut ~fault steps =
   let schedule = Schedule.of_list ~n steps in
   let run = Executor.replay ~n ~schedule ~fault ?substrate:inst.substrate ~on_step inst.body in
   let obs = inst.observe () in
-  (run, obs, Store.snapshot store, touched)
+  let snapshot =
+    Store.snapshot store
+    @ (match inst.substrate with Some s -> Setsync_runtime.Substrate.snapshot s | None -> [])
+  in
+  (run, obs, snapshot, touched)
 
 let evaluate ~sut ?(fault = Fault.no_faults) schedule =
   let run, obs, snapshot, _ =
@@ -205,7 +232,14 @@ module Mirror = struct
         reason = (if all_done then Run.All_halted else Run.Source_exhausted);
       }
     in
-    { depth; prefix; run; snapshot = Store.snapshot m.store; obs = m.inst.observe () }
+    let snapshot =
+      Store.snapshot m.store
+      @
+      match m.inst.substrate with
+      | Some s -> Setsync_runtime.Substrate.snapshot s
+      | None -> []
+    in
+    { depth; prefix; run; snapshot; obs = m.inst.observe () }
 end
 
 (* ------------------------------------------- counterexample re-check *)
@@ -739,7 +773,29 @@ let process_descent eng ~push ~synthesize rev_start parent_tbl0 =
 let validate_explore ~sut config =
   if config.depth < 0 then invalid_arg "Explorer.explore: negative depth bound";
   Proc.check_n sut.n;
-  Fault.validate ~n:sut.n config.fault
+  Fault.validate ~n:sut.n config.fault;
+  if config.engine = Snapshot then begin
+    (match config.strategy with
+    | Dfs -> ()
+    | Bfs | Custom _ ->
+        invalid_arg
+          "Explorer.explore: the snapshot engine is depth-first only (its savepoint stack \
+           is the DFS spine)");
+    (* probe machine-form support on a throwaway instance so the error
+       surfaces on the calling domain, before any worker spawns *)
+    let store = Store.create () in
+    let inst = sut.fresh ~store in
+    match inst.machine with
+    | None ->
+        invalid_arg
+          "Explorer.explore: the snapshot engine needs a machine-form sut \
+           (instance.machine is None)"
+    | Some m ->
+        if config.symmetry && m.m_payload = None then
+          invalid_arg
+            "Explorer.explore: symmetry reduction needs a sut with a symmetry payload \
+             (machine.m_payload is None)"
+  end
 
 (* -------------------------------------------------- observability *)
 
@@ -829,8 +885,293 @@ let record_metrics obs ~shard (s : Budget.stats) =
         (Metrics.gauge m "explorer.frontier_peak")
         (float_of_int s.Budget.frontier_peak)
 
+(* Snapshot-engine movement counters. Machine steps and savepoint
+   restores are deliberately NOT replays/replay_steps (the stats
+   record and its pinned rendering stay engine-agnostic); they are
+   exported as dedicated metrics instead. *)
+let record_machine_metrics obs ~shard ~machine_steps ~restores =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let m = o.Obs.metrics in
+      Metrics.incr ~shard ~by:machine_steps (Metrics.counter m "explorer.machine_steps");
+      Metrics.incr ~shard ~by:restores (Metrics.counter m "explorer.restores")
+
 let engine_sink obs =
   match obs with Some o when Obs.events_on o -> Some o.Obs.events | Some _ | None -> None
+
+(* ---------------------------------------------- snapshot machinery *)
+
+(* One live machine-form instance plus the run bookkeeping mirror:
+   the snapshot engine materializes every state on this single
+   store/machine pair, moving down by machine steps and back up by
+   restoring savepoints — zero executor replays, zero replay steps. *)
+type 'obs mctx = {
+  mc_n : int;
+  mc_store : Store.t;
+  mc_trace : Trace.t;
+  mc_inst : 'obs instance;
+  mc_m : minstance;
+  mc_halted : bool array;
+  mc_steps_of : int array;
+  mc_budgets : int array;
+  mutable mc_crashes : (Proc.t * int) list;
+  mutable mc_prev_recorded : int;
+  (* admissible renamings for symmetry: the machine's, restricted to
+     those fixing the fault plan (budgets ∘ perm = budgets) *)
+  mc_perms : int array list;
+  mutable mc_machine_steps : int;
+  mutable mc_restores : int;
+}
+
+let mc_make ~(sut : 'obs sut) ~fault () =
+  let n = sut.n in
+  let trace = Trace.create ~capacity:trace_capacity in
+  let store = Store.create ~trace () in
+  let inst = sut.fresh ~store in
+  let m =
+    match inst.machine with
+    | Some m -> m
+    | None ->
+        invalid_arg
+          "Explorer.explore: the snapshot engine needs a machine-form sut (instance.machine \
+           is None)"
+  in
+  let budgets = Array.make n max_int in
+  List.iter (fun (p, s) -> budgets.(p) <- s) fault;
+  let perms =
+    List.filter
+      (fun perm ->
+        let ok = ref true in
+        Array.iteri (fun p q -> if budgets.(q) <> budgets.(p) then ok := false) perm;
+        !ok)
+      m.m_perms
+  in
+  {
+    mc_n = n;
+    mc_store = store;
+    mc_trace = trace;
+    mc_inst = inst;
+    mc_m = m;
+    mc_halted = Array.make n false;
+    mc_steps_of = Array.make n 0;
+    mc_budgets = budgets;
+    mc_crashes = List.filter_map (fun (p, s) -> if s = 0 then Some (p, 0) else None) fault;
+    mc_prev_recorded = 0;
+    mc_perms = perms;
+    mc_machine_steps = 0;
+    mc_restores = 0;
+  }
+
+let mc_crashed c p = List.exists (fun (q, _) -> q = p) c.mc_crashes
+
+let mc_skippable c p = c.mc_halted.(p) || mc_crashed c p
+
+let mc_enabled c = List.filter (fun p -> not (mc_skippable c p)) (Proc.all ~n:c.mc_n)
+
+let mc_state c ~depth ~rev =
+  let halted_set = ref Procset.empty in
+  Array.iteri (fun p h -> if h then halted_set := Procset.add p !halted_set) c.mc_halted;
+  let all_done =
+    let rec go p = p >= c.mc_n || (mc_skippable c p && go (p + 1)) in
+    go 0
+  in
+  let prefix = Schedule.of_list ~n:c.mc_n (List.rev rev) in
+  let run =
+    {
+      Run.n = c.mc_n;
+      taken = prefix;
+      steps_of = Array.copy c.mc_steps_of;
+      crashes = c.mc_crashes;
+      halted = !halted_set;
+      reason = (if all_done then Run.All_halted else Run.Source_exhausted);
+    }
+  in
+  let snapshot =
+    Store.snapshot c.mc_store
+    @
+    match c.mc_inst.substrate with
+    | Some s -> Setsync_runtime.Substrate.snapshot s
+    | None -> []
+  in
+  { depth; prefix; run; snapshot; obs = c.mc_inst.observe () }
+
+(* one machine step of [p] at global index [global]; returns the
+   step's register footprint (same measurement as the replay path) *)
+let mc_step c ~global p =
+  (match c.mc_inst.substrate with
+  | Some s -> Setsync_runtime.Substrate.pre_step s ~global ~proc:p
+  | None -> ());
+  c.mc_m.m_step p;
+  c.mc_machine_steps <- c.mc_machine_steps + 1;
+  if c.mc_m.m_halted p then c.mc_halted.(p) <- true;
+  c.mc_steps_of.(p) <- c.mc_steps_of.(p) + 1;
+  if c.mc_steps_of.(p) >= c.mc_budgets.(p) && not (mc_crashed c p) then
+    c.mc_crashes <- c.mc_crashes @ [ (p, global) ];
+  let now = Trace.recorded c.mc_trace in
+  let delta = now - c.mc_prev_recorded in
+  c.mc_prev_recorded <- now;
+  if delta > trace_capacity then unknown_footprint
+  else
+    Trace.recent c.mc_trace delta
+    |> List.map (fun e -> e.Trace.register)
+    |> List.sort_uniq String.compare
+
+let mc_save c =
+  let restore_store = Store.save c.mc_store in
+  let restore_m = c.mc_m.m_save () in
+  let restore_sub =
+    match c.mc_inst.substrate with
+    | Some s -> Setsync_runtime.Substrate.save s
+    | None -> fun () -> ()
+  in
+  let halted = Array.copy c.mc_halted in
+  let steps_of = Array.copy c.mc_steps_of in
+  let crashes = c.mc_crashes in
+  fun () ->
+    c.mc_restores <- c.mc_restores + 1;
+    restore_store ();
+    restore_m ();
+    restore_sub ();
+    Array.blit halted 0 c.mc_halted 0 (Array.length halted);
+    Array.blit steps_of 0 c.mc_steps_of 0 (Array.length steps_of);
+    c.mc_crashes <- crashes
+
+(* Canonical fingerprint under the admissible renaming group: the
+   lexicographic minimum, over admissible perms, of the digest of the
+   renamed machine payload plus renamed run bookkeeping. Per-process
+   step counts only discriminate when a fault plan is active (they are
+   otherwise derivable drift that would block no merges but also
+   carries no safety information — and renaming them would demand
+   step-count equality between symmetric interleavings, killing every
+   merge). The identity perm is always admissible, so with a trivial
+   group this degenerates to plain (differently-keyed) fingerprinting. *)
+let mc_canonical_fp c ~fault =
+  let payload =
+    match c.mc_m.m_payload with
+    | Some f -> f
+    | None ->
+        invalid_arg
+          "Explorer.explore: symmetry reduction needs a sut with a symmetry payload \
+           (machine.m_payload is None)"
+  in
+  let n = c.mc_n in
+  let rename_marks perm =
+    let buf = Buffer.create 64 in
+    let halted = Array.make n false in
+    let crashed = Array.make n false in
+    let steps = Array.make n 0 in
+    for p = 0 to n - 1 do
+      halted.(perm.(p)) <- c.mc_halted.(p);
+      crashed.(perm.(p)) <- mc_crashed c p;
+      steps.(perm.(p)) <- c.mc_steps_of.(p)
+    done;
+    Buffer.add_string buf "|h:";
+    Array.iter (fun h -> Buffer.add_char buf (if h then '1' else '0')) halted;
+    Buffer.add_string buf "|c:";
+    Array.iter (fun h -> Buffer.add_char buf (if h then '1' else '0')) crashed;
+    if fault <> [] then begin
+      Buffer.add_string buf "|s:";
+      Array.iter (fun s -> Buffer.add_string buf (string_of_int s ^ ",")) steps
+    end;
+    Buffer.contents buf
+  in
+  List.fold_left
+    (fun acc perm ->
+      let d = Digest.string (payload ~perm ^ rename_marks perm) in
+      match acc with Some best when best <= d -> acc | _ -> Some d)
+    None c.mc_perms
+  |> Option.get
+
+(* Recursive snapshot DFS below a materialized node. The node itself
+   is visited here (same bookkeeping as [process_prefix]'s non-pruned
+   branch); each enabled child is gated like a frontier pop
+   ([e_stop_now], then [over] — pop first, test second, so finishing
+   on exactly the budget stays exhaustive), stepped on the live
+   machine, possibly sleep-pruned (same last-two-footprints rule, with
+   the pruned state already materialized for safety checks), recursed
+   into, and undone with a savepoint restore — never a replay. *)
+let rec snapshot_visit ?push eng c ~hb ~progress ~over ~on_truncate ~pending ~depth ~rev
+    ~arrive_fp =
+  let sut = eng.e_sut and config = eng.e_config and meter = eng.e_meter in
+  let emit name args =
+    match eng.e_ev with
+    | Some sink -> Events.emit sink ~worker:eng.e_worker ~args ~cat:"explorer" name
+    | None -> ()
+  in
+  Budget.note_state meter;
+  eng.e_on_visit ();
+  Budget.note_depth meter depth;
+  let state = mc_state c ~depth ~rev in
+  if eng.e_pending_safety () then Budget.note_safety_check meter;
+  eng.e_record ~kind:Property.Safety state;
+  let en = mc_enabled c in
+  if depth >= config.depth || en = [] then eng.e_record ~kind:Property.Stabilization state;
+  let expand =
+    depth < config.depth
+    && en <> []
+    && ((not config.prune_fingerprints)
+       ||
+       let fp =
+         if config.symmetry then mc_canonical_fp c ~fault:config.fault
+         else
+           fingerprint ~sut ~snapshot:state.snapshot ~run:state.run ~obs:state.obs
+       in
+       if eng.e_fp_check fp ~depth then true
+       else begin
+         Budget.note_fingerprint_prune meter;
+         emit "fp_prune" [ ("depth", Json.Int depth) ];
+         false
+       end)
+  in
+  if expand then begin
+    emit "expand" [ ("depth", Json.Int depth); ("children", Json.Int (List.length en)) ];
+    match push with
+    | Some push ->
+        (* parallel split: children become pool items instead of local
+           recursion (each pop rebuilds its prefix by machine steps) *)
+        let children = List.map (fun b -> b :: rev) en in
+        List.iter push (if eng.e_lifo then List.rev children else children);
+        Budget.note_frontier meter (eng.e_frontier_size ())
+    | None ->
+        pending := !pending + List.length en;
+        Budget.note_frontier meter (eng.e_frontier_size ());
+        List.iter
+          (fun b ->
+            decr pending;
+            Budget.note_frontier meter (eng.e_frontier_size ());
+            maybe_beat hb progress;
+            if eng.e_stop_now () then ()
+            else if over () then on_truncate ()
+            else begin
+              let restore = mc_save c in
+              let fp_b = mc_step c ~global:depth b in
+              let rev' = b :: rev in
+              let pruned =
+                config.sleep_sets
+                && (match rev with
+                   | a :: _ -> b < a && disjoint_footprints arrive_fp fp_b
+                   | [] -> false)
+              in
+              if pruned then begin
+                Budget.note_sleep_prune meter;
+                emit "sleep_prune" [ ("depth", Json.Int (depth + 1)) ];
+                (* the pruned state is already materialized: check pending
+                   safety on it directly before discarding, exactly like
+                   the per-state engine does after its paid-for replay *)
+                if eng.e_pending_safety () then begin
+                  Budget.note_safety_check meter;
+                  eng.e_record ~kind:Property.Safety (mc_state c ~depth:(depth + 1) ~rev:rev')
+                end
+              end
+              else
+                snapshot_visit eng c ~hb ~progress ~over ~on_truncate ~pending
+                  ~depth:(depth + 1) ~rev:rev' ~arrive_fp:fp_b;
+              restore ()
+            end)
+          en
+  end
+
 
 (* ------------------------------------------------------- sequential *)
 
@@ -891,8 +1232,35 @@ let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties co
       e_worker = (match obs with Some o -> o.Obs.shard | None -> 0);
     }
   in
-  let use_path = config.path_replay && (match config.strategy with Dfs -> true | _ -> false) in
-  if use_path then begin
+  let use_path =
+    config.engine = Path && (match config.strategy with Dfs -> true | _ -> false)
+  in
+  if config.engine = Snapshot then begin
+    (* single live machine instance, savepoint restores, zero replays *)
+    let c = mc_make ~sut ~fault:config.fault () in
+    let pending = ref 0 in
+    let hard_stop = ref false in
+    let eng = mk_engine ~frontier_size:(fun () -> !pending) in
+    let eng = { eng with e_stop_now = (fun () -> all_violated () || !hard_stop) } in
+    let over () = Budget.over meter in
+    let on_truncate () =
+      Budget.mark_truncated meter;
+      hard_stop := true
+    in
+    let progress () =
+      progress_of_stats ~frontier:(eng.e_frontier_size ()) (Budget.stats meter)
+    in
+    Budget.note_frontier meter 1;
+    maybe_beat hb progress;
+    if Budget.over meter then Budget.mark_truncated meter
+    else
+      snapshot_visit eng c ~hb ~progress ~over ~on_truncate ~pending ~depth:0 ~rev:[]
+        ~arrive_fp:[];
+    record_machine_metrics obs
+      ~shard:(match obs with Some o -> o.Obs.shard | None -> 0)
+      ~machine_steps:c.mc_machine_steps ~restores:c.mc_restores
+  end
+  else if use_path then begin
     (* descent frontier: (reverse prefix, parent's sibling-footprint
        table); plain LIFO stack, ascending pop order by construction *)
     let stack = ref [ ([], Array.make sut.n None) ] in
@@ -1089,17 +1457,81 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
       max_depth = Array.fold_left (fun acc s -> max acc s.Budget.max_depth) 0 ss;
     }
   in
+  (* snapshot-engine movement counters, per worker (folded into the
+     machine-step/restore metrics after the run) *)
+  let machine_steps_w = Array.make domains 0 in
+  let restores_w = Array.make domains 0 in
+  (* pool items stay shallow prefixes (split depth 2, matching the
+     other engines' parallel grain); below the split each worker owns
+     the whole subtree on its private machine instance *)
+  let snapshot_split_depth = 2 in
+  let snapshot_pop wid rev_steps =
+    let eng = engines.(wid) in
+    let meter = meters.(wid) in
+    let c = mc_make ~sut ~fault:config.fault () in
+    let steps = List.rev rev_steps in
+    let depth = List.length steps in
+    (* materialize the popped prefix by machine steps — bookkeeping
+       movement, not replays; keep the last two footprints for the
+       arrival commutation check *)
+    let fp_prev = ref [] and fp_last = ref [] in
+    List.iteri
+      (fun i p ->
+        fp_prev := !fp_last;
+        fp_last := mc_step c ~global:i p)
+      steps;
+    let sleep_pruned =
+      config.sleep_sets && depth >= 2
+      &&
+      match rev_steps with
+      | b :: a :: _ -> b < a && disjoint_footprints !fp_prev !fp_last
+      | _ -> false
+    in
+    if sleep_pruned then begin
+      Budget.note_sleep_prune meter;
+      (match eng.e_ev with
+      | Some sink ->
+          Events.emit sink ~worker:wid
+            ~args:[ ("depth", Json.Int depth) ]
+            ~cat:"explorer" "sleep_prune"
+      | None -> ());
+      if eng.e_pending_safety () then begin
+        Budget.note_safety_check meter;
+        eng.e_record ~kind:Property.Safety (mc_state c ~depth ~rev:rev_steps)
+      end
+    end
+    else begin
+      let on_truncate () =
+        Budget.mark_truncated meter;
+        Parallel.Pool.stop pool
+      in
+      let push =
+        if depth < snapshot_split_depth then Some (Parallel.Pool.push pool ~worker:wid)
+        else None
+      in
+      snapshot_visit ?push eng c
+        ~hb:(if wid = 0 then hb else None)
+        ~progress:par_progress ~over:over_gauge ~on_truncate ~pending:(ref 0) ~depth
+        ~rev:rev_steps ~arrive_fp:!fp_last
+    end;
+    machine_steps_w.(wid) <- machine_steps_w.(wid) + c.mc_machine_steps;
+    restores_w.(wid) <- restores_w.(wid) + c.mc_restores
+  in
   let worker wid rev_steps =
     if wid = 0 then maybe_beat hb par_progress;
     if over_gauge () then begin
       Budget.mark_truncated meters.(wid);
       Parallel.Pool.stop pool
     end
-    else if config.path_replay then
-      process_descent engines.(wid)
-        ~push:(fun rev _tbl -> Parallel.Pool.push pool ~worker:wid rev)
-        ~synthesize:false rev_steps [||]
-    else process_prefix engines.(wid) ~push:(Parallel.Pool.push pool ~worker:wid) rev_steps
+    else
+      match config.engine with
+      | Path ->
+          process_descent engines.(wid)
+            ~push:(fun rev _tbl -> Parallel.Pool.push pool ~worker:wid rev)
+            ~synthesize:false rev_steps [||]
+      | Per_state ->
+          process_prefix engines.(wid) ~push:(Parallel.Pool.push pool ~worker:wid) rev_steps
+      | Snapshot -> snapshot_pop wid rev_steps
   in
   Parallel.Pool.push pool ~worker:0 [];
   Budget.note_frontier meters.(0) 1;
@@ -1107,6 +1539,11 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
   (* per-worker stats land in that worker's metric shard, recorded
      before the meters are folded into the parent *)
   Array.iteri (fun wid m -> record_metrics obs ~shard:wid (Budget.stats m)) meters;
+  if config.engine = Snapshot then
+    Array.iteri
+      (fun wid ms ->
+        record_machine_metrics obs ~shard:wid ~machine_steps:ms ~restores:restores_w.(wid))
+      machine_steps_w;
   Array.iter (fun m -> Budget.absorb ~into:parent m) meters;
   {
     verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;

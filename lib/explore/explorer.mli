@@ -28,6 +28,31 @@
       properties; unsound for schedule-sensitive ones
       ({!Property.set_timely}), which must explore unreduced. *)
 
+type minstance = {
+  m_step : Setsync_schedule.Proc.t -> unit;
+      (** one step of the given process: the local code since its
+          previous shared-memory atomic plus the next atomic — exactly
+          the register operations the fiber form's step performs, in
+          the same order, so footprints and snapshots coincide *)
+  m_halted : Setsync_schedule.Proc.t -> bool;
+      (** mirrors the fiber body returning (process halted) *)
+  m_save : unit -> unit -> unit;
+      (** capture all machine-local state (PCs, locals); the returned
+          thunk restores it. Register state is restored separately via
+          {!Setsync_memory.Store.save}. *)
+  m_payload : (perm:int array -> string) option;
+      (** deterministic rendering of the full machine state under a
+          process renaming, for symmetry-canonical fingerprints
+          ([None] = no symmetry support) *)
+  m_perms : int array list;
+      (** admissible process renamings (must contain the identity);
+          the engine further restricts them to renamings fixing the
+          fault plan *)
+}
+(** Machine form of a system: explicit-PC step functions over the same
+    store, required by the snapshot engine (fiber continuations are
+    one-shot and cannot be copied into savepoints). *)
+
 type 'obs instance = {
   body : Setsync_schedule.Proc.t -> unit -> unit;  (** process code *)
   observe : unit -> 'obs;
@@ -40,6 +65,11 @@ type 'obs instance = {
           A substrate must keep any behaviour-relevant hidden state in
           routed-through registers of the same store, or expose it via
           its snapshot, for fingerprints to stay sound. *)
+  machine : minstance option;
+      (** machine form over the same instance state ([None] = fiber
+          only; the snapshot engine then refuses the sut). When
+          present, drive a given instance through [body] or the
+          machine, never both. *)
 }
 
 type 'obs sut = {
@@ -77,25 +107,48 @@ type strategy =
       (** plug your own (priority queues, random restarts, …); must be
           deterministic for the exploration to be *)
 
+type engine_kind =
+  | Per_state
+      (** one fresh replay per visited state — the naive baseline
+          (bench E11e's comparison point) *)
+  | Path
+      (** amortized path-replay engine (default): one executor run per
+          DFS {e descent} visits every interim state from a single
+          live replay and continues into the first unpruned child, so
+          replay steps per visited state are amortized O(1) instead of
+          O(depth). Verdicts, visited/pruned counts and the DFS visit
+          order are identical to the per-state engine (the cross-check
+          tests pin this); replay accounting
+          ([stats.replays]/[replay_steps]) is what improves. Applies
+          to [Dfs] sequentially and to every parallel worker; [Bfs]
+          and [Custom] frontiers fall back to the per-state engine
+          (their pop order defeats descent amortization). *)
+  | Snapshot
+      (** replay-free engine: requires a machine-form sut
+          ({!instance.machine}); the DFS moves down by single machine
+          steps on one live store and back up by restoring typed
+          savepoints ({!Setsync_memory.Store.save}, [m_save],
+          substrate save) — [stats.replays] and [stats.replay_steps]
+          stay {e zero}. Depth-first only. Machine movement is
+          reported via the [explorer.machine_steps] /
+          [explorer.restores] metrics. Verdict/visited/pruned
+          equivalent to the other engines on machine-form suts (the
+          cross-check tests pin this). *)
+
 type config = {
   depth : int;  (** maximum prefix length *)
   strategy : strategy;
   prune_fingerprints : bool;
   sleep_sets : bool;
-  path_replay : bool;
-      (** amortized path-replay engine (default [true]): one executor
-          run per DFS {e descent} visits every interim state from a
-          single live replay and continues into the first unpruned
-          child, so replay steps per visited state are amortized O(1)
-          instead of O(depth). Verdicts, visited/pruned counts and the
-          DFS visit order are identical to the per-state engine (the
-          cross-check tests pin this); replay accounting
-          ([stats.replays]/[replay_steps]) is what improves. Applies to
-          [Dfs] sequentially and to every parallel worker; [Bfs] and
-          [Custom] frontiers always use the per-state engine (their pop
-          order defeats descent amortization). [false] forces the
-          per-state engine everywhere — the comparison baseline bench
-          E11e measures. *)
+  engine : engine_kind;
+  symmetry : bool;
+      (** process-renaming symmetry reduction (snapshot engine only):
+          fingerprints are canonicalized to the lexicographic minimum
+          over the sut's admissible renaming group ([m_perms] ∩
+          fault-plan-fixing ∩ [m_payload] renderings), so symmetric
+          states merge in the fingerprint table. Soundness matches the
+          payload's fidelity — validated by the symmetry cross-check
+          tests (sym-on/off verdict equality). *)
   limits : Budget.limits;
   fault : Setsync_runtime.Fault.plan;
       (** crash plan applied to every replay (same schedule-space with
@@ -107,13 +160,18 @@ val config :
   ?prune_fingerprints:bool ->
   ?sleep_sets:bool ->
   ?path_replay:bool ->
+  ?engine:engine_kind ->
+  ?symmetry:bool ->
   ?limits:Budget.limits ->
   ?fault:Setsync_runtime.Fault.plan ->
   depth:int ->
   unit ->
   config
-(** Defaults: DFS, both reductions on, path-replay engine on, unlimited
-    budget, no faults. *)
+(** Defaults: DFS, both reductions on, [Path] engine, symmetry off,
+    unlimited budget, no faults. [?path_replay] is the legacy spelling
+    of the engine choice ([true] = [Path], [false] = [Per_state]) and
+    is overridden by [?engine] when both are given. [~symmetry:true]
+    without [~engine:Snapshot] raises [Invalid_argument]. *)
 
 type verdict =
   | Ok_bounded

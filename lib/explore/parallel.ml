@@ -97,11 +97,19 @@ module Shard_tbl = struct
       tables = Array.init !n (fun _ -> Hashtbl.create 64);
     }
 
+  (* Full-width structural hash. The default [Hashtbl.hash] stops after
+     10 meaningful nodes, so structured keys that differ only past that
+     horizon all land in the same stripe — correctness survives (the
+     per-stripe Hashtbl compares full keys) but one stripe's lock
+     serializes every worker. [hash_param 256 256] visits enough of the
+     value to spread any realistic fingerprint across stripes. *)
+  let full_hash v = Hashtbl.hash_param 256 256 v
+
   (* [true] = caller should expand: the fingerprint was not yet seen at
      this depth or shallower. Records the new minimal depth either
      way, mirroring the sequential explorer's Hashtbl logic. *)
   let check_and_record t key ~depth =
-    let i = Hashtbl.hash key land t.mask in
+    let i = full_hash key land t.mask in
     Mutex.lock t.locks.(i);
     let expand =
       match Hashtbl.find_opt t.tables.(i) key with

@@ -38,6 +38,14 @@ module Shard_tbl : sig
   val create : ?shards:int -> unit -> t
   (** [shards] (default 64) is rounded up to a power of two. *)
 
+  val full_hash : 'a -> int
+  (** Full-width structural hash used to pick a stripe. The stdlib
+      default [Hashtbl.hash] truncates after 10 meaningful nodes, so
+      structured values differing only deep in their tail would all
+      collide onto one stripe and serialize every worker on its lock;
+      this variant ([Hashtbl.hash_param 256 256]) keeps hashing past
+      that horizon. Exposed for the collision regression test. *)
+
   val check_and_record : t -> string -> depth:int -> bool
   (** [true] = not yet seen at [depth] or shallower: the caller should
       expand, and the table now records [depth] as the key's minimum. *)

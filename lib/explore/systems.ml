@@ -3,6 +3,19 @@ module Shm = Setsync_runtime.Shm
 module Kanti_omega = Setsync_detector.Kanti_omega
 module Kset_solver = Setsync_agreement.Kset_solver
 
+(* All n! renamings — the admissible group of a system with no
+   process-distinguishing state (pause_procs). *)
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: ys as l -> (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x ys)
+
+let permutations n =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (go xs)
+  in
+  List.map Array.of_list (go (List.init n (fun i -> i)))
+
 let pause_procs ~n =
   {
     Explorer.n;
@@ -16,6 +29,18 @@ let pause_procs ~n =
               done);
           observe = (fun () -> ());
           substrate = None;
+          machine =
+            (* a pause step touches no registers, so the machine step
+               is a no-op with an empty footprint — exactly the fiber
+               step's *)
+            Some
+              {
+                Explorer.m_step = (fun _ -> ());
+                m_halted = (fun _ -> false);
+                m_save = (fun () -> fun () -> ());
+                m_payload = Some (fun ~perm:_ -> "");
+                m_perms = permutations n;
+              };
         });
     obs_fingerprint = (fun () -> "");
   }
@@ -38,6 +63,28 @@ let kanti_detector ~params ?initial_timeout () =
           Array.init n (fun p ->
               Kanti_omega.make_process ?initial_timeout shared params ~proc:p)
         in
+        (* machine form: one PC per process over the same [procs];
+           [forever] is an unbounded iterate loop, so an iteration's
+           trailing local code flows into the next iteration's first
+           atomic within the same step *)
+        let pcs = Array.make n None in
+        let m_step p =
+          pcs.(p) <-
+            Some
+              (match pcs.(p) with
+              | None -> Kanti_omega.iterate_start procs.(p)
+              | Some pc -> (
+                  match Kanti_omega.iterate_resume procs.(p) pc with
+                  | Some pc' -> pc'
+                  | None -> Kanti_omega.iterate_start procs.(p)))
+        in
+        let m_save () =
+          let restores = Array.map Kanti_omega.save_process procs in
+          let saved_pcs = Array.copy pcs in
+          fun () ->
+            Array.iter (fun r -> r ()) restores;
+            Array.blit saved_pcs 0 pcs 0 n
+        in
         {
           Explorer.body = (fun p () -> Kanti_omega.forever procs.(p));
           observe =
@@ -48,6 +95,15 @@ let kanti_detector ~params ?initial_timeout () =
                 iterations = Array.map Kanti_omega.iterations procs;
               });
           substrate = None;
+          machine =
+            Some
+              {
+                Explorer.m_step;
+                m_halted = (fun _ -> false);
+                m_save;
+                m_payload = Some (Kanti_omega.sym_payload shared params procs pcs);
+                m_perms = Kanti_omega.sym_perms params;
+              };
         });
     obs_fingerprint =
       (fun obs ->
@@ -69,10 +125,20 @@ let kset_agreement ~problem ~inputs ?initial_timeout () =
     fresh =
       (fun ~store ->
         let solver = Kset_solver.create store ~problem ~inputs ?initial_timeout () in
+        let machine = Kset_solver.machine solver in
         {
           Explorer.body = Kset_solver.body solver;
           observe = (fun () -> { decisions = Kset_solver.decisions solver });
           substrate = None;
+          machine =
+            Some
+              {
+                Explorer.m_step = Kset_solver.machine_step machine;
+                m_halted = (fun _ -> false);
+                m_save = (fun () -> Kset_solver.machine_save machine);
+                m_payload = Some (Kset_solver.sym_payload machine);
+                m_perms = Kset_solver.sym_perms solver;
+              };
         });
     obs_fingerprint =
       (fun obs ->

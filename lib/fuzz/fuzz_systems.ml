@@ -130,6 +130,7 @@ let counter_core ?(bug = true) ?(initial_timeout = 1) ~params () =
                 iterations = Array.copy o.iterations;
               });
           substrate = None;
+          machine = None;
         });
     obs_fingerprint =
       (fun obs ->

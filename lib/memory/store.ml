@@ -1,6 +1,6 @@
 type counters = { get_reads : unit -> int; get_writes : unit -> int }
 
-type view = { view_name : string; render : unit -> string }
+type view = { view_name : string; render : unit -> string; capture : unit -> unit -> unit }
 
 type router = { route_for : 'a. 'a Register.t -> 'a Register.route option }
 
@@ -34,10 +34,26 @@ let register t ?pp ~name init =
   t.all <-
     { get_reads = (fun () -> Register.reads reg); get_writes = (fun () -> Register.writes reg) }
     :: t.all;
-  let render () =
-    match pp with Some pp -> Fmt.str "%a" pp (Register.peek reg) | None -> "<value>"
+  (* Snapshots must be total: a pp-less register still has to render a
+     string that distinguishes distinct values, or fingerprint pruning
+     built on snapshots becomes unsound. Marshal the value and digest
+     the bytes; closures (and other unmarshalable values) fall back to
+     a full-width structural hash. *)
+  let opaque v =
+    match Marshal.to_string v [ Marshal.Closures ] with
+    | bytes -> "#" ^ Digest.to_hex (Digest.string bytes)
+    | exception _ -> Printf.sprintf "#h%x" (Hashtbl.hash_param 256 256 v)
   in
-  t.views <- { view_name = name; render } :: t.views;
+  let render () =
+    match pp with
+    | Some pp -> Fmt.str "%a" pp (Register.peek reg)
+    | None -> opaque (Register.peek reg)
+  in
+  let capture () =
+    let v = Register.peek reg in
+    fun () -> Register.poke reg v
+  in
+  t.views <- { view_name = name; render; capture } :: t.views;
   reg
 
 let array t ?pp ~name len init =
@@ -56,5 +72,9 @@ let total_reads t = List.fold_left (fun acc c -> acc + c.get_reads ()) 0 t.all
 let total_writes t = List.fold_left (fun acc c -> acc + c.get_writes ()) 0 t.all
 
 let snapshot t = List.rev_map (fun v -> (v.view_name, v.render ())) t.views
+
+let save t =
+  let restores = List.rev_map (fun v -> v.capture ()) t.views in
+  fun () -> List.iter (fun restore -> restore ()) restores
 
 let trace t = t.trace

@@ -50,8 +50,20 @@ val total_writes : t -> int
 val snapshot : t -> (string * string) list
 (** Current [(name, printed value)] of every register allocated here,
     in allocation order, via observer reads (not counted, not traced).
-    Registers allocated without a [pp] render as an opaque placeholder;
-    state fingerprints built on a snapshot are only as discriminating
-    as the printers supplied at allocation. *)
+    Snapshots are total: registers allocated without a [pp] render as a
+    structural digest of the stored value (marshaled bytes, with a
+    full-width [Hashtbl.hash_param] fallback for unmarshalable values),
+    so two distinct pp-less states never collapse to one placeholder
+    string and fingerprints built on snapshots stay discriminating. *)
+
+val save : t -> unit -> unit
+(** [save t] captures the current value of every register allocated
+    here and returns a restore thunk that pokes them all back
+    (observer writes: not counted, not traced, routes bypassed).
+    Register values are captured by reference, which is a deep copy
+    exactly when stored values are immutable data — true for every
+    in-tree system; a register holding mutable state would need its
+    own copying discipline. Read/write counters are cumulative
+    instrumentation and are deliberately not restored. *)
 
 val trace : t -> Trace.t option

@@ -28,13 +28,16 @@ type t = {
   chans : (int * Msg.t) list Register.t array array;
   inboxes : Msg.t list Register.t array;
   clock : int Register.t;
-  (* Per-pair sequence counters live outside the store: they are
-     derivable from the channel history (number of sends so far) and
-     only ever surface in event args, so they cannot distinguish
-     states the registers don't. *)
+  (* Per-pair sequence counters live outside the store but are NOT
+     derivable from it: dropped messages bump the counter without ever
+     touching a channel register, and [Adversary.due] keys drop
+     decisions on [seq], so two states with equal registers and
+     different counters can have different futures. The substrate's
+     [snapshot]/[save] expose and capture them (and the GST latch)
+     for exactly that reason. *)
   seqs : int array array;
   mutable gst_passed : bool;
-  (* running tallies for reports; behaviour-invisible like [seqs] *)
+  (* running tallies for reports; behaviour-invisible *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -193,8 +196,38 @@ module Net_substrate = struct
   let pre_step = pre_step
 
   (* Channels, inboxes and the clock are store registers, so the run's
-     own snapshot already covers the network — nothing extra here. *)
-  let snapshot _ = []
+     own snapshot covers those — but the per-pair sequence counters and
+     the GST latch live outside the store and do change behaviour
+     ([Adversary.due ~seq] decides drops; the latch gates the gst
+     event), so they are the substrate's contribution to a state.
+     The running tallies stay out: they are stats-only and including
+     them would make every state fingerprint-distinct. *)
+  let snapshot t =
+    let b = Buffer.create 64 in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun s ->
+            Buffer.add_string b (string_of_int s);
+            Buffer.add_char b ',')
+          row)
+      t.seqs;
+    [ ("NetSeqs", Buffer.contents b); ("NetGst", string_of_bool t.gst_passed) ]
+
+  let save t =
+    let seqs = Array.map Array.copy t.seqs in
+    let gst_passed = t.gst_passed in
+    let sent = t.sent
+    and delivered = t.delivered
+    and dropped = t.dropped
+    and in_flight = t.in_flight in
+    fun () ->
+      Array.iteri (fun i row -> Array.blit row 0 t.seqs.(i) 0 (Array.length row)) seqs;
+      t.gst_passed <- gst_passed;
+      t.sent <- sent;
+      t.delivered <- delivered;
+      t.dropped <- dropped;
+      t.in_flight <- in_flight
 end
 
 let substrate t = Substrate.S ((module Net_substrate), t)

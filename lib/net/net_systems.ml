@@ -41,6 +41,7 @@ let ct_leader ?obs ?initial_timeout ?backoff ?gst_hint ~clients ~adversary () =
                 post_gst_end = Array.map Ct_detector.post_gst_end dets;
               });
           substrate = Some (Net.substrate net);
+          machine = None;
         });
     obs_fingerprint =
       (fun o ->
@@ -116,6 +117,7 @@ let kset_blind ?obs ?rounds ~inputs ~adversary () =
           observe =
             (fun () -> { Systems.decisions = Array.map Net_kset.decision solvers });
           substrate = Some (Net.substrate net);
+          machine = None;
         });
     obs_fingerprint =
       (fun o ->
@@ -165,6 +167,7 @@ let kanti_over_net ?obs ?initial_timeout ?owners ~params ~adversary () =
                 iterations = Array.map Kanti_omega.iterations procs;
               });
           substrate = Some (Net.substrate net);
+          machine = None;
         });
     obs_fingerprint =
       (fun o ->

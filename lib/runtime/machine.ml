@@ -1,0 +1,11 @@
+module Register = Setsync_memory.Register
+
+let read reg =
+  match Register.route reg with
+  | None -> Register.read reg
+  | Some r -> r.Register.route_read ()
+
+let write reg v =
+  match Register.route reg with
+  | None -> Register.write reg v
+  | Some r -> r.Register.route_write v

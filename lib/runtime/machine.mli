@@ -1,0 +1,22 @@
+(** Register access for explicit-PC machine forms of algorithm bodies.
+
+    The snapshot exploration engine cannot use fibers: effect
+    continuations are one-shot, so a parked fiber cannot be copied into
+    a savepoint and resumed twice. Algorithms that want replay-free
+    exploration therefore also ship a defunctionalized {e machine} form
+    — an explicit program counter plus a step function — whose steps
+    must perform exactly the register operations the fiber form's steps
+    perform, so footprints, traces and snapshots coincide.
+
+    These helpers are the machine-side counterparts of {!Shm.read} and
+    {!Shm.write}: same counting, tracing and routing behaviour, but no
+    {!Fiber.atomic} wrapper — the machine's own step function is the
+    atomicity boundary. *)
+
+val read : 'a Setsync_memory.Register.t -> 'a
+(** Counted, traced, route-respecting read — {!Shm.read} without the
+    fiber suspension. *)
+
+val write : 'a Setsync_memory.Register.t -> 'a -> unit
+(** Counted, traced, route-respecting write — {!Shm.write} without the
+    fiber suspension. *)

@@ -10,6 +10,8 @@ module type STEP_SUBSTRATE = sig
   val pre_step : t -> global:int -> proc:Proc.t -> unit
 
   val snapshot : t -> (string * string) list
+
+  val save : t -> unit -> unit
 end
 
 type t = S : (module STEP_SUBSTRATE with type t = 'a) * 'a -> t
@@ -22,6 +24,8 @@ let pre_step (S ((module M), s)) ~global ~proc = M.pre_step s ~global ~proc
 
 let snapshot (S ((module M), s)) = M.snapshot s
 
+let save (S ((module M), s)) = M.save s
+
 module Shm_substrate = struct
   type t = Setsync_memory.Store.t
 
@@ -31,7 +35,12 @@ module Shm_substrate = struct
 
   let pre_step _ ~global:_ ~proc:_ = ()
 
-  let snapshot store = Setsync_memory.Store.snapshot store
+  (* All shared-memory state lives in the store, which state builders
+     snapshot/save themselves; contributing it again here would
+     double-count every register. *)
+  let snapshot _ = []
+
+  let save _ = fun () -> ()
 end
 
 let shm ~store = S ((module Shm_substrate), store)

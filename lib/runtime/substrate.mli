@@ -14,14 +14,20 @@
       executed. The net substrate uses it to advance its clock, deliver
       due messages, and record which process is stepping (the basis of
       authenticated sends).
-    - [snapshot] — the substrate's contribution to a state fingerprint,
-      in the same [(name, printed value)] shape as
-      {!Setsync_memory.Store.snapshot}. A substrate whose behaviour
-      depends on hidden state must expose that state here or bounded
-      exploration will conflate distinct states.
+    - [snapshot] — the substrate's state {e beyond the store}, in the
+      same [(name, printed value)] shape as
+      {!Setsync_memory.Store.snapshot}. The explorer appends this to
+      the store snapshot when building a state, so a substrate whose
+      behaviour depends on hidden state (the net substrate's per-edge
+      send sequence numbers, its GST latch) must expose that state here
+      or bounded exploration conflates distinct states. Store-backed
+      state must {e not} be repeated here — it is already covered.
+    - [save] — capture the same beyond-the-store state and return a
+      restore thunk, the substrate half of a snapshot-engine savepoint
+      (the store half is {!Setsync_memory.Store.save}).
 
     The default substrate is {!shm}: shared memory straight out of the
-    store, no veto, no pre-step work. *)
+    store, no veto, no pre-step work, nothing beyond the store. *)
 
 module type STEP_SUBSTRATE = sig
   type t
@@ -34,6 +40,8 @@ module type STEP_SUBSTRATE = sig
   val pre_step : t -> global:int -> proc:Setsync_schedule.Proc.t -> unit
 
   val snapshot : t -> (string * string) list
+
+  val save : t -> unit -> unit
 end
 
 type t = S : (module STEP_SUBSTRATE with type t = 'a) * 'a -> t
@@ -48,8 +56,10 @@ val pre_step : t -> global:int -> proc:Setsync_schedule.Proc.t -> unit
 
 val snapshot : t -> (string * string) list
 
+val save : t -> unit -> unit
+
 val shm : store:Setsync_memory.Store.t -> t
 (** The shared-memory substrate: [live] is always true, [pre_step] does
-    nothing, [snapshot] is {!Setsync_memory.Store.snapshot} of [store].
-    Passing it to {!Executor.run} is equivalent to passing no substrate
-    at all. *)
+    nothing, [snapshot] and [save] are empty — every bit of
+    shared-memory state already lives in the store. Passing it to
+    {!Executor.run} is equivalent to passing no substrate at all. *)

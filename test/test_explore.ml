@@ -8,12 +8,14 @@ module Store = Setsync_memory.Store
 module Trace = Setsync_memory.Trace
 module Fiber = Setsync_runtime.Fiber
 module Shm = Setsync_runtime.Shm
+module Machine = Setsync_runtime.Machine
 module Run = Setsync_runtime.Run
 module Budget = Setsync_explore.Budget
 module Property = Setsync_explore.Property
 module Explorer = Setsync_explore.Explorer
 module Shrink = Setsync_explore.Shrink
 module Systems = Setsync_explore.Systems
+module Parallel = Setsync_explore.Parallel
 
 let schedule = Alcotest.testable Schedule.pp Schedule.equal
 
@@ -31,10 +33,28 @@ let single_writer_sut () =
     fresh =
       (fun ~store ->
         let r = Store.array store ~pp:Fmt.int ~name:"r" 2 (fun _ -> 0) in
+        (* machine form: pc counts steps taken; step 0 is the write,
+           step 1 the halting return (same 2-step shape as the fiber) *)
+        let pcs = Array.make 2 0 in
         {
           Explorer.body = (fun p () -> Shm.write r.(p) 1);
           observe = (fun () -> (Register.peek r.(0), Register.peek r.(1)));
           substrate = None;
+          machine =
+            Some
+              {
+                Explorer.m_step =
+                  (fun p ->
+                    if pcs.(p) = 0 then Machine.write r.(p) 1;
+                    pcs.(p) <- pcs.(p) + 1);
+                m_halted = (fun p -> pcs.(p) >= 2);
+                m_save =
+                  (fun () ->
+                    let saved = Array.copy pcs in
+                    fun () -> Array.blit saved 0 pcs 0 2);
+                m_payload = None;
+                m_perms = [ [| 0; 1 |] ];
+              };
         });
     obs_fingerprint = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
   }
@@ -51,6 +71,7 @@ let double_writer_sut () =
     fresh =
       (fun ~store ->
         let r = Store.array store ~pp:Fmt.int ~name:"r" 2 (fun _ -> 0) in
+        let pcs = Array.make 2 0 in
         {
           Explorer.body =
             (fun p () ->
@@ -58,6 +79,35 @@ let double_writer_sut () =
               Shm.write r.(p) 2);
           observe = (fun () -> (Register.peek r.(0), Register.peek r.(1)));
           substrate = None;
+          machine =
+            Some
+              {
+                Explorer.m_step =
+                  (fun p ->
+                    (match pcs.(p) with
+                    | 0 -> Machine.write r.(p) 1
+                    | 1 -> Machine.write r.(p) 2
+                    | _ -> ());
+                    pcs.(p) <- pcs.(p) + 1);
+                m_halted = (fun p -> pcs.(p) >= 3);
+                m_save =
+                  (fun () ->
+                    let saved = Array.copy pcs in
+                    fun () -> Array.blit saved 0 pcs 0 2);
+                (* the two writers are role-identical, so the full
+                   swap group is admissible; the payload renders each
+                   (register, pc) pair at its renamed slot *)
+                m_payload =
+                  Some
+                    (fun ~perm ->
+                      let vals = Array.make 2 (0, 0) in
+                      for p = 0 to 1 do
+                        vals.(perm.(p)) <- (Register.peek r.(p), pcs.(p))
+                      done;
+                      Printf.sprintf "%d.%d|%d.%d" (fst vals.(0)) (snd vals.(0))
+                        (fst vals.(1)) (snd vals.(1)));
+                m_perms = [ [| 0; 1 |]; [| 1; 0 |] ];
+              };
         });
     obs_fingerprint = (fun (a, b) -> Printf.sprintf "%d,%d" a b);
   }
@@ -81,6 +131,7 @@ let pipe_sut () =
         let ping = Store.register store ~pp:Fmt.int ~name:"ping" 0 in
         let pong = Store.register store ~pp:Fmt.int ~name:"pong" 0 in
         let v1 = ref 0 and phase1 = ref 0 in
+        let i0 = ref 0 in
         {
           Explorer.body =
             (fun p () ->
@@ -109,6 +160,37 @@ let pipe_sut () =
                 phase1 = !phase1;
               });
           substrate = None;
+          machine =
+            (* [i0] is the machine's copy of p0's loop counter (the
+               fiber body allocates its own); p1's locals are the same
+               refs [observe] reads, just as in the fiber form *)
+            Some
+              {
+                Explorer.m_step =
+                  (fun p ->
+                    if p = 0 then begin
+                      incr i0;
+                      Machine.write ping !i0
+                    end
+                    else if !phase1 = 0 then begin
+                      v1 := Machine.read ping;
+                      phase1 := 1
+                    end
+                    else begin
+                      Machine.write pong !v1;
+                      phase1 := 0
+                    end);
+                m_halted = (fun _ -> false);
+                m_save =
+                  (fun () ->
+                    let si = !i0 and sv = !v1 and sp = !phase1 in
+                    fun () ->
+                      i0 := si;
+                      v1 := sv;
+                      phase1 := sp);
+                m_payload = None;
+                m_perms = [ [| 0; 1 |] ];
+              };
         });
     obs_fingerprint =
       (fun o -> Printf.sprintf "%d,%d,%d,%d" o.ping o.pong o.v1 o.phase1);
@@ -618,6 +700,27 @@ let test_parallel_sleep_safety () =
         (verdict_of "no-p2p1-suffix" report <> Explorer.Ok_bounded))
     [ 1; 2; 4 ]
 
+(* the snapshot engine under domains: each worker owns a private
+   machine instance and materializes popped prefixes by machine steps;
+   verdicts and (fingerprints off) visit counts must match the
+   sequential snapshot run exactly *)
+let test_parallel_snapshot () =
+  cross_check ~name:"single-writer snapshot"
+    ~mk_sut:single_writer_sut ~properties:[]
+    ~config:(fun () ->
+      Explorer.config ~prune_fingerprints:false ~engine:Explorer.Snapshot ~depth:4 ())
+    ();
+  let problem = Setsync_agreement.Problem.make ~t:1 ~k:1 ~n:3 in
+  let inputs = Setsync_agreement.Problem.distinct_inputs problem in
+  let decisions st = st.Explorer.obs.Systems.decisions in
+  cross_check ~name:"theorem-24 kset snapshot"
+    ~mk_sut:(fun () -> Systems.kset_agreement ~problem ~inputs ())
+    ~properties:
+      [ Property.kset_agreement ~k:1 ~decisions; Property.validity ~inputs ~decisions ]
+    ~config:(fun () ->
+      Explorer.config ~prune_fingerprints:false ~engine:Explorer.Snapshot ~depth:5 ())
+    ()
+
 let test_parallel_invalid_args () =
   let sut = single_writer_sut () in
   Alcotest.check_raises "domains=0 rejected"
@@ -634,55 +737,92 @@ let test_parallel_invalid_args () =
         (Explorer.explore ~domains:2 ~sut ~properties:[]
            (Explorer.config ~strategy:(Explorer.Custom custom) ~depth:2 ())))
 
-(* ------------------------------------------------------------------ *)
-(* (h) path-replay engine ≡ per-state engine *)
-
-(* the acceptance contract of the amortized engine: identical verdicts
-   and visit counts (fingerprinting off), strictly cheaper replay
-   accounting on anything deeper than a couple of levels *)
-let engine_pair ~mk_sut ~properties mk_config =
-  let run path_replay =
-    Explorer.explore ~sut:(mk_sut ()) ~properties (mk_config ~path_replay)
-  in
-  (run false, run true)
-
-let check_engine_equiv ~name ~mk_sut ~properties mk_config =
-  let state_r, path_r = engine_pair ~mk_sut ~properties mk_config in
-  Alcotest.(check (list string))
-    (Printf.sprintf "%s: same violated set" name)
-    (violated_names state_r) (violated_names path_r);
-  List.iter2
-    (fun (n1, v1) (n2, v2) ->
-      Alcotest.(check bool)
-        (Printf.sprintf "%s: verdict %s identical" name n1)
-        true
-        (String.equal n1 n2
-        &&
-        match (v1, v2) with
-        | Explorer.Ok_bounded, Explorer.Ok_bounded -> true
-        | Explorer.Violated x, Explorer.Violated y ->
-            Schedule.equal x.schedule y.schedule && String.equal x.reason y.reason
-        | _ -> false))
-    state_r.Explorer.verdicts path_r.Explorer.verdicts;
+(* regression: the stripe index must hash the whole key. The stdlib
+   default [Hashtbl.hash] stops after 10 meaningful nodes, so
+   structured values differing only past that horizon collide — here
+   two 20-element lists that differ only in their last element. The
+   table's [full_hash] keeps going and must tell them apart. *)
+let test_stripe_hash_full_width () =
+  let deep = List.init 20 (fun i -> i) in
+  let deep' = List.init 19 (fun i -> i) @ [ 999 ] in
   Alcotest.(check bool)
-    (Printf.sprintf "%s: identical visit counts" name)
-    true
-    (visit_counts_of state_r.Explorer.stats = visit_counts_of path_r.Explorer.stats);
+    "sanity: the default hash does collide on these" true
+    (Hashtbl.hash deep = Hashtbl.hash deep');
+  Alcotest.(check bool)
+    "full_hash distinguishes past the truncation horizon" false
+    (Parallel.Shard_tbl.full_hash deep = Parallel.Shard_tbl.full_hash deep');
+  (* and prune decisions on long string keys still behave: first sight
+     expands, deeper re-sight prunes, shallower re-sight expands *)
+  let t = Parallel.Shard_tbl.create ~shards:4 () in
+  let key = String.make 200 'x' ^ "suffix" in
+  Alcotest.(check bool)
+    "fresh key expands" true
+    (Parallel.Shard_tbl.check_and_record t key ~depth:3);
+  Alcotest.(check bool)
+    "deeper re-sight prunes" false
+    (Parallel.Shard_tbl.check_and_record t key ~depth:5);
+  Alcotest.(check bool)
+    "shallower re-sight expands" true
+    (Parallel.Shard_tbl.check_and_record t key ~depth:1)
+
+(* ------------------------------------------------------------------ *)
+(* (h) path-replay engine ≡ per-state engine ≡ snapshot engine *)
+
+(* the acceptance contract of the alternative engines: identical
+   verdicts and visit counts (fingerprinting off), strictly cheaper
+   replay accounting for the path engine, {e zero} replay accounting
+   for the snapshot engine *)
+let check_engine_equiv ~name ~mk_sut ~properties mk_config =
+  let run engine =
+    Explorer.explore ~sut:(mk_sut ()) ~properties (mk_config ~engine)
+  in
+  let state_r = run Explorer.Per_state in
+  let check_matches label (other : Explorer.report) =
+    Alcotest.(check (list string))
+      (Printf.sprintf "%s: same violated set (%s)" name label)
+      (violated_names state_r) (violated_names other);
+    List.iter2
+      (fun (n1, v1) (n2, v2) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: verdict %s identical (%s)" name n1 label)
+          true
+          (String.equal n1 n2
+          &&
+          match (v1, v2) with
+          | Explorer.Ok_bounded, Explorer.Ok_bounded -> true
+          | Explorer.Violated x, Explorer.Violated y ->
+              Schedule.equal x.schedule y.schedule && String.equal x.reason y.reason
+          | _ -> false))
+      state_r.Explorer.verdicts other.Explorer.verdicts;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: identical visit counts (%s)" name label)
+      true
+      (visit_counts_of state_r.Explorer.stats = visit_counts_of other.Explorer.stats)
+  in
+  let path_r = run Explorer.Path in
+  check_matches "path" path_r;
   Alcotest.(check bool)
     (Printf.sprintf "%s: path engine pays fewer replay steps" name)
     true
     (path_r.Explorer.stats.Budget.replay_steps
     <= state_r.Explorer.stats.Budget.replay_steps);
-  (state_r, path_r)
+  let snap_r = run Explorer.Snapshot in
+  check_matches "snapshot" snap_r;
+  Alcotest.(check int)
+    (Printf.sprintf "%s: snapshot engine pays zero replays" name)
+    0 snap_r.Explorer.stats.Budget.replays;
+  Alcotest.(check int)
+    (Printf.sprintf "%s: snapshot engine pays zero replay steps" name)
+    0 snap_r.Explorer.stats.Budget.replay_steps;
+  (state_r, path_r, snap_r)
 
 let test_engine_equiv_pause () =
-  let state_r, path_r =
+  let state_r, path_r, _snap_r =
     check_engine_equiv ~name:"pause-only"
       ~mk_sut:(fun () -> Systems.pause_procs ~n:3)
       ~properties:[]
-      (fun ~path_replay ->
-        Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~path_replay
-          ~depth:5 ())
+      (fun ~engine ->
+        Explorer.config ~prune_fingerprints:false ~sleep_sets:false ~engine ~depth:5 ())
   in
   (* strict: at depth 5 over 3 never-halting processes the per-state
      engine pays Σ depth·3^depth steps, the path engine Σ over maximal
@@ -702,14 +842,13 @@ let test_engine_equiv_detector () =
              ~outputs:(fun st -> st.Explorer.obs.Systems.fd_outputs)
              ~correct:(fun st -> Run.correct st.Explorer.run);
          ]
-       (fun ~path_replay ->
-         Explorer.config ~prune_fingerprints:false ~path_replay ~depth:8 ()))
+       (fun ~engine -> Explorer.config ~prune_fingerprints:false ~engine ~depth:8 ()))
 
 let test_engine_equiv_kset () =
   let problem = Setsync_agreement.Problem.make ~t:1 ~k:1 ~n:2 in
   let inputs = Setsync_agreement.Problem.distinct_inputs problem in
   let decisions st = st.Explorer.obs.Systems.decisions in
-  let state_r, path_r =
+  let state_r, path_r, _snap_r =
     check_engine_equiv ~name:"theorem-24 kset"
       ~mk_sut:(fun () -> Systems.kset_agreement ~problem ~inputs ())
       ~properties:
@@ -717,8 +856,7 @@ let test_engine_equiv_kset () =
           Property.kset_agreement ~k:1 ~decisions;
           Property.validity ~inputs ~decisions;
         ]
-      (fun ~path_replay ->
-        Explorer.config ~prune_fingerprints:false ~path_replay ~depth:8 ())
+      (fun ~engine -> Explorer.config ~prune_fingerprints:false ~engine ~depth:8 ())
   in
   (* the acceptance target: ≥3× fewer replay steps on the depth-8 kset
      space (deterministic counts, also pinned in bench E11e) *)
@@ -755,6 +893,179 @@ let test_engine_sched_sensitive_safety () =
   Alcotest.(check bool)
     "pruned states were safety-checked" true
     (s.Budget.safety_checked > s.Budget.visited)
+
+(* the same regression under the snapshot engine: a sleep-pruned state
+   is already materialized (the machine stepped into it before the
+   commutation test), and must be safety-checked before the restore *)
+let test_engine_snapshot_sched_sensitive () =
+  let report =
+    Explorer.explore ~sut:(single_writer_sut ()) ~properties:[ no_p2p1_suffix ]
+      (Explorer.config ~prune_fingerprints:false ~sleep_sets:true
+         ~engine:Explorer.Snapshot ~depth:4 ())
+  in
+  (match verdict_of "no-p2p1-suffix" report with
+  | Explorer.Ok_bounded ->
+      Alcotest.fail "snapshot engine silently skipped a schedule-sensitive violation"
+  | Explorer.Violated _ -> ());
+  let s = stats_of report in
+  Alcotest.(check bool)
+    "pruned states were safety-checked" true
+    (s.Budget.safety_checked > s.Budget.visited);
+  Alcotest.(check int) "zero replay steps" 0 s.Budget.replay_steps
+
+(* snapshot + fingerprints: the sequential DFS visit order matches the
+   per-state engine's and the digests are built by the same function
+   over the same snapshot/run/obs, so the depth-refined table prunes
+   identically — the hand-counted double-writer numbers from (a) hold *)
+let test_engine_snapshot_fingerprint_counts () =
+  let report =
+    Explorer.explore ~sut:(double_writer_sut ()) ~properties:[]
+      (Explorer.config ~prune_fingerprints:true ~sleep_sets:false
+         ~engine:Explorer.Snapshot ~depth:4 ())
+  in
+  let s = stats_of report in
+  Alcotest.(check int) "visited" 19 s.Budget.visited;
+  Alcotest.(check int) "fp pruned" 3 s.Budget.pruned_fingerprint;
+  Alcotest.(check int) "zero replays" 0 s.Budget.replays;
+  Alcotest.(check int) "zero replay steps" 0 s.Budget.replay_steps
+
+(* crash plans: the savepoint mirror (per-process step counts, crash
+   records, budget checks) must reproduce executor crash accounting for
+   both budget-exhausted and initially-dead processes *)
+let test_engine_snapshot_fault () =
+  ignore
+    (check_engine_equiv ~name:"single-writer, crash after 1"
+       ~mk_sut:single_writer_sut ~properties:[]
+       (fun ~engine ->
+         Explorer.config ~prune_fingerprints:false ~engine ~fault:[ (0, 1) ] ~depth:4 ()));
+  ignore
+    (check_engine_equiv ~name:"double-writer, initially dead"
+       ~mk_sut:double_writer_sut ~properties:[]
+       (fun ~engine ->
+         Explorer.config ~prune_fingerprints:true ~engine ~fault:[ (1, 0) ] ~depth:4 ()))
+
+(* a snapshot run interleaving pauses/restores with crashes must keep
+   exact per-process step accounting: budgets hit at the same depths as
+   the executor's, pinned through visit-count equality above and the
+   crash-set-sensitive fingerprint here (fault plans shrink the
+   admissible renaming group to budget-preserving perms) *)
+let test_symmetry_respects_fault () =
+  let run symmetry =
+    Explorer.explore ~sut:(double_writer_sut ()) ~properties:[]
+      (Explorer.config ~prune_fingerprints:true ~sleep_sets:false
+         ~engine:Explorer.Snapshot ~symmetry ~fault:[ (0, 1) ] ~depth:4 ())
+  in
+  let off = run false and on_ = run true in
+  (* the fault plan breaks the swap symmetry: the group degenerates to
+     the identity and the run must not merge asymmetric states *)
+  Alcotest.(check int) "same visited under asymmetric fault"
+    (stats_of off).Budget.visited (stats_of on_).Budget.visited
+
+(* ------------------------------------------------------------------ *)
+(* (h') symmetry reduction: sound (verdict-equivalent) and effective *)
+
+let not_both_done =
+  Property.safety ~name:"not-both-done" (fun st ->
+      let a, b = st.Explorer.obs in
+      if a = 2 && b = 2 then Some "both writers finished" else None)
+
+let test_symmetry_double_writer () =
+  let run ~properties symmetry =
+    Explorer.explore ~sut:(double_writer_sut ()) ~properties
+      (Explorer.config ~prune_fingerprints:true ~sleep_sets:false
+         ~engine:Explorer.Snapshot ~symmetry ~depth:6 ())
+  in
+  (* soundness: the violation is found with symmetry exactly iff it is
+     found without (the first counterexample stops both runs, so the
+     property run says nothing about counts) *)
+  let off = run ~properties:[ not_both_done ] false
+  and on_ = run ~properties:[ not_both_done ] true in
+  Alcotest.(check (list string))
+    "same violated set" (violated_names off) (violated_names on_);
+  (* effectiveness, on the full space: the swap group merges every
+     mirrored state, here exactly as discriminating as the plain
+     fingerprint (registers + pcs determine each other), so the
+     reduction is pure gain *)
+  let off = run ~properties:[] false and on_ = run ~properties:[] true in
+  Alcotest.(check bool)
+    "symmetry visits strictly fewer states" true
+    ((stats_of on_).Budget.visited < (stats_of off).Budget.visited);
+  Alcotest.(check int) "zero replay steps" 0 (stats_of on_).Budget.replay_steps
+
+(* soundness only: with symmetry off the plain fingerprint keys on the
+   (approximate) observation while the canonical fingerprint keys on
+   the exact machine payload, so the visited counts are incomparable
+   by construction — what must agree is the verdict set *)
+let test_symmetry_detector () =
+  let params = { Setsync_detector.Kanti_omega.n = 3; t = 2; k = 2 } in
+  let properties =
+    [
+      Property.anti_omega_stabilized ~k:2
+        ~outputs:(fun st -> st.Explorer.obs.Systems.fd_outputs)
+        ~correct:(fun st -> Run.correct st.Explorer.run);
+    ]
+  in
+  let run symmetry =
+    Explorer.explore
+      ~sut:(Systems.kanti_detector ~params ())
+      ~properties
+      (Explorer.config ~prune_fingerprints:true ~engine:Explorer.Snapshot ~symmetry
+         ~depth:6 ())
+  in
+  let off = run false and on_ = run true in
+  Alcotest.(check (list string))
+    "same violated set" (violated_names off) (violated_names on_);
+  Alcotest.(check int) "zero replay steps" 0 (stats_of on_).Budget.replay_steps
+
+let test_symmetry_kset () =
+  let problem = Setsync_agreement.Problem.make ~t:1 ~k:1 ~n:2 in
+  (* equal inputs: the admissible renaming group is input-preserving,
+     so distinct inputs would degenerate it to the identity *)
+  let inputs = [| 7; 7 |] in
+  let decisions st = st.Explorer.obs.Systems.decisions in
+  let properties =
+    [ Property.kset_agreement ~k:1 ~decisions; Property.validity ~inputs ~decisions ]
+  in
+  let run symmetry =
+    Explorer.explore
+      ~sut:(Systems.kset_agreement ~problem ~inputs ())
+      ~properties
+      (Explorer.config ~prune_fingerprints:true ~engine:Explorer.Snapshot ~symmetry
+         ~depth:8 ())
+  in
+  let off = run false and on_ = run true in
+  Alcotest.(check (list string))
+    "same violated set" (violated_names off) (violated_names on_);
+  Alcotest.(check int) "zero replay steps" 0 (stats_of on_).Budget.replay_steps
+
+let test_symmetry_requires_snapshot () =
+  Alcotest.check_raises "config rejects symmetry without snapshot engine"
+    (Invalid_argument "Explorer.config: symmetry reduction requires the snapshot engine")
+    (fun () -> ignore (Explorer.config ~symmetry:true ~depth:4 ()))
+
+let test_snapshot_requires_machine () =
+  (* a sut without a machine form must be refused up front *)
+  let sut =
+    {
+      Explorer.n = 2;
+      fresh =
+        (fun ~store:_ ->
+          {
+            Explorer.body = (fun _ () -> ());
+            observe = (fun () -> ());
+            substrate = None;
+            machine = None;
+          });
+      obs_fingerprint = (fun () -> "");
+    }
+  in
+  Alcotest.(check bool) "raises on missing machine form" true
+    (try
+       ignore
+         (Explorer.explore ~sut ~properties:[]
+            (Explorer.config ~engine:Explorer.Snapshot ~depth:2 ()));
+       false
+     with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* (i) budget boundary semantics: "budget of k means at most k" *)
@@ -812,6 +1123,35 @@ let test_budget_boundaries () =
           (s.Budget.visited < 19)
       end)
     [ false; true ]
+
+(* the snapshot engine enforces the same visit-budget contract; its
+   step budget degenerates (no replay steps are ever paid): a positive
+   cap never trips, a zero cap truncates immediately like every engine *)
+let test_budget_boundaries_snapshot () =
+  let run limits =
+    (Explorer.explore ~sut:(single_writer_sut ()) ~properties:[]
+       (Explorer.config ~prune_fingerprints:false ~sleep_sets:false
+          ~engine:Explorer.Snapshot ~limits ~depth:4 ()))
+      .Explorer.stats
+  in
+  let s = run (Budget.limits ~max_states:0 ()) in
+  Alcotest.(check int) "max_states=0 visits nothing" 0 s.Budget.visited;
+  Alcotest.(check bool) "max_states=0 truncated" true s.Budget.truncated;
+  let s = run (Budget.limits ~max_states:1 ()) in
+  Alcotest.(check int) "max_states=1 visits one" 1 s.Budget.visited;
+  Alcotest.(check bool) "max_states=1 truncated" true s.Budget.truncated;
+  let s = run (Budget.limits ~max_states:18 ()) in
+  Alcotest.(check int) "max_states=18 visits 18" 18 s.Budget.visited;
+  Alcotest.(check bool) "max_states=18 truncated" true s.Budget.truncated;
+  let s = run (Budget.limits ~max_states:19 ()) in
+  Alcotest.(check int) "max_states=19 visits all" 19 s.Budget.visited;
+  Alcotest.(check bool) "max_states=19 exhaustive" false s.Budget.truncated;
+  let s = run (Budget.limits ~max_replay_steps:1 ()) in
+  Alcotest.(check bool) "positive step cap never trips" false s.Budget.truncated;
+  Alcotest.(check int) "positive step cap visits all" 19 s.Budget.visited;
+  let s = run (Budget.limits ~max_replay_steps:0 ()) in
+  Alcotest.(check bool) "zero step cap truncated" true s.Budget.truncated;
+  Alcotest.(check int) "zero step cap visits nothing" 0 s.Budget.visited
 
 (* parallel workers enforce the same contract against the shared gauge;
    overshoot is bounded by in-flight items, and an exact-budget
@@ -918,13 +1258,43 @@ let test_store_snapshot () =
   let store = Store.create () in
   let a = Store.register store ~pp:Fmt.int ~name:"a" 7 in
   let _b = Store.register store ~name:"b" "opaque" in
-  Alcotest.(check (list (pair string string)))
-    "snapshot in allocation order"
-    [ ("a", "7"); ("b", "<value>") ]
-    (Store.snapshot store);
+  (match Store.snapshot store with
+  | [ ("a", "7"); ("b", _) ] -> ()
+  | s ->
+      Alcotest.failf "unexpected snapshot %a"
+        Fmt.(list (pair string string))
+        s);
   Register.poke a 9;
-  Alcotest.(check (list (pair string string)))
-    "snapshot is live" [ ("a", "9"); ("b", "<value>") ] (Store.snapshot store)
+  (match Store.snapshot store with
+  | [ ("a", "9"); ("b", _) ] -> ()
+  | _ -> Alcotest.fail "snapshot not live")
+
+(* Regression for the pp-less fingerprint hole: two registers created
+   without a printer but holding different values used to both render
+   as "<value>", making states differing only in pp-less registers
+   fingerprint-equal — an unsound prune. The rendering must be a
+   structural digest: total, and distinct for distinct values. *)
+let test_store_snapshot_ppless_distinct () =
+  let store = Store.create () in
+  let b = Store.register store ~name:"b" "one" in
+  let render () = List.assoc "b" (Store.snapshot store) in
+  let r1 = render () in
+  Register.poke b "two";
+  let r2 = render () in
+  Alcotest.(check bool) "distinct values render distinctly" true (r1 <> r2);
+  Register.poke b "one";
+  Alcotest.(check string) "rendering is deterministic" r1 (render ())
+
+let test_store_save_restore () =
+  let store = Store.create () in
+  let a = Store.register store ~pp:Fmt.int ~name:"a" 1 in
+  let b = Store.register store ~name:"b" "x" in
+  let restore = Store.save store in
+  Register.poke a 42;
+  Register.poke b "y";
+  restore ();
+  Alcotest.(check int) "a restored" 1 (Register.peek a);
+  Alcotest.(check string) "b restored" "x" (Register.peek b)
 
 let test_evaluate_matches_replay () =
   let sut = pipe_sut () in
@@ -985,7 +1355,11 @@ let () =
             test_parallel_fingerprints;
           Alcotest.test_case "sleep-set safety under domains" `Quick
             test_parallel_sleep_safety;
+          Alcotest.test_case "snapshot engine cross-check" `Quick
+            test_parallel_snapshot;
           Alcotest.test_case "invalid arguments" `Quick test_parallel_invalid_args;
+          Alcotest.test_case "stripe hash is full-width" `Quick
+            test_stripe_hash_full_width;
         ] );
       ( "path-replay engine",
         [
@@ -996,11 +1370,34 @@ let () =
             test_engine_equiv_kset;
           Alcotest.test_case "schedule-sensitive safety materialized" `Quick
             test_engine_sched_sensitive_safety;
+          Alcotest.test_case "snapshot: schedule-sensitive safety" `Quick
+            test_engine_snapshot_sched_sensitive;
+          Alcotest.test_case "snapshot: hand-counted fingerprints" `Quick
+            test_engine_snapshot_fingerprint_counts;
+          Alcotest.test_case "snapshot: crash plans equivalent" `Quick
+            test_engine_snapshot_fault;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "double writer: sound and effective" `Quick
+            test_symmetry_double_writer;
+          Alcotest.test_case "figure-2 detector: verdicts agree" `Quick
+            test_symmetry_detector;
+          Alcotest.test_case "theorem-24 kset: sound and effective" `Quick
+            test_symmetry_kset;
+          Alcotest.test_case "asymmetric fault degenerates group" `Quick
+            test_symmetry_respects_fault;
+          Alcotest.test_case "requires snapshot engine" `Quick
+            test_symmetry_requires_snapshot;
+          Alcotest.test_case "snapshot requires machine form" `Quick
+            test_snapshot_requires_machine;
         ] );
       ( "budget boundaries",
         [
           Alcotest.test_case "at most k, exact k exhaustive" `Quick
             test_budget_boundaries;
+          Alcotest.test_case "snapshot engine boundaries" `Quick
+            test_budget_boundaries_snapshot;
           Alcotest.test_case "parallel gauge boundaries" `Quick
             test_budget_boundary_parallel;
         ] );
@@ -1015,6 +1412,9 @@ let () =
         [
           Alcotest.test_case "trace last/recent" `Quick test_trace_recent;
           Alcotest.test_case "store snapshot" `Quick test_store_snapshot;
+          Alcotest.test_case "pp-less snapshot digests distinct" `Quick
+            test_store_snapshot_ppless_distinct;
+          Alcotest.test_case "store save/restore" `Quick test_store_save_restore;
           Alcotest.test_case "evaluate replays faithfully" `Quick
             test_evaluate_matches_replay;
         ] );

@@ -513,6 +513,46 @@ let test_net_event_invariants () =
   Alcotest.(check bool) "messages were delivered post-GST" true (!delivered > 0);
   Alcotest.(check int) "exactly one gst event" 1 !gst_events
 
+(* the substrate's beyond-the-store state: per-pair sequence counters
+   and the GST latch must show up in [snapshot] (they decide drops and
+   the gst event, so states differing there must not be merged) and
+   must round-trip through [save] *)
+let test_substrate_snapshot_save () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary:(Adversary.gst_drop ~delta:1 ~gst:3) () in
+  let s = Net.substrate net in
+  let snap0 = Substrate.snapshot s in
+  Alcotest.(check (list (pair string string)))
+    "fresh: zero seqs, latch down"
+    [ ("NetSeqs", "0,0,0,0,"); ("NetGst", "false") ]
+    snap0;
+  let restore = Substrate.save s in
+  (* one send p0->p1 bumps a sequence counter; five global steps pass
+     gst=3 and raise the latch *)
+  let body p () =
+    if p = 0 then begin
+      Net.send net ~dst:1 Msg.Hb;
+      while true do
+        Net.pause net
+      done
+    end
+    else
+      while true do
+        ignore (Net.recv net)
+      done
+  in
+  ignore
+    (Executor.replay ~n:2 ~schedule:(Schedule.of_list ~n:2 [ 0; 1; 1; 1; 1 ])
+       ~substrate:s body);
+  let snap1 = Substrate.snapshot s in
+  Alcotest.(check (list (pair string string)))
+    "after run: seq bumped, latch up"
+    [ ("NetSeqs", "0,1,0,0,"); ("NetGst", "true") ]
+    snap1;
+  restore ();
+  Alcotest.(check (list (pair string string)))
+    "save/restore round-trips the hidden state" snap0 (Substrate.snapshot s)
+
 let test_net_metrics () =
   let obs = Obs.create () in
   let adversary = Adversary.gst_drop ~delta:1 ~gst:4 in
@@ -540,6 +580,11 @@ let () =
           Alcotest.test_case "authenticated src" `Quick test_authenticated_src;
         ] );
       ("conformance", Shm_conf.tests @ Net_conf.tests);
+      ( "substrate state",
+        [
+          Alcotest.test_case "snapshot exposes seqs + gst latch; save round-trips"
+            `Quick test_substrate_snapshot_save;
+        ] );
       ( "netmem",
         [
           Alcotest.test_case "write/read over messages, 3 steps per op" `Quick
