@@ -2,7 +2,7 @@
 
 DUNE_FILES := $(shell git ls-files '*dune' 'dune-project')
 
-.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke net-smoke cli-smoke ci clean
+.PHONY: all build check test fmt fmt-check bench bench-quick bench-guard obs-check fuzz-smoke net-smoke trace-smoke cli-smoke ci clean
 
 all: build
 
@@ -72,9 +72,17 @@ net-smoke: ## net backend gate: bounded exploration passes, BRS fuzz finds the k
 	  --trace-out /tmp/setsync_ci_net.jsonl --metrics-out /tmp/setsync_ci_net_metrics.json
 	dune exec bin/obs_validate.exe -- \
 	  --trace /tmp/setsync_ci_net.jsonl --net-check \
-	  --require send,deliver,drop,gst \
+	  --require send,deliver,drop,gst,inflight,ct_stabilized \
 	  --metrics /tmp/setsync_ci_net_metrics.json \
-	  --require-counter net.sent --require-counter net.delivered
+	  --require-counter net.sent --require-counter net.delivered \
+	  --require-histogram net.delay_adversary --require-histogram net.delay_forced \
+	  --require-histogram net.delay_fifo
+
+trace-smoke: ## causal-tracing gate: traced net CT run -> trace-report finds a critical path ending at ct_stabilized whose attributed delay telescopes to the stabilization step
+	dune exec bin/setsync_cli.exe -- fd --backend net -n 2 --delta 1 --gst 4 --max-steps 60 \
+	  --trace-out /tmp/setsync_ci_tracereport.jsonl
+	dune exec bin/setsync_cli.exe -- trace-report /tmp/setsync_ci_tracereport.jsonl \
+	  --require-stabilized --json /tmp/setsync_ci_tracereport.json
 
 cli-smoke: ## explore flag-compatibility gate: impossible combinations fail loudly (exit 1 + stderr), honored approximations warn
 	@set -e; \
@@ -111,6 +119,7 @@ ci: ## the full gate: format check, build, tests, E11 smoke + guard, traced-run 
 	$(MAKE) obs-check
 	$(MAKE) fuzz-smoke
 	$(MAKE) net-smoke
+	$(MAKE) trace-smoke
 	$(MAKE) cli-smoke
 
 clean:

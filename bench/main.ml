@@ -838,6 +838,59 @@ let n1_net ?(quick = false) () =
         ])
     cases
 
+(* N1t: causal-tracing overhead on the net backend. Same discipline as
+   P9 but over the whole traced stack: the fast path (?obs absent)
+   must not pay for lineage/attribution instrumentation it did not ask
+   for. Three tiers: plain, an obs context with a nop event sink
+   (metrics + delay attribution live, no event allocation), and a full
+   memory-sink trace (send/deliver/inflight events with lineage args).
+   bin/bench_guard.ml pins the nop tier's overhead; the full-trace
+   rate is reported for scale (every message allocates 3+ events, so
+   it is well off the fast path by design). *)
+let n1_trace_overhead ?(quick = false) () =
+  section "N1t. Net tracing overhead: CT run, plain vs nop-sink obs vs full trace";
+  let n = 2 and delta = 1 and gst = 4 in
+  let max_steps = if quick then 200_000 else 400_000 in
+  let reps = if quick then 3 else 5 in
+  let adversary = Adversary.gst_drop ~delta ~gst in
+  let run_once obs =
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Net_systems.run_ct ?obs ~initial_timeout:2 ~clients:n ~adversary ~max_steps ());
+    Unix.gettimeofday () -. t0
+  in
+  let rate label obs =
+    (* best of reps — the stable floor, robust to scheduling noise *)
+    let best = ref infinity in
+    for _ = 1 to reps do
+      best := min !best (run_once obs)
+    done;
+    let r = float_of_int max_steps /. !best in
+    Fmt.pr "  %-36s %12.0f steps/s@." label r;
+    r
+  in
+  let plain = rate "no obs (fast path)" None in
+  let nop = rate "obs ctx, nop event sink" (Some (Obs.create ())) in
+  let traced =
+    rate "obs ctx, memory sink (full lineage)"
+      (Some (Obs.create ~events:(Events.memory ()) ()))
+  in
+  let nop_overhead = (plain -. nop) /. plain in
+  let traced_overhead = (plain -. traced) /. plain in
+  Fmt.pr "  nop-sink overhead vs no obs: %.2f%% (guard ceiling 35%%)@."
+    (nop_overhead *. 100.);
+  Fmt.pr "  full-trace overhead vs no obs: %.2f%% (informational)@."
+    (traced_overhead *. 100.);
+  Results.add "N1t"
+    [
+      ("steps", Json.Int max_steps);
+      ("plain_steps_per_s", Json.Float plain);
+      ("nop_obs_steps_per_s", Json.Float nop);
+      ("traced_steps_per_s", Json.Float traced);
+      ("nop_overhead_fraction", Json.Float nop_overhead);
+      ("traced_overhead_fraction", Json.Float traced_overhead);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Convergence profile: how fast the detector stabilizes *)
 
@@ -961,6 +1014,7 @@ let quick () =
   e11_snapshot ();
   f1_fuzz ();
   n1_net ~quick:true ();
+  n1_trace_overhead ~quick:true ();
   p9_obs_overhead ();
   Results.write "BENCH_quick.json";
   Fmt.pr "@.done.@."
@@ -983,6 +1037,7 @@ let () =
     e11_snapshot ();
     f1_fuzz ();
     n1_net ();
+    n1_trace_overhead ();
     convergence_profile ();
     ablations ();
     p9_obs_overhead ();

@@ -21,6 +21,17 @@
    step is an exact machine-independent regression signal — measured 9,
    ceiling 12 — and pre-GST drops must actually occur.
 
+   The N1t row pins tracing overhead. The fast path (?obs absent) pays
+   nothing by construction — it is the same code with the instrumented
+   branch untaken — so the guarded tier is the cheapest instrumented
+   one: an obs context with metrics and delay attribution live but a
+   nop event sink. Measured 15-23% on this CT microbench (every step
+   is a send or deliver, so it is all overhead-exposed work); the
+   ceiling is 35%, low enough to trip if attribution ever starts
+   allocating events or formatting on the nop path. The full
+   memory-sink trace allocates lineage events per message and is
+   reported informationally, not pinned.
+
    Usage: bench_guard BENCH_quick.json *)
 
 module Json = Setsync_obs.Json
@@ -173,4 +184,34 @@ let () =
       | Some _ -> fail "N1: adversary dropped no messages pre-GST — gst_drop inert?"
       | None -> fail "N1: missing dropped");
       Printf.printf "bench_guard: N1 n=2 ok (stabilized from %d, ceiling %d)\n" stable
-        max_stable)
+        max_stable);
+  (* N1t row: the nop-sink obs tier must stay cheap; full trace is
+     informational *)
+  let n1t_row = List.find_opt (fun row -> str row "section" = Some "N1t") rows in
+  match n1t_row with
+  | None -> fail "%s: no N1t row — did bench --quick change?" file
+  | Some row ->
+      let max_nop_overhead = 0.35 in
+      let nop_overhead =
+        match num row "nop_overhead_fraction" with
+        | Some v -> v
+        | None -> fail "N1t: missing nop_overhead_fraction"
+      in
+      let traced =
+        match num row "traced_steps_per_s" with
+        | Some v -> v
+        | None -> fail "N1t: missing traced_steps_per_s"
+      in
+      if nop_overhead > max_nop_overhead then
+        fail
+          "N1t: nop-sink obs tier costs %.1f%% vs the untraced run (ceiling %.0f%%) — \
+           is the attribution path allocating?"
+          (nop_overhead *. 100.)
+          (max_nop_overhead *. 100.);
+      if traced <= 0. then fail "N1t: full-trace tier did not run";
+      Printf.printf
+        "bench_guard: N1t ok (nop-sink overhead %.1f%%, ceiling %.0f%%; full trace %.0f \
+         steps/s informational)\n"
+        (nop_overhead *. 100.)
+        (max_nop_overhead *. 100.)
+        traced

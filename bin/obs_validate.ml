@@ -7,15 +7,20 @@
    Usage:
      obs_validate [--trace FILE] [--chrome FILE] [--metrics FILE]
                   [--require KIND,KIND,...] [--require-counter NAME]
-                  [--net-check]
+                  [--require-histogram NAME] [--net-check]
 
    --require asserts that each KIND appears among the trace's event
-   names; --require-counter that the metrics dump has that counter.
-   --net-check validates the net category's lifecycle invariants over
-   the trace: every deliver/drop names a previously sent (src,dst,seq)
-   message, no message both delivers and drops, and the gst marker is
-   emitted at most once. Exit 0 iff every given file parses and every
-   requirement holds. *)
+   names; --require-counter / --require-histogram that the metrics
+   dump has that counter / histogram. --net-check validates the net
+   category's lifecycle and causality invariants over the trace: every
+   deliver/drop names a previously sent message by both its (src, dst,
+   seq) FIFO slot and its cause id mid (with consistent lineage args:
+   matching slot, matching send step, delay = step - sent, and the
+   adv + forced + fifo attribution telescoping to the delay), per-pair
+   delivered seqs strictly increase (no duplicate or reordered FIFO
+   slot), inflight spans pair begin/end by mid, no message both
+   delivers and drops, and the gst marker is emitted at most once.
+   Exit 0 iff every given file parses and every requirement holds. *)
 
 module Json = Setsync_obs.Json
 
@@ -83,25 +88,29 @@ let check_chrome f =
       Printf.printf "chrome trace %s: %d events\n" f (List.length events)
   | _ -> fail "%s: top level is not an array" what
 
-(* returns the set of counter names *)
+(* returns the sets of counter and histogram names *)
 let check_metrics f =
   let what = Printf.sprintf "metrics %s" f in
   let j = parse ~what f (read_file f) in
   let counters = Hashtbl.create 16 in
+  let histograms = Hashtbl.create 16 in
   (match Json.member "counters" j with
   | Some (Json.Obj kvs) -> List.iter (fun (k, _) -> Hashtbl.replace counters k ()) kvs
   | Some _ -> fail "%s: \"counters\" is not an object" what
   | None -> fail "%s: missing \"counters\"" what);
   (match Json.member "histograms" j with
-  | Some (Json.Obj _) -> ()
+  | Some (Json.Obj kvs) -> List.iter (fun (k, _) -> Hashtbl.replace histograms k ()) kvs
   | Some _ -> fail "%s: \"histograms\" is not an object" what
   | None -> fail "%s: missing \"histograms\"" what);
-  Printf.printf "metrics %s: %d counters\n" f (Hashtbl.length counters);
-  counters
+  Printf.printf "metrics %s: %d counters, %d histograms\n" f (Hashtbl.length counters)
+    (Hashtbl.length histograms);
+  (counters, histograms)
 
-(* Net-category lifecycle invariants. Messages are keyed by the
-   (src, dst, seq) triple carried in the event args; the trace is
-   replayed in file order, which matches emission order. *)
+(* Net-category lifecycle and causality invariants. Messages carry two
+   identities: the (src, dst, seq) FIFO slot and the per-message cause
+   id [mid] that links send -> inflight span -> deliver/drop into the
+   happens-before DAG. The trace is replayed in file order, which
+   matches emission order; both identities must agree at every edge. *)
 let check_net f =
   let what0 = Printf.sprintf "net-check %s" f in
   let int_arg ~what args k =
@@ -110,9 +119,11 @@ let check_net f =
     | Some _ -> fail "%s: arg %S is not an int" what k
     | None -> fail "%s: missing arg %S" what k
   in
-  let sent = Hashtbl.create 64
-  and dropped = Hashtbl.create 16
-  and delivered = Hashtbl.create 64 in
+  let sent = Hashtbl.create 64 (* (src,dst,seq) -> () *)
+  and sent_mid = Hashtbl.create 64 (* mid -> (src,dst,seq,step) *)
+  and closed_mid = Hashtbl.create 64 (* mid -> "deliver"|"drop" *)
+  and last_slot = Hashtbl.create 16 (* (src,dst) -> last delivered seq *)
+  and span = Hashtbl.create 64 (* mid -> `Open | `Closed *) in
   let sends = ref 0
   and delivers = ref 0
   and drops = ref 0
@@ -125,39 +136,101 @@ let check_net f =
         let j = parse ~what f line in
         if str_field ~what j "cat" = "net" then begin
           let name = str_field ~what j "name" in
-          let key () =
-            let args =
-              match Json.member "args" j with
-              | Some (Json.Obj _ as a) -> a
-              | Some _ -> fail "%s: \"args\" is not an object" what
-              | None -> fail "%s: %s event has no args" what name
+          let args () =
+            match Json.member "args" j with
+            | Some (Json.Obj _ as a) -> a
+            | Some _ -> fail "%s: \"args\" is not an object" what
+            | None -> fail "%s: %s event has no args" what name
+          in
+          (* the deliver/drop edge must name a sent mid whose slot and
+             send step match its own lineage args *)
+          let edge_mid () =
+            let a = args () in
+            let mid = int_arg ~what a "mid" in
+            let k =
+              (int_arg ~what a "src", int_arg ~what a "dst", int_arg ~what a "seq")
             in
-            (int_arg ~what args "src", int_arg ~what args "dst", int_arg ~what args "seq")
+            (match Hashtbl.find_opt sent_mid mid with
+            | None ->
+                fail "%s: %s of mid %d with no matching send edge: %s" what name mid
+                  (Json.to_string j)
+            | Some (s, d, q, sent_step) ->
+                if (s, d, q) <> k then
+                  fail "%s: %s lineage mismatch: mid %d was sent as (%d,%d,%d): %s" what
+                    name mid s d q (Json.to_string j);
+                if name = "deliver" && int_arg ~what a "sent" <> sent_step then
+                  fail "%s: deliver names sent=%d but mid %d was sent at step %d" what
+                    (int_arg ~what a "sent") mid sent_step);
+            (match Hashtbl.find_opt closed_mid mid with
+            | Some prior ->
+                fail "%s: %s of mid %d already closed by %s: %s" what name mid prior
+                  (Json.to_string j)
+            | None -> Hashtbl.replace closed_mid mid name);
+            (a, mid, k)
           in
           match name with
           | "send" ->
-              let k = key () in
+              let a = args () in
+              let mid = int_arg ~what a "mid" in
+              let k =
+                (int_arg ~what a "src", int_arg ~what a "dst", int_arg ~what a "seq")
+              in
               if Hashtbl.mem sent k then
                 fail "%s: duplicate send of message %s" what (Json.to_string j);
+              if Hashtbl.mem sent_mid mid then
+                fail "%s: duplicate send of mid %d: %s" what mid (Json.to_string j);
               Hashtbl.replace sent k ();
+              Hashtbl.replace sent_mid mid
+                (int_arg ~what a "src", int_arg ~what a "dst", int_arg ~what a "seq",
+                 int_arg ~what a "step");
               incr sends
+          | "inflight" -> (
+              let mid =
+                match Json.member "id" j with
+                | Some (Json.Int v) -> v
+                | _ -> fail "%s: inflight span without an int \"id\"" what
+              in
+              match str_field ~what j "ph" with
+              | "b" ->
+                  if not (Hashtbl.mem sent_mid mid) then
+                    fail "%s: inflight begin for unsent mid %d" what mid;
+                  if Hashtbl.mem span mid then
+                    fail "%s: duplicate inflight begin for mid %d" what mid;
+                  Hashtbl.replace span mid `Open
+              | "e" -> (
+                  match Hashtbl.find_opt span mid with
+                  | Some `Open -> Hashtbl.replace span mid `Closed
+                  | Some `Closed ->
+                      fail "%s: duplicate inflight end for mid %d" what mid
+                  | None -> fail "%s: inflight end without begin for mid %d" what mid)
+              | ph -> fail "%s: inflight span with phase %S (want b/e)" what ph)
           | "deliver" ->
-              let k = key () in
-              if not (Hashtbl.mem sent k) then
-                fail "%s: deliver without matching send: %s" what (Json.to_string j);
-              if Hashtbl.mem dropped k then
-                fail "%s: deliver after drop: %s" what (Json.to_string j);
-              if Hashtbl.mem delivered k then
-                fail "%s: duplicate deliver: %s" what (Json.to_string j);
-              Hashtbl.replace delivered k ();
+              let a, _mid, (src, dst, seq) = edge_mid () in
+              let step = int_arg ~what a "step"
+              and sent_step = int_arg ~what a "sent"
+              and delay = int_arg ~what a "delay" in
+              if step < sent_step + 1 then
+                fail "%s: deliver at step %d <= send step %d: %s" what step sent_step
+                  (Json.to_string j);
+              if delay <> step - sent_step then
+                fail "%s: delay %d <> step %d - sent %d" what delay step sent_step;
+              let adv = int_arg ~what a "adv"
+              and forced = int_arg ~what a "forced"
+              and fifo = int_arg ~what a "fifo" in
+              if adv + forced + fifo <> delay then
+                fail "%s: attribution %d+%d+%d does not telescope to delay %d: %s" what
+                  adv forced fifo delay (Json.to_string j);
+              (* FIFO slot discipline: per (src,dst) pair delivered seqs
+                 strictly increase — a repeated or reordered slot is a
+                 duplicate delivery of the channel position *)
+              (match Hashtbl.find_opt last_slot (src, dst) with
+              | Some prev when seq <= prev ->
+                  fail "%s: FIFO slot violation on (%d,%d): seq %d after %d: %s" what src
+                    dst seq prev (Json.to_string j)
+              | Some _ | None -> Hashtbl.replace last_slot (src, dst) seq);
               incr delivers
           | "drop" ->
-              let k = key () in
-              if not (Hashtbl.mem sent k) then
-                fail "%s: drop without matching send: %s" what (Json.to_string j);
-              if Hashtbl.mem delivered k then
-                fail "%s: drop after deliver: %s" what (Json.to_string j);
-              Hashtbl.replace dropped k ();
+              ignore (edge_mid ());
               incr drops
           | "gst" ->
               incr gsts;
@@ -167,6 +240,12 @@ let check_net f =
       end)
     lines;
   if !sends = 0 then fail "%s: no send events" what0;
+  (* every closed message's inflight span must be closed too *)
+  Hashtbl.iter
+    (fun mid state ->
+      if state = `Open && Hashtbl.mem closed_mid mid then
+        fail "%s: inflight span for mid %d never ended" what0 mid)
+    span;
   Printf.printf "net-check %s: %d sends, %d delivers, %d drops, %d gst\n" f !sends
     !delivers !drops !gsts
 
@@ -176,7 +255,8 @@ let () =
   and metrics = ref None
   and net_check = ref false
   and require = ref []
-  and require_counters = ref [] in
+  and require_counters = ref []
+  and require_histograms = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--trace" :: f :: rest ->
@@ -194,6 +274,9 @@ let () =
     | "--require-counter" :: c :: rest ->
         require_counters := !require_counters @ [ c ];
         parse_args rest
+    | "--require-histogram" :: h :: rest ->
+        require_histograms := !require_histograms @ [ h ];
+        parse_args rest
     | "--net-check" :: rest ->
         net_check := true;
         parse_args rest
@@ -206,7 +289,9 @@ let () =
      | None -> fail "--net-check given without --trace"
      | Some f -> check_net f);
   Option.iter check_chrome !chrome;
-  let counters = Option.map check_metrics !metrics in
+  let metric_names = Option.map check_metrics !metrics in
+  let counters = Option.map fst metric_names in
+  let histograms = Option.map snd metric_names in
   List.iter
     (fun kind ->
       match names with
@@ -220,4 +305,11 @@ let () =
       | None -> fail "--require-counter %s given without --metrics" c
       | Some tbl -> if not (Hashtbl.mem tbl c) then fail "metrics has no counter %S" c)
     !require_counters;
+  List.iter
+    (fun h ->
+      match histograms with
+      | None -> fail "--require-histogram %s given without --metrics" h
+      | Some tbl ->
+          if not (Hashtbl.mem tbl h) then fail "metrics has no histogram %S" h)
+    !require_histograms;
   print_endline "obs_validate: ok"

@@ -313,6 +313,84 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"Timeliness analysis of a random schedule")
     Term.(const run $ n_arg $ seed_arg $ length $ bound_arg)
 
+(* ----------------------------------------------------- trace-report *)
+
+let trace_report_cmd =
+  let run file json_out require_stabilized =
+    let fatal fmt = Fmt.kstr (fun s -> Fmt.epr "setsync: %s@." s; exit 1) fmt in
+    let events =
+      match Analyze.load_jsonl file with Ok evs -> evs | Error e -> fatal "%s" e
+    in
+    let report =
+      match Analyze.of_events events with
+      | Ok r -> r
+      | Error e -> fatal "%s: causality violation or malformed trace: %s" file e
+    in
+    Fmt.pr "%a@." Analyze.pp_report report;
+    (match json_out with
+    | None -> ()
+    | Some "-" -> Fmt.pr "%s@." (Json.to_string (Analyze.report_to_json report))
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Json.to_string (Analyze.report_to_json report));
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "setsync: report written to %s@." path);
+    if require_stabilized then
+      match report.Analyze.critical with
+      | None -> fatal "%s: no stabilization anchor in trace (run violated or truncated)" file
+      | Some p ->
+          if p.Analyze.total <> p.Analyze.end_step then
+            fatal
+              "%s: critical path total %d does not telescope to the stabilization step %d"
+              file p.Analyze.total p.Analyze.end_step;
+          if p.Analyze.end_name <> "ct_stabilized" then
+            fatal "%s: critical path ends at %s, not ct_stabilized" file p.Analyze.end_name
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace file written by $(b,--trace-out).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the report as machine-readable JSON (schema \
+             setsync-trace-report/1) to $(docv); $(b,-) writes it to stdout.")
+  in
+  let require_arg =
+    Arg.(
+      value & flag
+      & info [ "require-stabilized" ]
+          ~doc:
+            "Exit non-zero unless the trace carries a stabilization anchor and the \
+             critical path's attributed delay telescopes exactly to its step (the \
+             invariant $(b,make trace-smoke) pins).")
+  in
+  Cmd.v
+    (Cmd.info "trace-report" ~doc:"Causal analysis of a traced run"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a JSONL event trace, reconstructs the happens-before DAG (program \
+              order from runtime.step events, message edges from net.send/deliver/drop \
+              lineage), and prints the critical path to detector stabilization with \
+              per-hop latency attribution (adversary-chosen vs. model-forced vs. FIFO \
+              vs. inbox wait), per-pair delay breakdowns, and the drop lineage of \
+              violated runs.";
+           `S Manpage.s_exit_status;
+           `P
+             "0 on a consistent trace (with $(b,--require-stabilized): one whose \
+              critical path reaches the stabilization event); 1 on read errors, \
+              causality violations, or an unmet $(b,--require-stabilized).";
+         ])
+    Term.(const run $ file_arg $ json_arg $ require_arg)
+
 (* ---------------------------------------------------------- explore *)
 
 type explore_check = Check_kset | Check_timeliness | Check_detector
@@ -431,9 +509,23 @@ let explore_cmd =
       & info [ "progress" ] ~docv:"S"
           ~doc:"Print a progress heartbeat to stderr every $(docv) seconds (0 disables).")
   in
+  let search_summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "search-summary" ] ~docv:"FILE"
+          ~doc:
+            "Write the machine-readable search-telemetry block (JSON, schema \
+             $(b,setsync-search-summary/1)) to $(docv) after the exploration: engine, \
+             movement totals (replays for the replay engines, machine steps and \
+             savepoint restores for the snapshot engine), and the per-depth \
+             visited/pruned breakdown. $(docv) $(b,-) writes to stdout. Also enables \
+             movement timing under $(b,--engine snapshot) (wall seconds spent stepping \
+             and restoring).")
+  in
   let run check n t k depth bound seed bfs max_states max_replay_steps max_seconds
       fingerprints engine_opt symmetry per_state domains backend delta gst trace_out
-      metrics_out progress_seconds =
+      metrics_out progress_seconds search_summary =
     let strategy = if bfs then Explorer.Bfs else Explorer.Dfs in
     let engine =
       match engine_opt with
@@ -470,12 +562,42 @@ let explore_cmd =
     let limits = Budget.limits ?max_states ?max_replay_steps ?max_seconds () in
     let obs = make_obs ~shards:domains ~trace_out ~metrics_out () in
     let gst = Option.value gst ~default:4 in
+    (* heartbeat movement counters are engine-appropriate: the snapshot
+       engine does zero replays (its movement is machine steps undone by
+       savepoint restores), so printing replay steps there would show a
+       frozen 0 forever *)
     let on_progress (p : Explorer.progress) =
-      Fmt.epr "[%6.1fs] states %d  replays %d (%d steps)  frontier %d  fp-pruned %d  max depth %d@."
-        p.Explorer.wall p.Explorer.states p.Explorer.replays p.Explorer.replay_steps
-        p.Explorer.frontier p.Explorer.fp_pruned p.Explorer.max_depth
+      if engine = Explorer.Snapshot then
+        Fmt.epr
+          "[%6.1fs] states %d  machine %d steps (%d restores)  frontier %d  fp-pruned \
+           %d  max depth %d@."
+          p.Explorer.wall p.Explorer.states p.Explorer.machine_steps p.Explorer.restores
+          p.Explorer.frontier p.Explorer.fp_pruned p.Explorer.max_depth
+      else
+        Fmt.epr
+          "[%6.1fs] states %d  replays %d (%d steps)  frontier %d  fp-pruned %d  max \
+           depth %d@."
+          p.Explorer.wall p.Explorer.states p.Explorer.replays p.Explorer.replay_steps
+          p.Explorer.frontier p.Explorer.fp_pruned p.Explorer.max_depth
+    in
+    let write_search_summary report =
+      match search_summary with
+      | None -> ()
+      | Some f ->
+          let line = Json.to_string (Explorer.search_summary_to_json report) in
+          if f = "-" then Fmt.pr "%s@." line
+          else begin
+            let oc = open_out f in
+            output_string oc line;
+            output_char oc '\n';
+            close_out oc;
+            Fmt.pr "search summary written to %s@." f
+          end
     in
     let explore_with ~sut ~properties config =
+      (* timing the snapshot movement costs two clock reads per machine
+         step; couple it to the explicit summary request *)
+      let config = { config with Explorer.telemetry = search_summary <> None } in
       Explorer.explore ~domains ?obs ~on_progress ~progress_interval:progress_seconds
         ~sut ~properties config
     in
@@ -487,6 +609,7 @@ let explore_cmd =
       Fmt.pr "%a@." Explorer.pp_report report;
       Fmt.pr "time: %a (%d domain%s)@." Budget.pp_times report.Explorer.stats domains
         (if domains = 1 then "" else "s");
+      write_search_summary report;
       write_obs ~trace_out ~metrics_out obs;
       exit (if ok report then 0 else 2)
     in
@@ -632,6 +755,7 @@ let explore_cmd =
                   Fmt.pr "replayed shrunk schedule: VIOLATION LOST@.";
                   1)
         in
+        write_search_summary report;
         write_obs ~trace_out ~metrics_out obs;
         exit code
   in
@@ -651,7 +775,8 @@ let explore_cmd =
       const run $ check_arg $ n_arg $ t_arg $ k_arg $ depth_arg $ bound_arg $ seed_arg
       $ bfs_arg $ max_states_arg $ max_replay_arg $ max_seconds_arg $ fingerprints_arg
       $ engine_arg $ symmetry_arg $ per_state_arg $ domains_arg $ backend_arg $ delta_arg
-      $ gst_arg $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg)
+      $ gst_arg $ trace_out_arg $ metrics_out_arg $ progress_seconds_arg
+      $ search_summary_arg)
 
 (* ------------------------------------------------------------- fuzz *)
 
@@ -865,4 +990,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figure1_cmd; fd_cmd; solve_cmd; sweep_cmd; analyze_cmd; explore_cmd; fuzz_cmd ]))
+          [
+            figure1_cmd;
+            fd_cmd;
+            solve_cmd;
+            sweep_cmd;
+            analyze_cmd;
+            trace_report_cmd;
+            explore_cmd;
+            fuzz_cmd;
+          ]))

@@ -58,6 +58,7 @@ module Obs = Setsync_obs.Obs
 module Metrics = Setsync_obs.Metrics
 module Events = Setsync_obs.Events
 module Json = Setsync_obs.Json
+module Analyze = Setsync_obs.Analyze
 
 (* bounded model checking (schedule-space exploration) *)
 module Budget = Setsync_explore.Budget

@@ -30,6 +30,18 @@ type t = {
   mutable max_depth : int;
   mutable frontier_peak : int;
   mutable truncated : bool;
+  (* per-depth search telemetry: index = prefix depth, growable *)
+  mutable d_visited : int array;
+  mutable d_fp : int array;
+  mutable d_sleep : int array;
+  (* snapshot-engine movement: live machine steps / savepoint restores
+     (NOT replays — the pinned pp_stats line stays engine-agnostic) *)
+  mutable machine_steps : int;
+  mutable restores : int;
+  (* accumulated only when the caller times the movement (telemetry
+     mode); 0.0 otherwise *)
+  mutable machine_seconds : float;
+  mutable restore_seconds : float;
 }
 
 let start lim =
@@ -46,7 +58,25 @@ let start lim =
     max_depth = 0;
     frontier_peak = 0;
     truncated = false;
+    d_visited = [||];
+    d_fp = [||];
+    d_sleep = [||];
+    machine_steps = 0;
+    restores = 0;
+    machine_seconds = 0.;
+    restore_seconds = 0.;
   }
+
+(* grow-on-demand for the per-depth counter arrays *)
+let grown a d =
+  if d < Array.length a then a
+  else begin
+    let b = Array.make (max (d + 1) ((2 * Array.length a) + 4)) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let at a d = if d < Array.length a then a.(d) else 0
 
 let limits_hit lim ~states ~replay_steps ~wall_elapsed =
   let hit cap value = match cap with Some c -> value >= c | None -> false in
@@ -88,13 +118,36 @@ let note_replay t ~steps =
 
 let note_replay_steps t k = t.replay_steps <- t.replay_steps + k
 
-let note_depth t d = if d > t.max_depth then t.max_depth <- d
+let note_depth t d =
+  if d > t.max_depth then t.max_depth <- d;
+  t.d_visited <- grown t.d_visited d;
+  t.d_visited.(d) <- t.d_visited.(d) + 1
 
-let note_fingerprint_prune t = t.pruned_fingerprint <- t.pruned_fingerprint + 1
+let note_fingerprint_prune ?depth t =
+  t.pruned_fingerprint <- t.pruned_fingerprint + 1;
+  match depth with
+  | None -> ()
+  | Some d ->
+      t.d_fp <- grown t.d_fp d;
+      t.d_fp.(d) <- t.d_fp.(d) + 1
 
-let note_sleep_prune t = t.pruned_sleep <- t.pruned_sleep + 1
+let note_sleep_prune ?depth t =
+  t.pruned_sleep <- t.pruned_sleep + 1;
+  match depth with
+  | None -> ()
+  | Some d ->
+      t.d_sleep <- grown t.d_sleep d;
+      t.d_sleep.(d) <- t.d_sleep.(d) + 1
 
 let note_frontier t size = if size > t.frontier_peak then t.frontier_peak <- size
+
+let note_machine_step t = t.machine_steps <- t.machine_steps + 1
+
+let note_restore t = t.restores <- t.restores + 1
+
+let note_machine_seconds t s = t.machine_seconds <- t.machine_seconds +. s
+
+let note_restore_seconds t s = t.restore_seconds <- t.restore_seconds +. s
 
 let absorb ~into w =
   into.visited <- into.visited + w.visited;
@@ -105,7 +158,29 @@ let absorb ~into w =
   into.replay_steps <- into.replay_steps + w.replay_steps;
   if w.max_depth > into.max_depth then into.max_depth <- w.max_depth;
   if w.frontier_peak > into.frontier_peak then into.frontier_peak <- w.frontier_peak;
-  if w.truncated then into.truncated <- true
+  if w.truncated then into.truncated <- true;
+  let merge get set =
+    let wa = get w in
+    if Array.length wa > 0 then begin
+      let ia = grown (get into) (Array.length wa - 1) in
+      Array.iteri (fun d v -> ia.(d) <- ia.(d) + v) wa;
+      set into ia
+    end
+  in
+  merge (fun t -> t.d_visited) (fun t a -> t.d_visited <- a);
+  merge (fun t -> t.d_fp) (fun t a -> t.d_fp <- a);
+  merge (fun t -> t.d_sleep) (fun t a -> t.d_sleep <- a);
+  into.machine_steps <- into.machine_steps + w.machine_steps;
+  into.restores <- into.restores + w.restores;
+  into.machine_seconds <- into.machine_seconds +. w.machine_seconds;
+  into.restore_seconds <- into.restore_seconds +. w.restore_seconds
+
+type depth_row = {
+  dr_depth : int;
+  dr_visited : int;
+  dr_fp_pruned : int;
+  dr_sleep_pruned : int;
+}
 
 type stats = {
   visited : int;
@@ -119,7 +194,34 @@ type stats = {
   truncated : bool;
   cpu_seconds : float;
   wall_seconds : float;
+  depth_profile : depth_row list;
+  machine_steps : int;
+  restores : int;
+  machine_seconds : float;
+  restore_seconds : float;
 }
+
+let depth_profile_of t =
+  (* arrays grow geometrically, so drop the all-zero tail *)
+  let len =
+    let cap =
+      max (Array.length t.d_visited) (max (Array.length t.d_fp) (Array.length t.d_sleep))
+    in
+    let rec go d =
+      if d <= 0 then 0
+      else if at t.d_visited (d - 1) > 0 || at t.d_fp (d - 1) > 0 || at t.d_sleep (d - 1) > 0
+      then d
+      else go (d - 1)
+    in
+    go cap
+  in
+  List.init len (fun d ->
+      {
+        dr_depth = d;
+        dr_visited = at t.d_visited d;
+        dr_fp_pruned = at t.d_fp d;
+        dr_sleep_pruned = at t.d_sleep d;
+      })
 
 let stats (t : t) : stats =
   {
@@ -134,6 +236,11 @@ let stats (t : t) : stats =
     truncated = t.truncated;
     cpu_seconds = cpu_elapsed t;
     wall_seconds = wall_elapsed t;
+    depth_profile = depth_profile_of t;
+    machine_steps = t.machine_steps;
+    restores = t.restores;
+    machine_seconds = t.machine_seconds;
+    restore_seconds = t.restore_seconds;
   }
 
 let pp_stats ppf s =

@@ -95,9 +95,33 @@ val note_replay_steps : t -> int -> unit
     boundaries. *)
 
 val note_depth : t -> int -> unit
-val note_fingerprint_prune : t -> unit
-val note_sleep_prune : t -> unit
+(** Record a visit at the given prefix depth: raises the [max_depth]
+    high-water mark and bumps that depth's row of the per-depth
+    visited profile. Call exactly once per visited state, with that
+    state's depth. *)
+
+val note_fingerprint_prune : ?depth:int -> t -> unit
+(** Pass [~depth] (of the pruned state) to also attribute the prune in
+    the per-depth profile; engines that do not track a depth at the
+    prune site may omit it, keeping only the total. *)
+
+val note_sleep_prune : ?depth:int -> t -> unit
+(** Same [~depth] contract as {!note_fingerprint_prune}. *)
+
 val note_frontier : t -> int -> unit
+
+(** {3 Snapshot-engine movement}
+
+    Machine steps and savepoint restores are the snapshot engine's
+    work units — deliberately not folded into [replays]/[replay_steps]
+    (whose pinned rendering stays engine-agnostic). The [_seconds]
+    accumulators are fed only when the caller times the movement
+    (telemetry mode); they stay [0.] otherwise. *)
+
+val note_machine_step : t -> unit
+val note_restore : t -> unit
+val note_machine_seconds : t -> float -> unit
+val note_restore_seconds : t -> float -> unit
 
 val absorb : into:t -> t -> unit
 (** Merge a worker meter's counters into a parent meter: counts are
@@ -106,6 +130,15 @@ val absorb : into:t -> t -> unit
     elapsed times. *)
 
 (** {2 Report} *)
+
+type depth_row = {
+  dr_depth : int;  (** prefix depth (0 = the empty prefix) *)
+  dr_visited : int;  (** states visited at this depth *)
+  dr_fp_pruned : int;
+      (** fingerprint prunes attributed to this depth (only engines
+          that pass [~depth] to {!note_fingerprint_prune} contribute) *)
+  dr_sleep_pruned : int;  (** commutation prunes attributed likewise *)
+}
 
 type stats = {
   visited : int;
@@ -134,6 +167,16 @@ type stats = {
       (** CPU time consumed by the whole process during the
           exploration, summed over domains ([Sys.time] delta) *)
   wall_seconds : float;  (** real elapsed time ([Unix.gettimeofday] delta) *)
+  depth_profile : depth_row list;
+      (** per-depth breakdown, ascending from depth 0; empty when no
+          depth was ever noted. In parallel explorations rows are the
+          elementwise sums of the worker profiles ({!absorb}). *)
+  machine_steps : int;  (** snapshot engine: live machine steps taken *)
+  restores : int;  (** snapshot engine: savepoint restores performed *)
+  machine_seconds : float;
+      (** wall time inside machine steps when movement was timed
+          (telemetry mode); [0.] otherwise *)
+  restore_seconds : float;  (** likewise, wall time inside restores *)
 }
 
 val stats : t -> stats

@@ -63,11 +63,12 @@ type config = {
   symmetry : bool;
   limits : Budget.limits;
   fault : Fault.plan;
+  telemetry : bool;
 }
 
 let config ?(strategy = Dfs) ?(prune_fingerprints = true) ?(sleep_sets = true) ?path_replay
     ?engine ?(symmetry = false) ?(limits = Budget.unlimited) ?(fault = Fault.no_faults)
-    ~depth () =
+    ?(telemetry = false) ~depth () =
   let engine =
     match (engine, path_replay) with
     | Some e, _ -> e
@@ -76,11 +77,25 @@ let config ?(strategy = Dfs) ?(prune_fingerprints = true) ?(sleep_sets = true) ?
   in
   if symmetry && engine <> Snapshot then
     invalid_arg "Explorer.config: symmetry reduction requires the snapshot engine";
-  { depth; strategy; prune_fingerprints; sleep_sets; engine; symmetry; limits; fault }
+  {
+    depth;
+    strategy;
+    prune_fingerprints;
+    sleep_sets;
+    engine;
+    symmetry;
+    limits;
+    fault;
+    telemetry;
+  }
 
 type verdict = Ok_bounded | Violated of { schedule : Schedule.t; reason : string }
 
-type report = { verdicts : (string * verdict) list; stats : Budget.stats }
+type report = {
+  verdicts : (string * verdict) list;
+  stats : Budget.stats;
+  engine : engine_kind;
+}
 
 (* ---------------------------------------------------------- frontiers *)
 
@@ -464,7 +479,7 @@ let process_prefix eng ~push rev_steps =
     | _ -> false
   in
   if sleep_pruned then begin
-    Budget.note_sleep_prune meter;
+    Budget.note_sleep_prune ~depth meter;
     (match eng.e_ev with
     | Some sink ->
         Events.emit sink ~worker:eng.e_worker
@@ -503,7 +518,7 @@ let process_prefix eng ~push rev_steps =
          let fp = fingerprint ~sut ~snapshot ~run ~obs in
          if eng.e_fp_check fp ~depth then true
          else begin
-           Budget.note_fingerprint_prune meter;
+           Budget.note_fingerprint_prune ~depth meter;
            (match eng.e_ev with
            | Some sink ->
                Events.emit sink ~worker:eng.e_worker
@@ -621,7 +636,7 @@ let process_descent eng ~push ~synthesize rev_start parent_tbl0 =
       | _ -> false
     in
     if own_pruned then begin
-      Budget.note_sleep_prune meter;
+      Budget.note_sleep_prune ~depth:d meter;
       emit "sleep_prune" [ ("depth", Json.Int d) ];
       if eng.e_pending_safety () then begin
         Budget.note_safety_check meter;
@@ -652,7 +667,7 @@ let process_descent eng ~push ~synthesize rev_start parent_tbl0 =
           in
           if eng.e_fp_check fp ~depth:d then true
           else begin
-            Budget.note_fingerprint_prune meter;
+            Budget.note_fingerprint_prune ~depth:d meter;
             emit "fp_prune" [ ("depth", Json.Int d) ];
             false
           end
@@ -680,7 +695,7 @@ let process_descent eng ~push ~synthesize rev_start parent_tbl0 =
                     (* inherited: b's footprint is unchanged across the
                        disjoint step a *)
                     my_tbl.(b) <- Some fb;
-                    Budget.note_sleep_prune meter;
+                    Budget.note_sleep_prune ~depth:(d + 1) meter;
                     emit "sleep_prune" [ ("depth", Json.Int (d + 1)) ];
                     (if eng.e_pending_sched_safety () then begin
                        (* a schedule-sensitive safety property is still
@@ -808,6 +823,8 @@ type progress = {
   fp_pruned : int;
   sleep_pruned : int;
   max_depth : int;
+  machine_steps : int;  (* snapshot engine's movement; 0 elsewhere *)
+  restores : int;
 }
 
 (* Periodic heartbeat: a wall-clock-gated callback plus a "heartbeat"
@@ -845,6 +862,8 @@ let maybe_beat hb snapshot =
               [
                 ("states", Json.Int p.states);
                 ("replay_steps", Json.Int p.replay_steps);
+                ("machine_steps", Json.Int p.machine_steps);
+                ("restores", Json.Int p.restores);
                 ("frontier", Json.Int p.frontier);
                 ("fp_pruned", Json.Int p.fp_pruned);
                 ("max_depth", Json.Int p.max_depth);
@@ -862,6 +881,8 @@ let progress_of_stats ~frontier (s : Budget.stats) : progress =
     fp_pruned = s.Budget.pruned_fingerprint;
     sleep_pruned = s.Budget.pruned_sleep;
     max_depth = s.Budget.max_depth;
+    machine_steps = s.Budget.machine_steps;
+    restores = s.Budget.restores;
   }
 
 (* Fold one worker's final stats into the sharded explorer counters.
@@ -1037,6 +1058,34 @@ let mc_save c =
     Array.blit steps_of 0 c.mc_steps_of 0 (Array.length steps_of);
     c.mc_crashes <- crashes
 
+(* Movement metering: every machine step and savepoint restore is
+   counted in the worker's meter — that feeds the live heartbeat and
+   the final search summary. In telemetry mode ([config.telemetry])
+   the movement is also wall-timed; the untimed path adds only one
+   counter increment per step, noise against the step itself, so the
+   pinned snapshot benches are unperturbed. *)
+let mc_step_metered meter ~timed c ~global p =
+  let fp =
+    if timed then begin
+      let t0 = Unix.gettimeofday () in
+      let fp = mc_step c ~global p in
+      Budget.note_machine_seconds meter (Unix.gettimeofday () -. t0);
+      fp
+    end
+    else mc_step c ~global p
+  in
+  Budget.note_machine_step meter;
+  fp
+
+let restore_metered meter ~timed restore =
+  if timed then begin
+    let t0 = Unix.gettimeofday () in
+    restore ();
+    Budget.note_restore_seconds meter (Unix.gettimeofday () -. t0)
+  end
+  else restore ();
+  Budget.note_restore meter
+
 (* Canonical fingerprint under the admissible renaming group: the
    lexicographic minimum, over admissible perms, of the digest of the
    renamed machine payload plus renamed run bookkeeping. Per-process
@@ -1119,7 +1168,7 @@ let rec snapshot_visit ?push eng c ~hb ~progress ~over ~on_truncate ~pending ~de
        in
        if eng.e_fp_check fp ~depth then true
        else begin
-         Budget.note_fingerprint_prune meter;
+         Budget.note_fingerprint_prune ~depth meter;
          emit "fp_prune" [ ("depth", Json.Int depth) ];
          false
        end)
@@ -1145,7 +1194,9 @@ let rec snapshot_visit ?push eng c ~hb ~progress ~over ~on_truncate ~pending ~de
             else if over () then on_truncate ()
             else begin
               let restore = mc_save c in
-              let fp_b = mc_step c ~global:depth b in
+              let fp_b =
+                mc_step_metered meter ~timed:config.telemetry c ~global:depth b
+              in
               let rev' = b :: rev in
               let pruned =
                 config.sleep_sets
@@ -1154,7 +1205,7 @@ let rec snapshot_visit ?push eng c ~hb ~progress ~over ~on_truncate ~pending ~de
                    | [] -> false)
               in
               if pruned then begin
-                Budget.note_sleep_prune meter;
+                Budget.note_sleep_prune ~depth:(depth + 1) meter;
                 emit "sleep_prune" [ ("depth", Json.Int (depth + 1)) ];
                 (* the pruned state is already materialized: check pending
                    safety on it directly before discarding, exactly like
@@ -1167,7 +1218,7 @@ let rec snapshot_visit ?push eng c ~hb ~progress ~over ~on_truncate ~pending ~de
               else
                 snapshot_visit eng c ~hb ~progress ~over ~on_truncate ~pending
                   ~depth:(depth + 1) ~rev:rev' ~arrive_fp:fp_b;
-              restore ()
+              restore_metered meter ~timed:config.telemetry restore
             end)
           en
   end
@@ -1321,6 +1372,7 @@ let explore_seq ?obs ?on_progress ?(progress_interval = 1.0) ~sut ~properties co
   {
     verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
     stats;
+    engine = config.engine;
   }
 
 (* --------------------------------------------------------- parallel *)
@@ -1455,6 +1507,8 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
       fp_pruned = sum (fun s -> s.Budget.pruned_fingerprint);
       sleep_pruned = sum (fun s -> s.Budget.pruned_sleep);
       max_depth = Array.fold_left (fun acc s -> max acc s.Budget.max_depth) 0 ss;
+      machine_steps = sum (fun s -> s.Budget.machine_steps);
+      restores = sum (fun s -> s.Budget.restores);
     }
   in
   (* snapshot-engine movement counters, per worker (folded into the
@@ -1478,7 +1532,7 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
     List.iteri
       (fun i p ->
         fp_prev := !fp_last;
-        fp_last := mc_step c ~global:i p)
+        fp_last := mc_step_metered meter ~timed:config.telemetry c ~global:i p)
       steps;
     let sleep_pruned =
       config.sleep_sets && depth >= 2
@@ -1488,7 +1542,7 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
       | _ -> false
     in
     if sleep_pruned then begin
-      Budget.note_sleep_prune meter;
+      Budget.note_sleep_prune ~depth meter;
       (match eng.e_ev with
       | Some sink ->
           Events.emit sink ~worker:wid
@@ -1548,6 +1602,7 @@ let explore_par ?obs ?on_progress ?(progress_interval = 1.0) ~domains ~sut ~prop
   {
     verdicts = List.map (fun ((p : _ Property.t), v) -> (p.Property.name, !v)) verdicts;
     stats = Budget.stats parent;
+    engine = config.engine;
   }
 
 let explore ?(domains = 1) ?obs ?on_progress ?progress_interval ~sut ~properties config =
@@ -1562,6 +1617,70 @@ let explore ?(domains = 1) ?obs ?on_progress ?progress_interval ~sut ~properties
     | Dfs | Bfs -> ());
     explore_par ?obs ?on_progress ?progress_interval ~domains ~sut ~properties config
   end
+
+(* ----------------------------------------------------- search summary *)
+
+let engine_name = function
+  | Per_state -> "per_state"
+  | Path -> "path"
+  | Snapshot -> "snapshot"
+
+(* Machine-readable search-telemetry block: the engine that ran,
+   engine-appropriate movement totals (replays for the replay engines,
+   machine steps/restores for the snapshot engine — timed when the
+   exploration ran with [telemetry]), and the per-depth
+   visited/pruned breakdown. Schema is versioned like the other JSON
+   blocks so downstream readers can detect drift. *)
+let search_summary_to_json (r : report) =
+  let s = r.stats in
+  let row (d : Budget.depth_row) =
+    Json.Obj
+      [
+        ("depth", Json.Int d.Budget.dr_depth);
+        ("visited", Json.Int d.Budget.dr_visited);
+        ("fp_pruned", Json.Int d.Budget.dr_fp_pruned);
+        ("sleep_pruned", Json.Int d.Budget.dr_sleep_pruned);
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "setsync-search-summary/1");
+      ("engine", Json.String (engine_name r.engine));
+      ("visited", Json.Int s.Budget.visited);
+      ("safety_checked", Json.Int s.Budget.safety_checked);
+      ("fp_pruned", Json.Int s.Budget.pruned_fingerprint);
+      ("sleep_pruned", Json.Int s.Budget.pruned_sleep);
+      ("replays", Json.Int s.Budget.replays);
+      ("replay_steps", Json.Int s.Budget.replay_steps);
+      ("machine_steps", Json.Int s.Budget.machine_steps);
+      ("restores", Json.Int s.Budget.restores);
+      ("machine_seconds", Json.Float s.Budget.machine_seconds);
+      ("restore_seconds", Json.Float s.Budget.restore_seconds);
+      ("max_depth", Json.Int s.Budget.max_depth);
+      ("frontier_peak", Json.Int s.Budget.frontier_peak);
+      ("truncated", Json.Bool s.Budget.truncated);
+      ("wall_seconds", Json.Float s.Budget.wall_seconds);
+      ("depth_profile", Json.List (List.map row s.Budget.depth_profile));
+    ]
+
+let pp_search_summary ppf (r : report) =
+  let s = r.stats in
+  Fmt.pf ppf "engine %s" (engine_name r.engine);
+  (match r.engine with
+  | Snapshot ->
+      Fmt.pf ppf ", machine %d steps, %d restores" s.Budget.machine_steps
+        s.Budget.restores;
+      if s.Budget.machine_seconds > 0. || s.Budget.restore_seconds > 0. then
+        Fmt.pf ppf " (%.3fs stepping, %.3fs restoring)" s.Budget.machine_seconds
+          s.Budget.restore_seconds
+  | Per_state | Path ->
+      Fmt.pf ppf ", replays %d/%d steps" s.Budget.replays s.Budget.replay_steps);
+  List.iter
+    (fun (d : Budget.depth_row) ->
+      Fmt.pf ppf "@.  depth %2d: visited %d, fp-pruned %d, commute-pruned %d"
+        d.Budget.dr_depth d.Budget.dr_visited d.Budget.dr_fp_pruned
+        d.Budget.dr_sleep_pruned)
+    s.Budget.depth_profile
 
 (* ----------------------------------------------------------- printing *)
 

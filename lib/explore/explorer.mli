@@ -153,6 +153,12 @@ type config = {
   fault : Setsync_runtime.Fault.plan;
       (** crash plan applied to every replay (same schedule-space with
           crashes injected at fixed per-process step counts) *)
+  telemetry : bool;
+      (** wall-time the snapshot engine's movement (machine steps and
+          savepoint restores) into the stats' [machine_seconds] /
+          [restore_seconds]. Off by default: timing costs two
+          [gettimeofday] calls per machine step, so benchmarked
+          explorations keep their pinned cost profile. *)
 }
 
 val config :
@@ -164,14 +170,16 @@ val config :
   ?symmetry:bool ->
   ?limits:Budget.limits ->
   ?fault:Setsync_runtime.Fault.plan ->
+  ?telemetry:bool ->
   depth:int ->
   unit ->
   config
 (** Defaults: DFS, both reductions on, [Path] engine, symmetry off,
-    unlimited budget, no faults. [?path_replay] is the legacy spelling
-    of the engine choice ([true] = [Path], [false] = [Per_state]) and
-    is overridden by [?engine] when both are given. [~symmetry:true]
-    without [~engine:Snapshot] raises [Invalid_argument]. *)
+    unlimited budget, no faults, telemetry off. [?path_replay] is the
+    legacy spelling of the engine choice ([true] = [Path], [false] =
+    [Per_state]) and is overridden by [?engine] when both are given.
+    [~symmetry:true] without [~engine:Snapshot] raises
+    [Invalid_argument]. *)
 
 type verdict =
   | Ok_bounded
@@ -180,7 +188,11 @@ type verdict =
   | Violated of { schedule : Setsync_schedule.Schedule.t; reason : string }
       (** first counterexample found, in exploration order *)
 
-type report = { verdicts : (string * verdict) list; stats : Budget.stats }
+type report = {
+  verdicts : (string * verdict) list;
+  stats : Budget.stats;
+  engine : engine_kind;  (** the engine that produced the stats *)
+}
 (** One verdict per property, in the order given; plus the exploration
     report. *)
 
@@ -193,6 +205,10 @@ type progress = {
   fp_pruned : int;
   sleep_pruned : int;
   max_depth : int;
+  machine_steps : int;
+      (** snapshot engine's live movement counter; 0 under the replay
+          engines (whose movement is [replays]/[replay_steps]) *)
+  restores : int;  (** snapshot engine's savepoint restores; 0 elsewhere *)
 }
 (** Periodic progress snapshot (see [?on_progress] below). In parallel
     explorations the counts are racy sums over the live worker meters —
@@ -314,3 +330,15 @@ val check_schedule :
 val pp_verdict : verdict Fmt.t
 
 val pp_report : report Fmt.t
+
+val search_summary_to_json : report -> Setsync_obs.Json.t
+(** Machine-readable search-telemetry block (schema
+    ["setsync-search-summary/1"]): the engine that ran,
+    engine-appropriate movement totals — [replays]/[replay_steps] for
+    the replay engines, [machine_steps]/[restores] (plus seconds when
+    the run had [telemetry]) for the snapshot engine — and the
+    per-depth visited/fp-pruned/commute-pruned profile. *)
+
+val pp_search_summary : report Fmt.t
+(** Human rendering of the same block: one header line with the
+    engine and its movement counters, then one line per depth. *)

@@ -14,24 +14,53 @@ let make ?(name = "custom") ~delta ~gst decide =
   if gst < 0 then invalid_arg "Adversary.make: gst must be >= 0";
   { delta; gst; name; decide }
 
+type verdict = {
+  due_at : int option;
+  requested : int option;
+  denied : int;
+  forced : bool;
+  pre_gst : bool;
+}
+
 (* Where a message sent [now] lands, before FIFO clamping. Pre-GST the
    adversary is unconstrained except that nothing outlives GST + Δ:
    even a pre-GST send must arrive within Δ of GST (DLS semantics —
    the bound holds for all messages in flight at GST). [gst = max_int]
-   encodes "GST never happens": skip the cap instead of overflowing. *)
-let due t ~now ~src ~dst ~seq =
+   encodes "GST never happens": skip the cap instead of overflowing.
+
+   [due_explained] additionally attributes the outcome: what the
+   adversary asked for ([requested], already floored at 1), how many
+   ticks the model refused to grant ([denied], the Δ-clamp after GST or
+   the gst+Δ cap before it), and whether a post-GST drop was overridden
+   into a Δ delivery ([forced]). Invariant when [due_at = Some at]:
+   [at - now = (if forced then delta else requested - denied)]. *)
+let due_explained t ~now ~src ~dst ~seq =
   let delay d = max 1 d in
   if now >= t.gst then
     (* after GST every message is delivered within Δ, drops included *)
     match t.decide ~now ~src ~dst ~seq with
-    | Drop -> Some (now + t.delta)
-    | Deliver d -> Some (now + min (delay d) t.delta)
+    | Drop ->
+        {
+          due_at = Some (now + t.delta);
+          requested = None;
+          denied = 0;
+          forced = true;
+          pre_gst = false;
+        }
+    | Deliver d ->
+        let r = delay d in
+        let s = min r t.delta in
+        { due_at = Some (now + s); requested = Some r; denied = r - s; forced = false; pre_gst = false }
   else
     match t.decide ~now ~src ~dst ~seq with
-    | Drop -> None
+    | Drop -> { due_at = None; requested = None; denied = 0; forced = false; pre_gst = true }
     | Deliver d ->
-        let at = now + delay d in
-        if t.gst > max_int - t.delta - 1 then Some at else Some (min at (t.gst + t.delta))
+        let r = delay d in
+        let at = now + r in
+        let at = if t.gst > max_int - t.delta - 1 then at else min at (t.gst + t.delta) in
+        { due_at = Some at; requested = Some r; denied = now + r - at; forced = false; pre_gst = true }
+
+let due t ~now ~src ~dst ~seq = (due_explained t ~now ~src ~dst ~seq).due_at
 
 let synchronous ~delta =
   make ~name:"synchronous" ~delta ~gst:0 (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Deliver 1)

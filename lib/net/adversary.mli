@@ -44,6 +44,31 @@ val due :
     before GST). Exposed for tests; {!Net.send} applies it plus the
     FIFO clamp. *)
 
+type verdict = {
+  due_at : int option;  (** as returned by {!due} *)
+  requested : int option;
+      (** adversary-chosen delay, floored at 1; [None] when [decide]
+          said [Drop] *)
+  denied : int;
+      (** ticks of requested delay refused by the model: the Δ cap
+          after GST, the gst+Δ cap before it; [0] for drops *)
+  forced : bool;  (** a post-GST [Drop] overridden into a Δ delivery *)
+  pre_gst : bool;  (** the message was sent before GST *)
+}
+
+val due_explained :
+  t ->
+  now:int ->
+  src:Setsync_schedule.Proc.t ->
+  dst:Setsync_schedule.Proc.t ->
+  seq:int ->
+  verdict
+(** {!due} plus latency attribution: when [due_at = Some at],
+    [at - now] equals [delta] for forced deliveries and
+    [requested - denied] otherwise. The substrate uses this to
+    decompose each realized delay into adversary-chosen vs.
+    model-imposed ticks (DESIGN.md §9). *)
+
 val synchronous : delta:int -> t
 (** GST at step 0, every message takes exactly one tick — the lock-step
     network used for shared-memory emulation. *)

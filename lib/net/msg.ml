@@ -17,6 +17,12 @@ type payload =
   | Write_ack of { rid : int }
 
 type t = {
+  mid : int;
+      (** run-unique message id (the substrate's send counter at send
+          time): the cause id that links a [deliver]/[drop] trace event
+          back to its [send]. Lineage metadata only — deliberately kept
+          out of {!pp} so channel snapshots, and hence state
+          fingerprints, never distinguish states by global send count. *)
   src : Proc.t;  (** stamped by the substrate, not the sender *)
   dst : Proc.t;
   seq : int;  (** per-(src,dst) sequence number *)

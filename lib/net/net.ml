@@ -15,7 +15,23 @@ type meters = {
   dropped_c : Metrics.counter;
   in_flight_g : Metrics.gauge;
   delay_h : Metrics.histogram;
+  (* latency attribution (DESIGN.md §9): for every delivered message,
+     delay = adv + forced + fifo; the excess histogram isolates the
+     pre-GST allowance (the part of the delay only a pre-GST send may
+     have, i.e. max 0 (delay - Δ)). *)
+  adv_h : Metrics.histogram;
+  forced_h : Metrics.histogram;
+  fifo_h : Metrics.histogram;
+  excess_h : Metrics.histogram;
 }
+
+(* Attribution of one in-flight message, recorded at enqueue and
+   consumed at delivery. [adv]: adversary-chosen ticks that survived
+   the clamps; [forced]: model-imposed ticks (a post-GST drop held for
+   Δ); [fifo]: extra ticks from the no-overtaking clamp; [denied]:
+   requested ticks the model refused (not part of the realized delay);
+   [pre_gst]: sent before GST. *)
+type attr = { adv : int; forced : int; fifo : int; denied : int; pre_gst : bool }
 
 type t = {
   n : int;
@@ -45,6 +61,12 @@ type t = {
   current : Proc.t option ref;
   meters : meters option;
   ev : Events.t option;
+  (* mid -> attribution for messages currently in flight. Trace-only
+     side state: populated only when instrumented, never part of
+     snapshots or fingerprints. After an exploration restore a lookup
+     may miss (the entry was consumed down another branch); delivery
+     then simply emits without decomposition args. *)
+  attrs : (int, attr) Hashtbl.t;
 }
 
 let pp_entry ppf (at, m) = Fmt.pf ppf "%d>%a" at Msg.pp m
@@ -72,6 +94,10 @@ let create ?obs ~store ~n ~adversary () =
             dropped_c = Metrics.counter o.Obs.metrics "net.dropped";
             in_flight_g = Metrics.gauge o.Obs.metrics "net.in_flight";
             delay_h = Metrics.histogram o.Obs.metrics "net.delivery_delay";
+            adv_h = Metrics.histogram o.Obs.metrics "net.delay_adversary";
+            forced_h = Metrics.histogram o.Obs.metrics "net.delay_forced";
+            fifo_h = Metrics.histogram o.Obs.metrics "net.delay_fifo";
+            excess_h = Metrics.histogram o.Obs.metrics "net.delay_pregst_excess";
           }
   in
   let ev = match obs with Some o when Obs.events_on o -> Some o.Obs.events | _ -> None in
@@ -90,6 +116,7 @@ let create ?obs ~store ~n ~adversary () =
     current = ref None;
     meters;
     ev;
+    attrs = Hashtbl.create 64;
   }
 
 let n t = t.n
@@ -104,35 +131,81 @@ let current t =
   | None -> invalid_arg "Net: no process is stepping (primitive used outside a run?)"
 
 let key_args m =
-  [ ("src", Json.Int m.Msg.src); ("dst", Json.Int m.Msg.dst); ("seq", Json.Int m.Msg.seq) ]
+  [
+    ("mid", Json.Int m.Msg.mid);
+    ("src", Json.Int m.Msg.src);
+    ("dst", Json.Int m.Msg.dst);
+    ("seq", Json.Int m.Msg.seq);
+  ]
 
-(* Enqueue or drop one message; runs inside the sender's atomic action. *)
+(* Enqueue or drop one message; runs inside the sender's atomic action.
+   The uninstrumented path (no meters, no sink) takes the plain
+   [Adversary.due] branch and allocates no attribution — the ≤5%
+   overhead ceiling bench §N1 pins is about the instrumented path. *)
 let enqueue t ~src ~dst payload =
   Proc.check ~n:t.n dst;
   let now = Register.peek t.clock in
   let seq = t.seqs.(src).(dst) in
   t.seqs.(src).(dst) <- seq + 1;
-  let m = { Msg.src; dst; seq; sent_at = now; payload } in
+  let mid = t.sent in
+  let m = { Msg.mid; src; dst; seq; sent_at = now; payload } in
   t.sent <- t.sent + 1;
   (match t.meters with Some ms -> Metrics.incr ~shard:ms.shard ms.sent_c | None -> ());
   (match t.ev with
-  | Some sink -> Events.emit sink ~proc:src ~args:(key_args m) ~cat:"net" "send"
+  | Some sink ->
+      Events.emit sink ~proc:src
+        ~args:(key_args m @ [ ("step", Json.Int now) ])
+        ~cat:"net" "send"
   | None -> ());
-  match Adversary.due t.adversary ~now ~src ~dst ~seq with
+  let instrumented = t.meters <> None || t.ev <> None in
+  let verdict =
+    if instrumented then Adversary.due_explained t.adversary ~now ~src ~dst ~seq
+    else
+      {
+        Adversary.due_at = Adversary.due t.adversary ~now ~src ~dst ~seq;
+        requested = None;
+        denied = 0;
+        forced = false;
+        pre_gst = false;
+      }
+  in
+  match verdict.Adversary.due_at with
   | None ->
       t.dropped <- t.dropped + 1;
       (match t.meters with Some ms -> Metrics.incr ~shard:ms.shard ms.dropped_c | None -> ());
       (match t.ev with
-      | Some sink -> Events.emit sink ~proc:src ~args:(key_args m) ~cat:"net" "drop"
+      | Some sink ->
+          Events.emit sink ~proc:src
+            ~args:(key_args m @ [ ("step", Json.Int now); ("pre_gst", Json.Bool true) ])
+            ~cat:"net" "drop"
       | None -> ())
-  | Some at ->
+  | Some at0 ->
       let q = Register.peek t.chans.(src).(dst) in
       (* FIFO: never overtake the message already at the tail *)
       let at =
-        match List.rev q with [] -> at | (tail_at, _) :: _ -> max at tail_at
+        match List.rev q with [] -> at0 | (tail_at, _) :: _ -> max at0 tail_at
       in
       Register.write t.chans.(src).(dst) (q @ [ (at, m) ]);
       t.in_flight <- t.in_flight + 1;
+      if instrumented then begin
+        let sched = at0 - now in
+        let attr =
+          {
+            adv = (if verdict.Adversary.forced then 0 else sched);
+            forced = (if verdict.Adversary.forced then sched else 0);
+            fifo = at - at0;
+            denied = verdict.Adversary.denied;
+            pre_gst = verdict.Adversary.pre_gst;
+          }
+        in
+        Hashtbl.replace t.attrs mid attr;
+        match t.ev with
+        | Some sink ->
+            Events.emit sink ~proc:src ~id:mid ~phase:Events.Async_begin
+              ~args:[ ("due", Json.Int at) ]
+              ~cat:"net" "inflight"
+        | None -> ()
+      end;
       (match t.meters with
       | Some ms -> Metrics.set ms.in_flight_g (float_of_int t.in_flight)
       | None -> ())
@@ -157,14 +230,52 @@ let flush t ~clock =
               (fun (_, m) ->
                 t.delivered <- t.delivered + 1;
                 t.in_flight <- t.in_flight - 1;
+                let delay = clock - m.Msg.sent_at in
+                let attr =
+                  match Hashtbl.find_opt t.attrs m.Msg.mid with
+                  | Some a ->
+                      Hashtbl.remove t.attrs m.Msg.mid;
+                      Some a
+                  | None -> None
+                in
                 (match t.meters with
                 | Some ms ->
                     Metrics.incr ~shard:ms.shard ms.delivered_c;
-                    Metrics.observe ms.delay_h (float_of_int (clock - m.Msg.sent_at))
+                    Metrics.observe ms.delay_h (float_of_int delay);
+                    (match attr with
+                    | Some a ->
+                        Metrics.observe ms.adv_h (float_of_int a.adv);
+                        Metrics.observe ms.forced_h (float_of_int a.forced);
+                        Metrics.observe ms.fifo_h (float_of_int a.fifo);
+                        if a.pre_gst then
+                          Metrics.observe ms.excess_h
+                            (float_of_int (max 0 (delay - t.adversary.Adversary.delta)))
+                    | None -> ())
                 | None -> ());
                 match t.ev with
                 | Some sink ->
-                    Events.emit sink ~proc:dst ~args:(key_args m) ~cat:"net" "deliver"
+                    let args =
+                      key_args m
+                      @ [
+                          ("step", Json.Int clock);
+                          ("sent", Json.Int m.Msg.sent_at);
+                          ("delay", Json.Int delay);
+                        ]
+                      @
+                      match attr with
+                      | Some a ->
+                          [
+                            ("adv", Json.Int a.adv);
+                            ("forced", Json.Int a.forced);
+                            ("fifo", Json.Int a.fifo);
+                            ("denied", Json.Int a.denied);
+                            ("pre_gst", Json.Bool a.pre_gst);
+                          ]
+                      | None -> []
+                    in
+                    Events.emit sink ~proc:dst ~args ~cat:"net" "deliver";
+                    Events.emit sink ~proc:dst ~id:m.Msg.mid ~phase:Events.Async_end
+                      ~cat:"net" "inflight"
                 | None -> ())
               due
           end

@@ -40,10 +40,18 @@ val create :
   t
 (** Allocate the network's registers in [store]. With [obs], maintains
     counters [net.sent]/[net.delivered]/[net.dropped], the
-    [net.in_flight] gauge and the [net.delivery_delay] histogram, and —
-    when the event sink is on — emits ["send"]/["deliver"]/["drop"]
-    events (args [src]/[dst]/[seq]) plus one ["gst"] event, all under
-    category ["net"]. *)
+    [net.in_flight] gauge, the [net.delivery_delay] histogram, and the
+    latency-attribution histograms [net.delay_adversary] /
+    [net.delay_forced] / [net.delay_fifo] / [net.delay_pregst_excess]
+    (per delivered message: [delay = adv + forced + fifo]; the excess
+    histogram records [max 0 (delay - delta)] for pre-GST sends — the
+    pre-GST allowance). When the event sink is on, emits
+    ["send"]/["deliver"]/["drop"] events carrying the causal lineage
+    (args [mid]/[src]/[dst]/[seq]/[step]; delivers add
+    [sent]/[delay]/[adv]/[forced]/[fifo]/[denied]/[pre_gst]) plus an
+    ["inflight"] async span per enqueued message (correlated by
+    [id = mid]) and one ["gst"] event, all under category ["net"].
+    DESIGN.md §9 documents the causal-tracing model. *)
 
 val substrate : t -> Setsync_runtime.Substrate.t
 (** Pass to {!Setsync_runtime.Executor.run} — ticks the clock, stamps

@@ -216,6 +216,18 @@ let run_ct ?obs ?initial_timeout ?backoff ~clients ~adversary ~max_steps () =
   let stabilized_from =
     if steps = 0 || !last_bad = steps - 1 then None else Some (!last_bad + 1)
   in
+  (* Anchor the happens-before DAG: `trace-report` walks the critical
+     path back from this event, whose [step] names the global step the
+     stabilization claim holds from (and [proc] who took it). *)
+  (match (obs, stabilized_from) with
+  | Some o, Some s when Setsync_obs.Obs.events_on o ->
+      let module Events = Setsync_obs.Events in
+      let module Json = Setsync_obs.Json in
+      Events.emit o.Setsync_obs.Obs.events
+        ~proc:(Setsync_schedule.Schedule.get run.Run.taken s)
+        ~args:[ ("step", Json.Int s); ("leader", Json.Int expected) ]
+        ~cat:"detector" "ct_stabilized"
+  | _ -> ());
   {
     steps;
     stabilized_from;

@@ -1,0 +1,91 @@
+(** Trace analysis: the happens-before DAG behind a traced run.
+
+    Reconstructs causal structure from a JSONL event stream emitted by
+    the instrumented layers — [runtime.step] program order,
+    [net.send]/[net.deliver]/[net.drop] message lineage keyed by the
+    per-message cause id [mid], and the [detector.ct_stabilized]
+    anchor — and attributes time along it: the critical path from the
+    virtual run start to the stabilization step, per-pair and
+    per-process delay breakdowns with the adversary/forced/FIFO
+    decomposition, and the drop lineage of violated runs.
+
+    The critical-path invariant (pinned by tests and [make
+    trace-smoke]): hop weights telescope, so [total] equals the
+    anchor's global step — the run's observed stabilization time. *)
+
+type msg = {
+  mid : int;
+  src : int;
+  dst : int;
+  seq : int;
+  sent_step : int;
+  delivered_step : int option;  (** delivery tick; [None] if dropped or in flight *)
+  dropped : bool;
+  adv : int;  (** adversary-chosen ticks that survived the clamps *)
+  forced : int;  (** model-imposed ticks (post-GST drop held Δ) *)
+  fifo : int;  (** extra ticks from the FIFO no-overtaking clamp *)
+  denied : int;  (** requested ticks the model refused (not realized) *)
+  pre_gst : bool;
+}
+
+type hop =
+  | Start of { proc : int; global : int }
+      (** schedule wait from run start to [proc]'s step at [global] *)
+  | Local of { proc : int; from_global : int; to_global : int }  (** program order *)
+  | Recv of { msg : msg; to_proc : int; to_global : int; wait : int }
+      (** message edge from the sending step; its weight decomposes as
+          [adv + forced + fifo + wait] where [wait] is the inbox dwell *)
+
+val hop_weight : hop -> int
+
+type path = {
+  hops : hop list;  (** causal order, the [Start] hop first *)
+  total : int;  (** sum of hop weights = [end_step] *)
+  end_step : int;
+  end_proc : int;
+  end_name : string;
+}
+
+type pair_stats = {
+  p_src : int;
+  p_dst : int;
+  p_delivered : int;
+  p_dropped : int;
+  p_delay_total : int;
+  p_delay_max : int;
+  p_adv : int;
+  p_forced : int;
+  p_fifo : int;
+  p_denied : int;
+}
+
+type proc_stats = {
+  s_proc : int;
+  s_steps : int;
+  s_sent : int;
+  s_received : int;
+  s_recv_delay_total : int;
+}
+
+type report = {
+  events : int;
+  procs : int;
+  steps : int;
+  msgs : msg list;  (** ascending [mid] *)
+  stabilized : (int * int) option;  (** anchor (global step, proc) *)
+  critical : path option;  (** [None] without a stabilization anchor *)
+  pairs : pair_stats list;
+  per_proc : proc_stats list;
+}
+
+val load_jsonl : string -> (Events.event list, string) result
+(** Parse a JSONL trace file (one event per line, blank lines
+    ignored); errors carry [file:line]. *)
+
+val of_events : Events.event list -> (report, string) result
+(** Build the report. Errors on malformed lineage: a deliver or drop
+    whose [mid] has no send edge, a stabilization anchor with no step
+    event at its global step, events missing their schema fields. *)
+
+val pp_report : report Fmt.t
+val report_to_json : report -> Json.t

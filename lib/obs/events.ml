@@ -9,7 +9,7 @@
    ring — events from any domain, bounded memory, oldest events
    dropped (and counted) on overflow. *)
 
-type phase = Instant | Begin | End
+type phase = Instant | Begin | End | Async_begin | Async_end
 
 type event = {
   ts : float;  (* seconds since the sink was created *)
@@ -18,6 +18,7 @@ type event = {
   phase : phase;
   proc : int option;
   worker : int option;
+  id : int option;  (* correlates Async_begin/Async_end pairs *)
   args : (string * Json.t) list;
 }
 
@@ -48,12 +49,12 @@ let memory ?(capacity = default_capacity) () =
 
 let enabled = function Nop -> false | Mem _ -> true
 
-let emit t ?proc ?worker ?(args = []) ?(phase = Instant) ~cat name =
+let emit t ?proc ?worker ?id ?(args = []) ?(phase = Instant) ~cat name =
   match t with
   | Nop -> ()
   | Mem m ->
       let ts = Unix.gettimeofday () -. m.epoch in
-      let e = { ts; name; cat; phase; proc; worker; args } in
+      let e = { ts; name; cat; phase; proc; worker; id; args } in
       Mutex.lock m.mu;
       m.buf.(m.next mod m.capacity) <- Some e;
       m.next <- m.next + 1;
@@ -87,7 +88,20 @@ let events = function
 
 (* ---------------------------------------------------- serialization *)
 
-let phase_string = function Instant -> "i" | Begin -> "B" | End -> "E"
+let phase_string = function
+  | Instant -> "i"
+  | Begin -> "B"
+  | End -> "E"
+  | Async_begin -> "b"
+  | Async_end -> "e"
+
+let phase_of_string = function
+  | "i" -> Some Instant
+  | "B" -> Some Begin
+  | "E" -> Some End
+  | "b" -> Some Async_begin
+  | "e" -> Some Async_end
+  | _ -> None
 
 let event_to_json e =
   Json.Obj
@@ -97,7 +111,32 @@ let event_to_json e =
      :: ("ph", Json.String (phase_string e.phase))
      :: ((match e.proc with Some p -> [ ("proc", Json.Int p) ] | None -> [])
         @ (match e.worker with Some w -> [ ("worker", Json.Int w) ] | None -> [])
+        @ (match e.id with Some i -> [ ("id", Json.Int i) ] | None -> [])
         @ match e.args with [] -> [] | args -> [ ("args", Json.Obj args) ]))
+
+let event_of_json j =
+  let str field = Option.bind (Json.member field j) Json.to_str in
+  let int field = Option.bind (Json.member field j) Json.to_int in
+  match (Option.bind (Json.member "ts" j) Json.to_float, str "name", str "cat", str "ph") with
+  | Some ts, Some name, Some cat, Some ph -> (
+      match phase_of_string ph with
+      | None -> Error (Printf.sprintf "unknown event phase %S" ph)
+      | Some phase ->
+          let args =
+            match Json.member "args" j with Some (Json.Obj kvs) -> kvs | _ -> []
+          in
+          Ok
+            {
+              ts;
+              name;
+              cat;
+              phase;
+              proc = int "proc";
+              worker = int "worker";
+              id = int "id";
+              args;
+            })
+  | _ -> Error "event missing one of ts/name/cat/ph"
 
 (* Chrome trace-event format: an array of {name, cat, ph, ts (µs),
    pid, tid, args}. We map the worker id (else the process id) to the
@@ -117,7 +156,13 @@ let event_to_chrome e =
      :: ("ts", Json.Float (e.ts *. 1e6))
      :: ("pid", Json.Int 1)
      :: ("tid", Json.Int tid)
-     :: ((match e.phase with Instant -> [ ("s", Json.String "t") ] | Begin | End -> [])
+     :: ((match e.phase with
+         | Instant -> [ ("s", Json.String "t") ]
+         | Begin | End -> []
+         | Async_begin | Async_end ->
+             (* async pairs are matched by (cat, id); default id 0 keeps
+                the output well-formed even for a stray unpaired event *)
+             [ ("id", Json.Int (Option.value e.id ~default:0)) ])
         @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ]))
 
 let write_jsonl t oc =

@@ -14,7 +14,11 @@
     ring safe to share across domains; on overflow the oldest events
     are dropped and counted ({!dropped}). *)
 
-type phase = Instant | Begin | End
+type phase = Instant | Begin | End | Async_begin | Async_end
+(** [Async_begin]/[Async_end] pairs are spans that may overlap freely
+    (message lifetimes, in-flight intervals); unlike [Begin]/[End]
+    they are correlated by an explicit [id], not by nesting, and map
+    to Chrome phases ["b"]/["e"]. *)
 
 type event = {
   ts : float;  (** seconds since the sink was created *)
@@ -23,6 +27,7 @@ type event = {
   phase : phase;
   proc : int option;
   worker : int option;
+  id : int option;  (** correlates [Async_begin]/[Async_end] pairs *)
   args : (string * Json.t) list;
 }
 
@@ -41,6 +46,7 @@ val emit :
   t ->
   ?proc:int ->
   ?worker:int ->
+  ?id:int ->
   ?args:(string * Json.t) list ->
   ?phase:phase ->
   cat:string ->
@@ -71,6 +77,11 @@ val events : t -> event list
 (** {2 Serialization} *)
 
 val event_to_json : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
+(** Inverse of {!event_to_json} — the JSONL reader used by
+    {!Analyze} and the round-trip tests. Unknown fields are ignored;
+    a missing or malformed [ts]/[name]/[cat]/[ph] is an error. *)
 
 val event_to_chrome : event -> Json.t
 (** One Chrome trace-event object; [ts] in microseconds, [tid] is the

@@ -73,8 +73,13 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?substrate ?on_step ?st
     | None -> ());
     (match ev with
     | Some sink ->
-        Events.emit sink ~proc:p ~args:[ ("global", Json.Int (!executed - 1)) ] ~cat:"runtime"
-          "step";
+        (* [pidx] is p's own step index: the local program-order edge of
+           the happens-before DAG is (p, pidx-1) -> (p, pidx), explicit
+           in the trace so Analyze never has to reconstruct it. *)
+        Events.emit sink ~proc:p
+          ~args:
+            [ ("global", Json.Int (!executed - 1)); ("pidx", Json.Int (steps_of.(p) - 1)) ]
+          ~cat:"runtime" "step";
         if died then
           Events.emit sink ~proc:p
             ~args:[ ("step", Json.Int (!executed - 1)) ]

@@ -489,22 +489,43 @@ let test_net_event_invariants () =
     | Some (Json.Int s), Some (Json.Int d), Some (Json.Int q) -> (s, d, q)
     | _ -> Alcotest.fail "net event missing src/dst/seq"
   in
+  let mid args =
+    match List.assoc_opt "mid" args with
+    | Some (Json.Int m) -> m
+    | _ -> Alcotest.fail "net event missing mid"
+  in
   let sent = Hashtbl.create 64 in
+  let sent_mids = Hashtbl.create 64 in
   let dropped = Hashtbl.create 64 in
+  let inflight = Hashtbl.create 64 in
   let delivered = ref 0 in
   let gst_events = ref 0 in
   List.iter
     (fun (e : Events.event) ->
       if e.cat = "net" then
         match e.name with
-        | "send" -> Hashtbl.replace sent (key e.args) ()
+        | "send" ->
+            Hashtbl.replace sent (key e.args) ();
+            Hashtbl.replace sent_mids (mid e.args) ()
         | "drop" ->
             Alcotest.(check bool) "drop follows send" true (Hashtbl.mem sent (key e.args));
             Hashtbl.replace dropped (key e.args) ()
         | "deliver" ->
             incr delivered;
             Alcotest.(check bool) "deliver follows send" true (Hashtbl.mem sent (key e.args));
+            Alcotest.(check bool) "deliver mid was sent" true
+              (Hashtbl.mem sent_mids (mid e.args));
             Alcotest.(check bool) "no deliver after drop" false (Hashtbl.mem dropped (key e.args))
+        | "inflight" -> (
+            let id = match e.id with Some i -> i | None -> Alcotest.fail "inflight without id" in
+            match e.phase with
+            | Events.Async_begin ->
+                Alcotest.(check bool) "inflight begin follows send" true
+                  (Hashtbl.mem sent_mids id);
+                Hashtbl.replace inflight id ()
+            | Events.Async_end ->
+                Alcotest.(check bool) "inflight end follows begin" true (Hashtbl.mem inflight id)
+            | _ -> Alcotest.fail "inflight with a non-async phase")
         | "gst" -> incr gst_events
         | other -> Alcotest.failf "unexpected net event %s" other)
     (Events.events events);
