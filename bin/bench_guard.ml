@@ -185,6 +185,43 @@ let () =
       | None -> fail "N1: missing dropped");
       Printf.printf "bench_guard: N1 n=2 ok (stabilized from %d, ceiling %d)\n" stable
         max_stable);
+  (* S1 rows: the serve layer's multiplexing tax. The aggregate rate
+     at 1000 sessions must stay within 2x of the single-session rate
+     (per active domain — the quick rows run one domain), the
+     acceptance bound on the batched-stepping design: a regression to
+     per-session dispatch overhead (allocating per step, re-entering
+     the handler per unit, store scans per quantum) trips it. *)
+  let s1_row sessions =
+    List.find_opt
+      (fun row ->
+        str row "section" = Some "S1"
+        && Option.bind (Json.member "sessions" row) Json.to_int = Some sessions)
+      rows
+  in
+  (match (s1_row 1, s1_row 1_000) with
+  | None, _ | _, None ->
+      fail "%s: missing S1 rows for sessions=1 and sessions=1000 — did bench --quick \
+            change?"
+        file
+  | Some one, Some thousand ->
+      let rate row label =
+        match num row "steps_per_s" with
+        | Some v when v > 0. -> v
+        | Some _ -> fail "S1 %s: zero aggregate rate — serve layer inert?" label
+        | None -> fail "S1 %s: missing steps_per_s" label
+      in
+      let r1 = rate one "sessions=1" in
+      let r1000 = rate thousand "sessions=1000" in
+      let min_ratio = 0.5 in
+      let ratio = r1000 /. r1 in
+      if ratio < min_ratio then
+        fail
+          "S1: 1000 sessions run at %.0f steps/s vs %.0f single-session (%.2fx, need \
+           >= %.1fx) — multiplexing tax regressed"
+          r1000 r1 ratio min_ratio;
+      Printf.printf
+        "bench_guard: S1 ok (1000 sessions at %.2fx of single-session rate, floor %.1fx)\n"
+        ratio min_ratio);
   (* N1t row: the nop-sink obs tier must stay cheap; full trace is
      informational *)
   let n1t_row = List.find_opt (fun row -> str row "section" = Some "N1t") rows in

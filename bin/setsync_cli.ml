@@ -984,6 +984,75 @@ let fuzz_cmd =
       $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg $ metrics_out_arg
       $ progress_seconds_arg)
 
+(* -------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"S" ~doc:"Lock stripes in the session store.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ] ~docv:"C"
+          ~doc:"Initial session slots per shard (grows by doubling).")
+  in
+  let quantum_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "quantum" ] ~docv:"Q"
+          ~doc:"Default work units granted per session per batch round.")
+  in
+  let serve_domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Domains sweeping shard ranges in parallel during rounds.")
+  in
+  let gc_tune_arg =
+    Arg.(
+      value & flag
+      & info [ "gc-tune" ]
+          ~doc:
+            "Apply the serving GC profile: larger minor heap and laxer space \
+             overhead, trading memory for fewer collections on the step path.")
+  in
+  let run shards capacity quantum domains gc_tune trace_out metrics_out =
+    if shards < 1 || capacity < 1 || quantum < 1 || domains < 1 then begin
+      Fmt.epr "serve: --shards, --capacity, --quantum and --domains must be >= 1@.";
+      exit 1
+    end;
+    let server =
+      Setsync_serve.Server.create ~shards ~capacity ~quantum ~domains ~gc_tune
+        ?trace_out ?metrics_out ()
+    in
+    Setsync_serve.Server.run_loop server stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Multi-tenant scenario server (NDJSON on stdin/stdout)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Long-running server multiplexing many fd/solve/fuzz/explore sessions \
+              over a sharded session store with batched stepping. Speaks one JSON \
+              object per line on stdin/stdout (schema $(b,setsync-serve/1)): \
+              $(b,hello), $(b,open), $(b,open-batch), $(b,step), $(b,round), \
+              $(b,run), $(b,result), $(b,metrics), $(b,close), $(b,drain), \
+              $(b,stats), $(b,flush), $(b,shutdown). Served runs are \
+              byte-identical to the one-shot subcommands: the same harness code \
+              executes, suspended cooperatively every $(b,--quantum) work units.";
+           `P
+             "With $(b,--trace-out) closing sessions' event rings are appended as \
+              JSONL (each event tagged with its sid) by a dedicated flusher domain \
+              off the step path; $(b,--metrics-out) writes the server registry at \
+              shutdown.";
+         ])
+    Term.(
+      const run $ shards_arg $ capacity_arg $ quantum_arg $ serve_domains_arg
+      $ gc_tune_arg $ trace_out_arg $ metrics_out_arg)
+
 let () =
   let doc = "partial synchrony based on set timeliness (PODC 2009), executable" in
   let info = Cmd.info "setsync" ~version:"1.0.0" ~doc in
@@ -999,4 +1068,5 @@ let () =
             trace_report_cmd;
             explore_cmd;
             fuzz_cmd;
+            serve_cmd;
           ]))

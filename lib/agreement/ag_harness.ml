@@ -69,7 +69,7 @@ let make_bundle ~problem ~inputs ?initial_timeout store =
     }
   end
 
-let execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle =
+let execute ~problem ~inputs ~source ~max_steps ?fault ?on_step:caller_on_step ?obs bundle =
   let { Problem.n; _ } = problem in
   let decide_steps = Array.make n None in
   (* Processes idle (taking pause steps) after deciding, so the run
@@ -79,6 +79,7 @@ let execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle =
   List.iter (fun (p, s) -> crash_budget.(p) <- s) (Option.value fault ~default:[]);
   let steps_of = Array.make n 0 in
   let on_step ~global ~proc =
+    (match caller_on_step with Some f -> f ~global ~proc | None -> ());
     steps_of.(proc) <- steps_of.(proc) + 1;
     (* record the first step at which each decision became visible *)
     let now = bundle.snapshot_decisions () in
@@ -135,16 +136,17 @@ let execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle =
     used_trivial = bundle.used_trivial;
   }
 
-let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout ?obs () =
+let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout ?on_step ?obs () =
   let store = Store.create () in
   let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
-  execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle
+  execute ~problem ~inputs ~source ~max_steps ?fault ?on_step ?obs bundle
 
-let solve_adaptive ~problem ~inputs ~make_source ~max_steps ?fault ?initial_timeout ?obs () =
+let solve_adaptive ~problem ~inputs ~make_source ~max_steps ?fault ?initial_timeout ?on_step
+    ?obs () =
   let store = Store.create () in
   let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
   let source = make_source ~view:bundle.view in
-  execute ~problem ~inputs ~source ~max_steps ?fault ?obs bundle
+  execute ~problem ~inputs ~source ~max_steps ?fault ?on_step ?obs bundle
 
 let ok outcome = Checker.ok outcome.report
 

@@ -26,11 +26,16 @@ val solve :
   max_steps:int ->
   ?fault:Setsync_runtime.Fault.plan ->
   ?initial_timeout:int ->
+  ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?obs:Setsync_obs.Obs.t ->
   unit ->
   outcome
 (** The run ends as soon as every live process has decided and halted
     (the executor's all-halted condition), or at [max_steps].
+
+    [on_step] is invoked once per executed global step, before the
+    harness's own decision sampling — the multi-tenant serve layer uses
+    it as a deterministic yield point; it must not touch shared state.
 
     [obs] (also forwarded to the executor) records each decision's
     first-visible step into the [agreement.decision_latency_steps]
@@ -46,6 +51,7 @@ val solve_adaptive :
   max_steps:int ->
   ?fault:Setsync_runtime.Fault.plan ->
   ?initial_timeout:int ->
+  ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?obs:Setsync_obs.Obs.t ->
   unit ->
   outcome

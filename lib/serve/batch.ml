@@ -1,0 +1,89 @@
+(* Batched stepping: one round advances every Running session by one
+   quantum, shard by shard in slot order (deterministic for a fixed
+   open order). Failed sessions — a workload that raised — are reaped
+   from the store at the end of their shard's sweep so they never stall
+   the batch; their sids and messages are reported for tombstoning.
+
+   With domains > 1 the shard range is split across spawned domains;
+   sessions are pinned to shards so each continuation is only ever
+   resumed by the domain sweeping its shard during that round (OCaml
+   one-shot continuations may hop domains between rounds, which is
+   fine). The iteration holds the shard lock, so opens/closes on that
+   shard wait for the sweep — the batch is the unit of exclusion. *)
+
+type outcome = {
+  stepped : int;
+  units : int;
+  finished : int list;
+  failed : (int * string) list;
+}
+
+let empty = { stepped = 0; units = 0; finished = []; failed = [] }
+
+let merge a b =
+  {
+    stepped = a.stepped + b.stepped;
+    units = a.units + b.units;
+    finished = a.finished @ b.finished;
+    failed = a.failed @ b.failed;
+  }
+
+let sweep_range store ~quantum lo hi =
+  let stepped = ref 0 and units = ref 0 in
+  let finished = ref [] and failed = ref [] in
+  for idx = lo to hi - 1 do
+    let reap = ref [] in
+    Shard.iter_shard store idx ~f:(fun ~sid s ->
+        match Session.status s with
+        | Session.Running -> (
+            incr stepped;
+            let before = Session.steps s in
+            (match Session.step s ~quantum with
+            | Session.Done -> finished := sid :: !finished
+            | Session.Failed msg -> reap := (sid, msg) :: !reap
+            | Session.Running -> ());
+            units := !units + (Session.steps s - before))
+        | Session.Done | Session.Failed _ -> ());
+    (* reap outside iter_shard: remove retakes the shard lock *)
+    List.iter
+      (fun (sid, msg) ->
+        ignore (Shard.remove store sid);
+        failed := (sid, msg) :: !failed)
+      (List.rev !reap)
+  done;
+  {
+    stepped = !stepped;
+    units = !units;
+    finished = List.rev !finished;
+    failed = List.rev !failed;
+  }
+
+let round ?(domains = 1) store ~quantum =
+  if quantum < 1 then invalid_arg "Batch.round: quantum must be >= 1";
+  if domains < 1 then invalid_arg "Batch.round: domains must be >= 1";
+  let ns = Shard.nshards store in
+  if domains = 1 || ns = 1 then sweep_range store ~quantum 0 ns
+  else begin
+    let d = min domains ns in
+    let per = (ns + d - 1) / d in
+    let spawned =
+      List.init (d - 1) (fun w ->
+          let lo = (w + 1) * per in
+          let hi = min ns (lo + per) in
+          Domain.spawn (fun () -> sweep_range store ~quantum lo hi))
+    in
+    let first = sweep_range store ~quantum 0 (min per ns) in
+    List.fold_left (fun acc dom -> merge acc (Domain.join dom)) first spawned
+  end
+
+let run_all ?(domains = 1) ?(max_rounds = max_int) store ~quantum =
+  let total = ref empty in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    let o = round ~domains store ~quantum in
+    incr rounds;
+    total := merge !total o;
+    if o.stepped = 0 then continue := false
+  done;
+  (!rounds, !total)

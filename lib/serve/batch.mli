@@ -1,0 +1,30 @@
+(** Batched stepping over the sharded session store.
+
+    One {!round} advances every [Running] session by one quantum of
+    work units, shard by shard in slot order. Sessions whose workload
+    raised ([Failed]) are reaped from the store at the end of their
+    shard's sweep — a crashed tenant never stalls its batch — and
+    reported in the outcome for the server to tombstone. *)
+
+type outcome = {
+  stepped : int;  (** sessions granted a quantum this round *)
+  units : int;  (** work units actually executed *)
+  finished : int list;  (** sids that completed this round *)
+  failed : (int * string) list;  (** sids reaped, with their error *)
+}
+
+val empty : outcome
+
+val merge : outcome -> outcome -> outcome
+
+val round : ?domains:int -> Session.t Shard.t -> quantum:int -> outcome
+(** Advance every running session once. With [domains > 1] the shard
+    range is split across spawned domains (sessions are shard-pinned,
+    so no continuation is resumed concurrently). Raises
+    [Invalid_argument] on a non-positive [quantum] or [domains]. *)
+
+val run_all :
+  ?domains:int -> ?max_rounds:int -> Session.t Shard.t -> quantum:int -> int * outcome
+(** Rounds until a round steps nothing (all sessions done/failed/
+    closed) or [max_rounds] is hit; returns (rounds run, merged
+    outcome). *)

@@ -1,0 +1,376 @@
+(* The multi-tenant scenario server: a sharded session store, batched
+   stepping, and a newline-delimited JSON command protocol (schema
+   setsync-serve/1) over any in/out channel pair — the CLI wires it to
+   stdin/stdout, tests call [handle] directly on parsed values.
+
+   Trace/metrics IO never runs on the step path: JSONL trace lines for
+   closing sessions are queued to a dedicated flusher domain, and the
+   server metrics file is written once at shutdown. *)
+
+module Json = Setsync_obs.Json
+module Events = Setsync_obs.Events
+module Metrics = Setsync_obs.Metrics
+module Obs = Setsync_obs.Obs
+
+let schema = "setsync-serve/1"
+
+(* ---------------------------------------------------------- flusher *)
+
+module Flusher = struct
+  type job = Write of string | Sync of Mutex.t * Condition.t * bool ref | Quit
+
+  type t = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    jobs : job Queue.t;
+    oc : out_channel;
+    dom : unit Domain.t;
+  }
+
+  let worker lock cond jobs oc () =
+    let running = ref true in
+    while !running do
+      Mutex.lock lock;
+      while Queue.is_empty jobs do
+        Condition.wait cond lock
+      done;
+      let job = Queue.pop jobs in
+      Mutex.unlock lock;
+      match job with
+      | Write s -> output_string oc s
+      | Sync (m, c, done_) ->
+          flush oc;
+          Mutex.lock m;
+          done_ := true;
+          Condition.signal c;
+          Mutex.unlock m
+      | Quit ->
+          flush oc;
+          running := false
+    done
+
+  let create path =
+    let oc = open_out path in
+    let lock = Mutex.create () in
+    let cond = Condition.create () in
+    let jobs = Queue.create () in
+    { lock; cond; jobs; oc; dom = Domain.spawn (worker lock cond jobs oc) }
+
+  let push t job =
+    Mutex.lock t.lock;
+    Queue.push job t.jobs;
+    Condition.signal t.cond;
+    Mutex.unlock t.lock
+
+  let write t s = push t (Write s)
+
+  let sync t =
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    let done_ = ref false in
+    push t (Sync (m, c, done_));
+    Mutex.lock m;
+    while not !done_ do
+      Condition.wait c m
+    done;
+    Mutex.unlock m
+
+  let stop t =
+    push t Quit;
+    Domain.join t.dom;
+    close_out t.oc
+end
+
+(* ----------------------------------------------------------- server *)
+
+type t = {
+  store : Session.t Shard.t;
+  metrics : Metrics.t;
+  quantum : int;
+  domains : int;
+  flusher : Flusher.t option;
+  metrics_out : string option;
+  tombstones : (int, string) Hashtbl.t;
+  rounds_c : Metrics.counter;
+  units_c : Metrics.counter;
+  failed_c : Metrics.counter;
+  mutable stopped : bool;
+}
+
+let create ?(shards = 8) ?(capacity = 1024) ?(quantum = 1024) ?(domains = 1)
+    ?(gc_tune = false) ?trace_out ?metrics_out () =
+  if quantum < 1 then invalid_arg "Server.create: quantum must be >= 1";
+  if domains < 1 then invalid_arg "Server.create: domains must be >= 1";
+  if gc_tune then
+    (* serving thousands of coroutines churns short-lived continuations:
+       a larger minor heap and a laxer space overhead trade memory for
+       fewer collections on the step path *)
+    Gc.set
+      { (Gc.get ()) with minor_heap_size = 1 lsl 22; space_overhead = 200 };
+  let metrics = Metrics.create () in
+  {
+    store = Shard.create ~shards ~capacity ~metrics ();
+    metrics;
+    quantum;
+    domains;
+    flusher = Option.map Flusher.create trace_out;
+    metrics_out;
+    tombstones = Hashtbl.create 64;
+    rounds_c = Metrics.counter metrics "serve.rounds";
+    units_c = Metrics.counter metrics "serve.step_units";
+    failed_c = Metrics.counter metrics "serve.sessions_failed";
+    stopped = false;
+  }
+
+let store t = t.store
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let err fmt = Format.kasprintf (fun e -> Json.Obj [ ("ok", Json.Bool false); ("error", Json.String e) ]) fmt
+
+let status_name = function
+  | Session.Running -> "running"
+  | Session.Done -> "done"
+  | Session.Failed _ -> "failed"
+
+(* queue the closing session's trace ring to the flusher — rendering
+   happens here (close path, not step path), writing happens on the
+   flusher domain *)
+let flush_session t ~sid s =
+  match t.flusher with
+  | None -> ()
+  | Some fl ->
+      let events = Events.events (Session.obs s).Obs.events in
+      if events <> [] then begin
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun ev ->
+            let j =
+              match Events.event_to_json ev with
+              | Json.Obj fields -> Json.Obj (("sid", Json.Int sid) :: fields)
+              | j -> j
+            in
+            Buffer.add_string buf (Json.to_string j);
+            Buffer.add_char buf '\n')
+          events;
+        Flusher.write fl (Buffer.contents buf)
+      end
+
+let reap t failures =
+  List.iter
+    (fun (sid, msg) ->
+      Metrics.incr t.failed_c;
+      Hashtbl.replace t.tombstones sid msg)
+    failures
+
+let outcome_json (o : Batch.outcome) =
+  [
+    ("stepped", Json.Int o.Batch.stepped);
+    ("units", Json.Int o.Batch.units);
+    ("finished", Json.List (List.map (fun sid -> Json.Int sid) o.Batch.finished));
+    ( "failed",
+      Json.List
+        (List.map
+           (fun (sid, msg) ->
+             Json.Obj [ ("sid", Json.Int sid); ("error", Json.String msg) ])
+           o.Batch.failed) );
+  ]
+
+let handle t req =
+  let int_field name ~default =
+    match Option.bind (Json.member name req) Json.to_int with
+    | Some v -> v
+    | None -> default
+  in
+  let with_session sid f =
+    match Shard.find t.store sid with
+    | Some s -> f s
+    | None -> (
+        match Hashtbl.find_opt t.tombstones sid with
+        | Some msg -> err "session %d failed and was reaped: %s" sid msg
+        | None -> err "no such session: %d" sid)
+  in
+  let spec_of_req () =
+    match Json.member "spec" req with
+    | None -> Error "missing spec"
+    | Some sj -> Session.spec_of_json sj
+  in
+  match Option.bind (Json.member "op" req) Json.to_str with
+  | None -> err "missing op"
+  | Some "hello" ->
+      ok [ ("schema", Json.String schema); ("quantum", Json.Int t.quantum) ]
+  | Some "open" -> (
+      match spec_of_req () with
+      | Error e -> err "%s" e
+      | Ok spec -> (
+          match Session.validate spec with
+          | () ->
+              let sid = Shard.add t.store (Session.create spec) in
+              ok [ ("sid", Json.Int sid) ]
+          | exception Invalid_argument e -> err "invalid spec: %s" e))
+  | Some "open-batch" -> (
+      let count = int_field "count" ~default:1 in
+      if count < 1 then err "open-batch: count must be >= 1"
+      else
+        match spec_of_req () with
+        | Error e -> err "%s" e
+        | Ok spec -> (
+            match Session.validate spec with
+            | () ->
+                let sids =
+                  List.init count (fun _ ->
+                      Json.Int (Shard.add t.store (Session.create spec)))
+                in
+                ok [ ("sids", Json.List sids) ]
+            | exception Invalid_argument e -> err "invalid spec: %s" e))
+  | Some "step" -> (
+      match Option.bind (Json.member "sid" req) Json.to_int with
+      | None -> err "step: missing sid"
+      | Some sid ->
+          with_session sid (fun s ->
+              let quantum = int_field "quantum" ~default:t.quantum in
+              let st = Session.step s ~quantum in
+              (match st with
+              | Session.Failed msg ->
+                  ignore (Shard.remove t.store sid);
+                  reap t [ (sid, msg) ]
+              | Session.Running | Session.Done -> ());
+              ok
+                [
+                  ("sid", Json.Int sid);
+                  ("status", Json.String (status_name st));
+                  ("steps", Json.Int (Session.steps s));
+                ]))
+  | Some "round" ->
+      let quantum = int_field "quantum" ~default:t.quantum in
+      let rounds = int_field "rounds" ~default:1 in
+      if rounds < 1 then err "round: rounds must be >= 1"
+      else begin
+        let total = ref Batch.empty in
+        (try
+           for _ = 1 to rounds do
+             let o = Batch.round ~domains:t.domains t.store ~quantum in
+             Metrics.incr t.rounds_c;
+             Metrics.incr ~by:o.Batch.units t.units_c;
+             reap t o.Batch.failed;
+             total := Batch.merge !total o
+           done
+         with Invalid_argument e -> failwith e);
+        ok (("rounds", Json.Int rounds) :: outcome_json !total)
+      end
+  | Some "run" -> (
+      match Option.bind (Json.member "sid" req) Json.to_int with
+      | Some sid ->
+          with_session sid (fun s ->
+              let st = Session.run s in
+              (match st with
+              | Session.Failed msg ->
+                  ignore (Shard.remove t.store sid);
+                  reap t [ (sid, msg) ]
+              | Session.Running | Session.Done -> ());
+              ok
+                [
+                  ("sid", Json.Int sid);
+                  ("status", Json.String (status_name st));
+                  ("steps", Json.Int (Session.steps s));
+                ])
+      | None ->
+          (* run everything to completion *)
+          let quantum = int_field "quantum" ~default:t.quantum in
+          let rounds, o = Batch.run_all ~domains:t.domains t.store ~quantum in
+          Metrics.incr ~by:rounds t.rounds_c;
+          Metrics.incr ~by:o.Batch.units t.units_c;
+          reap t o.Batch.failed;
+          ok (("rounds", Json.Int rounds) :: outcome_json o))
+  | Some "result" -> (
+      match Option.bind (Json.member "sid" req) Json.to_int with
+      | None -> err "result: missing sid"
+      | Some sid ->
+          with_session sid (fun s ->
+              match (Session.status s, Session.result s) with
+              | Session.Done, Some render ->
+                  ok [ ("sid", Json.Int sid); ("result", render) ]
+              | Session.Running, _ ->
+                  err "session %d still running (%d steps)" sid (Session.steps s)
+              | Session.Failed msg, _ -> err "session %d failed: %s" sid msg
+              | Session.Done, None -> err "session %d done with no result" sid))
+  | Some "metrics" -> (
+      match Option.bind (Json.member "sid" req) Json.to_int with
+      | None ->
+          (* server-level registry *)
+          ok [ ("metrics", Metrics.to_json t.metrics) ]
+      | Some sid ->
+          with_session sid (fun s ->
+              ok
+                [
+                  ("sid", Json.Int sid);
+                  ("counters", Session.counters_json (Session.obs s));
+                ]))
+  | Some "close" -> (
+      match Option.bind (Json.member "sid" req) Json.to_int with
+      | None -> err "close: missing sid"
+      | Some sid -> (
+          match Shard.remove t.store sid with
+          | Some s ->
+              flush_session t ~sid s;
+              ok [ ("sid", Json.Int sid); ("status", Json.String (status_name (Session.status s))) ]
+          | None -> err "no such session: %d" sid))
+  | Some "drain" ->
+      let closed = Shard.drain t.store ~f:(fun ~sid s -> flush_session t ~sid s) in
+      ok [ ("closed", Json.Int closed) ]
+  | Some "stats" ->
+      let cval name = Metrics.counter_value (Metrics.counter t.metrics name) in
+      ok
+        [
+          ("schema", Json.String schema);
+          ("active", Json.Int (Shard.active t.store));
+          ("shards", Json.Int (Shard.nshards t.store));
+          ("capacity", Json.Int (Shard.capacity t.store));
+          ("opened", Json.Int (cval "serve.sessions_opened"));
+          ("closed", Json.Int (cval "serve.sessions_closed"));
+          ("failed", Json.Int (cval "serve.sessions_failed"));
+          ("rounds", Json.Int (cval "serve.rounds"));
+          ("step_units", Json.Int (cval "serve.step_units"));
+          ("quantum", Json.Int t.quantum);
+          ("domains", Json.Int t.domains);
+        ]
+  | Some "flush" ->
+      (match t.flusher with Some fl -> Flusher.sync fl | None -> ());
+      ok []
+  | Some "shutdown" ->
+      t.stopped <- true;
+      ok [ ("bye", Json.Bool true) ]
+  | Some op -> err "unknown op %S (schema %s)" op schema
+
+let shutdown t =
+  t.stopped <- true;
+  ignore (Shard.drain t.store ~f:(fun ~sid s -> flush_session t ~sid s));
+  (match t.metrics_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Json.to_string (Metrics.to_json t.metrics));
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  match t.flusher with Some fl -> Flusher.stop fl | None -> ()
+
+let run_loop t ic oc =
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line ->
+          let resp =
+            match Json.of_string line with
+            | Ok req -> ( try handle t req with e -> err "internal error: %s" (Printexc.to_string e))
+            | Error e -> err "parse error: %s" e
+          in
+          output_string oc (Json.to_string resp);
+          output_char oc '\n';
+          flush oc;
+          loop ()
+  in
+  loop ();
+  shutdown t

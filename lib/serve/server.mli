@@ -1,0 +1,67 @@
+(** The multi-tenant scenario server.
+
+    Multiplexes many independent {!Session}s over a lock-striped
+    {!Shard} store with {!Batch}ed stepping, speaking a
+    newline-delimited JSON command protocol (schema [setsync-serve/1]).
+    Trace and metrics IO never runs on the step path: closing sessions'
+    JSONL trace lines are queued to a dedicated flusher domain, and the
+    server metrics file is written once at shutdown.
+
+    {2 Protocol}
+
+    One JSON object per line in, one per line out. Every reply carries
+    ["ok": true/false]; failures add ["error"]. Requests:
+
+    - [{"op":"hello"}] — schema handshake
+    - [{"op":"open","spec":{...}}] — open a session, reply [sid]
+    - [{"op":"open-batch","spec":{...},"count":N}] — reply [sids]
+    - [{"op":"step","sid":N,"quantum":Q?}] — advance one session
+    - [{"op":"round","quantum":Q?,"rounds":R?}] — advance every
+      running session (batched); failed sessions are reaped
+    - [{"op":"run","sid":N?}] — run one session (or, without [sid],
+      everything) to completion
+    - [{"op":"result","sid":N}] — the finished session's render
+    - [{"op":"metrics","sid":N?}] — session counters (or the server
+      registry without [sid])
+    - [{"op":"close","sid":N}] / [{"op":"drain"}] — lifecycle
+    - [{"op":"stats"}], [{"op":"flush"}], [{"op":"shutdown"}]
+
+    Unknown request fields are ignored (tolerant reader); unknown ops
+    are errors. *)
+
+type t
+
+val schema : string
+(** ["setsync-serve/1"]. *)
+
+val create :
+  ?shards:int ->
+  ?capacity:int ->
+  ?quantum:int ->
+  ?domains:int ->
+  ?gc_tune:bool ->
+  ?trace_out:string ->
+  ?metrics_out:string ->
+  unit ->
+  t
+(** [shards]/[capacity] size the session store (defaults 8/1024);
+    [quantum] (default 1024) is the per-session work-unit budget per
+    batch round; [domains] parallelizes rounds over shard ranges;
+    [gc_tune] applies the serving GC profile (bigger minor heap, laxer
+    space overhead); [trace_out] starts the flusher domain appending
+    closing sessions' event rings as JSONL (each event tagged with its
+    [sid]); [metrics_out] writes the server registry at shutdown. *)
+
+val store : t -> Session.t Shard.t
+
+val handle : t -> Setsync_obs.Json.t -> Setsync_obs.Json.t
+(** Process one request — the in-process entry point tests drive.
+    Never raises: internal errors become ["ok": false] replies. *)
+
+val run_loop : t -> in_channel -> out_channel -> unit
+(** Serve NDJSON until EOF or a shutdown op, then {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Drain remaining sessions (flushing their traces), write
+    [metrics_out], stop and join the flusher. Idempotent-ish: safe
+    after [run_loop] returns. *)

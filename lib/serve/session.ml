@@ -1,0 +1,556 @@
+(* One served session: a spec naming a workload, and an effect-based
+   coroutine that runs the UNCHANGED one-shot harness for that workload
+   while yielding every [quantum] work units.
+
+   The coroutine trick: the harnesses expose deterministic per-work-unit
+   hooks (?on_step on the scenario/net harnesses, ?on_exec on the
+   fuzzer, ?on_visit on the explorer) that fire inside the computation
+   without perturbing it. A session's tick decrements its quantum budget
+   and performs [Yield] when it runs out; the session handler parks the
+   continuation. Stepping the session is resuming that continuation.
+   Because the computation itself is the one-shot code path — same
+   functions, same seeds, same order — a served run's outputs are
+   byte-identical to the one-shot run's by construction, which is
+   exactly what test_serve's conformance suite pins. *)
+
+open Setsync
+
+type kind = Fd | Solve | Fuzz | Explore | Spin
+type backend = Shm | Net
+
+type spec = {
+  kind : kind;
+  backend : backend;
+  t : int;
+  k : int;
+  n : int;
+  i : int option;
+  j : int option;
+  bound : int;
+  seed : int;
+  crashes : int;
+  adversary : Scenario.adversary;
+  max_steps : int;
+  delta : int;
+  gst : int option;
+  execs : int;
+  len : int;
+  depth : int;
+  fail_after : int option;
+  trace : bool;
+}
+
+let default kind =
+  let base =
+    {
+      kind;
+      backend = Shm;
+      t = 2;
+      k = 2;
+      n = 5;
+      i = None;
+      j = None;
+      bound = 3;
+      seed = 1;
+      crashes = 0;
+      adversary = Scenario.Fair;
+      max_steps = 2_000_000;
+      delta = 1;
+      gst = None;
+      execs = 2_000;
+      len = 96;
+      depth = 6;
+      fail_after = None;
+      trace = false;
+    }
+  in
+  match kind with
+  | Fd | Solve | Explore -> base
+  | Fuzz -> { base with n = 2; t = 1; k = 1 }
+  | Spin -> { base with n = 4; max_steps = 200_000 }
+
+(* per-kind GST default, mirroring the CLI: small for fd/solve/explore
+   (stabilization within small horizons), effectively-never for fuzz
+   (the BRS partition must stay up for the seeded violation) *)
+let gst_of spec =
+  match spec.gst with
+  | Some g -> g
+  | None -> ( match spec.kind with Fuzz -> 1_000_000 | _ -> 4)
+
+let kind_name = function
+  | Fd -> "fd"
+  | Solve -> "solve"
+  | Fuzz -> "fuzz"
+  | Explore -> "explore"
+  | Spin -> "spin"
+
+let backend_name = function Shm -> "shm" | Net -> "net"
+
+let adversary_name = function
+  | Scenario.Fair -> "fair"
+  | Scenario.Exclusive -> "exclusive"
+  | Scenario.Adaptive -> "adaptive"
+
+(* ------------------------------------------------------- JSON codec *)
+
+(* Tolerant reader: unknown fields are ignored, absent or wrong-typed
+   fields fall back to the kind's defaults — the protocol contract that
+   lets clients of newer schema revisions talk to this server. *)
+
+let get get_f j name ~default =
+  match Option.bind (Json.member name j) get_f with Some v -> v | None -> default
+
+let get_opt get_f j name ~default =
+  match Json.member name j with None -> default | Some v -> get_f v
+
+let spec_of_json j =
+  match Option.bind (Json.member "kind" j) Json.to_str with
+  | None -> Error "spec: missing kind (fd|solve|fuzz|explore|spin)"
+  | Some kn -> (
+      let kind =
+        match kn with
+        | "fd" -> Some Fd
+        | "solve" -> Some Solve
+        | "fuzz" -> Some Fuzz
+        | "explore" -> Some Explore
+        | "spin" -> Some Spin
+        | _ -> None
+      in
+      match kind with
+      | None -> Error (Printf.sprintf "spec: unknown kind %S" kn)
+      | Some kind ->
+          let d = default kind in
+          let int = get Json.to_int j in
+          let backend =
+            match Option.bind (Json.member "backend" j) Json.to_str with
+            | Some "net" -> Net
+            | Some "shm" | Some _ | None -> Shm
+          in
+          let adversary =
+            match Option.bind (Json.member "adversary" j) Json.to_str with
+            | Some "exclusive" -> Scenario.Exclusive
+            | Some "adaptive" -> Scenario.Adaptive
+            | Some _ | None -> Scenario.Fair
+          in
+          Ok
+            {
+              kind;
+              backend;
+              t = int "t" ~default:d.t;
+              k = int "k" ~default:d.k;
+              n = int "n" ~default:d.n;
+              i = get_opt Json.to_int j "i" ~default:None;
+              j = get_opt Json.to_int j "j" ~default:None;
+              bound = int "bound" ~default:d.bound;
+              seed = int "seed" ~default:d.seed;
+              crashes = int "crashes" ~default:d.crashes;
+              adversary;
+              max_steps = int "max_steps" ~default:d.max_steps;
+              delta = int "delta" ~default:d.delta;
+              gst = get_opt Json.to_int j "gst" ~default:None;
+              execs = int "execs" ~default:d.execs;
+              len = int "len" ~default:d.len;
+              depth = int "depth" ~default:d.depth;
+              fail_after = get_opt Json.to_int j "fail_after" ~default:None;
+              trace =
+                (match Json.member "trace" j with
+                | Some (Json.Bool b) -> b
+                | Some _ | None -> d.trace);
+            })
+
+let spec_to_json s =
+  let opt_int = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("kind", Json.String (kind_name s.kind));
+      ("backend", Json.String (backend_name s.backend));
+      ("t", Json.Int s.t);
+      ("k", Json.Int s.k);
+      ("n", Json.Int s.n);
+      ("i", opt_int s.i);
+      ("j", opt_int s.j);
+      ("bound", Json.Int s.bound);
+      ("seed", Json.Int s.seed);
+      ("crashes", Json.Int s.crashes);
+      ("adversary", Json.String (adversary_name s.adversary));
+      ("max_steps", Json.Int s.max_steps);
+      ("delta", Json.Int s.delta);
+      ("gst", opt_int s.gst);
+      ("execs", Json.Int s.execs);
+      ("len", Json.Int s.len);
+      ("depth", Json.Int s.depth);
+      ("fail_after", opt_int s.fail_after);
+      ("trace", Json.Bool s.trace);
+    ]
+
+(* -------------------------------------------------------- workloads *)
+
+let scenario_spec s =
+  let i = Option.value s.i ~default:(min s.k s.n) in
+  let j = Option.value s.j ~default:(min (s.t + 1) s.n) in
+  {
+    Scenario.t = s.t;
+    k = s.k;
+    n = s.n;
+    i;
+    j;
+    bound = s.bound;
+    seed = s.seed;
+    crashes = s.crashes;
+    adversary = s.adversary;
+    max_steps = s.max_steps;
+  }
+
+let validate spec =
+  if spec.n < 1 then invalid_arg "Session: n must be >= 1";
+  if spec.max_steps < 1 then invalid_arg "Session: max_steps must be >= 1";
+  match (spec.kind, spec.backend) with
+  | (Fd | Solve), Shm -> Scenario.validate (scenario_spec spec)
+  | Fuzz, _ -> if spec.len < 1 then invalid_arg "Session: len must be >= 1"
+  | Explore, _ -> if spec.depth < 1 then invalid_arg "Session: depth must be >= 1"
+  | (Fd | Solve), Net | Spin, _ -> ()
+
+let net_inputs n = Array.init n (fun p -> 10 * p)
+
+let brs_groups ~n ~k =
+  List.init (k + 1) (fun g ->
+      List.filter (fun p -> p mod (k + 1) = g) (List.init n (fun p -> p)))
+
+let opt_int = function Some v -> Json.Int v | None -> Json.Null
+
+let decisions_json ds =
+  Json.List (Array.to_list (Array.map (fun d -> opt_int d) ds))
+
+let fuzz_render head (report : Fuzz.report) =
+  let outcome, property =
+    match report.Fuzz.outcome with
+    | Fuzz.Passed -> (Json.String "passed", Json.Null)
+    | Fuzz.Violation v -> (Json.String "violation", Json.String v.Fuzz.property)
+  in
+  Json.Obj
+    (head
+    @ [
+        ("outcome", outcome);
+        ("property", property);
+        ("execs", Json.Int report.Fuzz.execs);
+        ("report", Json.String (Fmt.str "%a" Fuzz.pp_report report));
+      ])
+
+let explore_render head (report : Explorer.report) =
+  let verdicts =
+    List.map
+      (fun (name, v) -> (name, Json.String (Fmt.str "%a" Explorer.pp_verdict v)))
+      report.Explorer.verdicts
+  in
+  Json.Obj
+    (head
+    @ [
+        ("verdicts", Json.Obj verdicts);
+        ("report", Json.String (Fmt.str "%a" Explorer.pp_report report));
+      ])
+
+(* One workload execution, shared verbatim between the served coroutine
+   and the one-shot comparator: [tick] is the only difference (a
+   quantum-counting yield for serve, [ignore] for one-shot), and it
+   never perturbs the computation. The returned JSON render is built
+   from deterministic pretty-printers only — no wall-clock fields. *)
+let run_workload ~tick ~obs spec : Json.t =
+  validate spec;
+  let head =
+    [
+      ("kind", Json.String (kind_name spec.kind));
+      ("backend", Json.String (backend_name spec.backend));
+    ]
+  in
+  let on_step ~global:_ ~proc:_ = tick () in
+  match (spec.kind, spec.backend) with
+  | Fd, Shm ->
+      let result, predicted = Scenario.run_detector ~on_step ~obs (scenario_spec spec) in
+      let outputs =
+        List.init spec.n (fun p ->
+            match History.last result.Fd_harness.outputs ~proc:p with
+            | Some (_, out) -> Json.String (Fmt.str "%a" Procset.pp out)
+            | None -> Json.Null)
+      in
+      Json.Obj
+        (head
+        @ [
+            ("predicted", Json.Bool predicted);
+            ("run", Json.String (Fmt.str "%a" Run.pp result.Fd_harness.run));
+            ( "verdict",
+              Json.String (Fmt.str "%a" Anti_omega.pp_verdict result.Fd_harness.verdict) );
+            ( "winner",
+              Json.String
+                (Fmt.str "%a" Anti_omega.pp_winner_verdict result.Fd_harness.winner_verdict)
+            );
+            ("outputs", Json.List outputs);
+            ( "iterations",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun i -> Json.Int i) result.Fd_harness.iterations)) );
+          ])
+  | Fd, Net ->
+      let gst = gst_of spec in
+      let adversary = Adversary.gst_drop ~delta:spec.delta ~gst in
+      let r =
+        Net_systems.run_ct ~obs ~initial_timeout:2 ~on_step ~clients:spec.n ~adversary
+          ~max_steps:spec.max_steps ()
+      in
+      let s = r.Net_systems.net_stats in
+      Json.Obj
+        (head
+        @ [
+            ("steps", Json.Int r.Net_systems.steps);
+            ("stabilized_from", opt_int r.Net_systems.stabilized_from);
+            ( "final_leaders",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun l -> Json.Int l) r.Net_systems.final_leaders)) );
+            ("sent", Json.Int s.Net.sent);
+            ("delivered", Json.Int s.Net.delivered);
+            ("dropped", Json.Int s.Net.dropped);
+            ("in_flight", Json.Int s.Net.in_flight);
+          ])
+  | Solve, Shm ->
+      let r = Scenario.run_agreement ~on_step ~obs (scenario_spec spec) in
+      Json.Obj
+        (head
+        @ [
+            ("report", Json.String (Fmt.str "%a" Scenario.pp_report r));
+            ("predicted", Json.Bool r.Scenario.predicted);
+            ("solved", Json.Bool r.Scenario.solved);
+            ("decisions", decisions_json r.Scenario.outcome.Ag_harness.decisions);
+            ("decide_steps", decisions_json r.Scenario.outcome.Ag_harness.decide_steps);
+          ])
+  | Solve, Net ->
+      (* blind k-set gossip under a BRS partition, evaluated on a fixed
+         round-robin schedule: the whole run is one Explorer.evaluate
+         call with no inner hook, so the session yields once up front
+         and completes in a single quantum — acceptable, these runs are
+         a few dozen steps *)
+      tick ();
+      let gst = gst_of spec in
+      let adversary = Adversary.brs_kset ~delta:spec.delta ~gst ~n:spec.n ~k:spec.k in
+      let inputs = net_inputs spec.n in
+      let sut = Net_systems.kset_blind ~obs ~inputs ~adversary () in
+      let len = spec.n * ((2 * spec.n) + 1) in
+      let st =
+        Explorer.evaluate ~sut (Source.take (Generators.round_robin ~n:spec.n ()) len)
+      in
+      let decisions = st.Explorer.obs.Explore_systems.decisions in
+      let prop =
+        Property.kset_agreement ~k:spec.k ~decisions:(fun st ->
+            st.Explorer.obs.Explore_systems.decisions)
+      in
+      let holds, reason =
+        match prop.Property.check st with
+        | None -> (true, Json.Null)
+        | Some why -> (false, Json.String why)
+      in
+      Json.Obj
+        (head
+        @ [
+            ("decisions", decisions_json decisions);
+            ("kset_holds", Json.Bool holds);
+            ("reason", reason);
+          ])
+  | Fuzz, Shm ->
+      let sut = Fuzz_systems.counter_core ~params:{ Kanti_omega.n = spec.n; t = spec.t; k = spec.k } () in
+      let properties = [ Fuzz_systems.winner_argmin () ] in
+      let limits = Budget.limits ~max_states:spec.execs () in
+      let report =
+        Fuzz.run ~obs ~on_exec:tick ~max_crashes:spec.crashes ~len:spec.len ~limits ~sut
+          ~properties ~seed:spec.seed ()
+      in
+      fuzz_render head report
+  | Fuzz, Net ->
+      let gst = gst_of spec in
+      let adversary = Adversary.brs_kset ~delta:spec.delta ~gst ~n:spec.n ~k:spec.k in
+      let inputs = net_inputs spec.n in
+      let sut = Net_systems.kset_blind ~inputs ~adversary () in
+      let burst = (2 * spec.n) + 1 in
+      let seeds =
+        [
+          Source.take
+            (Generators.net_adversary ~n:spec.n
+               ~groups:(brs_groups ~n:spec.n ~k:spec.k)
+               ~burst ())
+            (spec.n * burst);
+        ]
+      in
+      let properties =
+        [
+          Property.kset_agreement ~k:spec.k ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions);
+          Property.validity ~inputs ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions);
+        ]
+      in
+      let limits = Budget.limits ~max_states:spec.execs () in
+      let report =
+        Fuzz.run ~obs ~on_exec:tick ~max_crashes:spec.crashes ~len:spec.len ~limits ~seeds
+          ~sut ~properties ~seed:spec.seed ()
+      in
+      fuzz_render head report
+  | Explore, Shm ->
+      let problem = Problem.make ~t:spec.t ~k:spec.k ~n:spec.n in
+      let inputs =
+        if spec.seed = 1 then Problem.distinct_inputs problem
+        else
+          Problem.random_inputs problem ~rng:(Rng.create ~seed:spec.seed)
+            ~spread:(2 * spec.n)
+      in
+      let sut = Explore_systems.kset_agreement ~problem ~inputs () in
+      let properties =
+        [
+          Property.kset_agreement ~k:spec.k ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions);
+          Property.validity ~inputs ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions);
+        ]
+      in
+      let config =
+        Explorer.config ~strategy:Explorer.Dfs ~prune_fingerprints:false
+          ~engine:Explorer.Path ~limits:Budget.unlimited ~depth:spec.depth ()
+      in
+      let report = Explorer.explore ~obs ~on_visit:tick ~sut ~properties config in
+      explore_render head report
+  | Explore, Net ->
+      let gst = gst_of spec in
+      let adversary = Adversary.brs_kset ~delta:spec.delta ~gst ~n:spec.n ~k:spec.k in
+      let inputs = net_inputs spec.n in
+      let sut = Net_systems.kset_blind ~inputs ~adversary () in
+      let properties =
+        [
+          Property.kset_agreement ~k:spec.k ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions);
+          Property.validity ~inputs ~decisions:(fun st ->
+              st.Explorer.obs.Explore_systems.decisions);
+        ]
+      in
+      let config =
+        Explorer.config ~strategy:Explorer.Dfs ~prune_fingerprints:false
+          ~sleep_sets:false ~engine:Explorer.Path ~limits:Budget.unlimited
+          ~depth:spec.depth ()
+      in
+      let report = Explorer.explore ~obs ~on_visit:tick ~sut ~properties config in
+      explore_render head report
+  | Spin, _ ->
+      (* the bench hot path: pause-loop bodies under the executor, same
+         shape as bench P9, so §S1's aggregate rate is comparable to the
+         single-session P9 rate. [fail_after] is the chaos hook the
+         reaping tests use: the injected exception propagates out of the
+         executor and the session handler records a Failed status. *)
+      let count = ref 0 in
+      let on_step ~global:_ ~proc:_ =
+        (match spec.fail_after with
+        | Some f when !count >= f -> failwith "injected spin failure"
+        | Some _ | None -> ());
+        incr count;
+        tick ()
+      in
+      let body _ () =
+        while true do
+          Shm.pause ()
+        done
+      in
+      let run =
+        Executor.run ~n:spec.n
+          ~source:(fun ~live -> Generators.round_robin ~live ~n:spec.n ())
+          ~max_steps:spec.max_steps ~on_step ~obs body
+      in
+      Json.Obj (head @ [ ("steps", Json.Int (Run.total_steps run)) ])
+
+(* ------------------------------------------------------- coroutine *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+type status = Running | Done | Failed of string
+
+type t = {
+  spec : spec;
+  obs : Obs.t;
+  mutable status : status;
+  mutable steps : int;
+  mutable budget : int;
+  mutable resume : (unit -> unit) option;
+  mutable result : Json.t option;
+}
+
+let make_obs spec =
+  Obs.create ~events:(if spec.trace then Events.memory () else Events.nop) ()
+
+let create spec =
+  let s =
+    {
+      spec;
+      obs = make_obs spec;
+      status = Running;
+      steps = 0;
+      budget = max_int;
+      resume = None;
+      result = None;
+    }
+  in
+  (* The hot-path tick: two field updates and a compare; the Yield (and
+     its continuation capture) only happens once per quantum. *)
+  let tick () =
+    s.steps <- s.steps + 1;
+    s.budget <- s.budget - 1;
+    if s.budget <= 0 then Effect.perform Yield
+  in
+  let handler =
+    {
+      Effect.Deep.retc =
+        (fun render ->
+          s.result <- Some render;
+          s.status <- Done);
+      exnc = (fun e -> s.status <- Failed (Printexc.to_string e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  s.resume <- Some (fun () -> Effect.Deep.continue k ()))
+          | _ -> None);
+    }
+  in
+  s.resume <-
+    Some
+      (fun () ->
+        Effect.Deep.match_with (fun () -> run_workload ~tick ~obs:s.obs s.spec) () handler);
+  s
+
+let status s = s.status
+let steps s = s.steps
+let obs s = s.obs
+let result s = s.result
+
+let step s ~quantum =
+  if quantum < 1 then invalid_arg "Session.step: quantum must be >= 1";
+  match (s.status, s.resume) with
+  | Running, Some resume ->
+      s.resume <- None;
+      s.budget <- quantum;
+      resume ();
+      s.status
+  | (Running | Done | Failed _), _ -> s.status
+
+let run s =
+  let rec loop () =
+    match step s ~quantum:max_int with Running -> loop () | (Done | Failed _) as st -> st
+  in
+  loop ()
+
+(* ------------------------------------------------------- one-shot *)
+
+let run_oneshot spec =
+  let obs = make_obs spec in
+  let render = run_workload ~tick:(fun () -> ()) ~obs spec in
+  (render, obs)
+
+let counters_json obs =
+  match Json.member "counters" (Metrics.to_json obs.Obs.metrics) with
+  | Some c -> c
+  | None -> Json.Obj []

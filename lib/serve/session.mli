@@ -1,0 +1,99 @@
+(** One served session: a workload spec plus an effect-based coroutine
+    that runs the unchanged one-shot harness for it, yielding every
+    [quantum] work units.
+
+    The harnesses' deterministic hooks ([?on_step], [?on_exec],
+    [?on_visit]) fire inside the computation without perturbing it; the
+    session's tick performs an effect when its quantum runs out and the
+    handler parks the continuation. Because the computation is the
+    one-shot code path itself, a served run's rendered result and
+    metrics counters are byte-identical to {!run_oneshot}'s — the
+    conformance contract test_serve pins. *)
+
+type kind = Fd | Solve | Fuzz | Explore | Spin
+
+type backend = Shm | Net
+
+type spec = {
+  kind : kind;
+  backend : backend;
+  t : int;
+  k : int;
+  n : int;
+  i : int option;  (** default [min k n] (shm scenarios) *)
+  j : int option;  (** default [min (t+1) n] (shm scenarios) *)
+  bound : int;
+  seed : int;
+  crashes : int;
+  adversary : Setsync.Scenario.adversary;
+  max_steps : int;
+  delta : int;  (** net backend: post-GST delivery bound *)
+  gst : int option;  (** default 4, except fuzz: effectively never *)
+  execs : int;  (** fuzz: schedules executed *)
+  len : int;  (** fuzz: target schedule length *)
+  depth : int;  (** explore: depth bound *)
+  fail_after : int option;
+      (** spin chaos hook: raise after this many steps (reaping tests) *)
+  trace : bool;  (** record events into a per-session memory ring *)
+}
+
+val default : kind -> spec
+(** Per-kind defaults mirroring the one-shot CLI (fd/solve: the
+    scenario defaults; fuzz: n=2 t=1 k=1; spin: 4 pause-loop
+    processes). *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on inconsistent parameters, eagerly (the
+    same checks the workload would hit at first step). *)
+
+val spec_of_json : Setsync.Json.t -> (spec, string) result
+(** Tolerant decode: unknown fields are ignored; absent or wrong-typed
+    optional fields fall back to the kind's defaults; a missing or
+    unknown [kind] is an error. *)
+
+val spec_to_json : spec -> Setsync.Json.t
+
+val kind_name : kind -> string
+
+val backend_name : backend -> string
+
+(** {2 Sessions} *)
+
+type status = Running | Done | Failed of string
+
+type t
+
+val create : spec -> t
+(** A fresh session in [Running] state with its own private
+    observability context ({!obs}) — per-session registries are what
+    keeps counters session-scoped under multi-tenancy (no cross-session
+    bleed). Nothing executes until the first {!step}. *)
+
+val status : t -> status
+
+val steps : t -> int
+(** Work units executed so far (hook firings, not wall steps). *)
+
+val obs : t -> Setsync.Obs.t
+
+val result : t -> Setsync.Json.t option
+(** The deterministic render, once [Done]. No wall-clock fields. *)
+
+val step : t -> quantum:int -> status
+(** Advance the session by at most [quantum] work units: resume the
+    parked continuation; it parks again when the budget runs out, or
+    finishes ([Done]/[Failed]). A no-op on a session that is not
+    [Running]. Raises [Invalid_argument] if [quantum < 1]. *)
+
+val run : t -> status
+(** Step with an unbounded quantum until the session finishes. *)
+
+(** {2 One-shot comparator} *)
+
+val run_oneshot : spec -> Setsync.Json.t * Setsync.Obs.t
+(** The same workload executed without the coroutine (tick is a no-op)
+    — the byte-identical baseline for conformance tests. *)
+
+val counters_json : Setsync.Obs.t -> Setsync.Json.t
+(** The ["counters"] member of the metrics registry render — the
+    deterministic slice compared across served/one-shot runs. *)

@@ -1,0 +1,188 @@
+(* Lock-striped session store: sessions land on shards round-robin,
+   each shard owns a mutex, a flat pre-sized slot array with an
+   explicit free stack (slots are reused, never leaked — the soak test
+   pins this with Obj.reachable_words), and a sid->slot index used only
+   on the open/close path. Session ids are never reused: each shard
+   hands out sid = seq * nshards + shard_index with a monotonic seq, so
+   a stale sid misses the index instead of aliasing a newer tenant. *)
+
+module Metrics = Setsync_obs.Metrics
+
+type 'a shard = {
+  lock : Mutex.t;
+  mutable slots : 'a option array;
+  mutable free : int array;  (* stack of free slot indices *)
+  mutable free_top : int;
+  index : (int, int) Hashtbl.t;  (* sid -> slot *)
+  mutable seq : int;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  nshards : int;
+  next : int Atomic.t;  (* round-robin placement cursor *)
+  active : int Atomic.t;
+  gauge : Metrics.gauge option;
+  opened_c : Metrics.counter option;
+  closed_c : Metrics.counter option;
+}
+
+let make_shard capacity =
+  {
+    lock = Mutex.create ();
+    slots = Array.make capacity None;
+    free = Array.init capacity (fun i -> capacity - 1 - i);
+    free_top = capacity;
+    index = Hashtbl.create capacity;
+    seq = 0;
+  }
+
+let create ?(shards = 8) ?(capacity = 1024) ?metrics () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if capacity < 1 then invalid_arg "Shard.create: capacity must be >= 1";
+  {
+    shards = Array.init shards (fun _ -> make_shard capacity);
+    nshards = shards;
+    next = Atomic.make 0;
+    active = Atomic.make 0;
+    gauge = Option.map (fun m -> Metrics.gauge m "serve.sessions_active") metrics;
+    opened_c = Option.map (fun m -> Metrics.counter m "serve.sessions_opened") metrics;
+    closed_c = Option.map (fun m -> Metrics.counter m "serve.sessions_closed") metrics;
+  }
+  |> fun t ->
+  (* an empty store reads as 0 from the first scrape, not as "never
+     set" — the property tests pin the gauge after *every* op *)
+  (match t.gauge with Some g -> Metrics.set g 0. | None -> ());
+  t
+
+let nshards t = t.nshards
+
+let active t = Atomic.get t.active
+
+let capacity t =
+  Array.fold_left (fun acc sh -> acc + Array.length sh.slots) 0 t.shards
+
+let publish_gauge t =
+  match t.gauge with
+  | Some g -> Metrics.set g (float_of_int (Atomic.get t.active))
+  | None -> ()
+
+let locked sh f =
+  Mutex.lock sh.lock;
+  match f () with
+  | v ->
+      Mutex.unlock sh.lock;
+      v
+  | exception e ->
+      Mutex.unlock sh.lock;
+      raise e
+
+let grow sh =
+  let old = Array.length sh.slots in
+  let cap = 2 * old in
+  let slots = Array.make cap None in
+  Array.blit sh.slots 0 slots 0 old;
+  sh.slots <- slots;
+  let free = Array.make cap 0 in
+  Array.blit sh.free 0 free 0 sh.free_top;
+  (* push the new slots, highest first, so the lowest is taken next *)
+  for i = 0 to old - 1 do
+    free.(sh.free_top + i) <- cap - 1 - i
+  done;
+  sh.free <- free;
+  sh.free_top <- sh.free_top + old
+
+let add t v =
+  let idx = Atomic.fetch_and_add t.next 1 mod t.nshards in
+  let sh = t.shards.(idx) in
+  let sid =
+    locked sh (fun () ->
+        if sh.free_top = 0 then grow sh;
+        sh.free_top <- sh.free_top - 1;
+        let slot = sh.free.(sh.free_top) in
+        sh.slots.(slot) <- Some v;
+        let sid = (sh.seq * t.nshards) + idx in
+        sh.seq <- sh.seq + 1;
+        Hashtbl.replace sh.index sid slot;
+        sid)
+  in
+  Atomic.incr t.active;
+  (match t.opened_c with Some c -> Metrics.incr c | None -> ());
+  publish_gauge t;
+  sid
+
+let shard_of t sid = t.shards.(((sid mod t.nshards) + t.nshards) mod t.nshards)
+
+let find t sid =
+  if sid < 0 then None
+  else
+    let sh = shard_of t sid in
+    locked sh (fun () ->
+        match Hashtbl.find_opt sh.index sid with
+        | Some slot -> sh.slots.(slot)
+        | None -> None)
+
+let remove t sid =
+  if sid < 0 then None
+  else
+    let sh = shard_of t sid in
+    let removed =
+      locked sh (fun () ->
+          match Hashtbl.find_opt sh.index sid with
+          | Some slot ->
+              let v = sh.slots.(slot) in
+              sh.slots.(slot) <- None;
+              sh.free.(sh.free_top) <- slot;
+              sh.free_top <- sh.free_top + 1;
+              Hashtbl.remove sh.index sid;
+              v
+          | None -> None)
+    in
+    (match removed with
+    | Some _ ->
+        Atomic.decr t.active;
+        (match t.closed_c with Some c -> Metrics.incr c | None -> ());
+        publish_gauge t
+    | None -> ());
+    removed
+
+let iter_shard t idx ~f =
+  if idx < 0 || idx >= t.nshards then invalid_arg "Shard.iter_shard: bad shard index";
+  let sh = t.shards.(idx) in
+  locked sh (fun () ->
+      (* slot order: deterministic batch stepping; recover each slot's
+         sid from the (small) index rather than storing it twice *)
+      let sids = Array.make (Array.length sh.slots) (-1) in
+      Hashtbl.iter (fun sid slot -> sids.(slot) <- sid) sh.index;
+      Array.iteri
+        (fun slot v ->
+          match v with Some v when sids.(slot) >= 0 -> f ~sid:sids.(slot) v | _ -> ())
+        sh.slots)
+
+let sids t =
+  let acc = ref [] in
+  Array.iter
+    (fun sh ->
+      locked sh (fun () -> Hashtbl.iter (fun sid _ -> acc := sid :: !acc) sh.index))
+    t.shards;
+  List.sort compare !acc
+
+let drain t ~f =
+  let closed = ref 0 in
+  Array.iteri
+    (fun idx sh ->
+      let pairs =
+        locked sh (fun () ->
+            Hashtbl.fold (fun sid slot acc -> (sid, slot) :: acc) sh.index [])
+      in
+      ignore idx;
+      List.iter
+        (fun (sid, _) ->
+          match remove t sid with
+          | Some v ->
+              incr closed;
+              f ~sid v
+          | None -> ())
+        (List.sort compare pairs))
+    t.shards;
+  !closed

@@ -1,0 +1,55 @@
+(** Lock-striped session store.
+
+    Values land on shards round-robin; each shard owns a mutex, a flat
+    pre-sized slot array with an explicit free stack (slots are reused,
+    never abandoned), and a sid->slot index touched only on the
+    open/close path. Session ids are stable and {e never reused}:
+    shard [s] hands out [sid = seq * nshards + s] with a monotonic
+    per-shard [seq], so a stale sid misses cleanly instead of aliasing
+    a newer tenant.
+
+    Thread safety: every operation takes only its shard's mutex, so
+    operations on different shards never contend. The callbacks of
+    {!iter_shard} run {e under} the shard lock — they must not call
+    back into the same store ({!drain} and the batch layer collect
+    first, then remove). *)
+
+type 'a t
+
+val create : ?shards:int -> ?capacity:int -> ?metrics:Setsync_obs.Metrics.t -> unit -> 'a t
+(** [shards] (default 8) stripes; [capacity] (default 1024) pre-sized
+    slots per shard, doubled on demand. With [metrics], the store
+    maintains the [serve.sessions_active] gauge and the
+    [serve.sessions_opened]/[serve.sessions_closed] counters — the
+    gauge is updated after {e every} operation (the property tests pin
+    it against ground truth). *)
+
+val add : 'a t -> 'a -> int
+(** Store a value, returning its fresh sid. *)
+
+val find : 'a t -> int -> 'a option
+(** [None] for never-issued, stale, or foreign sids. *)
+
+val remove : 'a t -> int -> 'a option
+(** Free the sid's slot (pushed back on the free stack for reuse) and
+    return the value, if present. *)
+
+val active : 'a t -> int
+(** Live entries, from an atomic maintained across shards. *)
+
+val nshards : 'a t -> int
+
+val capacity : 'a t -> int
+(** Total allocated slots across shards — the soak test pins that
+    closing sessions keeps this flat (slot reuse, not growth). *)
+
+val iter_shard : 'a t -> int -> f:(sid:int -> 'a -> unit) -> unit
+(** Visit shard [idx]'s live entries in slot order (deterministic),
+    under the shard lock. [f] must not re-enter the store. *)
+
+val sids : 'a t -> int list
+(** All live sids, sorted — test/debug helper. *)
+
+val drain : 'a t -> f:(sid:int -> 'a -> unit) -> int
+(** Remove everything, calling [f] per entry (outside the shard lock);
+    returns how many were closed. *)

@@ -1,0 +1,424 @@
+(* Tests for the multi-tenant scenario server (lib/serve).
+
+   Conformance: a served run — the one-shot harness suspended
+   cooperatively every few work units — must render byte-identical
+   results and metrics counters to the plain one-shot run, on both
+   backends. Store properties: randomized open/close/find/drain
+   interleavings against a model never lose, duplicate, or cross-wire
+   sessions, and the sessions_active gauge tracks ground truth after
+   every operation. Soak: waves of sessions reuse slots (memory and
+   capacity stay flat), and a crashed session is reaped without
+   stalling its batch. Scoping: two concurrent explore sessions keep
+   their counters apart. *)
+
+module Json = Setsync_obs.Json
+module Metrics = Setsync_obs.Metrics
+module Session = Setsync_serve.Session
+module Shard = Setsync_serve.Shard
+module Batch = Setsync_serve.Batch
+module Server = Setsync_serve.Server
+open Setsync
+
+let jstr = Json.to_string
+
+let get_int name j =
+  match Option.bind (Json.member name j) Json.to_int with
+  | Some v -> v
+  | None -> Alcotest.failf "reply %s: missing int %s" (jstr j) name
+
+let get_str name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some v -> v
+  | None -> Alcotest.failf "reply %s: missing string %s" (jstr j) name
+
+let get_field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "reply %s: missing field %s" (jstr j) name
+
+let is_ok j = match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+
+let req fields = Json.Obj (("op", Json.String (List.assoc "op" fields |> function Json.String s -> s | _ -> assert false)) :: List.remove_assoc "op" fields)
+
+let handle_ok srv fields =
+  let r = Server.handle srv (req fields) in
+  if not (is_ok r) then Alcotest.failf "request failed: %s" (jstr r);
+  r
+
+let op name rest = ("op", Json.String name) :: rest
+
+(* ------------------------------------------------------ conformance *)
+
+(* Drive one spec through the server with a deliberately awkward
+   quantum, then compare render and counters against the one-shot. *)
+let check_conformance ?(quantum = 997) spec =
+  let srv = Server.create ~quantum () in
+  let opened = handle_ok srv (op "open" [ ("spec", Session.spec_to_json spec) ]) in
+  let sid = get_int "sid" opened in
+  let rec drive budget =
+    if budget = 0 then Alcotest.fail "session did not finish";
+    let r = handle_ok srv (op "step" [ ("sid", Json.Int sid) ]) in
+    match get_str "status" r with
+    | "running" -> drive (budget - 1)
+    | "done" -> ()
+    | other -> Alcotest.failf "session ended %s" other
+  in
+  drive 1_000_000;
+  let served_render =
+    get_field "result" (handle_ok srv (op "result" [ ("sid", Json.Int sid) ]))
+  in
+  let served_counters =
+    get_field "counters" (handle_ok srv (op "metrics" [ ("sid", Json.Int sid) ]))
+  in
+  ignore (handle_ok srv (op "close" [ ("sid", Json.Int sid) ]));
+  let render, obs = Session.run_oneshot spec in
+  Alcotest.(check string)
+    (Fmt.str "%s/%s render" (Session.kind_name spec.Session.kind)
+       (Session.backend_name spec.Session.backend))
+    (jstr render) (jstr served_render);
+  Alcotest.(check string)
+    (Fmt.str "%s/%s counters" (Session.kind_name spec.Session.kind)
+       (Session.backend_name spec.Session.backend))
+    (jstr (Session.counters_json obs))
+    (jstr served_counters)
+
+let fd_shm_spec () =
+  { (Session.default Session.Fd) with Session.t = 1; k = 1; n = 4; max_steps = 30_000 }
+
+let fd_net_spec () =
+  {
+    (Session.default Session.Fd) with
+    Session.backend = Session.Net;
+    n = 3;
+    max_steps = 4_000;
+  }
+
+let solve_shm_spec () =
+  { (Session.default Session.Solve) with Session.t = 1; k = 1; n = 4; max_steps = 50_000 }
+
+let solve_net_spec () =
+  { (Session.default Session.Solve) with Session.backend = Session.Net; n = 3; k = 1 }
+
+let fuzz_shm_spec () =
+  { (Session.default Session.Fuzz) with Session.execs = 150; len = 32; seed = 5 }
+
+let fuzz_net_spec () =
+  {
+    (Session.default Session.Fuzz) with
+    Session.backend = Session.Net;
+    n = 3;
+    k = 1;
+    execs = 40;
+    len = 42;
+    seed = 3;
+  }
+
+let explore_shm_spec () =
+  { (Session.default Session.Explore) with Session.t = 1; k = 1; n = 3; depth = 5 }
+
+let explore_net_spec () =
+  {
+    (Session.default Session.Explore) with
+    Session.backend = Session.Net;
+    n = 2;
+    t = 0;
+    k = 1;
+    depth = 4;
+  }
+
+let conformance spec () = check_conformance (spec ())
+
+(* a tiny quantum forces thousands of suspend/resume cycles — the
+   coroutine machinery itself must not perturb the run *)
+let test_conformance_tiny_quantum () =
+  check_conformance ~quantum:7
+    { (fd_shm_spec ()) with Session.max_steps = 3_000 }
+
+(* served runs of the same spec are deterministic across server
+   instances and across quanta *)
+let test_quantum_invariance () =
+  let spec = { (fuzz_shm_spec ()) with Session.execs = 60 } in
+  let render_with quantum =
+    let srv = Server.create ~quantum () in
+    let opened = handle_ok srv (op "open" [ ("spec", Session.spec_to_json spec) ]) in
+    let sid = get_int "sid" opened in
+    ignore (handle_ok srv (op "run" [ ("sid", Json.Int sid) ]));
+    jstr (get_field "result" (handle_ok srv (op "result" [ ("sid", Json.Int sid) ])))
+  in
+  let a = render_with 13 and b = render_with 4096 in
+  Alcotest.(check string) "quantum does not leak into results" a b
+
+(* ------------------------------------------------- store properties *)
+
+let test_shard_model seed () =
+  let rng = Rng.create ~seed in
+  let metrics = Metrics.create () in
+  let store = Shard.create ~shards:4 ~capacity:8 ~metrics () in
+  let gauge () =
+    match Metrics.gauge_value (Metrics.gauge metrics "serve.sessions_active") with
+    | Some v -> int_of_float v
+    | None -> Alcotest.fail "sessions_active gauge never set"
+  in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let live = ref [] in
+  let payload = ref 0 in
+  let check_invariants () =
+    Alcotest.(check int) "gauge = ground truth" (Hashtbl.length model) (gauge ());
+    Alcotest.(check int) "active = ground truth" (Hashtbl.length model)
+      (Shard.active store);
+    (* no lost or cross-wired sessions: every modeled sid resolves to
+       its own payload *)
+    Hashtbl.iter
+      (fun sid v ->
+        match Shard.find store sid with
+        | Some v' -> Alcotest.(check int) (Fmt.str "payload of sid %d" sid) v v'
+        | None -> Alcotest.failf "sid %d lost" sid)
+      model;
+    (* sorted sid list matches the model exactly: no duplicates, no
+       ghosts *)
+    let expect = List.sort compare (Hashtbl.fold (fun sid _ acc -> sid :: acc) model []) in
+    Alcotest.(check (list int)) "sids" expect (Shard.sids store)
+  in
+  for _ = 1 to 400 do
+    (match Rng.int rng 100 with
+    | r when r < 45 ->
+        incr payload;
+        let sid = Shard.add store !payload in
+        Alcotest.(check bool) "fresh sid" false (Hashtbl.mem model sid);
+        Hashtbl.replace model sid !payload;
+        live := sid :: !live
+    | r when r < 75 && !live <> [] ->
+        let sid = Rng.pick rng !live in
+        let expected = Hashtbl.find_opt model sid in
+        let got = Shard.remove store sid in
+        Alcotest.(check (option int)) "remove returns payload" expected got;
+        Hashtbl.remove model sid;
+        live := List.filter (fun s -> s <> sid) !live
+    | r when r < 85 ->
+        (* stale / never-issued sids miss cleanly *)
+        let sid = Rng.int rng (!payload + 50) in
+        if not (Hashtbl.mem model sid) then begin
+          Alcotest.(check (option int)) "stale find" None (Shard.find store sid);
+          Alcotest.(check (option int)) "stale remove" None (Shard.remove store sid)
+        end
+    | r when r < 97 && !live <> [] ->
+        let sid = Rng.pick rng !live in
+        Alcotest.(check (option int))
+          "find" (Hashtbl.find_opt model sid) (Shard.find store sid)
+    | _ ->
+        let drained = ref 0 in
+        let n = Shard.drain store ~f:(fun ~sid:_ _ -> incr drained) in
+        Alcotest.(check int) "drain count" (Hashtbl.length model) n;
+        Alcotest.(check int) "drain callback count" n !drained;
+        Hashtbl.reset model;
+        live := []);
+    check_invariants ()
+  done
+
+(* sids are never reused even across heavy churn: a removed sid stays
+   dead forever *)
+let test_sid_never_reused () =
+  let store = Shard.create ~shards:2 ~capacity:2 () in
+  let seen = Hashtbl.create 256 in
+  for v = 1 to 200 do
+    let sid = Shard.add store v in
+    Alcotest.(check bool) (Fmt.str "sid %d fresh" sid) false (Hashtbl.mem seen sid);
+    Hashtbl.replace seen sid ();
+    ignore (Shard.remove store sid)
+  done;
+  Hashtbl.iter
+    (fun sid () -> Alcotest.(check (option int)) "dead sid" None (Shard.find store sid))
+    seen
+
+(* --------------------------------------------------------- soak/leak *)
+
+let spin_spec ?fail_after max_steps =
+  { (Session.default Session.Spin) with Session.n = 2; max_steps; fail_after }
+
+let test_soak_slot_reuse () =
+  let srv = Server.create ~shards:4 ~capacity:64 ~quantum:256 () in
+  let store = Server.store srv in
+  let wave () =
+    ignore
+      (handle_ok srv
+         (op "open-batch"
+            [
+              ("spec", Session.spec_to_json (spin_spec 300)); ("count", Json.Int 200);
+            ]));
+    ignore (handle_ok srv (op "run" []));
+    ignore (handle_ok srv (op "drain" []));
+    Alcotest.(check int) "store empty after wave" 0 (Shard.active store)
+  in
+  wave ();
+  Gc.full_major ();
+  let baseline_words = Obj.reachable_words (Obj.repr store) in
+  let baseline_capacity = Shard.capacity store in
+  for w = 2 to 5 do
+    wave ();
+    Gc.full_major ();
+    let words = Obj.reachable_words (Obj.repr store) in
+    if words > baseline_words + (baseline_words / 10) then
+      Alcotest.failf "wave %d: store grew %d -> %d reachable words" w baseline_words
+        words;
+    Alcotest.(check int)
+      (Fmt.str "wave %d: capacity flat (slot reuse)" w)
+      baseline_capacity (Shard.capacity store)
+  done
+
+let test_crashed_session_reaped () =
+  let srv = Server.create ~quantum:64 () in
+  let store = Server.store srv in
+  let open_one spec =
+    get_int "sid" (handle_ok srv (op "open" [ ("spec", Session.spec_to_json spec) ]))
+  in
+  let healthy = List.init 4 (fun _ -> open_one (spin_spec 2_000)) in
+  let doomed = open_one (spin_spec ~fail_after:300 100_000) in
+  let r = handle_ok srv (op "run" []) in
+  (* the crash surfaced in an outcome and the victim left the store *)
+  let failed_sids =
+    match get_field "failed" r with
+    | Json.List l -> List.map (get_int "sid") l
+    | _ -> []
+  in
+  Alcotest.(check (list int)) "doomed sid reaped" [ doomed ] failed_sids;
+  Alcotest.(check (option unit)) "reaped from store" None
+    (Option.map ignore (Shard.find store doomed));
+  (* the reap didn't stall the batch: everyone else ran to completion *)
+  List.iter
+    (fun sid ->
+      let r = handle_ok srv (op "result" [ ("sid", Json.Int sid) ]) in
+      Alcotest.(check int) "healthy steps" 2_000 (get_int "steps" (get_field "result" r)))
+    healthy;
+  (* the tombstone makes the failure diagnosable after the fact *)
+  let r = Server.handle srv (req (op "result" [ ("sid", Json.Int doomed) ])) in
+  Alcotest.(check bool) "tombstoned result is an error" false (is_ok r);
+  let msg = get_str "error" r in
+  Alcotest.(check bool) "tombstone names the failure" true
+    (let has_sub s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has_sub msg "injected spin failure")
+
+(* ------------------------------------------------- counter scoping *)
+
+(* Two explore sessions stepped concurrently (interleaved rounds on one
+   server) must each end with exactly the counters of their own
+   one-shot run — the regression for the single-session assumption in
+   the global --progress/search-summary counters. *)
+let test_concurrent_explore_scoped () =
+  let spec_a = explore_shm_spec () in
+  let spec_b = { (explore_shm_spec ()) with Session.seed = 7; n = 3; depth = 4 } in
+  let srv = Server.create ~quantum:50 () in
+  let open_one spec =
+    get_int "sid" (handle_ok srv (op "open" [ ("spec", Session.spec_to_json spec) ]))
+  in
+  let sid_a = open_one spec_a and sid_b = open_one spec_b in
+  (* interleave: both advance within every round *)
+  ignore (handle_ok srv (op "run" [ ("quantum", Json.Int 50) ]));
+  let counters sid =
+    jstr (get_field "counters" (handle_ok srv (op "metrics" [ ("sid", Json.Int sid) ])))
+  in
+  let render sid =
+    jstr (get_field "result" (handle_ok srv (op "result" [ ("sid", Json.Int sid) ])))
+  in
+  let render_a, counters_a = (render sid_a, counters sid_a) in
+  let render_b, counters_b = (render sid_b, counters sid_b) in
+  let one_a, obs_a = Session.run_oneshot spec_a in
+  let one_b, obs_b = Session.run_oneshot spec_b in
+  Alcotest.(check string) "A render scoped" (jstr one_a) render_a;
+  Alcotest.(check string) "B render scoped" (jstr one_b) render_b;
+  Alcotest.(check string) "A counters scoped" (jstr (Session.counters_json obs_a))
+    counters_a;
+  Alcotest.(check string) "B counters scoped" (jstr (Session.counters_json obs_b))
+    counters_b;
+  (* sanity: the two sessions did different amounts of work, so a
+     cross-wire would have been visible *)
+  Alcotest.(check bool) "A and B differ" false (String.equal counters_a counters_b)
+
+(* ----------------------------------------------------- protocol edge *)
+
+let test_protocol_errors () =
+  let srv = Server.create () in
+  let fails fields = Alcotest.(check bool) "is error" false (is_ok (Server.handle srv (req fields))) in
+  fails (op "step" [ ("sid", Json.Int 99) ]);
+  fails (op "result" [ ("sid", Json.Int 99) ]);
+  fails (op "open" []);
+  fails (op "open" [ ("spec", Json.Obj [ ("kind", Json.String "nope") ]) ]);
+  fails (op "open" [ ("spec", Json.Obj [ ("kind", Json.String "fd"); ("n", Json.Int 0) ]) ]);
+  fails (op "frobnicate" []);
+  let hello = handle_ok srv (op "hello" []) in
+  Alcotest.(check string) "schema" Server.schema (get_str "schema" hello)
+
+let test_spec_json_roundtrip () =
+  let specs =
+    [
+      fd_shm_spec (); fd_net_spec (); solve_shm_spec (); solve_net_spec ();
+      fuzz_shm_spec (); fuzz_net_spec (); explore_shm_spec (); explore_net_spec ();
+      spin_spec ~fail_after:3 100;
+    ]
+  in
+  List.iter
+    (fun spec ->
+      match Session.spec_of_json (Session.spec_to_json spec) with
+      | Ok spec' ->
+          Alcotest.(check string) "spec roundtrip"
+            (jstr (Session.spec_to_json spec))
+            (jstr (Session.spec_to_json spec'))
+      | Error e -> Alcotest.failf "roundtrip failed: %s" e)
+    specs;
+  (* unknown fields tolerated, absent fields defaulted *)
+  match
+    Session.spec_of_json
+      (Json.Obj
+         [
+           ("kind", Json.String "fuzz");
+           ("future_field", Json.String "ignored");
+           ("execs", Json.Int 7);
+         ])
+  with
+  | Ok s ->
+      Alcotest.(check int) "execs decoded" 7 s.Session.execs;
+      Alcotest.(check int) "n defaulted" 2 s.Session.n
+  | Error e -> Alcotest.failf "tolerant decode failed: %s" e
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "fd shm" `Quick (conformance fd_shm_spec);
+          Alcotest.test_case "fd net" `Quick (conformance fd_net_spec);
+          Alcotest.test_case "solve shm" `Quick (conformance solve_shm_spec);
+          Alcotest.test_case "solve net" `Quick (conformance solve_net_spec);
+          Alcotest.test_case "fuzz shm" `Quick (conformance fuzz_shm_spec);
+          Alcotest.test_case "fuzz net" `Quick (conformance fuzz_net_spec);
+          Alcotest.test_case "explore shm" `Quick (conformance explore_shm_spec);
+          Alcotest.test_case "explore net" `Quick (conformance explore_net_spec);
+          Alcotest.test_case "tiny quantum" `Quick test_conformance_tiny_quantum;
+          Alcotest.test_case "quantum invariance" `Quick test_quantum_invariance;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "model interleavings (seed 11)" `Quick (test_shard_model 11);
+          Alcotest.test_case "model interleavings (seed 23)" `Quick (test_shard_model 23);
+          Alcotest.test_case "model interleavings (seed 47)" `Quick (test_shard_model 47);
+          Alcotest.test_case "sids never reused" `Quick test_sid_never_reused;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "slot reuse keeps memory flat" `Quick test_soak_slot_reuse;
+          Alcotest.test_case "crashed session reaped" `Quick test_crashed_session_reaped;
+        ] );
+      ( "scoping",
+        [
+          Alcotest.test_case "two concurrent explores" `Quick
+            test_concurrent_explore_scoped;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "errors are replies" `Quick test_protocol_errors;
+          Alcotest.test_case "spec json roundtrip" `Quick test_spec_json_roundtrip;
+        ] );
+    ]
