@@ -38,7 +38,7 @@ bench:
 bench-quick: ## E11 smoke run (small depth, exploration only)
 	dune exec bench/main.exe -- --quick
 
-bench-guard: ## pinned ceilings on the quick run's replay amortization (E11e)
+bench-guard: ## pinned ceilings: replay amortization (E11e/f), net stabilization (N1), round-batching cost + net-vs-shm verdicts (N2)
 	dune exec bin/bench_guard.exe -- BENCH_quick.json
 
 obs-check: ## traced exploration; validate the emitted JSONL/Chrome/metrics files
@@ -77,6 +77,12 @@ net-smoke: ## net backend gate: bounded exploration passes, BRS fuzz finds the k
 	  --require-counter net.sent --require-counter net.delivered \
 	  --require-histogram net.delay_adversary --require-histogram net.delay_forced \
 	  --require-histogram net.delay_fifo
+	dune exec bin/setsync_cli.exe -- solve --backend net --solver kset \
+	  -t 2 -k 2 -n 5 --crashes 1 --delta 2 --resend-after 8 \
+	  --trace-out /tmp/setsync_ci_net_solve.jsonl
+	dune exec bin/obs_validate.exe -- \
+	  --trace /tmp/setsync_ci_net_solve.jsonl --net-check \
+	  --require send,deliver,drop,gst
 
 trace-smoke: ## causal-tracing gate: traced net CT run -> trace-report finds a critical path ending at ct_stabilized whose attributed delay telescopes to the stabilization step
 	dune exec bin/setsync_cli.exe -- fd --backend net -n 2 --delta 1 --gst 4 --max-steps 60 \

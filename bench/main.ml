@@ -891,6 +891,145 @@ let n1_trace_overhead ?(quick = false) () =
       ("traced_overhead_fraction", Json.Float traced_overhead);
     ]
 
+(* N2: round-batched Netmem — amortized steps per routed register op,
+   and agreement end-to-end over the net backend vs shared memory.
+
+   The microbench drives one client against one owner with the
+   workload "C writes then 1 read" per iteration. Per-op mode runs
+   under the emulation-style [client; owner; client] grant cycle the
+   cross-backend tests use (3 steps per op by construction); batched
+   mode runs under a clients-only source with the round policy
+   supplying owner turns, so its steps/op is the real amortized cost
+   including every boosted serve step. bin/bench_guard.ml pins the
+   batched rows at <= 1.5 steps/op and the per-op row at >= 2.5. *)
+let n2_microbench ~mode ~batch ~iters =
+  let store = Store.create () in
+  let adversary = Adversary.synchronous ~delta:1 in
+  let net = Net.create ~store ~n:2 ~adversary () in
+  let nm = Netmem.install ~mode ~net ~store ~clients:1 ~owners:1 () in
+  let regs =
+    Array.init batch (fun i ->
+        Store.register store ~pp:Fmt.int ~name:(Printf.sprintf "R%d" i) 0)
+  in
+  let finished = ref false in
+  let body p () =
+    if p = 0 then begin
+      for _ = 1 to iters do
+        for w = 0 to batch - 1 do
+          Shm.write regs.(w) 1
+        done;
+        ignore (Shm.read regs.(0))
+      done;
+      finished := true;
+      while true do
+        Shm.pause ()
+      done
+    end
+    else Netmem.owner_body nm p ()
+  in
+  let source ~live:_ =
+    match mode with
+    | Netmem.Batched -> Source.make ~n:2 (fun () -> Some 0)
+    | Netmem.Per_op ->
+        let pat = [| 0; 1; 0 |] in
+        let i = ref 0 in
+        Source.make ~n:2 (fun () ->
+            let x = pat.(!i mod 3) in
+            incr i;
+            Some x)
+  in
+  let run =
+    Executor.run ~n:2 ~source
+      ~max_steps:((10 * iters * (batch + 1)) + 1_000)
+      ~boost:(Netmem.round_policy nm) ~substrate:(Net.substrate net)
+      ~stop:(fun () -> !finished)
+      body
+  in
+  (Run.total_steps run, Netmem.ops_completed nm)
+
+let n2_round_batching ?(quick = false) () =
+  section "N2. Round-batched Netmem: steps per routed op; agreement over net vs shm";
+  subsection "a. microbench: 1 client, 1 owner, C writes + 1 read per iteration";
+  Fmt.pr "  %-10s %-4s %-8s %-8s %s@." "mode" "C" "ops" "steps" "steps/op";
+  let iters = if quick then 200 else 1_000 in
+  List.iter
+    (fun (label, mode, batch) ->
+      let steps, ops = n2_microbench ~mode ~batch ~iters in
+      let per_op = float_of_int steps /. float_of_int (max 1 ops) in
+      Fmt.pr "  %-10s %-4d %-8d %-8d %.3f@." label batch ops steps per_op;
+      Results.add "N2"
+        [
+          ("kind", Json.String "microbench");
+          ("mode", Json.String label);
+          ("batch", Json.Int batch);
+          ("ops", Json.Int ops);
+          ("steps", Json.Int steps);
+          ("steps_per_op", Json.Float per_op);
+        ])
+    [
+      ("per-op", Netmem.Per_op, 1);
+      ("batched", Netmem.Batched, 1);
+      ("batched", Netmem.Batched, 4);
+    ];
+  subsection "b. agreement end-to-end over net, verdicts vs shm";
+  Fmt.pr "  %-7s %-10s %-3s %-40s %-7s %-7s %s@." "solver" "adversary" "n" "net verdict"
+    "equal" "ops" "steps";
+  let sizes = if quick then [ 7 ] else [ 5; 7; 9 ] in
+  List.iter
+    (fun n ->
+      (* loss groups k=2 over the full universe (clients + owner);
+         client n-1 crashes before it can decide on either backend *)
+      let scenarios =
+        [
+          ( "sync",
+            { Adversary.adversary = Adversary.synchronous ~delta:1; fault = [] },
+            None );
+          ( "crash_brs",
+            Adversary.crash_brs ~delta:2 ~gst:60 ~total:(n + 1) ~k:2
+              ~crashes:[ (n - 1, 5) ],
+            Some 8 );
+        ]
+      in
+      List.iter
+        (fun (solver_label, solver, problem, values) ->
+          let inputs = Problem.distinct_inputs problem in
+          List.iter
+            (fun (adv_label, combined, resend_after) ->
+              let max_steps = 500_000 in
+              let r =
+                Net_agreement.solve ~solver ?resend_after ~problem ~inputs ~combined
+                  ~max_steps ()
+              in
+              let shm =
+                Net_agreement.solve_shm ~solver ~problem ~inputs
+                  ~fault:combined.Adversary.fault ~max_steps ()
+              in
+              let vn = Net_agreement.verdict ~values r.Net_agreement.outcome in
+              let vs = Net_agreement.verdict ~values shm in
+              let equal = vn = vs in
+              let steps = Run.total_steps r.Net_agreement.outcome.Ag_harness.run in
+              Fmt.pr "  %-7s %-10s %-3d %-40s %-7b %-7d %d@." solver_label adv_label n vn
+                equal r.Net_agreement.ops steps;
+              Results.add "N2"
+                [
+                  ("kind", Json.String "agreement");
+                  ("solver", Json.String solver_label);
+                  ("adversary", Json.String adv_label);
+                  ("n", Json.Int n);
+                  ("net_verdict", Json.String vn);
+                  ("shm_verdict", Json.String vs);
+                  ("verdict_equal", Json.Bool equal);
+                  ("net_ok", Json.Bool (Ag_harness.ok r.Net_agreement.outcome));
+                  ("ops", Json.Int r.Net_agreement.ops);
+                  ("steps", Json.Int steps);
+                ])
+            scenarios)
+        [
+          ("paxos", `Paxos, Problem.consensus ~t:2 ~n, true);
+          ("kset", `Auto, Problem.make ~t:2 ~k:2 ~n, false);
+        ])
+    sizes
+
 (* ------------------------------------------------------------------ *)
 (* Convergence profile: how fast the detector stabilizes *)
 
@@ -1076,6 +1215,7 @@ let quick () =
   f1_fuzz ();
   n1_net ~quick:true ();
   n1_trace_overhead ~quick:true ();
+  n2_round_batching ~quick:true ();
   p9_obs_overhead ();
   s1_serve ~quick:true ();
   Results.write "BENCH_quick.json";
@@ -1100,6 +1240,7 @@ let () =
     f1_fuzz ();
     n1_net ();
     n1_trace_overhead ();
+    n2_round_batching ();
     convergence_profile ();
     ablations ();
     p9_obs_overhead ();

@@ -225,7 +225,7 @@ let () =
   (* N1t row: the nop-sink obs tier must stay cheap; full trace is
      informational *)
   let n1t_row = List.find_opt (fun row -> str row "section" = Some "N1t") rows in
-  match n1t_row with
+  (match n1t_row with
   | None -> fail "%s: no N1t row — did bench --quick change?" file
   | Some row ->
       let max_nop_overhead = 0.35 in
@@ -251,4 +251,83 @@ let () =
          steps/s informational)\n"
         (nop_overhead *. 100.)
         (max_nop_overhead *. 100.)
-        traced
+        traced);
+  (* N2 microbench rows: the round-batching acceptance pins. Every
+     batched row must come in at or under 1.5 steps per routed op (the
+     measured values are ~1.0 at C=1 and ~0.4 at C=4, so the ceiling
+     trips if the reply-consumption step stops being shared with the
+     next flush, or if the round policy stops granting owners). The
+     per-op row must stay near its analytic 3 steps/op — a drop below
+     2.5 would mean the unbatched path silently changed shape, which
+     the pinned byte-identical tests are supposed to forbid. *)
+  let n2_rows kind =
+    List.filter
+      (fun row -> str row "section" = Some "N2" && str row "kind" = Some kind)
+      rows
+  in
+  let micro = n2_rows "microbench" in
+  let micro_row ~mode ~batch =
+    List.find_opt
+      (fun row ->
+        str row "mode" = Some mode
+        && Option.bind (Json.member "batch" row) Json.to_int = Some batch)
+      micro
+  in
+  let steps_per_op label row =
+    match num row "steps_per_op" with
+    | Some v when v > 0. -> v
+    | Some _ -> fail "N2 %s: zero steps/op — microbench inert?" label
+    | None -> fail "N2 %s: missing steps_per_op" label
+  in
+  (match micro_row ~mode:"per-op" ~batch:1 with
+  | None -> fail "%s: no N2 per-op microbench row — did bench --quick change?" file
+  | Some row ->
+      let v = steps_per_op "per-op C=1" row in
+      if v < 2.5 then
+        fail
+          "N2 per-op C=1: %.2f steps/op, below the 2.5 floor — the unbatched path \
+           changed shape"
+          v);
+  let batched_ceiling = 1.5 in
+  List.iter
+    (fun batch ->
+      match micro_row ~mode:"batched" ~batch with
+      | None ->
+          fail "%s: no N2 batched C=%d microbench row — did bench --quick change?" file
+            batch
+      | Some row ->
+          let v = steps_per_op (Printf.sprintf "batched C=%d" batch) row in
+          if v > batched_ceiling then
+            fail "N2 batched C=%d: %.2f steps/op exceeds the %.1f ceiling" batch v
+              batched_ceiling;
+          Printf.printf "bench_guard: N2 batched C=%d ok (%.2f steps/op, ceiling %.1f)\n"
+            batch v batched_ceiling)
+    [ 1; 4 ];
+  (* N2 agreement rows: every quick-bench solver/adversary pair must
+     decide over the net AND produce the same checker verdict (and,
+     for paxos, the same decision value) as the shm reference run. *)
+  let ag = n2_rows "agreement" in
+  if List.length ag < 4 then
+    fail "%s: expected >= 4 N2 agreement rows, found %d — did bench --quick change?" file
+      (List.length ag);
+  List.iter
+    (fun row ->
+      let label =
+        Printf.sprintf "%s/%s n=%s"
+          (Option.value (str row "solver") ~default:"?")
+          (Option.value (str row "adversary") ~default:"?")
+          (match Option.bind (Json.member "n" row) Json.to_int with
+          | Some n -> string_of_int n
+          | None -> "?")
+      in
+      (match Json.member "net_ok" row with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "N2 %s: agreement over the net failed its checker" label);
+      (match Json.member "verdict_equal" row with
+      | Some (Json.Bool true) -> ()
+      | _ ->
+          fail "N2 %s: net verdict %S differs from shm verdict %S" label
+            (Option.value (str row "net_verdict") ~default:"")
+            (Option.value (str row "shm_verdict") ~default:""));
+      Printf.printf "bench_guard: N2 %s ok (verdict matches shm)\n" label)
+    ag

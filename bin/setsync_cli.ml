@@ -84,6 +84,44 @@ let gst_arg =
 
 let net_inputs n = Array.init n (fun p -> 10 * p)
 
+let solver_arg =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("gossip", `Gossip); ("kset", `Kset); ("paxos", `Paxos) ]) `Gossip
+    & info [ "solver" ] ~docv:"SOLVER"
+        ~doc:
+          "Net backend: $(b,gossip) (blind best-effort k-set over raw messages, the \
+           default) or a real solver over routed registers — $(b,kset) (Theorem 24) or \
+           $(b,paxos) (designated-proposer consensus). Both run under a combined \
+           crash + BRS-partition adversary and report the checker verdict.")
+
+let net_mode_arg =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("batched", Netmem.Batched); ("per-op", Netmem.Per_op) ]) Netmem.Batched
+    & info [ "net-mode" ] ~docv:"MODE"
+        ~doc:
+          "Routed-register protocol for $(b,--solver kset/paxos): $(b,batched) \
+           (round-batched, about one step per op, the default) or $(b,per-op) (three \
+           steps per op).")
+
+let owners_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "owners" ] ~docv:"O"
+        ~doc:"Net backend: register-owner processes appended to the universe.")
+
+let resend_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "resend-after" ] ~docv:"TICKS"
+        ~doc:
+          "Net backend: retransmit an unanswered routed request after this many network \
+           ticks. The liveness mechanism under message loss; defaults to 2*Delta when \
+           the adversary drops messages.")
+
 let brs_groups ~n ~k =
   List.init (k + 1) (fun g ->
       List.filter (fun p -> p mod (k + 1) = g) (List.init n (fun p -> p)))
@@ -217,8 +255,8 @@ let fd_cmd =
 (* ------------------------------------------------------------ solve *)
 
 let solve_cmd =
-  let run t k n i j bound seed crashes adversary max_steps backend delta gst trace_out
-      metrics_out =
+  let run t k n i j bound seed crashes adversary max_steps backend delta gst solver
+      net_mode owners resend_after trace_out metrics_out =
     match backend with
     | Backend_shm ->
         let spec = make_spec t k n i j bound seed crashes adversary max_steps in
@@ -235,6 +273,50 @@ let solve_cmd =
         Fmt.pr "@.";
         write_obs ~trace_out ~metrics_out obs;
         exit (if r.Scenario.solved = r.Scenario.predicted then 0 else 1)
+    | Backend_net when solver <> `Gossip ->
+        (* a real solver over routed registers, under combined
+           crash + BRS loss; verdicts are comparable one-for-one with
+           the shm reference run (bench section N2 pins them equal) *)
+        let gst = Option.value gst ~default:(8 * n) in
+        let total = n + owners in
+        let crash_plan = List.init crashes (fun i -> (n - 1 - i, 5 * (i + 1))) in
+        let combined =
+          Adversary.crash_brs ~delta ~gst ~total ~k:(max 1 k) ~crashes:crash_plan
+        in
+        let resend_after =
+          match resend_after with Some _ as r -> r | None -> Some (2 * delta)
+        in
+        let solver, problem, values =
+          match solver with
+          | `Paxos -> (`Paxos, Problem.consensus ~t ~n, true)
+          | _ -> (`Auto, Problem.make ~t ~k ~n, false)
+        in
+        let inputs = Problem.distinct_inputs problem in
+        let obs = make_obs ~trace_out ~metrics_out () in
+        let r =
+          Net_agreement.solve ~solver ~mode:net_mode ~owners ?resend_after ?obs ~problem
+            ~inputs ~combined ~max_steps ()
+        in
+        Fmt.pr "net backend: %a over routed registers (%s), %s (delta=%d, gst=%d), %d \
+                clients + %d owners, %d crashes@."
+          Problem.pp problem
+          (match net_mode with Netmem.Batched -> "batched" | Netmem.Per_op -> "per-op")
+          combined.Adversary.adversary.Adversary.name delta gst n owners crashes;
+        Fmt.pr "decisions:";
+        Array.iteri
+          (fun p d -> Fmt.pr " %a=%a" Proc.pp p Fmt.(option ~none:(any "-") int) d)
+          r.Net_agreement.outcome.Ag_harness.decisions;
+        Fmt.pr "@.";
+        let s = r.Net_agreement.stats in
+        Fmt.pr "net:    sent %d  delivered %d  dropped %d  in flight %d@." s.Net.sent
+          s.Net.delivered s.Net.dropped s.Net.in_flight;
+        Fmt.pr "routed: %d ops in %d steps (%.2f steps/op)@." r.Net_agreement.ops
+          (Run.total_steps r.Net_agreement.outcome.Ag_harness.run)
+          (float_of_int (Run.total_steps r.Net_agreement.outcome.Ag_harness.run)
+          /. float_of_int (max 1 r.Net_agreement.ops));
+        Fmt.pr "verdict: %s@." (Net_agreement.verdict ~values r.Net_agreement.outcome);
+        write_obs ~trace_out ~metrics_out obs;
+        exit (if Ag_harness.ok r.Net_agreement.outcome then 0 else 2)
     | Backend_net ->
         (* best-effort k-set gossip under a BRS partition adversary: a
            round-robin run decides within k exactly when GST lands
@@ -271,9 +353,10 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:
-         "Solve (t,k,n)-agreement in S^i_{j,n} (shm), or run the blind k-set gossip \
-          against a BRS partition (net)")
-    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ backend_arg $ delta_arg $ gst_arg $ trace_out_arg $ metrics_out_arg)
+         "Solve (t,k,n)-agreement in S^i_{j,n} (shm), or over the net: blind k-set \
+          gossip (default), or real solvers on routed registers with $(b,--solver \
+          kset/paxos)")
+    Term.(const run $ t_arg $ k_arg $ n_arg $ i_arg $ j_arg $ bound_arg $ seed_arg $ crashes_arg $ adversary_arg $ steps_arg $ backend_arg $ delta_arg $ gst_arg $ solver_arg $ net_mode_arg $ owners_arg $ resend_after_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ------------------------------------------------------------ sweep *)
 

@@ -172,17 +172,19 @@ let source ?(live = Generators.all_live) ?(phase0 = 32) ?(growth = 16) ~n ~contr
         in
         match (best, unfrozen, outside_q, members) with
         | (_ :: _ as pool), _, _, _ | [], (_ :: _ as pool), _, _ ->
-            emit (List.nth pool (!phase mod List.length pool))
+            let pool = Array.of_list pool in
+            emit pool.(!phase mod Array.length pool)
         | [], [], x0 :: rest, _ ->
-            let pool = x0 :: rest in
-            let x = List.nth pool (!cursor mod List.length pool) in
+            let pool = Array.of_list (x0 :: rest) in
+            let x = pool.(!cursor mod Array.length pool) in
             cursor := (!cursor + 1) mod n;
             advance ();
             Some x
         | [], [], [], (_ :: _ as pool) ->
             (* cornered: everyone live is in q or frozen, and all of p
                is frozen *)
-            emit (List.nth pool (!phase mod List.length pool))
+            let pool = Array.of_list pool in
+            emit pool.(!phase mod Array.length pool)
         | [], [], [], [] -> None
       end
       else begin
@@ -210,11 +212,12 @@ let source ?(live = Generators.all_live) ?(phase0 = 32) ?(growth = 16) ~n ~contr
                the live processes outside the frozen set, else anybody. *)
             let frozen_now = frozen () in
             let pool =
-              match List.filter (fun x -> not (Procset.mem x frozen_now)) live_now with
-              | [] -> live_now
-              | unfrozen -> unfrozen
+              Array.of_list
+                (match List.filter (fun x -> not (Procset.mem x frozen_now)) live_now with
+                | [] -> live_now
+                | unfrozen -> unfrozen)
             in
-            let x = List.nth pool (!cursor mod List.length pool) in
+            let x = pool.(!cursor mod Array.length pool) in
             cursor := (!cursor + 1) mod n;
             emit x
       end)

@@ -46,9 +46,21 @@ type solver_bundle = {
   used_trivial : bool;
 }
 
-let make_bundle ~problem ~inputs ?initial_timeout store =
+let make_bundle ~problem ~inputs ?initial_timeout ?(solver = `Auto) store =
   let { Problem.n; _ } = problem in
-  if Problem.is_trivially_solvable problem then begin
+  if solver = `Paxos then begin
+    (* end-to-end consensus regardless of (t, k): the backend-equality
+       experiments drive the same Paxos code over shm and net stores *)
+    let c = Consensus.create store ~n ~inputs () in
+    {
+      body = Consensus.body c;
+      snapshot_decisions = (fun () -> Consensus.decisions c);
+      fd_iterations = (fun () -> None);
+      view = Kset_solver.empty_adversary_view ~n;
+      used_trivial = false;
+    }
+  end
+  else if Problem.is_trivially_solvable problem then begin
     let solver = Trivial.create store ~problem ~inputs in
     {
       body = Trivial.body solver;
@@ -69,15 +81,29 @@ let make_bundle ~problem ~inputs ?initial_timeout store =
     }
   end
 
-let execute ~problem ~inputs ~source ~max_steps ?fault ?on_step:caller_on_step ?obs bundle =
+let execute ~problem ~inputs ~source ~max_steps ?fault ?total ?extra_body ?boost ?substrate
+    ?on_step:caller_on_step ?obs bundle =
   let { Problem.n; _ } = problem in
+  (* The executor universe may be wider than the problem: processes
+     [n..total-1] run [extra_body] (register owners under the net
+     backend) and are infrastructure — they never decide, and the
+     checker never sees them as crashed or starved. *)
+  let total = Option.value total ~default:n in
+  if total < n then invalid_arg "Ag_harness: total smaller than the problem size";
+  if total > n && extra_body = None then
+    invalid_arg "Ag_harness: extra processes need an extra_body";
+  let body p =
+    if p < n then bundle.body p
+    else match extra_body with Some f -> f p | None -> assert false
+  in
+  let clients_only s = Procset.filter (fun p -> p < n) s in
   let decide_steps = Array.make n None in
   (* Processes idle (taking pause steps) after deciding, so the run
      must be stopped explicitly: once every process has either decided
      or exhausted its crash budget, nothing further can change. *)
-  let crash_budget = Array.make n max_int in
+  let crash_budget = Array.make total max_int in
   List.iter (fun (p, s) -> crash_budget.(p) <- s) (Option.value fault ~default:[]);
-  let steps_of = Array.make n 0 in
+  let steps_of = Array.make total 0 in
   let on_step ~global ~proc =
     (match caller_on_step with Some f -> f ~global ~proc | None -> ());
     steps_of.(proc) <- steps_of.(proc) + 1;
@@ -93,11 +119,15 @@ let execute ~problem ~inputs ~source ~max_steps ?fault ?on_step:caller_on_step ?
     let rec check p = p >= n || (settled p && check (p + 1)) in
     check 0
   in
-  let run = Executor.run ~n ~source ~max_steps ?fault ~on_step ~stop ?obs bundle.body in
+  let run =
+    Executor.run ~n:total ~source ~max_steps ?fault ?substrate ?boost ~on_step ~stop ?obs body
+  in
   let decisions = bundle.snapshot_decisions () in
   let report =
-    Checker.check ~problem ~inputs ~decisions ~crashed:(Run.crashed run)
-      ~starved:(starved_of run) ()
+    Checker.check ~problem ~inputs ~decisions
+      ~crashed:(clients_only (Run.crashed run))
+      ~starved:(clients_only (starved_of run))
+      ()
   in
   (* Decision latency: the global step at which each decision first
      became visible. Recorded per solved run, so the histogram across
@@ -136,10 +166,12 @@ let execute ~problem ~inputs ~source ~max_steps ?fault ?on_step:caller_on_step ?
     used_trivial = bundle.used_trivial;
   }
 
-let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout ?on_step ?obs () =
-  let store = Store.create () in
-  let bundle = make_bundle ~problem ~inputs ?initial_timeout store in
-  execute ~problem ~inputs ~source ~max_steps ?fault ?on_step ?obs bundle
+let solve ~problem ~inputs ~source ~max_steps ?fault ?initial_timeout ?solver ?store ?total
+    ?extra_body ?boost ?substrate ?on_step ?obs () =
+  let store = match store with Some s -> s | None -> Store.create () in
+  let bundle = make_bundle ~problem ~inputs ?initial_timeout ?solver store in
+  execute ~problem ~inputs ~source ~max_steps ?fault ?total ?extra_body ?boost ?substrate
+    ?on_step ?obs bundle
 
 let solve_adaptive ~problem ~inputs ~make_source ~max_steps ?fault ?initial_timeout ?on_step
     ?obs () =

@@ -26,12 +26,36 @@ val solve :
   max_steps:int ->
   ?fault:Setsync_runtime.Fault.plan ->
   ?initial_timeout:int ->
+  ?solver:[ `Auto | `Paxos ] ->
+  ?store:Setsync_memory.Store.t ->
+  ?total:int ->
+  ?extra_body:(Setsync_schedule.Proc.t -> unit -> unit) ->
+  ?boost:Setsync_runtime.Executor.boost ->
+  ?substrate:Setsync_runtime.Substrate.t ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?obs:Setsync_obs.Obs.t ->
   unit ->
   outcome
 (** The run ends as soon as every live process has decided and halted
     (the executor's all-halted condition), or at [max_steps].
+
+    [solver] picks the algorithm: [`Auto] (default) dispatches on the
+    problem as described above; [`Paxos] runs {!Consensus} — end-to-end
+    single-decree consensus with a designated proposer — regardless of
+    [(t, k)], for backend-equality experiments.
+
+    [store] supplies the shared store (default: a fresh local one).
+    Pass a store with a routed register proxy installed
+    (net backend) to run the same solver over messages.
+
+    [total], [extra_body], [boost] and [substrate] widen the executor
+    universe beyond the problem: processes [n..total-1] run
+    [extra_body] (e.g. register owners serving routed requests), the
+    substrate and boost policy are forwarded to
+    {!Setsync_runtime.Executor.run}, and the extra processes are
+    invisible to the checker — they never decide and are excluded from
+    the crashed/starved sets (owners are starved by construction under
+    a clients-only source). The source's universe must be [total].
 
     [on_step] is invoked once per executed global step, before the
     harness's own decision sampling — the multi-tenant serve layer uses

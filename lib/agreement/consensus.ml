@@ -1,0 +1,59 @@
+module Store = Setsync_memory.Store
+module Shm = Setsync_runtime.Shm
+
+type t = {
+  n : int;
+  proposer : int;
+  shared : Paxos.shared;
+  dec : int option Setsync_memory.Register.t array;
+  decisions : int option array;
+  inputs : int array;
+}
+
+let create store ~n ~inputs ?(proposer = 0) () =
+  if Array.length inputs <> n then invalid_arg "Consensus.create: inputs must have length n";
+  if proposer < 0 || proposer >= n then invalid_arg "Consensus.create: proposer out of range";
+  {
+    n;
+    proposer;
+    shared = Paxos.create_shared store ~n ~name:"Cons";
+    dec =
+      Store.array store
+        ~pp:(Fmt.option ~none:(Fmt.any "⊥") Fmt.int)
+        ~name:"CDec" n
+        (fun _ -> None);
+    decisions = Array.make n None;
+    inputs;
+  }
+
+let body t proc () =
+  let prop =
+    if proc = t.proposer then
+      Some (Paxos.make_proposer t.shared ~proc ~input:t.inputs.(proc))
+    else None
+  in
+  let exception Decided of int in
+  let decide v = raise (Decided v) in
+  try
+    while true do
+      (* adopt any published decision *)
+      for q = 0 to t.n - 1 do
+        match Shm.read t.dec.(q) with Some v -> decide v | None -> ()
+      done;
+      (* the designated proposer drives the instance; everyone else
+         keeps scanning (their scan steps are what the paper's "take a
+         step" correctness means for non-proposers) *)
+      match prop with
+      | Some p -> (
+          match Paxos.attempt p with Paxos.Decided v -> decide v | Paxos.Interfered -> ())
+      | None -> Shm.pause ()
+    done
+  with Decided v ->
+    t.decisions.(proc) <- Some v;
+    Shm.write t.dec.(proc) (Some v);
+    (* stay correct: idle steps until the harness stops the run *)
+    while true do
+      Shm.pause ()
+    done
+
+let decisions t = Array.copy t.decisions

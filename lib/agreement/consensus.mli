@@ -1,0 +1,30 @@
+(** End-to-end consensus: one {!Paxos} instance driven to a decision.
+
+    A fixed designated proposer runs {!Paxos.attempt} until it commits;
+    every process (proposer included) scans the per-process decision
+    registers between attempts, adopts the first published value,
+    publishes its own decision and idles. Uncontended this is exactly
+    one attempt — [2·(n+1)] register ops — plus the gossip scans.
+
+    The point of this module is backend-agnosticism: the body touches
+    shared state only through [Shm] on the store it was created with,
+    so the same code drives plain shared memory and routed registers
+    over the net ({!Setsync_net.Netmem}), making shm-vs-net verdict
+    comparisons meaningful. Safety is Paxos safety (any schedule, any
+    crashes); termination needs the proposer correct and scheduled. *)
+
+type t
+
+val create :
+  Setsync_memory.Store.t -> n:int -> inputs:int array -> ?proposer:int -> unit -> t
+(** Allocate the instance's registers ([Cons*], [CDec]) in the store.
+    [proposer] defaults to process 0. Raises [Invalid_argument] if
+    [inputs] has length other than [n] or [proposer] is out of
+    range. *)
+
+val body : t -> Setsync_schedule.Proc.t -> unit -> unit
+(** Process body for {!Setsync_runtime.Executor.run}. *)
+
+val decisions : t -> int option array
+(** Snapshot of per-process decisions (local records, readable at any
+    point of the run). *)

@@ -49,6 +49,7 @@ module Checker = Setsync_agreement.Checker
 module Paxos = Setsync_agreement.Paxos
 module Kset_solver = Setsync_agreement.Kset_solver
 module Trivial = Setsync_agreement.Trivial
+module Consensus = Setsync_agreement.Consensus
 module Ag_harness = Setsync_agreement.Ag_harness
 
 (* BG simulation (Theorem 26's machinery) *)
@@ -89,6 +90,7 @@ module Netmem = Setsync_net.Netmem
 module Ct_detector = Setsync_net.Ct_detector
 module Net_kset = Setsync_net.Net_kset
 module Net_systems = Setsync_net.Net_systems
+module Net_agreement = Setsync_net.Net_agreement
 
 (* high-level scenarios *)
 module Scenario = Scenario

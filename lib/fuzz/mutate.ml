@@ -207,10 +207,12 @@ let mutators =
 let enforce_contract env (c : Generators.timely_contract) steps =
   let { Generators.p; q; bound } = c in
   let live_p = List.filter env.live (Procset.elements p) in
+  (* hoisted once per pass: the patch loop indexes this pool on every
+     critical gap, so an O(1) array beats a List.nth rescan *)
+  let p_pool = Array.of_list live_p in
   let cursor = ref 0 in
   let next_p () =
-    let m = List.length live_p in
-    let x = List.nth live_p (!cursor mod m) in
+    let x = p_pool.(!cursor mod Array.length p_pool) in
     incr cursor;
     x
   in

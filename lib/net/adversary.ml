@@ -94,3 +94,24 @@ let brs_kset ~delta ~gst ~n ~k =
 
 let never ~delta =
   make ~name:"never" ~delta ~gst:max_int (fun ~now:_ ~src:_ ~dst:_ ~seq:_ -> Drop)
+
+(* Crash + loss combined: the BRS partition runs over the full process
+   universe — register owners included, so routed traffic is silenced
+   across groups too — while the crash side is an ordinary fault plan
+   the executor injects. Keeping them in one value pins the pairing a
+   scenario means ("these crashes under this loss pattern") instead of
+   letting call sites mix plans and adversaries freely. *)
+type combined = { adversary : t; fault : (Proc.t * int) list }
+
+let crash_brs ~delta ~gst ~total ~k ~crashes =
+  if k < 1 || k + 1 > total then invalid_arg "Adversary.crash_brs: need 1 <= k < total";
+  List.iter
+    (fun (p, s) ->
+      if p < 0 || p >= total then invalid_arg "Adversary.crash_brs: crash names unknown proc";
+      if s < 0 then invalid_arg "Adversary.crash_brs: negative step budget")
+    crashes;
+  let groups =
+    List.init (k + 1) (fun g ->
+        List.filter (fun p -> p mod (k + 1) = g) (List.init total (fun p -> p)))
+  in
+  { adversary = { (partition ~delta ~gst ~groups) with name = "crash_brs" }; fault = crashes }

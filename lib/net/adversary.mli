@@ -90,3 +90,25 @@ val brs_kset : delta:int -> gst:int -> n:int -> k:int -> t
 val never : delta:int -> t
 (** GST never arrives and everything drops — the negative control for
     stabilization properties. *)
+
+type combined = { adversary : t; fault : (Setsync_schedule.Proc.t * int) list }
+(** A loss adversary paired with the crash plan it is meant to run
+    under ([fault] is an {!Setsync_runtime.Fault.plan}): one value per
+    scenario, so call sites cannot pair them inconsistently. *)
+
+val crash_brs :
+  delta:int ->
+  gst:int ->
+  total:int ->
+  k:int ->
+  crashes:(Setsync_schedule.Proc.t * int) list ->
+  combined
+(** Crash + loss: the {!brs_kset} partition ([k + 1] groups,
+    [p mod (k+1)], cross-group silence until GST) over the {e full}
+    [total]-process universe — register owners included, so routed
+    requests crossing groups drop too — combined with [crashes], each
+    [(p, s)] killing [p] after [s] steps. Clients of a routed store
+    should appear in [crashes], not owners (a crashed owner takes its
+    registers with it; see the no-wedge test for that case). Raises
+    [Invalid_argument] unless [1 <= k < total], every crashed proc is
+    in the universe, and budgets are non-negative. *)

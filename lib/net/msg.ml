@@ -11,10 +11,10 @@ module Proc = Setsync_schedule.Proc
 type payload =
   | Hb  (** heartbeat, no content *)
   | Value of int  (** native protocol value (e.g. a proposal) *)
-  | Read_req of { rid : int }
-  | Read_reply of { rid : int; v : exn; pr : string }
-  | Write_req of { rid : int; v : exn; pr : string }
-  | Write_ack of { rid : int }
+  | Read_req of { rid : int; op : int }
+  | Read_reply of { rid : int; op : int; v : exn; pr : string }
+  | Write_req of { rid : int; op : int; v : exn; pr : string }
+  | Write_ack of { rid : int; op : int }
 
 type t = {
   mid : int;
@@ -33,10 +33,13 @@ type t = {
 let pp_payload ppf = function
   | Hb -> Fmt.string ppf "hb"
   | Value v -> Fmt.pf ppf "val:%d" v
-  | Read_req { rid } -> Fmt.pf ppf "rd?%d" rid
+  (* [op] is a client-local retransmission tag, like [mid] a lineage
+     field: kept out of [pp] so channel snapshots, and hence state
+     fingerprints, never distinguish states by retry count. *)
+  | Read_req { rid; _ } -> Fmt.pf ppf "rd?%d" rid
   | Read_reply { rid; pr; _ } -> Fmt.pf ppf "rd!%d=%s" rid pr
   | Write_req { rid; pr; _ } -> Fmt.pf ppf "wr?%d=%s" rid pr
-  | Write_ack { rid } -> Fmt.pf ppf "wr!%d" rid
+  | Write_ack { rid; _ } -> Fmt.pf ppf "wr!%d" rid
 
 let pp ppf m =
   Fmt.pf ppf "%a->%a#%d@%d:%a" Proc.pp m.src Proc.pp m.dst m.seq m.sent_at pp_payload

@@ -67,6 +67,11 @@ type t = {
      may miss (the entry was consumed down another branch); delivery
      then simply emits without decomposition args. *)
   attrs : (int, attr) Hashtbl.t;
+  (* per-granted-step hook, run at the end of [pre_step] after the
+     flush: the round-batched register layer ({!Netmem}) installs its
+     pump here so stashed operations move at the owning process's own
+     grant, never at another's. *)
+  mutable step_hook : (global:int -> proc:Proc.t -> unit) option;
 }
 
 let pp_entry ppf (at, m) = Fmt.pf ppf "%d>%a" at Msg.pp m
@@ -117,6 +122,7 @@ let create ?obs ~store ~n ~adversary () =
     meters;
     ev;
     attrs = Hashtbl.create 64;
+    step_hook = None;
   }
 
 let n t = t.n
@@ -295,7 +301,10 @@ let pre_step t ~global ~proc =
         Events.emit sink ~args:[ ("step", Json.Int global) ] ~cat:"net" "gst"
     | None -> ()
   end;
-  flush t ~clock:global
+  flush t ~clock:global;
+  match t.step_hook with None -> () | Some hook -> hook ~global ~proc
+
+let set_step_hook t hook = t.step_hook <- hook
 
 module Net_substrate = struct
   type nonrec t = t
@@ -373,6 +382,40 @@ let step_serve t ~handle =
         (fun m ->
           List.iter (fun (dst, payload) -> enqueue t ~src:p ~dst payload) (handle m))
         msgs)
+
+(* Hook-side primitives: the same footprints as their fiber
+   counterparts, but callable from inside an already-running atomic
+   action or the pre-step hook (no [Fiber.atomic] wrapper, explicit
+   identity where the ambient [current] is not the acting process). *)
+
+let send_now t ~src ~dst payload = enqueue t ~src ~dst payload
+
+let drain_now t p =
+  match Register.read t.inboxes.(p) with
+  | [] -> []
+  | msgs ->
+      Register.write t.inboxes.(p) [];
+      msgs
+
+let push_back_now t p msgs =
+  if msgs <> [] then Register.write t.inboxes.(p) (msgs @ Register.peek t.inboxes.(p))
+
+(* Would a serve step by [dst] at network time [at] do useful work?
+   True iff its inbox is nonempty or some channel toward it has a due
+   head (FIFO keeps [deliver_at] monotone per channel, so checking the
+   head suffices). Observer peeks only — usable by a scheduling policy
+   without perturbing replay footprints. *)
+let servable t ~dst ~at =
+  Register.peek t.inboxes.(dst) <> []
+  || begin
+       let due = ref false in
+       for src = 0 to t.n - 1 do
+         match Register.peek t.chans.(src).(dst) with
+         | (h, _) :: _ when h <= at -> due := true
+         | _ -> ()
+       done;
+       !due
+     end
 
 type stats = { sent : int; delivered : int; dropped : int; in_flight : int }
 

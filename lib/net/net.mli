@@ -88,6 +88,37 @@ val step_serve : t -> handle:(Msg.t -> (Setsync_schedule.Proc.t * Msg.payload) l
     turnaround cost one step ({!Netmem}), mirroring how a shared-memory
     register serves any access in the accessor's own step. *)
 
+(** {1 Hook-side primitives}
+
+    The round-batched register layer ({!Netmem}) runs inside granted
+    steps it does not own the fiber of: a pre-step hook and the bodies
+    of other atomics. These primitives are the hook-safe counterparts
+    of {!send}/{!recv} — identical store footprints, no [Fiber.atomic]
+    wrapper, explicit identity. *)
+
+val set_step_hook :
+  t -> (global:int -> proc:Setsync_schedule.Proc.t -> unit) option -> unit
+(** Install (or clear) a hook run at the end of every [pre_step],
+    after the flush and inside the granted process's step. The hook
+    runs before the process's atomic action resumes, so state it
+    deposits (e.g. absorbed replies) is visible to that action. *)
+
+val send_now :
+  t -> src:Setsync_schedule.Proc.t -> dst:Setsync_schedule.Proc.t -> Msg.payload -> unit
+(** [enqueue] with explicit source, charged to the enclosing step. *)
+
+val drain_now : t -> Setsync_schedule.Proc.t -> Msg.t list
+(** Drain [p]'s inbox with the same footprint as {!recv}'s body. *)
+
+val push_back_now : t -> Setsync_schedule.Proc.t -> Msg.t list -> unit
+(** Prepend undelivered messages back onto [p]'s inbox so a later
+    drain (by the fiber or another handler) sees them in order. *)
+
+val servable : t -> dst:Setsync_schedule.Proc.t -> at:int -> bool
+(** Whether a serve step by [dst] at network time [at] would find work:
+    its inbox is nonempty, or some channel toward it has a due head.
+    Observer peeks only — safe for scheduling policy decisions. *)
+
 type stats = { sent : int; delivered : int; dropped : int; in_flight : int }
 
 val stats : t -> stats

@@ -1,15 +1,43 @@
 module Proc = Setsync_schedule.Proc
 module Register = Setsync_memory.Register
 module Store = Setsync_memory.Store
+module Fiber = Setsync_runtime.Fiber
+
+type mode = Per_op | Batched
+
+exception Unserved of { rid : int; op : int }
 
 type handler = { h_read : unit -> exn * string; h_write : exn -> unit }
+
+(* One routed operation of a batched client: stashed at the call site,
+   transmitted by the pump, retired when its reply is absorbed. *)
+type pending = {
+  op : int;  (** run-unique tag, echoed by the owner; dedups resends *)
+  p_rid : int;
+  owner : Proc.t;
+  request : Msg.payload;
+  mutable last_send : int;  (** network clock at the last transmission *)
+}
+
+type cstate = {
+  mutable outq : pending list;  (** stashed, unsent — program order *)
+  mutable sent : pending list;  (** in flight, awaiting reply — send order *)
+  mutable got : (int * exn option) list;  (** op -> absorbed read reply *)
+  mutable blocked : bool;  (** parked in a reply wait loop *)
+}
 
 type t = {
   net : Net.t;
   clients : int;
   owners : int;
+  mode : mode;
+  resend_after : int option;
+  max_wait : int option;
   handlers : (int, handler) Hashtbl.t;
   names : (string, int) Hashtbl.t;
+  cstates : cstate array;  (** indexed by client proc; batched mode only *)
+  mutable op_ctr : int;
+  mutable completed : int;
 }
 
 let owner_of t ~rid = t.clients + (rid mod t.owners)
@@ -18,6 +46,86 @@ let owner_of_name t name =
   match Hashtbl.find_opt t.names name with
   | Some rid -> Some (owner_of t ~rid)
   | None -> None
+
+let fresh_op t =
+  let op = t.op_ctr in
+  t.op_ctr <- t.op_ctr + 1;
+  op
+
+(* ------------------------------------------------- batched-mode pump *)
+
+(* Transmit stashed ops in program order. An op may only go out while
+   every unacked predecessor targets the same owner: per-channel FIFO
+   then serializes same-owner ops at the server, and the barrier stops
+   a later op from being applied before an earlier one bound elsewhere
+   — all the sequential consistency a single client's program needs,
+   since processes share state only through these registers. *)
+let flush_ready t st ~src =
+  let rec go () =
+    match st.outq with
+    | [] -> ()
+    | o :: rest ->
+        if List.for_all (fun s -> s.owner = o.owner) st.sent then begin
+          o.last_send <- Net.now t.net;
+          Net.send_now t.net ~src ~dst:o.owner o.request;
+          st.outq <- rest;
+          st.sent <- st.sent @ [ o ];
+          go ()
+        end
+  in
+  go ()
+
+(* Classify one drained inbox: replies matching an in-flight op retire
+   it (writes complete on the spot, read values park in [got] for the
+   wait loop); replies matching nothing are dead retransmission
+   duplicates and are dropped; everything else — heartbeats, native
+   values — is returned for push-back so the fiber still sees it. *)
+let absorb t st msgs =
+  List.filter
+    (fun m ->
+      let retire op value =
+        match List.find_opt (fun s -> s.op = op) st.sent with
+        | Some o ->
+            st.sent <- List.filter (fun s -> s.op <> op) st.sent;
+            (match o.request with
+            | Msg.Write_req _ -> t.completed <- t.completed + 1
+            | _ -> st.got <- (op, value) :: st.got);
+            false
+        | None -> false (* stale duplicate *)
+      in
+      match m.Msg.payload with
+      | Msg.Read_reply { op; v; _ } -> retire op (Some v)
+      | Msg.Write_ack { op; _ } -> retire op None
+      | Msg.Hb | Msg.Value _ | Msg.Read_req _ | Msg.Write_req _ -> true)
+    msgs
+
+let resend t st ~src =
+  match t.resend_after with
+  | None -> ()
+  | Some r ->
+      let now = Net.now t.net in
+      List.iter
+        (fun o ->
+          if now - o.last_send >= r then begin
+            o.last_send <- now;
+            Net.send_now t.net ~src ~dst:o.owner o.request
+          end)
+        st.sent
+
+(* The pump: one full client turn of the round protocol, run inside
+   whatever granted step is executing (the substrate's pre-step hook,
+   or a wait-loop atomic). Absorb first — retiring replies may lift the
+   owner-change barrier — then transmit, then retransmit the overdue. *)
+let pump t p =
+  if p < t.clients then begin
+    let st = t.cstates.(p) in
+    let keep = absorb t st (Net.drain_now t.net p) in
+    Net.push_back_now t.net p keep;
+    flush_ready t st ~src:p;
+    resend t st ~src:p
+  end
+
+(* ---------------------------------------------------------- routing *)
 
 (* The universal-type trick: each routed register gets its own local
    [exception V of a] constructor, so values cross the wire as [exn]
@@ -38,64 +146,210 @@ let route_for : type a. t -> a Register.t -> a Register.route option =
       h_write = (fun e -> match e with M.V v -> Register.write reg v | _ -> assert false);
     };
   let owner = owner_of t ~rid in
-  let route_read () =
-    Net.send t.net ~dst:owner (Msg.Read_req { rid });
-    let rec wait () =
-      let reply =
-        List.find_map
-          (fun m ->
-            match m.Msg.payload with
-            | Msg.Read_reply { rid = r; v; _ } when r = rid -> Some v
-            | _ -> None)
-          (Net.recv t.net)
+  match t.mode with
+  | Per_op ->
+      (* One request per access, one reply awaited before returning.
+         The wait loop drains the inbox inside a single atomic, keeps
+         every message that is not the awaited reply — except replies
+         tagged with a foreign [op], which are this client's own dead
+         retransmission duplicates — and writes the kept list back so
+         the fiber still receives it (see netmem.mli). *)
+      let wait ~op ~on_reply =
+        let sent_at = Net.now t.net in
+        let last = ref sent_at in
+        let spins = ref 0 in
+        let rec go () =
+          let hit =
+            Fiber.atomic (fun () ->
+                let p = Net.current t.net in
+                let msgs = Net.drain_now t.net p in
+                let reply = ref None in
+                let keep =
+                  List.filter
+                    (fun m ->
+                      match m.Msg.payload with
+                      | Msg.Read_reply { rid = r; op = o; v; _ } when r = rid && o = op ->
+                          reply := Some (Some v);
+                          false
+                      | Msg.Write_ack { rid = r; op = o } when r = rid && o = op ->
+                          reply := Some None;
+                          false
+                      | Msg.Read_reply _ | Msg.Write_ack _ -> false
+                      | Msg.Hb | Msg.Value _ | Msg.Read_req _ | Msg.Write_req _ -> true)
+                    msgs
+                in
+                if msgs <> [] then Net.push_back_now t.net p keep;
+                (match (t.resend_after, !reply) with
+                | Some r, None when Net.now t.net - !last >= r ->
+                    last := Net.now t.net;
+                    Net.send_now t.net ~src:p ~dst:owner
+                      (match on_reply with
+                      | `Read -> Msg.Read_req { rid; op }
+                      | `Write req -> req)
+                | _ -> ());
+                !reply)
+          in
+          match hit with
+          | Some v ->
+              t.completed <- t.completed + 1;
+              v
+          | None ->
+              incr spins;
+              (match t.max_wait with
+              | Some w when !spins >= w -> raise (Unserved { rid; op })
+              | _ -> ());
+              go ()
+        in
+        go ()
       in
-      match reply with
-      | Some (M.V v) -> v
-      | Some _ -> assert false
-      | None -> wait ()
-    in
-    wait ()
-  in
-  let route_write v =
-    Net.send t.net ~dst:owner (Msg.Write_req { rid; v = M.V v; pr = Register.render reg v });
-    let rec wait () =
-      let acked =
-        List.exists
-          (fun m ->
-            match m.Msg.payload with Msg.Write_ack { rid = r } -> r = rid | _ -> false)
-          (Net.recv t.net)
+      let route_read () =
+        let op = fresh_op t in
+        Net.send t.net ~dst:owner (Msg.Read_req { rid; op });
+        match wait ~op ~on_reply:`Read with
+        | Some (M.V v) -> v
+        | Some _ -> assert false
+        | None -> assert false
       in
-      if not acked then wait ()
-    in
-    wait ()
-  in
-  Some { Register.route_read; route_write }
+      let route_write v =
+        let op = fresh_op t in
+        let req = Msg.Write_req { rid; op; v = M.V v; pr = Register.render reg v } in
+        Net.send t.net ~dst:owner req;
+        match wait ~op ~on_reply:(`Write req) with
+        | None -> ()
+        | Some _ -> assert false
+      in
+      Some { Register.route_read; route_write }
+  | Batched ->
+      (* Writes stash and return — zero steps at the call site; the
+         pump transmits them and their acks retire silently. Reads
+         stash, then spin: each spin is one atomic that pumps (so the
+         request goes out, and replies flushed this very step are
+         absorbed). The success check runs BETWEEN atomics: the
+         substrate's pre-step hook pumps before the fiber resumes, so
+         a reply delivered this step is already parked in [got] when
+         the resumed code looks — consuming reply k and stashing op
+         k+1 then share one granted step, the hinge that takes C=1
+         from 1.5 to ~1.0 steps/op (DESIGN.md §10). *)
+      let route_read () =
+        let op = fresh_op t in
+        let o =
+          { op; p_rid = rid; owner; request = Msg.Read_req { rid; op }; last_send = 0 }
+        in
+        let stashed = ref false in
+        let spins = ref 0 in
+        let rec go () =
+          let st = t.cstates.(Net.current t.net) in
+          match List.assoc_opt op st.got with
+          | Some v ->
+              st.got <- List.remove_assoc op st.got;
+              st.blocked <- false;
+              t.completed <- t.completed + 1;
+              (match v with Some (M.V v) -> v | _ -> assert false)
+          | None ->
+              Fiber.atomic (fun () ->
+                  let p = Net.current t.net in
+                  let st = t.cstates.(p) in
+                  if not !stashed then begin
+                    st.outq <- st.outq @ [ o ];
+                    stashed := true
+                  end;
+                  pump t p;
+                  st.blocked <- not (List.mem_assoc op st.got));
+              incr spins;
+              (match t.max_wait with
+              | Some w when !spins >= w -> raise (Unserved { rid; op })
+              | _ -> ());
+              go ()
+        in
+        go ()
+      in
+      let route_write v =
+        let op = fresh_op t in
+        let o =
+          {
+            op;
+            p_rid = rid;
+            owner;
+            request = Msg.Write_req { rid; op; v = M.V v; pr = Register.render reg v };
+            last_send = 0;
+          }
+        in
+        (* stashed between atomics: this code runs inside the granted
+           step that resumed the fiber, so mutating the client's own
+           state here is race-free; the pump picks it up at this
+           client's next atomic or pre-step. *)
+        let p = Net.current t.net in
+        t.cstates.(p).outq <- t.cstates.(p).outq @ [ o ]
+      in
+      Some { Register.route_read; route_write }
 
-let install ~net ~store ~clients ~owners () =
+let install ?(mode = Per_op) ?resend_after ?max_wait ~net ~store ~clients ~owners () =
   if clients < 1 then invalid_arg "Netmem.install: need at least one client";
   if owners < 1 then invalid_arg "Netmem.install: need at least one owner";
   if clients + owners > Net.n net then
     invalid_arg "Netmem.install: clients + owners exceeds the network size";
-  let t = { net; clients; owners; handlers = Hashtbl.create 64; names = Hashtbl.create 64 } in
+  let t =
+    {
+      net;
+      clients;
+      owners;
+      mode;
+      resend_after;
+      max_wait;
+      handlers = Hashtbl.create 64;
+      names = Hashtbl.create 64;
+      cstates =
+        Array.init clients (fun _ -> { outq = []; sent = []; got = []; blocked = false });
+      op_ctr = 0;
+      completed = 0;
+    }
+  in
   Store.set_router store { Store.route_for = (fun reg -> route_for t reg) };
+  if mode = Batched then
+    Net.set_step_hook net (Some (fun ~global:_ ~proc -> pump t proc));
   t
 
 let clients t = t.clients
 
 let owners t = t.owners
 
+let mode t = t.mode
+
+let ops_completed t = t.completed
+
 let serve t m =
   match m.Msg.payload with
-  | Msg.Read_req { rid } ->
+  | Msg.Read_req { rid; op } ->
       let h = Hashtbl.find t.handlers rid in
       let v, pr = h.h_read () in
-      [ (m.Msg.src, Msg.Read_reply { rid; v; pr }) ]
-  | Msg.Write_req { rid; v; _ } ->
+      [ (m.Msg.src, Msg.Read_reply { rid; op; v; pr }) ]
+  | Msg.Write_req { rid; op; v; _ } ->
       (Hashtbl.find t.handlers rid).h_write v;
-      [ (m.Msg.src, Msg.Write_ack { rid }) ]
+      [ (m.Msg.src, Msg.Write_ack { rid; op }) ]
   | Msg.Hb | Msg.Value _ | Msg.Read_reply _ | Msg.Write_ack _ -> []
+
+let serve_batch t = Net.step_serve t.net ~handle:(serve t)
 
 let owner_body t _p () =
   while true do
-    Net.step_serve t.net ~handle:(serve t)
+    serve_batch t
   done
+
+(* ------------------------------------------------------ round policy *)
+
+(* Opportunistic owner turns: when the source is about to grant a
+   client that is parked waiting for a reply, first grant any owner
+   with deliverable work — its serve step is never wasted (it answers
+   every pending request in one atomic), and the round advances without
+   the client burning spin steps. Observer peeks only. *)
+let round_policy t ~global ~next =
+  if t.mode = Batched && next < t.clients && t.cstates.(next).blocked then begin
+    let found = ref None in
+    let o = ref t.clients in
+    while !found = None && !o < t.clients + t.owners do
+      if Net.servable t.net ~dst:!o ~at:global then found := Some !o;
+      incr o
+    done;
+    !found
+  end
+  else None

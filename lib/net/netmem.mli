@@ -7,15 +7,39 @@
     Δ/GST channels. Each register is served by an owner process: a
     client's [Shm.read]/[Shm.write] is routed
     ({!Setsync_memory.Register.route}) into a request message, the
-    owner answers in a single {!Net.step_serve} step applying the
-    authoritative access to the underlying cell, and the client spins
-    on {!Net.recv} until the reply lands.
+    owner answers in a single serve step applying the authoritative
+    access to the underlying cell, and the client waits until the
+    reply lands.
 
-    {b Step cost.} Under the synchronous adversary (Δ = 1, GST = 0)
-    with ops serialized, one register access costs exactly three steps:
-    client send, owner serve, client recv. The shared-memory emulation
-    schedules used by the cross-backend tests expand each shm step
-    [p] into [p, owner, p] accordingly.
+    {b Modes.} [Per_op] (the default) issues one request per access
+    and blocks until its reply: under the synchronous adversary
+    (Δ = 1, GST = 0) with ops serialized, one access costs exactly
+    three steps — client send, owner serve, client recv — and the
+    shared-memory emulation schedules used by the cross-backend tests
+    expand each shm step [p] into [p, owner, p] accordingly. [Batched]
+    runs the round protocol: writes are stashed and return in zero
+    steps, a per-step pump transmits stashed ops and absorbs replies,
+    owners answer their whole inbox in one {!serve_batch} step, and
+    {!round_policy} (install as {!Setsync_runtime.Executor.run}'s
+    [boost]) grants owners serve turns while the next client is
+    parked — dropping amortized cost toward one step per op
+    (DESIGN.md §10 states the step-accounting contract).
+
+    {b Ordering (batched).} Stashed ops are transmitted in program
+    order, and an op is only transmitted while every unacked
+    predecessor targets the same owner; per-channel FIFO then
+    serializes same-owner ops at the server. Reads block until their
+    value arrives. Single-writer registers plus this barrier give the
+    same register semantics the per-op mode provides, one client's
+    program at a time.
+
+    {b Duplicates and loss.} Every request carries a run-unique [op]
+    tag echoed by the reply. With [resend_after] set, an unanswered
+    request is retransmitted after that many network ticks — FIFO
+    makes re-applying a write duplicate harmless, and reply duplicates
+    are dropped by tag. Without it, a lossy adversary can wedge an op
+    forever (the run then ends at its step budget, or loudly via
+    [max_wait]).
 
     {b Layout.} Processes [0..clients-1] run the algorithm; processes
     [clients..clients+owners-1] run {!owner_body}. Register [rid] is
@@ -23,23 +47,50 @@
     algorithm's register count for a per-register owner, or fewer to
     shard.
 
-    {b Caveat.} A client whose op is in flight must not be sent
-    unrelated messages: the reply spin drains the inbox and discards
-    non-matching messages. Pure-register clients (everything built on
-    [Shm]) satisfy this by construction. *)
+    {b Undelivered messages are preserved.} A client's reply wait
+    drains its inbox, consumes the awaited reply, and writes every
+    other message {e back} for the fiber — except replies tagged with
+    a foreign [op], which are by construction this client's own dead
+    retransmission duplicates. Clients that mix routed registers with
+    native messaging (heartbeats, values) therefore lose nothing. *)
 
 type t
 
+type mode = Per_op | Batched
+
+exception Unserved of { rid : int; op : int }
+(** Raised by a routed access that waited [max_wait] granted steps
+    without a reply — the loud no-wedge path when an owner is crashed
+    or partitioned away for good. *)
+
 val install :
-  net:Net.t -> store:Setsync_memory.Store.t -> clients:int -> owners:int -> unit -> t
+  ?mode:mode ->
+  ?resend_after:int ->
+  ?max_wait:int ->
+  net:Net.t ->
+  store:Setsync_memory.Store.t ->
+  clients:int ->
+  owners:int ->
+  unit ->
+  t
 (** Install the router on [store]: every register created {e after}
     this call is proxied (the network's own registers, created by
-    {!Net.create} before, stay local). Raises [Invalid_argument] if
+    {!Net.create} before, stay local). [mode] defaults to [Per_op].
+    [resend_after] retransmits unanswered requests after that many
+    network ticks; [max_wait] bounds reply waits in granted steps
+    (default: wait forever). Batched mode installs a pre-step hook on
+    [net] ({!Net.set_step_hook}). Raises [Invalid_argument] if
     [clients + owners] exceeds the network size. *)
 
 val clients : t -> int
 
 val owners : t -> int
+
+val mode : t -> mode
+
+val ops_completed : t -> int
+(** Routed ops retired so far (reads returned, writes acked) — the
+    denominator of the amortized steps-per-op metric bench §N2 pins. *)
 
 val owner_of : t -> rid:int -> Setsync_schedule.Proc.t
 
@@ -49,7 +100,18 @@ val owner_of_name : t -> string -> Setsync_schedule.Proc.t option
 
 val owner_body : t -> Setsync_schedule.Proc.t -> unit -> unit
 (** Process body for owners: serve requests forever, one
-    {!Net.step_serve} round per granted step. *)
+    {!serve_batch} round per granted step. *)
 
 val serve : t -> Msg.t -> (Setsync_schedule.Proc.t * Msg.payload) list
 (** The owner's per-message handler (exposed for custom bodies). *)
+
+val serve_batch : t -> unit
+(** One step: drain the owner's inbox and answer {e every} pending
+    request in a single atomic action — the whole round's turnaround
+    in one serve step. *)
+
+val round_policy : t -> global:int -> next:Setsync_schedule.Proc.t -> Setsync_schedule.Proc.t option
+(** The round policy, shaped for {!Setsync_runtime.Executor.run}'s
+    [boost]: when the source's next pick is a client parked on a
+    reply, grant the first owner with deliverable work a serve turn
+    first. Returns [None] outside batched mode. *)

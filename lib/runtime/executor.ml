@@ -9,11 +9,14 @@ module Json = Setsync_obs.Json
 
 type source_factory = live:(Proc.t -> bool) -> Source.t
 
+type boost = global:int -> next:Proc.t -> Proc.t option
+
 (* If the source names only unschedulable processes this many times in
    a row, the run is declared stalled rather than looping forever. *)
 let max_consecutive_skips n = 64 * n
 
-let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?substrate ?on_step ?stop ?obs body =
+let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?substrate ?boost ?on_step ?stop ?obs
+    body =
   Proc.check_n n;
   if max_steps < 0 then invalid_arg "Executor.run: negative step budget";
   (* Instrumentation is resolved once, outside the step loop: the
@@ -99,7 +102,27 @@ let run ~n ~source ~max_steps ?(fault = Fault.no_faults) ?substrate ?on_step ?st
       match Source.next src with
       | None -> finish Run.Source_exhausted
       | Some p ->
-          if schedulable p then execute p
+          if schedulable p then begin
+            (* Opportunistic grants: before the source-chosen step, the
+               boost policy may insert steps for other processes (round
+               batching grants a register owner a serve turn while the
+               next client is parked). Boosted steps are ordinary
+               executed steps — recorded in [taken], charged to the
+               budget — so a recorded schedule replays with no boost. *)
+            (match boost with
+            | None -> ()
+            | Some policy ->
+                let budget = ref n in
+                let go = ref true in
+                while !go && !budget > 0 && !reason = None && !executed < max_steps do
+                  match policy ~global:!executed ~next:p with
+                  | Some q when q <> p && schedulable q ->
+                      execute q;
+                      decr budget
+                  | _ -> go := false
+                done);
+            if !reason = None && !executed < max_steps && schedulable p then execute p
+          end
           else begin
             incr skips;
             if !skips > max_consecutive_skips n then finish Run.Stalled

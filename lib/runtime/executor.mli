@@ -12,12 +12,23 @@ type source_factory = live:(Setsync_schedule.Proc.t -> bool) -> Setsync_schedule
     processes that have crashed or halted. Factories may ignore it
     (e.g. replay of a fixed schedule). *)
 
+type boost = global:int -> next:Setsync_schedule.Proc.t -> Setsync_schedule.Proc.t option
+(** A scheduling side-policy consulted before each source-granted step:
+    given the global step counter and the process the source chose
+    next, it may name a different process to step first (repeatedly,
+    up to [n] insertions per source grant). Boosted steps are ordinary
+    executed steps — recorded in the run's [taken] schedule and charged
+    to [max_steps] — so recorded runs replay without the policy. Used
+    by the net backend's round policy to grant register owners serve
+    turns while the next client is parked on a reply. *)
+
 val run :
   n:int ->
   source:source_factory ->
   max_steps:int ->
   ?fault:Fault.plan ->
   ?substrate:Substrate.t ->
+  ?boost:boost ->
   ?on_step:(global:int -> proc:Setsync_schedule.Proc.t -> unit) ->
   ?stop:(unit -> bool) ->
   ?obs:Setsync_obs.Obs.t ->

@@ -123,8 +123,8 @@ let timely ?(live = all_live) ?fairness ?(burstiness = 0.7) ?(gap = 0) ~n ~contr
     match members with
     | [] -> None
     | members ->
-        let m = List.length members in
-        let x = List.nth members (!p_cursor mod m) in
+        let pool = Array.of_list members in
+        let x = pool.(!p_cursor mod Array.length pool) in
         incr p_cursor;
         Some x
   in
@@ -245,7 +245,8 @@ let exclusive_timely ?(live = all_live) ?(phase0 = 32) ?(growth = 16) ~n ~contra
             let preferred = List.filter (fun x -> not (Procset.mem x victim)) members in
             match (preferred, members) with
             | (_ :: _ as pool), _ | [], (_ :: _ as pool) ->
-                emit (List.nth pool (!phase mod List.length pool))
+                let pool = Array.of_list pool in
+                emit pool.(!phase mod Array.length pool)
             | [], [] -> (
                 (* p is dead: stop emitting q forever (gap invariant) *)
                 match List.filter (fun x -> not (Procset.mem x q)) live_now with

@@ -36,7 +36,11 @@ let geometric t p =
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int t (List.length l))
+  | l ->
+      (* one pass to materialize, O(1) index — same single draw as the
+         old List.nth scan, so seeded streams are unchanged *)
+      let a = Array.of_list l in
+      a.(int t (Array.length a))
 
 let pick_array t a =
   if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";

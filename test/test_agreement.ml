@@ -268,6 +268,53 @@ let test_trivial_with_crash () =
       if p <> 0 then Alcotest.(check (option int)) "adopt survivor" (Some 20) d)
     outcome.Ag_harness.decisions
 
+(* ------------------------------------------------------- consensus *)
+
+(* The designated-proposer consensus wrapper: uncontended round-robin
+   run decides the proposer's input everywhere; a crashed non-proposer
+   does not block the rest; create validates its arguments. The same
+   body drives the net backend (see test_net.ml's agreement-over-net
+   suite), so this pins the shm half of that comparison. *)
+let test_consensus_decides () =
+  let problem = Problem.consensus ~t:1 ~n:4 in
+  let inputs = Problem.distinct_inputs problem in
+  let source ~live = Generators.round_robin ~live ~n:4 () in
+  let outcome =
+    Ag_harness.solve ~problem ~inputs ~source ~solver:`Paxos ~max_steps:100_000 ()
+  in
+  Alcotest.(check bool) "ok" true (Ag_harness.ok outcome);
+  Array.iter
+    (fun d ->
+      Alcotest.(check (option int)) "everyone decides the proposer's input"
+        (Some inputs.(0)) d)
+    outcome.Ag_harness.decisions
+
+let test_consensus_crash_nonproposer () =
+  let problem = Problem.consensus ~t:1 ~n:4 in
+  let inputs = Problem.distinct_inputs problem in
+  let source ~live = Generators.round_robin ~live ~n:4 () in
+  let outcome =
+    Ag_harness.solve ~problem ~inputs ~source ~solver:`Paxos ~max_steps:100_000
+      ~fault:[ (2, 3) ] ()
+  in
+  Alcotest.(check bool) "ok despite the crash" true (Ag_harness.ok outcome);
+  Array.iteri
+    (fun p d ->
+      if p <> 2 then
+        Alcotest.(check (option int)) "survivors decide the proposer's input"
+          (Some inputs.(0)) d)
+    outcome.Ag_harness.decisions
+
+let test_consensus_create_validation () =
+  let store = Store.create () in
+  Alcotest.check_raises "inputs length"
+    (Invalid_argument "Consensus.create: inputs must have length n") (fun () ->
+      ignore (Setsync_agreement.Consensus.create store ~n:3 ~inputs:[| 1 |] ()));
+  Alcotest.check_raises "proposer range"
+    (Invalid_argument "Consensus.create: proposer out of range") (fun () ->
+      ignore
+        (Setsync_agreement.Consensus.create store ~n:3 ~inputs:[| 1; 2; 3 |] ~proposer:3 ()))
+
 let test_trivial_create_validation () =
   let store = Store.create () in
   Alcotest.check_raises "t >= k" (Invalid_argument "Trivial.create: requires t < k") (fun () ->
@@ -396,6 +443,25 @@ let test_adaptive_boundary () =
       else Alcotest.(check int) (Printf.sprintf "S^%d_%d no decisions" i j) 0 decided)
     [ (1, 1, 101); (1, 2, 102); (2, 2, 103); (2, 3, 104); (3, 4, 105); (2, 4, 106) ]
 
+(* Golden pin for the adversary's deterministic step stream (empty
+   view, so no solver feedback): recorded against the List.nth pool
+   scans, proving the array-backed pools preserve the emitted
+   schedule exactly. *)
+let test_adaptive_golden () =
+  let contract =
+    { Generators.p = Procset.of_list [ 0; 1 ]; q = Procset.of_list [ 2; 3 ]; bound = 3 }
+  in
+  let view = Kset_solver.empty_adversary_view ~n:5 in
+  let src =
+    Adaptive.source ~phase0:8 ~growth:4 ~n:5 ~contract ~fault_budget:2 ~defeat:2 ~view ()
+  in
+  Alcotest.(check (list int)) "deterministic prefix"
+    [ 2; 3; 0; 4; 2; 3; 0; 4; 0; 1; 2; 3; 1; 4; 0; 1; 2; 3; 1; 4; 0; 1; 2; 3; 1;
+      4; 0; 1; 2; 3; 1; 4; 2; 3; 1; 4; 2; 3; 1; 4; 0; 1; 2; 3; 0; 4; 0; 1; 2; 3;
+      0; 4; 0; 1; 2; 3; 0; 4; 0; 1; 2; 3; 0; 4; 2; 3; 0; 4; 2; 3; 0; 4; 2; 3; 0;
+      4; 0; 1; 2; 3; ]
+    (Schedule.to_list (Source.take src 80))
+
 (* safety is never lost, even on unsolvable cells under the adversary *)
 let test_adaptive_safety_everywhere () =
   List.iter
@@ -452,6 +518,14 @@ let () =
           Alcotest.test_case "writer crash" `Quick test_trivial_with_crash;
           Alcotest.test_case "validation" `Quick test_trivial_create_validation;
         ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "round robin decides proposer input" `Quick
+            test_consensus_decides;
+          Alcotest.test_case "non-proposer crash tolerated" `Quick
+            test_consensus_crash_nonproposer;
+          Alcotest.test_case "validation" `Quick test_consensus_create_validation;
+        ] );
       ( "kset_solver",
         [
           Alcotest.test_case "Theorem 24 grid" `Slow test_theorem24_grid;
@@ -463,6 +537,7 @@ let () =
       ( "adaptive",
         [
           Alcotest.test_case "Theorem 27 boundary" `Slow test_adaptive_boundary;
+          Alcotest.test_case "empty-view stream golden" `Quick test_adaptive_golden;
           Alcotest.test_case "safety everywhere" `Slow test_adaptive_safety_everywhere;
         ] );
     ]

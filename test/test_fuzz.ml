@@ -107,6 +107,37 @@ let test_mutator_soundness () =
         true (Hashtbl.mem names name))
     Mutate.mutators
 
+(* Golden pin for the seeded mutation chain: recorded against the
+   List.nth-based contract-repair pass, so the array-backed pools in
+   [Mutate.enforce_contract] are proven output-identical. *)
+let test_mutate_golden () =
+  let contract = { Generators.p = set [ 0; 1 ]; q = set [ 2; 3 ]; bound = 3 } in
+  let env = Mutate.env ~contracts:[ contract ] ~max_crashes:2 ~n:4 ~max_len:32 () in
+  let rng = Rng.create ~seed:2024 in
+  let cand =
+    ref
+      {
+        Mutate.schedule = Source.take (Generators.round_robin ~n:4 ()) 16;
+        fault = [];
+      }
+  in
+  let names = ref [] in
+  for _ = 1 to 12 do
+    let name, mutant = Mutate.apply env rng !cand in
+    names := name :: !names;
+    cand := mutant
+  done;
+  Alcotest.(check (list string)) "mutator names"
+    [
+      "regen-tail"; "dup-seg"; "regen-tail"; "dup-seg"; "swap"; "insert"; "regen-tail";
+      "regen-tail"; "delete-seg"; "dup-seg"; "regen-tail"; "swap";
+    ]
+    (List.rev !names);
+  Alcotest.(check (list int)) "final schedule"
+    [ 0; 1; 1; 1; 0; 2; 1; 1; 1; 1; 1; 1; 1; 0; 0; 1; 0; 3; 1; 1; 0; 1 ]
+    (Schedule.to_list !cand.Mutate.schedule);
+  Alcotest.(check (list (pair int int))) "final fault" [] !cand.Mutate.fault
+
 (* Cross-check [Timeliness.holds]/[observed_bound] boundary agreement
    against the mutator's contract-repair pass: every repaired mutant
    satisfies its contract exactly when its observed bound is within
@@ -471,6 +502,7 @@ let () =
       ( "mutate",
         [
           Alcotest.test_case "soundness under chaining" `Quick test_mutator_soundness;
+          Alcotest.test_case "seeded chain golden" `Quick test_mutate_golden;
           Alcotest.test_case "timeliness boundary vs contract repair" `Quick
             test_timeliness_boundary_vs_repair;
           Alcotest.test_case "crash plans stay within budget" `Quick

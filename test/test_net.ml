@@ -28,6 +28,9 @@ module Events = Setsync_obs.Events
 module Metrics = Setsync_obs.Metrics
 module Json = Setsync_obs.Json
 module Fuzz = Setsync_fuzz.Fuzz
+module Problem = Setsync_agreement.Problem
+module Ag_harness = Setsync_agreement.Ag_harness
+module Net_agreement = Setsync_net.Net_agreement
 
 (* ------------------------------------------------------ adversaries *)
 
@@ -477,6 +480,215 @@ let test_fuzzer_finds_brs_violation () =
       in
       Alcotest.(check bool) "shrunk reproduces" true (List.length distinct > 1)
 
+(* --------------------------------------- batched routing and rounds *)
+
+(* Regression for the wait-loop discard bug: a heartbeat sitting in the
+   client's inbox next to a routed reply must survive the reply wait
+   and still be returned by a later [Net.recv]. The old loop drained
+   the inbox and kept only the awaited reply, silently eating
+   everything else. p1 sends the heartbeat at step 0 so it is in p0's
+   inbox before the write's ack arrives. *)
+let test_per_op_pushback () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:3 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm = Netmem.install ~net ~store ~clients:2 ~owners:1 () in
+  let reg = Store.register store ~pp:Fmt.int ~name:"X" 0 in
+  let got_hb = ref None in
+  let body p () =
+    match p with
+    | 0 ->
+        Shm.write reg 42;
+        let rec recv_one () =
+          match Net.recv net with [] -> recv_one () | m :: _ -> m
+        in
+        got_hb := Some (recv_one ()).Msg.payload;
+        while true do
+          Net.pause net
+        done
+    | 1 ->
+        Net.send net ~dst:0 Msg.Hb;
+        while true do
+          Net.pause net
+        done
+    | _ -> Netmem.owner_body nm p ()
+  in
+  ignore
+    (Executor.replay ~n:3
+       ~schedule:(Schedule.of_list ~n:3 [ 1; 0; 2; 0; 0; 0; 0 ])
+       ~substrate:(Net.substrate net) body);
+  Alcotest.(check int) "routed write applied" 42 (Register.peek reg);
+  (match !got_hb with
+  | Some Msg.Hb -> ()
+  | Some _ -> Alcotest.fail "recv returned something other than the heartbeat"
+  | None -> Alcotest.fail "heartbeat was eaten by the reply wait loop")
+
+(* Batched mode: several routed ops in flight on one client — two
+   writes and two reads against distinct registers behind one owner —
+   must all complete, in program order, under the clients-only source
+   with the round policy supplying every owner turn. *)
+let test_batched_interleaved () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm = Netmem.install ~mode:Netmem.Batched ~net ~store ~clients:1 ~owners:1 () in
+  let x = Store.register store ~pp:Fmt.int ~name:"X" 0 in
+  let y = Store.register store ~pp:Fmt.int ~name:"Y" 0 in
+  let seen = ref None in
+  let finished = ref false in
+  let body p () =
+    if p = 0 then begin
+      Shm.write x 7;
+      Shm.write y 9;
+      let a = Shm.read x in
+      let b = Shm.read y in
+      seen := Some (a, b);
+      finished := true;
+      while true do
+        Shm.pause ()
+      done
+    end
+    else Netmem.owner_body nm p ()
+  in
+  let source ~live:_ = Source.make ~n:2 (fun () -> Some 0) in
+  ignore
+    (Executor.run ~n:2 ~source ~max_steps:200 ~boost:(Netmem.round_policy nm)
+       ~substrate:(Net.substrate net)
+       ~stop:(fun () -> !finished)
+       body);
+  Alcotest.(check bool) "client finished" true !finished;
+  Alcotest.(check (option (pair int int))) "both reads see their writes" (Some (7, 9)) !seen;
+  Alcotest.(check int) "all four routed ops completed" 4 (Netmem.ops_completed nm)
+
+(* The round-batching acceptance bound, in miniature: 50 write+read
+   iterations against one owner must amortize to <= 1.5 executed steps
+   per routed op, boosted owner serves included (the bench's C=1 row
+   measures ~1.0; per-op mode costs 3 by construction). *)
+let test_batched_step_cost () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm = Netmem.install ~mode:Netmem.Batched ~net ~store ~clients:1 ~owners:1 () in
+  let x = Store.register store ~pp:Fmt.int ~name:"X" 0 in
+  let finished = ref false in
+  let body p () =
+    if p = 0 then begin
+      for i = 1 to 50 do
+        Shm.write x i;
+        ignore (Shm.read x)
+      done;
+      finished := true;
+      while true do
+        Shm.pause ()
+      done
+    end
+    else Netmem.owner_body nm p ()
+  in
+  let source ~live:_ = Source.make ~n:2 (fun () -> Some 0) in
+  let run =
+    Executor.run ~n:2 ~source ~max_steps:2_000 ~boost:(Netmem.round_policy nm)
+      ~substrate:(Net.substrate net)
+      ~stop:(fun () -> !finished)
+      body
+  in
+  Alcotest.(check int) "100 routed ops" 100 (Netmem.ops_completed nm);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d steps for 100 ops stays under 1.5/op" (Run.total_steps run))
+    true
+    (Run.total_steps run <= 150)
+
+(* Owner crash mid-round: a step budget of 1 lets the owner serve the
+   first read, then it crashes; the client's next read must surface
+   [Unserved] after [max_wait] empty spins instead of wedging the run
+   against max_steps. *)
+let test_batched_owner_crash () =
+  let store = Store.create () in
+  let net = Net.create ~store ~n:2 ~adversary:(Adversary.synchronous ~delta:1) () in
+  let nm =
+    Netmem.install ~mode:Netmem.Batched ~max_wait:8 ~net ~store ~clients:1 ~owners:1 ()
+  in
+  let x = Store.register store ~pp:Fmt.int ~name:"X" 5 in
+  let first = ref None in
+  let escaped = ref false in
+  let finished = ref false in
+  let body p () =
+    if p = 0 then begin
+      first := Some (Shm.read x);
+      (try ignore (Shm.read x)
+       with Netmem.Unserved _ -> escaped := true);
+      finished := true;
+      while true do
+        Shm.pause ()
+      done
+    end
+    else Netmem.owner_body nm p ()
+  in
+  let source ~live:_ = Source.make ~n:2 (fun () -> Some 0) in
+  let run =
+    Executor.run ~n:2 ~source ~max_steps:100 ~fault:[ (1, 1) ]
+      ~boost:(Netmem.round_policy nm) ~substrate:(Net.substrate net)
+      ~stop:(fun () -> !finished)
+      body
+  in
+  Alcotest.(check (option int)) "first read served before the crash" (Some 5) !first;
+  Alcotest.(check bool) "second read raised Unserved" true !escaped;
+  Alcotest.(check bool) "run ended without wedging" true (Run.total_steps run < 100)
+
+(* ------------------------------------------ combined crash+loss plan *)
+
+let test_crash_brs_shape () =
+  let c = Adversary.crash_brs ~delta:2 ~gst:10 ~total:5 ~k:2 ~crashes:[ (3, 4) ] in
+  Alcotest.(check (list (pair int int))) "crash plan passes through" [ (3, 4) ]
+    c.Adversary.fault;
+  (* groups are p mod (k+1): {0,3} {1,4} {2} — same-group traffic
+     flows pre-GST, cross-group is silenced, everything flows post-GST
+     within delta *)
+  let due ~now ~src ~dst = Adversary.due c.Adversary.adversary ~now ~src ~dst ~seq:0 in
+  Alcotest.(check bool) "same group delivers pre-GST" true (due ~now:0 ~src:0 ~dst:3 <> None);
+  Alcotest.(check (option int)) "cross group dropped pre-GST" None (due ~now:0 ~src:0 ~dst:1);
+  (match due ~now:10 ~src:0 ~dst:1 with
+  | Some at -> Alcotest.(check bool) "post-GST within delta" true (at <= 12)
+  | None -> Alcotest.fail "cross-group message dropped after GST");
+  Alcotest.check_raises "k out of range"
+    (Invalid_argument "Adversary.crash_brs: need 1 <= k < total") (fun () ->
+      ignore (Adversary.crash_brs ~delta:1 ~gst:1 ~total:3 ~k:3 ~crashes:[]));
+  Alcotest.check_raises "crash names unknown proc"
+    (Invalid_argument "Adversary.crash_brs: crash names unknown proc") (fun () ->
+      ignore (Adversary.crash_brs ~delta:1 ~gst:1 ~total:3 ~k:1 ~crashes:[ (7, 0) ]))
+
+(* -------------------------------------------- agreement over the net *)
+
+(* End-to-end: the kset solver and paxos both decide over routed
+   registers under combined crash+loss, and the checker verdict (ok +
+   who decided, + the value for paxos) matches the shared-memory
+   reference run with the same crash plan. This is the bench §N2
+   acceptance, pinned at n=5 as a tier-1 test. *)
+let test_net_agreement_matches_shm () =
+  let n = 5 in
+  let combined =
+    Adversary.crash_brs ~delta:2 ~gst:60 ~total:(n + 1) ~k:2 ~crashes:[ (n - 1, 5) ]
+  in
+  List.iter
+    (fun (label, solver, problem, values) ->
+      let inputs = Problem.distinct_inputs problem in
+      let r =
+        Net_agreement.solve ~solver ~resend_after:8 ~problem ~inputs ~combined
+          ~max_steps:200_000 ()
+      in
+      let shm =
+        Net_agreement.solve_shm ~solver ~problem ~inputs ~fault:combined.Adversary.fault
+          ~max_steps:200_000 ()
+      in
+      Alcotest.(check bool) (label ^ ": net run passes its checker") true
+        (Ag_harness.ok r.Net_agreement.outcome);
+      Alcotest.(check string)
+        (label ^ ": net verdict matches shm")
+        (Net_agreement.verdict ~values shm)
+        (Net_agreement.verdict ~values r.Net_agreement.outcome);
+      Alcotest.(check bool) (label ^ ": routed ops actually flowed") true
+        (r.Net_agreement.ops > 0))
+    [
+      ("kset", `Auto, Problem.make ~t:2 ~k:2 ~n, false);
+      ("paxos", `Paxos, Problem.consensus ~t:2 ~n, true);
+    ]
+
 (* ------------------------------------------------------- net events *)
 
 let test_net_event_invariants () =
@@ -611,6 +823,22 @@ let () =
           Alcotest.test_case "write/read over messages, 3 steps per op" `Quick
             test_netmem_write_read;
           Alcotest.test_case "owner sharding" `Quick test_netmem_owner_mapping;
+          Alcotest.test_case "per-op wait pushes back unrelated messages" `Quick
+            test_per_op_pushback;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "interleaved routed ops all complete" `Quick
+            test_batched_interleaved;
+          Alcotest.test_case "amortized cost <= 1.5 steps/op" `Quick test_batched_step_cost;
+          Alcotest.test_case "owner crash raises Unserved, no wedge" `Quick
+            test_batched_owner_crash;
+        ] );
+      ( "agreement-over-net",
+        [
+          Alcotest.test_case "crash_brs adversary shape" `Quick test_crash_brs_shape;
+          Alcotest.test_case "kset + paxos verdicts match shm" `Quick
+            test_net_agreement_matches_shm;
         ] );
       ( "cross-backend",
         [ Alcotest.test_case "kanti outputs identical" `Quick test_kanti_cross_backend ] );

@@ -592,6 +592,49 @@ let test_rng_split_independent () =
   let ys = List.init 20 (fun _ -> Rng.int b 1000) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+(* Golden pins for the seeded hot paths that moved from List.nth-under-
+   cursor scans to array-backed pools: the streams below were recorded
+   against the list implementation, so any change in draw order or
+   indexing arithmetic trips them. *)
+
+let test_rng_pick_golden () =
+  let rng = Rng.create ~seed:42 in
+  let picks =
+    List.init 12 (fun i ->
+        Rng.pick rng (List.init ((i mod 5) + 1) (fun j -> (10 * i) + j)))
+  in
+  Alcotest.(check (list int)) "pick stream"
+    [ 0; 11; 22; 30; 40; 50; 61; 72; 81; 91; 100; 110 ]
+    picks
+
+let test_timely_golden () =
+  let rng = rng_state 13 in
+  let contract =
+    { Generators.p = Procset.of_list [ 0; 1 ]; q = Procset.of_list [ 2; 3 ]; bound = 3 }
+  in
+  let s = Source.take (Generators.timely ~n:5 ~contract ~rng ()) 48 in
+  Alcotest.(check (list int)) "seeded schedule"
+    [
+      2; 2; 0; 0; 0; 1; 1; 4; 4; 0; 0; 0; 0; 0; 0; 0; 3; 3; 1; 1; 1; 1; 3; 3; 0; 1; 1;
+      1; 1; 1; 1; 1; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 4; 0; 1; 1;
+    ]
+    (Schedule.to_list s)
+
+let test_exclusive_timely_golden () =
+  let contract =
+    { Generators.p = Procset.of_list [ 0; 1 ]; q = Procset.of_list [ 2; 3 ]; bound = 2 }
+  in
+  let s =
+    Source.take (Generators.exclusive_timely ~phase0:8 ~growth:4 ~n:4 ~contract ~defeat:1 ()) 60
+  in
+  Alcotest.(check (list int)) "deterministic schedule"
+    [
+      0; 1; 2; 0; 3; 0; 0; 1; 2; 0; 3; 0; 0; 1; 2; 0; 3; 1; 1; 2; 1; 3; 1; 1; 2; 1; 3;
+      1; 0; 1; 2; 1; 3; 1; 0; 1; 2; 1; 3; 1; 0; 2; 0; 3; 0; 0; 2; 0; 3; 0; 0; 2; 0; 3;
+      0; 0; 1; 2; 0; 3;
+    ]
+    (Schedule.to_list s)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_observation2; prop_observation3; prop_observed_bound_least; prop_prefix_monotone;
       prop_observation4 ]
@@ -665,6 +708,9 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "pick golden" `Quick test_rng_pick_golden;
+          Alcotest.test_case "timely golden" `Quick test_timely_golden;
+          Alcotest.test_case "exclusive timely golden" `Quick test_exclusive_timely_golden;
         ] );
       ("properties", qsuite);
     ]
