@@ -279,12 +279,24 @@ let solve_cmd =
            the shm reference run (bench section N2 pins them equal) *)
         let gst = Option.value gst ~default:(8 * n) in
         let total = n + owners in
+        if crashes < 0 || crashes > n then begin
+          Fmt.epr
+            "setsync: solve: --crashes %d out of range — the net crash plan names client \
+             processes, so 0 <= crashes <= n (= %d) is required@."
+            crashes n;
+          exit Cmd.Exit.cli_error
+        end;
         let crash_plan = List.init crashes (fun i -> (n - 1 - i, 5 * (i + 1))) in
         let combined =
           Adversary.crash_brs ~delta ~gst ~total ~k:(max 1 k) ~crashes:crash_plan
         in
         let resend_after =
-          match resend_after with Some _ as r -> r | None -> Some (2 * delta)
+          (* default matches the flag's doc: retransmission is the
+             liveness mechanism under loss, and the BRS partition only
+             drops before GST — a gst=0 run is lossless and gets none *)
+          match resend_after with
+          | Some _ as r -> r
+          | None -> if gst > 0 then Some (2 * delta) else None
         in
         let solver, problem, values =
           match solver with

@@ -33,13 +33,15 @@ type t = {
 let pp_payload ppf = function
   | Hb -> Fmt.string ppf "hb"
   | Value v -> Fmt.pf ppf "val:%d" v
-  (* [op] is a client-local retransmission tag, like [mid] a lineage
-     field: kept out of [pp] so channel snapshots, and hence state
-     fingerprints, never distinguish states by retry count. *)
-  | Read_req { rid; _ } -> Fmt.pf ppf "rd?%d" rid
-  | Read_reply { rid; pr; _ } -> Fmt.pf ppf "rd!%d=%s" rid pr
-  | Write_req { rid; pr; _ } -> Fmt.pf ppf "wr?%d=%s" rid pr
-  | Write_ack { rid; _ } -> Fmt.pf ppf "wr!%d" rid
+  (* [op] is printed, unlike [mid]: retransmitted copies share their
+     original's [op], so it never distinguishes states by retry count
+     — but it does decide whether an in-flight reply matches the op a
+     client is parked on, so two channel states differing only in [op]
+     can diverge and must fingerprint apart. *)
+  | Read_req { rid; op } -> Fmt.pf ppf "rd?%d.%d" rid op
+  | Read_reply { rid; op; pr; _ } -> Fmt.pf ppf "rd!%d.%d=%s" rid op pr
+  | Write_req { rid; op; pr; _ } -> Fmt.pf ppf "wr?%d.%d=%s" rid op pr
+  | Write_ack { rid; op } -> Fmt.pf ppf "wr!%d.%d" rid op
 
 let pp ppf m =
   Fmt.pf ppf "%a->%a#%d@%d:%a" Proc.pp m.src Proc.pp m.dst m.seq m.sent_at pp_payload

@@ -35,6 +35,18 @@ type t = {
   max_wait : int option;
   handlers : (int, handler) Hashtbl.t;
   names : (string, int) Hashtbl.t;
+  applied : (int, int) Hashtbl.t;
+      (** rid -> highest write [op] applied to that register. The
+          owner-side dedup line: with retransmission on, two unacked
+          writes to one owner can be in flight at once, and FIFO does
+          not order a retransmitted copy relative to messages sent in
+          between it and its original — so a resent W1 can arrive
+          after a later W2 was applied. Tags come from one monotone
+          counter, so tag order extends program order (and any
+          cross-client happens-before); a write at or below the
+          register's high-water mark is stale — already applied, or
+          superseded by an applied successor — and must be re-acked
+          without applying, or the register regresses. *)
   cstates : cstate array;  (** indexed by client proc; batched mode only *)
   mutable op_ctr : int;
   mutable completed : int;
@@ -298,6 +310,7 @@ let install ?(mode = Per_op) ?resend_after ?max_wait ~net ~store ~clients ~owner
       max_wait;
       handlers = Hashtbl.create 64;
       names = Hashtbl.create 64;
+      applied = Hashtbl.create 64;
       cstates =
         Array.init clients (fun _ -> { outq = []; sent = []; got = []; blocked = false });
       op_ctr = 0;
@@ -324,7 +337,15 @@ let serve t m =
       let v, pr = h.h_read () in
       [ (m.Msg.src, Msg.Read_reply { rid; op; v; pr }) ]
   | Msg.Write_req { rid; op; v; _ } ->
-      (Hashtbl.find t.handlers rid).h_write v;
+      let stale =
+        match Hashtbl.find_opt t.applied rid with Some last -> op <= last | None -> false
+      in
+      if not stale then begin
+        (Hashtbl.find t.handlers rid).h_write v;
+        Hashtbl.replace t.applied rid op
+      end;
+      (* stale or not, the ack goes out: the client may still be
+         waiting on a lost ack for this very op *)
       [ (m.Msg.src, Msg.Write_ack { rid; op }) ]
   | Msg.Hb | Msg.Value _ | Msg.Read_reply _ | Msg.Write_ack _ -> []
 

@@ -35,11 +35,16 @@
 
     {b Duplicates and loss.} Every request carries a run-unique [op]
     tag echoed by the reply. With [resend_after] set, an unanswered
-    request is retransmitted after that many network ticks — FIFO
-    makes re-applying a write duplicate harmless, and reply duplicates
-    are dropped by tag. Without it, a lossy adversary can wedge an op
-    forever (the run then ends at its step budget, or loudly via
-    [max_wait]).
+    request is retransmitted after that many network ticks. FIFO alone
+    does {e not} make retransmission safe: a resent write is a fresh
+    message, unordered relative to traffic sent between it and its
+    dropped original, so a resent W1 can reach the owner after a later
+    W2 was applied. The owner therefore applies each register's writes
+    at most once and in tag order — a [Write_req] at or below the
+    register's high-water tag is re-acked without applying — and
+    clients drop reply duplicates by tag. Without [resend_after], a
+    lossy adversary can wedge an op forever (the run then ends at its
+    step budget, or loudly via [max_wait]).
 
     {b Layout.} Processes [0..clients-1] run the algorithm; processes
     [clients..clients+owners-1] run {!owner_body}. Register [rid] is

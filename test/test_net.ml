@@ -631,6 +631,51 @@ let test_batched_owner_crash () =
   Alcotest.(check bool) "second read raised Unserved" true !escaped;
   Alcotest.(check bool) "run ended without wedging" true (Run.total_steps run < 100)
 
+(* Regression for the resend write-reorder bug: with retransmission
+   on, W1 and W2 to one owner are both unacked in flight; the
+   adversary drops W1's first copy, the owner applies W2, and W1's
+   resent copy arrives after — FIFO does not order a retransmission
+   relative to messages sent in between, so the owner must re-ack the
+   stale tag WITHOUT applying it, or the register regresses to the
+   overwritten value after every op was acked. *)
+let test_resend_does_not_regress () =
+  let store = Store.create () in
+  let adversary =
+    Adversary.make ~name:"drop-first-req" ~delta:1 ~gst:1000
+      (fun ~now:_ ~src ~dst ~seq ->
+        if src = 0 && dst = 1 && seq = 0 then Adversary.Drop else Adversary.Deliver 1)
+  in
+  let net = Net.create ~store ~n:2 ~adversary () in
+  let nm =
+    Netmem.install ~mode:Netmem.Batched ~resend_after:3 ~net ~store ~clients:1 ~owners:1 ()
+  in
+  let x = Store.register store ~pp:Fmt.int ~name:"X" 0 in
+  let seen = ref None in
+  let body p () =
+    if p = 0 then begin
+      Shm.write x 1;
+      Shm.write x 2;
+      seen := Some (Shm.read x);
+      while true do
+        Shm.pause ()
+      done
+    end
+    else Netmem.owner_body nm p ()
+  in
+  (* round robin, not clients-only: the resent W1 lands after the read
+     unparked the client, so the owner needs turns the blocked-only
+     round policy no longer boosts *)
+  ignore
+    (Executor.run ~n:2
+       ~source:(fun ~live -> Generators.round_robin ~live ~n:2 ())
+       ~max_steps:200 ~boost:(Netmem.round_policy nm) ~substrate:(Net.substrate net)
+       ~stop:(fun () -> Netmem.ops_completed nm = 3)
+       body);
+  Alcotest.(check int) "all three routed ops completed" 3 (Netmem.ops_completed nm);
+  Alcotest.(check (option int)) "read sees the later write" (Some 2) !seen;
+  Alcotest.(check int) "register did not regress to the resent W1" 2 (Register.peek x);
+  Alcotest.(check int) "stale resend was not applied" 1 (Register.writes x)
+
 (* ------------------------------------------ combined crash+loss plan *)
 
 let test_crash_brs_shape () =
@@ -833,6 +878,8 @@ let () =
           Alcotest.test_case "amortized cost <= 1.5 steps/op" `Quick test_batched_step_cost;
           Alcotest.test_case "owner crash raises Unserved, no wedge" `Quick
             test_batched_owner_crash;
+          Alcotest.test_case "stale resend after a later write does not regress" `Quick
+            test_resend_does_not_regress;
         ] );
       ( "agreement-over-net",
         [
